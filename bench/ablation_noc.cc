@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Interconnect ablation: the impact of modeling the inter-tile
+ * partial-sum reduction network (Section IV-A's adders + pipeline
+ * bus) on stage times and the end-to-end speedup, plus the raw NoC
+ * characteristics (mesh scaling, reduction trees, traffic patterns).
+ */
+
+#include <iostream>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "core/accelerator.hh"
+#include "core/harness.hh"
+#include "core/systems.hh"
+#include "gcn/time_model.hh"
+#include "gcn/workload.hh"
+#include "graph/datasets.hh"
+#include "noc/traffic.hh"
+
+int
+main()
+{
+    using namespace gopim;
+
+    // (a) Mesh scaling characteristics.
+    {
+        Table table("NoC mesh characteristics",
+                    {"tiles", "mesh", "diameter", "mean hops",
+                     "reduce 64B latency (ns)"});
+        for (uint64_t tiles : {4u, 16u, 64u, 256u, 1024u}) {
+            const auto mesh = noc::MeshTopology::forTileCount(tiles);
+            const noc::NocModel model(mesh);
+            table.row()
+                .cell(tiles)
+                .cell(std::to_string(mesh.cols()) + "x" +
+                      std::to_string(mesh.rows()))
+                .cell(static_cast<uint64_t>(mesh.diameter()))
+                .cell(mesh.meanHops(), 2)
+                .cell(model.reductionLatencyNs(tiles, 64), 1);
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // (b) Traffic patterns.
+    {
+        const noc::NocModel model(noc::MeshTopology(16, 16));
+        Rng rng(7);
+        Table table("Synthetic traffic on a 16x16 mesh (64B messages)",
+                    {"pattern", "avg hops", "avg latency (ns)",
+                     "energy/message (pJ)"});
+        {
+            noc::TrafficRecorder rec(model);
+            noc::uniformRandomTraffic(rec, 50000, 64, rng);
+            table.row()
+                .cell("uniform random")
+                .cell(rec.stats().avgHops(), 2)
+                .cell(rec.stats().avgLatencyNs(), 2)
+                .cell(rec.stats().energyPj /
+                          static_cast<double>(rec.stats().messages),
+                      1);
+        }
+        {
+            noc::TrafficRecorder rec(model);
+            noc::hotspotTraffic(rec, 50000, 64, 0.8, rng);
+            table.row()
+                .cell("hotspot (80% to tile 0)")
+                .cell(rec.stats().avgHops(), 2)
+                .cell(rec.stats().avgLatencyNs(), 2)
+                .cell(rec.stats().energyPj /
+                          static_cast<double>(rec.stats().messages),
+                      1);
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // (c) End-to-end impact of modeling the reduction network.
+    {
+        Table table("GoPIM speedup over Serial, with and without the "
+                    "inter-tile reduction model",
+                    {"dataset", "ideal interconnect", "with NoC",
+                     "slowdown %"});
+        core::ComparisonHarness harness;
+        for (const auto &spec :
+             {graph::DatasetCatalog::byName("ddi"),
+              graph::DatasetCatalog::byName("proteins")}) {
+            const auto workload =
+                gcn::Workload::paperDefault(spec.name);
+            const auto profile = gcn::VertexProfile::build(
+                workload.dataset, workload.seed);
+            const auto serial =
+                harness.runOne(core::SystemKind::Serial, workload);
+
+            core::Accelerator ideal(
+                harness.hardware(),
+                core::makeSystem(core::SystemKind::GoPim));
+            const auto idealRun = ideal.run(workload, profile);
+
+            // NoC-aware run: same system, NoC modeling enabled.
+            // The accelerator owns its time model, so rebuild with a
+            // custom hardware-config-equivalent path: use the stage
+            // model directly for the delta.
+            gcn::StageTimeModel withNoc(
+                harness.hardware(),
+                {.modelNoc = true});
+            gcn::StageTimeModel without(harness.hardware(), {});
+            gcn::ExecutionPolicy policy;
+            const auto artifacts =
+                gcn::MappingArtifacts::fullUpdateApprox(
+                    workload.dataset.numVertices, 64);
+            const auto costsNoc =
+                withNoc.allCosts(workload, policy, artifacts);
+            const auto costsIdeal =
+                without.allCosts(workload, policy, artifacts);
+            double overheadSum = 0.0, baseSum = 0.0;
+            for (size_t i = 0; i < costsNoc.size(); ++i) {
+                overheadSum += costsNoc[i].totalNs();
+                baseSum += costsIdeal[i].totalNs();
+            }
+            const double slowdown = overheadSum / baseSum - 1.0;
+
+            table.row()
+                .cell(spec.name)
+                .cell(idealRun.speedupOver(serial), 1)
+                .cell(idealRun.speedupOver(serial) /
+                          (1.0 + slowdown),
+                      1)
+                .cell(slowdown * 100.0, 2);
+        }
+        table.print(std::cout);
+        std::cout << "\nThe reduction network costs a few percent — "
+                     "second-order next to the pipeline effects, "
+                     "which is why the headline model keeps it "
+                     "optional.\n";
+    }
+    return 0;
+}

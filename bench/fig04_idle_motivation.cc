@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 4 reproduction: idle time percentage of the crossbars of each
+ * stage during forward propagation, per dataset, under the
+ * SlimGNN-like pipeline. The paper reports that the Combination stage
+ * crossbars (XBS1/XBS3/XBS5) idle 98.47%, 97.50% and 99.03% of the
+ * time on average across six datasets.
+ */
+
+#include <iostream>
+
+#include "common/math_utils.hh"
+#include "common/table.hh"
+#include "core/harness.hh"
+#include "core/systems.hh"
+#include "gcn/workload.hh"
+#include "graph/datasets.hh"
+
+int
+main()
+{
+    using namespace gopim;
+
+    core::ComparisonHarness harness;
+    const auto datasets = graph::DatasetCatalog::motivationSet();
+
+    // Column per stage group of the deepest model (12 for 3 layers).
+    Table table("Figure 4: crossbar idle time % per stage group "
+                "(SlimGNN-like pipeline, forward pass)",
+                {"dataset", "XBS1(CO1)", "XBS2(AG1)", "XBS3(CO2)",
+                 "XBS4(AG2)", "XBS5(CO3)", "XBS6(AG3)"});
+
+    // Track cross-dataset averages of the Combination stage groups.
+    std::vector<double> coIdle[3];
+
+    for (const auto &spec : datasets) {
+        const auto workload = gcn::Workload::paperDefault(spec.name);
+        const auto result = harness.runOne(
+            core::SystemKind::SlimGnnLike, workload);
+
+        auto &row = table.row().cell(spec.name);
+        // Forward-pass stage groups: CO/AG pairs, 2L entries.
+        const size_t forwardStages = 2ull * workload.model.numLayers;
+        for (size_t i = 0; i < 6; ++i) {
+            if (i < forwardStages) {
+                row.cell(result.idleFraction[i] * 100.0, 2);
+                if (i % 2 == 0 && i / 2 < 3)
+                    coIdle[i / 2].push_back(
+                        result.idleFraction[i] * 100.0);
+            } else {
+                row.cell("-");
+            }
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nAverage Combination-stage idle across datasets "
+                 "(paper: 98.47% / 97.50% / 99.03%):\n";
+    for (int i = 0; i < 3; ++i) {
+        if (!coIdle[i].empty())
+            std::cout << "  XBS" << 2 * i + 1 << ": "
+                      << mean(coIdle[i]) << "%\n";
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 7 / Figure 12 reproduction: the eight-vertex worked example
+ * showing why selective updating with index-based mapping (OSU) fails
+ * to cut the update time, while ISU's interleaved mapping halves it.
+ * Vertices V1-V8 have degrees {300, 500, 250, 450, 2, 15, 10, 1};
+ * two crossbars hold four vertices each; theta = 50%.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.hh"
+#include "mapping/selective.hh"
+#include "mapping/vertex_map.hh"
+
+int
+main()
+{
+    using namespace gopim;
+    using mapping::VertexMapStrategy;
+
+    const std::vector<uint32_t> degrees = {300, 500, 250, 450,
+                                           2,   15,  10,  1};
+    const auto important = mapping::selectImportant(degrees, 0.5);
+
+    Table sel("Figure 7: selected vertices (theta = 50%)",
+              {"vertex", "degree", "selected"});
+    for (size_t v = 0; v < degrees.size(); ++v) {
+        sel.row()
+            .cell("V" + std::to_string(v + 1))
+            .cell(static_cast<uint64_t>(degrees[v]))
+            .cell(important[v] ? "yes" : "no");
+    }
+    sel.print(std::cout);
+
+    Table table("Update cycles (2 crossbars x 4 rows)",
+                {"scheme", "crossbar 1 writes", "crossbar 2 writes",
+                 "update cycles"});
+
+    auto report = [&](const std::string &name,
+                      VertexMapStrategy strategy,
+                      const std::vector<bool> &mask) {
+        const auto assignment =
+            mapping::mapVertices(degrees, 4, strategy);
+        const auto writes = mapping::hotEpochWrites(assignment, mask);
+        table.row()
+            .cell(name)
+            .cell(writes[0])
+            .cell(writes[1])
+            .cell(*std::max_element(writes.begin(), writes.end()));
+    };
+
+    const std::vector<bool> all(8, true);
+    report("no sparsification (index)", VertexMapStrategy::IndexBased,
+           all);
+    report("OSU (index + selective)", VertexMapStrategy::IndexBased,
+           important);
+    report("ISU (interleaved + selective)",
+           VertexMapStrategy::Interleaved, important);
+    table.print(std::cout);
+
+    std::cout << "\nPaper: full update 4 cycles; OSU still 4 cycles "
+                 "(crossbar 1 gets no relief); ISU 2 cycles.\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 13 reproduction: end-to-end speedup (a) and energy saving
+ * (b) of Serial, SlimGNN-like, ReGraphX, ReFlip, GoPIM-Vanilla, and
+ * GoPIM over the five evaluation datasets, normalized to Serial.
+ *
+ * Paper headline averages: GoPIM over Serial 727.6x (10.2x-3454.3x),
+ * over SlimGNN-like 2.1x, over ReGraphX 2.4x, over ReFlip 45.1x, over
+ * GoPIM-Vanilla 1.5x; energy savings over Serial: GoPIM 4.0x,
+ * SlimGNN-like 2.6x, ReGraphX 2.5x, ReFlip 1.4x, Vanilla 3.0x.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/math_utils.hh"
+#include "common/table.hh"
+#include "core/harness.hh"
+#include "graph/datasets.hh"
+
+int
+main()
+{
+    using namespace gopim;
+
+    core::ComparisonHarness harness;
+    const auto systems = core::figure13Systems();
+    std::vector<std::string> datasetNames;
+    for (const auto &spec : graph::DatasetCatalog::figure13Set())
+        datasetNames.push_back(spec.name);
+
+    const auto rows = harness.runGrid(systems, datasetNames);
+
+    harness
+        .speedupTable(
+            "Figure 13(a): end-to-end speedup normalized to Serial",
+            rows)
+        .print(std::cout);
+    std::cout << '\n';
+    harness
+        .energyTable(
+            "Figure 13(b): energy saving normalized to Serial", rows)
+        .print(std::cout);
+
+    // GoPIM-vs-each-baseline averages (the paper's summary claims).
+    const size_t gopimIdx = systems.size() - 1;
+    Table summary("GoPIM vs each baseline (geomean across datasets)",
+                  {"baseline", "speedup", "energy saving",
+                   "paper speedup", "paper energy"});
+    const char *paperSpeedups[] = {"727.6x", "2.1x", "2.4x", "45.1x",
+                                   "1.5x"};
+    const char *paperEnergy[] = {"4.0x", "1.5x", "1.6x", "2.9x",
+                                 "1.3x"};
+    for (size_t s = 0; s + 1 < systems.size(); ++s) {
+        std::vector<double> speedups, energies;
+        for (const auto &row : rows) {
+            speedups.push_back(row.results[s].makespanNs /
+                               row.results[gopimIdx].makespanNs);
+            energies.push_back(row.results[s].energyPj /
+                               row.results[gopimIdx].energyPj);
+        }
+        summary.row()
+            .cell(toString(systems[s]))
+            .cell(geomean(speedups), 1)
+            .cell(geomean(energies), 2)
+            .cell(paperSpeedups[s])
+            .cell(paperEnergy[s]);
+    }
+    summary.print(std::cout);
+    std::cout << "\n(paper energy column derived from its per-system "
+                 "savings over Serial: 4.0/2.6, 4.0/2.5, 4.0/1.4, "
+                 "4.0/3.0)\n";
+    return 0;
+}

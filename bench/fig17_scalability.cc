@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Figure 17 / Section VII-F reproduction: (a) GoPIM speedup as the
+ * vertex feature dimension grows 256 -> 2048 (speedups persist but
+ * taper off); (b) the large products dataset (paper: 5.9x speedup,
+ * 1.8x energy saving over Serial); (c) the sparse Cora dataset
+ * (paper: 3460.5x over Serial, 1.30x over SlimGNN-like, 1.26x over
+ * ReGraphX, 1.27x over ReFlip).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/harness.hh"
+#include "gcn/workload.hh"
+
+int
+main()
+{
+    using namespace gopim;
+
+    core::ComparisonHarness harness;
+
+    // (a) Feature dimension sweep on ddi.
+    {
+        Table table("Figure 17(a): GoPIM speedup vs vertex feature "
+                    "dimension (ddi)",
+                    {"dimension", "speedup over Serial",
+                     "AG crossbars/replica"});
+        auto workload = gcn::Workload::paperDefault("ddi");
+        const auto profile =
+            gcn::VertexProfile::build(workload.dataset, workload.seed);
+        for (uint32_t dim : {256u, 512u, 1024u, 2048u}) {
+            workload.model.inputChannels = dim;
+            workload.model.hiddenChannels = dim;
+            workload.model.outputChannels = dim;
+            workload.dataset.featureDim = dim;
+            core::Accelerator serial(
+                harness.hardware(),
+                core::makeSystem(core::SystemKind::Serial));
+            core::Accelerator gopim(
+                harness.hardware(),
+                core::makeSystem(core::SystemKind::GoPim));
+            const auto s = serial.run(workload, profile);
+            const auto g = gopim.run(workload, profile);
+            table.row()
+                .cell(static_cast<uint64_t>(dim))
+                .cell(g.speedupOver(s), 1)
+                .cell(g.stageCrossbars[1] / g.replicas[1]);
+        }
+        table.print(std::cout);
+        std::cout << "Paper: speedups persist but taper off as "
+                     "dimensions grow.\n\n";
+    }
+
+    // (b) Large dataset: products.
+    {
+        const auto workload = gcn::Workload::paperDefault("products");
+        const auto serial =
+            harness.runOne(core::SystemKind::Serial, workload);
+        const auto gopim =
+            harness.runOne(core::SystemKind::GoPim, workload);
+        Table table("Figure 17(b): scalability on products "
+                    "(2,449,029 vertices)",
+                    {"metric", "measured", "paper"});
+        table.row()
+            .cell("speedup over Serial")
+            .cell(gopim.speedupOver(serial), 1)
+            .cell("5.9x");
+        table.row()
+            .cell("energy saving over Serial")
+            .cell(gopim.energySavingOver(serial), 2)
+            .cell("1.8x");
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // (c) Sparse dataset: Cora with theta = 80%.
+    {
+        const auto workload = gcn::Workload::paperDefault("Cora");
+        const auto systems = core::figure13Systems();
+        std::vector<core::RunResult> results;
+        const auto profile =
+            gcn::VertexProfile::build(workload.dataset, workload.seed);
+        for (auto kind : systems) {
+            core::Accelerator accel(harness.hardware(),
+                                    core::makeSystem(kind));
+            results.push_back(accel.run(workload, profile));
+        }
+        const auto &gopim = results.back();
+
+        Table table("Section VII-F: sparse dataset Cora "
+                    "(avg degree 3.9, theta = 80%)",
+                    {"baseline", "GoPIM speedup", "GoPIM energy saving",
+                     "paper speedup"});
+        const char *paper[] = {"3460.5x", "1.30x", "1.26x", "1.27x",
+                               "-"};
+        for (size_t s = 0; s + 1 < results.size(); ++s) {
+            table.row()
+                .cell(results[s].systemName)
+                .cell(results[s].makespanNs / gopim.makespanNs, 2)
+                .cell(results[s].energyPj / gopim.energyPj, 2)
+                .cell(paper[s]);
+        }
+        table.print(std::cout);
+        std::cout << "\nPaper: GoPIM's margin shrinks on sparse "
+                     "graphs but persists everywhere.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the simulator's hot kernels:
+ * the greedy heap allocator vs the bottleneck-sweep reference (the
+ * paper's decision-time claim), pipeline scheduling, vertex mapping,
+ * graph generation, and the MVM kernel of the tensor substrate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/allocator.hh"
+#include "alloc/dp.hh"
+#include "alloc/greedy_heap.hh"
+#include "common/rng.hh"
+#include "gcn/time_model.hh"
+#include "gcn/workload.hh"
+#include "graph/generators.hh"
+#include "mapping/vertex_map.hh"
+#include "pipeline/schedule.hh"
+#include "tensor/init.hh"
+#include "tensor/ops.hh"
+
+namespace {
+
+using namespace gopim;
+
+alloc::AllocationProblem
+makeProblem(size_t stages, uint64_t spare, uint64_t seed)
+{
+    Rng rng(seed);
+    alloc::AllocationProblem p;
+    for (size_t i = 0; i < stages; ++i) {
+        p.stages.push_back({pipeline::StageType::Combination,
+                            static_cast<uint32_t>(i / 4 + 1)});
+        p.scalableTimesNs.push_back(rng.uniform(10.0, 5000.0));
+        p.fixedTimesNs.push_back(rng.uniform(0.0, 50.0));
+        p.crossbarsPerReplica.push_back(
+            1 + rng.uniformInt(uint64_t{500}));
+    }
+    p.spareCrossbars = spare;
+    p.numMicroBatches = 64;
+    p.maxUsefulReplicas = 256;
+    return p;
+}
+
+void
+BM_GreedyHeapAllocator(benchmark::State &state)
+{
+    const auto p = makeProblem(static_cast<size_t>(state.range(0)),
+                               1'000'000, 7);
+    const alloc::GreedyHeapAllocator allocator;
+    for (auto _ : state) {
+        auto result = allocator.allocate(p);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_GreedyHeapAllocator)->Arg(8)->Arg(12)->Arg(24);
+
+void
+BM_BottleneckSweepAllocator(benchmark::State &state)
+{
+    // The expensive reference decision procedure (Section V-B says
+    // DP-style decisions can take days at scale; compare decision
+    // times against the greedy above).
+    const auto p = makeProblem(static_cast<size_t>(state.range(0)),
+                               1'000'000, 7);
+    const alloc::BottleneckSweepAllocator allocator(256);
+    for (auto _ : state) {
+        auto result = allocator.allocate(p);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_BottleneckSweepAllocator)->Arg(8)->Arg(12);
+
+void
+BM_PipelineSchedule(benchmark::State &state)
+{
+    Rng rng(9);
+    std::vector<double> times(12);
+    for (auto &t : times)
+        t = rng.uniform(1.0, 100.0);
+    const auto b = static_cast<uint32_t>(state.range(0));
+    for (auto _ : state) {
+        auto result = pipeline::schedulePipelined(times, b);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_PipelineSchedule)->Arg(64)->Arg(1024);
+
+void
+BM_InterleavedMapping(benchmark::State &state)
+{
+    Rng rng(11);
+    const auto degrees = graph::powerLawDegreeSequence(
+        static_cast<uint64_t>(state.range(0)), 50.0, 2.1, 10000, rng);
+    for (auto _ : state) {
+        auto assignment = mapping::mapVertices(
+            degrees, 64, mapping::VertexMapStrategy::Interleaved);
+        benchmark::DoNotOptimize(assignment);
+    }
+}
+BENCHMARK(BM_InterleavedMapping)->Arg(10000)->Arg(100000);
+
+void
+BM_ChungLuGeneration(benchmark::State &state)
+{
+    Rng rng(13);
+    const auto degrees = graph::powerLawDegreeSequence(
+        static_cast<uint64_t>(state.range(0)), 16.0, 2.1, 2000, rng);
+    for (auto _ : state) {
+        Rng local(17);
+        auto g = graph::chungLu(degrees, local);
+        benchmark::DoNotOptimize(g);
+    }
+}
+BENCHMARK(BM_ChungLuGeneration)->Arg(10000)->Arg(50000);
+
+void
+BM_StageCostModel(benchmark::State &state)
+{
+    const gcn::StageTimeModel model(
+        reram::AcceleratorConfig::paperDefault());
+    const auto workload = gcn::Workload::paperDefault("arxiv");
+    const auto profile =
+        gcn::VertexProfile::build(workload.dataset, workload.seed);
+    gcn::ExecutionPolicy policy;
+    policy.selectiveUpdate = true;
+    policy.mapStrategy = mapping::VertexMapStrategy::Interleaved;
+    const auto artifacts = gcn::MappingArtifacts::build(
+        profile, policy, workload.dataset, 64);
+    for (auto _ : state) {
+        auto costs = model.allCosts(workload, policy, artifacts);
+        benchmark::DoNotOptimize(costs);
+    }
+}
+BENCHMARK(BM_StageCostModel);
+
+void
+BM_DenseMatmul(benchmark::State &state)
+{
+    Rng rng(19);
+    const auto n = static_cast<size_t>(state.range(0));
+    const auto a = tensor::uniformInit(n, n, -1.0f, 1.0f, rng);
+    const auto b = tensor::uniformInit(n, n, -1.0f, 1.0f, rng);
+    for (auto _ : state) {
+        auto c = tensor::matmul(a, b);
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n) * n * n);
+}
+BENCHMARK(BM_DenseMatmul)->Arg(64)->Arg(256);
+
+} // namespace

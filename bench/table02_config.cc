@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Table II reproduction: the specification of the ReRAM accelerator —
+ * per-component power/area/parameters at PE, tile, and chip level —
+ * plus the derived quantities (total crossbars, 16 GB capacity, area
+ * roll-up) the rest of the simulator consumes.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "reram/area.hh"
+#include "reram/config.hh"
+#include "reram/energy.hh"
+
+int
+main()
+{
+    using namespace gopim;
+
+    const auto cfg = reram::AcceleratorConfig::paperDefault();
+
+    Table pe("Table II (PE properties, 8 PEs per tile)",
+             {"component", "power (mW)", "area (mm^2)", "spec"});
+    pe.row().cell("ADC").cell(cfg.pe.adcPowerMw, 2).cell(
+        cfg.pe.adcAreaMm2, 5)
+        .cell(std::to_string(cfg.pe.adcResolutionBits) + " bits x " +
+              std::to_string(cfg.pe.adcCount));
+    pe.row().cell("DAC").cell(cfg.pe.dacPowerMw, 2).cell(
+        cfg.pe.dacAreaMm2, 5)
+        .cell(std::to_string(cfg.pe.dacResolutionBits) + " bits x " +
+              std::to_string(cfg.pe.dacCount));
+    pe.row().cell("S&H").cell(cfg.pe.shPowerMw, 2).cell(
+        cfg.pe.shAreaMm2, 5)
+        .cell("x " + std::to_string(cfg.pe.shCount));
+    pe.row().cell("Crossbar").cell(cfg.crossbar.powerMw, 2).cell(
+        cfg.crossbar.areaMm2, 5)
+        .cell(std::to_string(cfg.crossbar.rows) + "x" +
+              std::to_string(cfg.crossbar.cols) + ", " +
+              std::to_string(cfg.crossbar.bitsPerCell) +
+              " bits/cell, x " +
+              std::to_string(cfg.pe.crossbarsPerPe));
+    pe.row().cell("IR").cell(cfg.pe.irPowerMw, 2).cell(
+        cfg.pe.irAreaMm2, 5)
+        .cell(std::to_string(cfg.pe.irBytes / 1024) + " KB");
+    pe.row().cell("OR").cell(cfg.pe.orPowerMw, 2).cell(
+        cfg.pe.orAreaMm2, 5)
+        .cell(std::to_string(cfg.pe.orBytes) + " B");
+    pe.row().cell("S+A").cell(cfg.pe.saPowerMw, 2).cell(
+        cfg.pe.saAreaMm2, 5)
+        .cell("x " + std::to_string(cfg.pe.saCount));
+    pe.print(std::cout);
+    std::cout << '\n';
+
+    Table tile("Table II (tile properties, 65536 tiles per chip)",
+               {"component", "power (mW)", "area (mm^2)", "spec"});
+    tile.row().cell("Input buffer").cell(cfg.tile.inputBufferPowerMw, 2)
+        .cell(cfg.tile.inputBufferAreaMm2, 4)
+        .cell(std::to_string(cfg.tile.inputBufferBytes / 1024) + " KB");
+    tile.row().cell("Crossbar buffer")
+        .cell(cfg.tile.crossbarBufferPowerMw, 2)
+        .cell(cfg.tile.crossbarBufferAreaMm2, 4)
+        .cell(std::to_string(cfg.tile.crossbarBufferBytes / 1024) +
+              " KB");
+    tile.row().cell("Output buffer")
+        .cell(cfg.tile.outputBufferPowerMw, 2)
+        .cell(cfg.tile.outputBufferAreaMm2, 4)
+        .cell(std::to_string(cfg.tile.outputBufferBytes / 1024) +
+              " KB");
+    tile.row().cell("NFU").cell(cfg.tile.nfuPowerMw, 2).cell(
+        cfg.tile.nfuAreaMm2, 4)
+        .cell("x " + std::to_string(cfg.tile.nfuCount));
+    tile.row().cell("PFU").cell(cfg.tile.pfuPowerMw, 2).cell(
+        cfg.tile.pfuAreaMm2, 5)
+        .cell("x " + std::to_string(cfg.tile.pfuCount));
+    tile.print(std::cout);
+    std::cout << '\n';
+
+    Table chip("Table II (chip properties)",
+               {"component", "power (mW)", "area (mm^2)"});
+    chip.row().cell("Weight computer")
+        .cell(cfg.chip.weightComputerPowerMw, 2)
+        .cell(cfg.chip.weightComputerAreaMm2, 2);
+    chip.row().cell("Activation module")
+        .cell(cfg.chip.activationPowerMw, 4)
+        .cell(cfg.chip.activationAreaMm2, 4);
+    chip.row().cell("Central controller")
+        .cell(cfg.chip.controllerPowerMw, 2)
+        .cell(cfg.chip.controllerAreaMm2, 2);
+    chip.print(std::cout);
+    std::cout << '\n';
+
+    const auto area = reram::computeArea(cfg);
+    const reram::EnergyModel energy(cfg);
+    Table derived("Derived quantities",
+                  {"quantity", "value"});
+    derived.row().cell("total crossbars").cell(cfg.totalCrossbars());
+    derived.row()
+        .cell("ReRAM capacity")
+        .cell(std::to_string(cfg.capacityBytes() / (1ull << 30)) +
+              " GiB");
+    derived.row()
+        .cell("read / write latency")
+        .cell(formatTimeNs(cfg.crossbar.readLatencyNs) + " / " +
+              formatTimeNs(cfg.crossbar.writeLatencyNs));
+    derived.row()
+        .cell("bit-serial input cycles")
+        .cell(static_cast<uint64_t>(cfg.inputCycles()));
+    derived.row()
+        .cell("row window (rows per serial step)")
+        .cell(static_cast<uint64_t>(cfg.windowRows()));
+    derived.row().cell("PE area").cell(
+        std::to_string(area.perPeMm2) + " mm^2");
+    derived.row().cell("tile area").cell(
+        std::to_string(area.perTileMm2) + " mm^2");
+    derived.row().cell("chip area").cell(
+        std::to_string(area.chipMm2 / 100.0) + " cm^2");
+    derived.row()
+        .cell("activation energy")
+        .cell(formatEnergyPj(energy.activationEnergyPj()));
+    derived.row()
+        .cell("row-write energy")
+        .cell(formatEnergyPj(energy.rowWriteEnergyPj()));
+    derived.row()
+        .cell("background power")
+        .cell(std::to_string(energy.backgroundPowerMw()) + " mW");
+    derived.print(std::cout);
+    return 0;
+}

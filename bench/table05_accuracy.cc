@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Table V reproduction: the accuracy impact of ISU (GoPIM vs
+ * GoPIM-Vanilla) per dataset. Task types follow Table III: ddi,
+ * collab, and ppa are link-prediction tasks (metric: ROC-AUC %);
+ * proteins and arxiv are node classification (metric: accuracy %).
+ * The functional trainers run on density-matched synthetic graphs
+ * (DESIGN.md §1 documents the substitution); the reproduction target
+ * is the *sign and magnitude* of the deltas — the paper reports
+ * -0.65% to +4.01%, i.e. within a few points and sometimes positive.
+ */
+
+#include <iostream>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "gcn/link_trainer.hh"
+#include "gcn/trainer.hh"
+#include "graph/datasets.hh"
+#include "graph/generators.hh"
+#include "mapping/selective.hh"
+
+int
+main()
+{
+    using namespace gopim;
+
+    const char *paperImpact[] = {"+4.01", "-0.65", "+1.07", "+1.62",
+                                 "-0.2"};
+
+    Table table("Table V: accuracy impact of ISU (functional trainers "
+                "on density-matched synthetic graphs)",
+                {"dataset", "task / metric", "theta", "Vanilla %",
+                 "GoPIM %", "impact %", "paper impact %"});
+
+    Rng rng(7);
+    int idx = 0;
+    for (const auto &spec : graph::DatasetCatalog::figure13Set()) {
+        // Scale vertex count down to trainer size, keep the density
+        // class (capped so the densest graphs stay tractable).
+        const uint32_t vertices = 1200;
+        const double avgDeg = std::min(spec.avgDegree, 80.0);
+        const auto data = graph::degreeCorrectedPartition(
+            vertices, 6, avgDeg, 2.1, 0.35, rng);
+
+        const double theta = mapping::adaptiveTheta(spec.avgDegree);
+        gcn::SelectivePolicy isu{.enabled = true,
+                                 .theta = theta,
+                                 .coldPeriod = 20};
+
+        double vanillaMetric = 0.0;
+        double gopimMetric = 0.0;
+        std::string metricName;
+        if (spec.task == graph::TaskType::LinkPrediction) {
+            metricName = "link / AUC";
+            gcn::TrainerConfig cfg;
+            cfg.epochs = 50;
+            cfg.featureDim = 16;
+            cfg.hiddenChannels = 16;
+            cfg.seed = 11 + static_cast<uint64_t>(idx);
+            gcn::LinkPredictionTrainer trainer(data.graph, cfg);
+            vanillaMetric = trainer.train({}).bestTestAuc * 100.0;
+            gopimMetric = trainer.train(isu).bestTestAuc * 100.0;
+        } else {
+            metricName = "node / accuracy";
+            gcn::TrainerConfig cfg;
+            cfg.epochs = 80;
+            cfg.featureDim = 8;
+            cfg.hiddenChannels = 32;
+            cfg.seed = 11 + static_cast<uint64_t>(idx);
+            gcn::FunctionalTrainer trainer(data, cfg);
+            vanillaMetric =
+                trainer.train({}).bestTestAccuracy * 100.0;
+            gopimMetric = trainer.train(isu).bestTestAccuracy * 100.0;
+        }
+
+        table.row()
+            .cell(spec.name)
+            .cell(metricName)
+            .cell(theta, 1)
+            .cell(vanillaMetric, 2)
+            .cell(gopimMetric, 2)
+            .cell(gopimMetric - vanillaMetric, 2)
+            .cell(paperImpact[idx]);
+        ++idx;
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper: impacts range -0.65% to +4.01%; losses "
+                 "below 1% are acceptable.\n";
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Domain example: hardware design-space exploration. Sweeps crossbar
+ * geometry, write latency, and chip budget to show how the GoPIM
+ * speedup and the allocator's choices respond — the study an
+ * architect runs before committing silicon parameters.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/accelerator.hh"
+#include "core/harness.hh"
+#include "core/systems.hh"
+#include "gcn/workload.hh"
+#include "reram/area.hh"
+
+namespace {
+
+using namespace gopim;
+
+double
+speedupFor(const reram::AcceleratorConfig &hw,
+           const gcn::Workload &workload,
+           const gcn::VertexProfile &profile)
+{
+    core::Accelerator serial(hw,
+                             core::makeSystem(core::SystemKind::Serial));
+    core::Accelerator gopim(hw,
+                            core::makeSystem(core::SystemKind::GoPim));
+    return gopim.run(workload, profile)
+        .speedupOver(serial.run(workload, profile));
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto workload = gcn::Workload::paperDefault("ddi");
+    const auto profile =
+        gcn::VertexProfile::build(workload.dataset, workload.seed);
+
+    // 1. Crossbar geometry sweep (same total cell budget per chip).
+    {
+        Table table("Crossbar geometry sweep (ddi)",
+                    {"crossbar", "total crossbars", "chip area mm^2",
+                     "GoPIM speedup"});
+        for (uint32_t size : {32u, 64u, 128u}) {
+            auto hw = reram::AcceleratorConfig::paperDefault();
+            hw.crossbar.rows = size;
+            hw.crossbar.cols = size;
+            // Hold the cell budget: scale crossbars per PE.
+            hw.pe.crossbarsPerPe = 32u * (64u * 64u) / (size * size);
+            const auto area = reram::computeArea(hw);
+            table.row()
+                .cell(std::to_string(size) + "x" +
+                      std::to_string(size))
+                .cell(hw.totalCrossbars())
+                .cell(area.chipMm2, 0)
+                .cell(speedupFor(hw, workload, profile), 1);
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // 2. Write latency sweep: ISU matters more on slow-write devices.
+    {
+        Table table("Write latency sweep (ddi, GoPIM vs Vanilla)",
+                    {"t_write (ns)", "GoPIM speedup",
+                     "Vanilla speedup", "ISU advantage"});
+        for (double tw : {25.0, 50.88, 150.0, 500.0}) {
+            auto hw = reram::AcceleratorConfig::paperDefault();
+            hw.crossbar.writeLatencyNs = tw;
+            core::Accelerator serial(
+                hw, core::makeSystem(core::SystemKind::Serial));
+            core::Accelerator gopim(
+                hw, core::makeSystem(core::SystemKind::GoPim));
+            core::Accelerator vanilla(
+                hw, core::makeSystem(core::SystemKind::GoPimVanilla));
+            const auto s = serial.run(workload, profile);
+            const double g =
+                gopim.run(workload, profile).speedupOver(s);
+            const double v =
+                vanilla.run(workload, profile).speedupOver(s);
+            table.row()
+                .cell(tw, 2)
+                .cell(g, 1)
+                .cell(v, 1)
+                .cell(g / v, 2);
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // 3. Chip budget sweep: how much ReRAM does GoPIM actually need?
+    {
+        Table table("Chip budget sweep (ddi)",
+                    {"tiles", "total crossbars", "GoPIM speedup",
+                     "crossbars used"});
+        for (uint32_t tiles : {1024u, 4096u, 16384u, 65536u}) {
+            auto hw = reram::AcceleratorConfig::paperDefault();
+            hw.chip.tilesPerChip = tiles;
+            core::Accelerator serial(
+                hw, core::makeSystem(core::SystemKind::Serial));
+            core::Accelerator gopim(
+                hw, core::makeSystem(core::SystemKind::GoPim));
+            const auto s = serial.run(workload, profile);
+            const auto g = gopim.run(workload, profile);
+            table.row()
+                .cell(static_cast<uint64_t>(tiles))
+                .cell(hw.totalCrossbars())
+                .cell(g.speedupOver(s), 1)
+                .cell(g.totalCrossbars);
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+#include "alloc/allocator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "pipeline/schedule.hh"
+
+namespace gopim::alloc {
+
+void
+AllocationProblem::validate() const
+{
+    const size_t n = stages.size();
+    if (n == 0)
+        fatal("allocation problem with no stages");
+    if (scalableTimesNs.size() != n || fixedTimesNs.size() != n ||
+        crossbarsPerReplica.size() != n)
+        fatal("allocation problem: array size mismatch");
+    for (size_t i = 0; i < n; ++i) {
+        if (scalableTimesNs[i] < 0.0 || fixedTimesNs[i] < 0.0)
+            fatal("allocation problem: negative stage time");
+        if (crossbarsPerReplica[i] == 0)
+            fatal("allocation problem: zero-crossbar stage");
+    }
+    if (numMicroBatches == 0)
+        fatal("allocation problem: zero micro-batches");
+}
+
+double
+stageTimeNs(const AllocationProblem &problem, size_t stage,
+            uint32_t replicas)
+{
+    GOPIM_ASSERT(stage < problem.numStages(), "stage out of range");
+    GOPIM_ASSERT(replicas >= 1, "stage needs at least one replica");
+    uint32_t effective = replicas;
+    if (problem.maxUsefulReplicas > 0)
+        effective = std::min(effective, problem.maxUsefulReplicas);
+    return problem.fixedTimesNs[stage] +
+           problem.scalableTimesNs[stage] /
+               static_cast<double>(effective);
+}
+
+std::vector<double>
+stageTimesNs(const AllocationProblem &problem,
+             const std::vector<uint32_t> &replicas)
+{
+    GOPIM_ASSERT(replicas.size() == problem.numStages(),
+                 "replica vector size mismatch");
+    std::vector<double> times(problem.numStages());
+    for (size_t i = 0; i < times.size(); ++i)
+        times[i] = stageTimeNs(problem, i, replicas[i]);
+    return times;
+}
+
+double
+makespanNs(const AllocationProblem &problem,
+           const std::vector<uint32_t> &replicas)
+{
+    return pipeline::pipelinedMakespanNs(
+        stageTimesNs(problem, replicas), problem.numMicroBatches);
+}
+
+AllocationResult
+Allocator::finish(const AllocationProblem &problem,
+                  std::vector<uint32_t> replicas)
+{
+    GOPIM_ASSERT(replicas.size() == problem.numStages(),
+                 "replica vector size mismatch");
+    AllocationResult result;
+    result.totalCrossbars = 0;
+    for (size_t i = 0; i < replicas.size(); ++i) {
+        replicas[i] = std::max(replicas[i], 1u);
+        result.totalCrossbars +=
+            static_cast<uint64_t>(replicas[i]) *
+            problem.crossbarsPerReplica[i];
+    }
+    result.replicas = std::move(replicas);
+    return result;
+}
+
+} // namespace gopim::alloc

@@ -1,0 +1,90 @@
+#include "alloc/annealing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "alloc/greedy_heap.hh"
+
+namespace gopim::alloc {
+
+AnnealingAllocator::AnnealingAllocator(AnnealingParams params)
+    : params_(params)
+{
+    GOPIM_ASSERT(params_.iterations >= 1, "need at least one step");
+    GOPIM_ASSERT(params_.coolingRate > 0.0 &&
+                     params_.coolingRate < 1.0,
+                 "cooling rate must be in (0, 1)");
+}
+
+AllocationResult
+AnnealingAllocator::allocate(const AllocationProblem &problem) const
+{
+    problem.validate();
+    const size_t n = problem.numStages();
+    Rng rng(params_.seed);
+
+    // Warm start from the greedy solution; annealing then explores
+    // single-replica add/remove/move perturbations around it.
+    std::vector<uint32_t> current =
+        GreedyHeapAllocator(params_.maxReplicasPerStage, 0.0)
+            .allocate(problem)
+            .replicas;
+
+    auto spareUsed = [&](const std::vector<uint32_t> &r) {
+        uint64_t used = 0;
+        for (size_t i = 0; i < n; ++i)
+            used += static_cast<uint64_t>(r[i] - 1) *
+                    problem.crossbarsPerReplica[i];
+        return used;
+    };
+
+    double currentCost = makespanNs(problem, current);
+    std::vector<uint32_t> best = current;
+    double bestCost = currentCost;
+    double temperature = params_.initialTemperature * currentCost;
+
+    for (uint32_t iter = 0; iter < params_.iterations; ++iter) {
+        std::vector<uint32_t> candidate = current;
+
+        // Perturbation: add one replica, remove one, or move one.
+        const auto move = rng.uniformInt(uint64_t{3});
+        const auto stage = static_cast<size_t>(
+            rng.uniformInt(static_cast<uint64_t>(n)));
+        if (move == 0) {
+            if (candidate[stage] < params_.maxReplicasPerStage)
+                ++candidate[stage];
+        } else if (move == 1) {
+            if (candidate[stage] > 1)
+                --candidate[stage];
+        } else {
+            const auto other = static_cast<size_t>(
+                rng.uniformInt(static_cast<uint64_t>(n)));
+            if (candidate[stage] > 1 &&
+                candidate[other] < params_.maxReplicasPerStage) {
+                --candidate[stage];
+                ++candidate[other];
+            }
+        }
+        if (spareUsed(candidate) > problem.spareCrossbars)
+            continue;
+
+        const double candidateCost = makespanNs(problem, candidate);
+        const double delta = candidateCost - currentCost;
+        if (delta <= 0.0 ||
+            rng.uniform() < std::exp(-delta / std::max(temperature,
+                                                       1e-12))) {
+            current = std::move(candidate);
+            currentCost = candidateCost;
+            if (currentCost < bestCost) {
+                bestCost = currentCost;
+                best = current;
+            }
+        }
+        temperature *= params_.coolingRate;
+    }
+    return finish(problem, std::move(best));
+}
+
+} // namespace gopim::alloc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Simulated-annealing allocator: a stochastic global-search reference
+ * for the allocation ablation (bench/ablation_allocators). It explores
+ * replica vectors by moving single replicas between stages; useful to
+ * check how close Algorithm 1's greedy gets to a strong local optimum
+ * at a fraction of the decision time.
+ */
+
+#ifndef GOPIM_ALLOC_ANNEALING_HH
+#define GOPIM_ALLOC_ANNEALING_HH
+
+#include <cstdint>
+
+#include "alloc/allocator.hh"
+
+namespace gopim::alloc {
+
+/** Annealing schedule parameters. */
+struct AnnealingParams
+{
+    uint32_t iterations = 20000;
+    double initialTemperature = 0.2; ///< relative to initial makespan
+    double coolingRate = 0.9995;
+    uint64_t seed = 23;
+    /** Cap per-stage replicas explored. */
+    uint32_t maxReplicasPerStage = 4096;
+};
+
+/** Simulated-annealing replica allocator. */
+class AnnealingAllocator : public Allocator
+{
+  public:
+    explicit AnnealingAllocator(AnnealingParams params = {});
+
+    AllocationResult allocate(
+        const AllocationProblem &problem) const override;
+    std::string name() const override { return "Annealing"; }
+
+  private:
+    AnnealingParams params_;
+};
+
+} // namespace gopim::alloc
+
+#endif // GOPIM_ALLOC_ANNEALING_HH

@@ -1,0 +1,111 @@
+#include "alloc/basic.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gopim::alloc {
+
+namespace {
+
+using pipeline::StageType;
+
+/** True for stages in the Combination class (forward/backward MVMs). */
+bool
+isCombinationClass(StageType t)
+{
+    return t == StageType::Combination || t == StageType::LossCompute;
+}
+
+/**
+ * Split the spare budget across stages proportionally to `weights`,
+ * converting each share into whole replicas of that stage's footprint.
+ */
+std::vector<uint32_t>
+proportionalReplicas(const AllocationProblem &problem,
+                     const std::vector<double> &weights)
+{
+    double weightSum = 0.0;
+    for (double w : weights)
+        weightSum += w;
+
+    std::vector<uint32_t> replicas(problem.numStages(), 1);
+    if (weightSum <= 0.0)
+        return replicas;
+
+    for (size_t i = 0; i < problem.numStages(); ++i) {
+        const double share = static_cast<double>(problem.spareCrossbars) *
+                             weights[i] / weightSum;
+        const auto extra = static_cast<uint32_t>(
+            share / static_cast<double>(problem.crossbarsPerReplica[i]));
+        replicas[i] += extra;
+        // Even naive policies know the available parallelism bound.
+        if (problem.maxUsefulReplicas > 0)
+            replicas[i] =
+                std::min(replicas[i], problem.maxUsefulReplicas);
+    }
+    return replicas;
+}
+
+} // namespace
+
+AllocationResult
+SerialAllocator::allocate(const AllocationProblem &problem) const
+{
+    problem.validate();
+    return finish(problem,
+                  std::vector<uint32_t>(problem.numStages(), 1));
+}
+
+FixedRatioAllocator::FixedRatioAllocator(double comboWeight,
+                                         double aggWeight)
+    : comboWeight_(comboWeight), aggWeight_(aggWeight)
+{
+    GOPIM_ASSERT(comboWeight > 0.0 && aggWeight > 0.0,
+                 "ratio weights must be positive");
+}
+
+AllocationResult
+FixedRatioAllocator::allocate(const AllocationProblem &problem) const
+{
+    problem.validate();
+    std::vector<double> weights(problem.numStages());
+    for (size_t i = 0; i < problem.numStages(); ++i)
+        weights[i] = isCombinationClass(problem.stages[i].type)
+                         ? comboWeight_
+                         : aggWeight_;
+    return finish(problem, proportionalReplicas(problem, weights));
+}
+
+AllocationResult
+SpaceProportionalAllocator::allocate(
+    const AllocationProblem &problem) const
+{
+    problem.validate();
+    std::vector<double> weights(problem.numStages());
+    for (size_t i = 0; i < problem.numStages(); ++i)
+        weights[i] =
+            static_cast<double>(problem.crossbarsPerReplica[i]);
+    return finish(problem, proportionalReplicas(problem, weights));
+}
+
+AllocationResult
+CombinationOnlyAllocator::allocate(const AllocationProblem &problem) const
+{
+    problem.validate();
+    std::vector<double> weights(problem.numStages(), 0.0);
+    bool any = false;
+    for (size_t i = 0; i < problem.numStages(); ++i) {
+        if (problem.stages[i].type == pipeline::StageType::Combination) {
+            weights[i] =
+                static_cast<double>(problem.crossbarsPerReplica[i]);
+            any = true;
+        }
+    }
+    if (!any)
+        return finish(problem,
+                      std::vector<uint32_t>(problem.numStages(), 1));
+    return finish(problem, proportionalReplicas(problem, weights));
+}
+
+} // namespace gopim::alloc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Baseline allocation policies from the paper's comparison set:
+ * Serial (no replicas), FixedRatio (ReGraphX's 1:2 CO:AG split),
+ * SpaceProportional (SlimGNN-like, budget split by space footprint,
+ * which yields equal extra replica counts per stage — the Pipelayer
+ * behavior), and CombinationOnly (ReFlip replicates CO stages only).
+ */
+
+#ifndef GOPIM_ALLOC_BASIC_HH
+#define GOPIM_ALLOC_BASIC_HH
+
+#include "alloc/allocator.hh"
+
+namespace gopim::alloc {
+
+/** No replication at all: every stage keeps one replica. */
+class SerialAllocator : public Allocator
+{
+  public:
+    AllocationResult allocate(
+        const AllocationProblem &problem) const override;
+    std::string name() const override { return "Serial"; }
+};
+
+/**
+ * Fixed-ratio split between Combination-class stages (CO, LC) and
+ * Aggregation-class stages (AG, GC), ReGraphX style (1:2 default).
+ */
+class FixedRatioAllocator : public Allocator
+{
+  public:
+    FixedRatioAllocator(double comboWeight = 1.0, double aggWeight = 2.0);
+
+    AllocationResult allocate(
+        const AllocationProblem &problem) const override;
+    std::string name() const override { return "FixedRatio(1:2)"; }
+
+  private:
+    double comboWeight_;
+    double aggWeight_;
+};
+
+/**
+ * Budget split proportional to each stage's space footprint
+ * (crossbars per replica). Every stage ends up with roughly the same
+ * number of extra replicas, which is how SlimGNN-like behaves.
+ */
+class SpaceProportionalAllocator : public Allocator
+{
+  public:
+    AllocationResult allocate(
+        const AllocationProblem &problem) const override;
+    std::string name() const override { return "SpaceProportional"; }
+};
+
+/** Replicas only for Combination stages (ReFlip). */
+class CombinationOnlyAllocator : public Allocator
+{
+  public:
+    AllocationResult allocate(
+        const AllocationProblem &problem) const override;
+    std::string name() const override { return "CombinationOnly"; }
+};
+
+} // namespace gopim::alloc
+
+#endif // GOPIM_ALLOC_BASIC_HH

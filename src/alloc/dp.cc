@@ -1,0 +1,142 @@
+#include "alloc/dp.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace gopim::alloc {
+
+BottleneckSweepAllocator::BottleneckSweepAllocator(
+    uint32_t maxReplicasPerStage)
+    : maxReplicas_(maxReplicasPerStage)
+{
+    GOPIM_ASSERT(maxReplicas_ >= 1, "replica cap must be >= 1");
+}
+
+AllocationResult
+BottleneckSweepAllocator::allocate(const AllocationProblem &problem) const
+{
+    problem.validate();
+    const size_t n = problem.numStages();
+
+    // Candidate bottleneck times: every achievable stage time.
+    std::vector<double> candidates;
+    for (size_t i = 0; i < n; ++i)
+        for (uint32_t r = 1; r <= maxReplicas_; ++r)
+            candidates.push_back(stageTimeNs(problem, i, r));
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(
+        std::unique(candidates.begin(), candidates.end()),
+        candidates.end());
+
+    double bestMakespan = std::numeric_limits<double>::infinity();
+    std::vector<uint32_t> bestReplicas(n, 1);
+
+    for (double tau : candidates) {
+        // Minimal replicas bringing every stage to <= tau.
+        std::vector<uint32_t> replicas(n, 1);
+        uint64_t used = 0;
+        bool feasible = true;
+        for (size_t i = 0; i < n; ++i) {
+            uint32_t r = 1;
+            while (r <= maxReplicas_ &&
+                   stageTimeNs(problem, i, r) > tau)
+                ++r;
+            if (r > maxReplicas_ ||
+                stageTimeNs(problem, i, r) > tau) {
+                feasible = false;
+                break;
+            }
+            replicas[i] = r;
+            used += static_cast<uint64_t>(r - 1) *
+                    problem.crossbarsPerReplica[i];
+        }
+        if (!feasible || used > problem.spareCrossbars)
+            continue;
+
+        // Spend leftover budget on the best per-crossbar time deltas
+        // (reduces the sum term of Eq. 6 below the tau ceiling).
+        uint64_t leftover = problem.spareCrossbars - used;
+        auto gain = [&](size_t i) {
+            if (replicas[i] >= maxReplicas_)
+                return 0.0;
+            return (stageTimeNs(problem, i, replicas[i]) -
+                    stageTimeNs(problem, i, replicas[i] + 1)) /
+                   static_cast<double>(problem.crossbarsPerReplica[i]);
+        };
+        using Item = std::pair<double, size_t>;
+        std::priority_queue<Item> pq;
+        for (size_t i = 0; i < n; ++i)
+            pq.push({gain(i), i});
+        while (!pq.empty() && pq.top().first > 0.0) {
+            auto [g, i] = pq.top();
+            pq.pop();
+            // Lazy re-evaluation: skip stale entries.
+            if (g != gain(i))
+                continue;
+            if (problem.crossbarsPerReplica[i] > leftover)
+                continue;
+            ++replicas[i];
+            leftover -= problem.crossbarsPerReplica[i];
+            pq.push({gain(i), i});
+        }
+
+        const double ms = makespanNs(problem, replicas);
+        if (ms < bestMakespan) {
+            bestMakespan = ms;
+            bestReplicas = replicas;
+        }
+    }
+    return finish(problem, std::move(bestReplicas));
+}
+
+ExhaustiveAllocator::ExhaustiveAllocator(uint32_t maxReplicasPerStage)
+    : maxReplicas_(maxReplicasPerStage)
+{
+    GOPIM_ASSERT(maxReplicas_ >= 1, "replica cap must be >= 1");
+}
+
+AllocationResult
+ExhaustiveAllocator::allocate(const AllocationProblem &problem) const
+{
+    problem.validate();
+    const size_t n = problem.numStages();
+    GOPIM_ASSERT(n <= 6, "exhaustive search limited to <= 6 stages");
+
+    std::vector<uint32_t> current(n, 1);
+    std::vector<uint32_t> best(n, 1);
+    double bestMakespan = std::numeric_limits<double>::infinity();
+
+    // Depth-first enumeration with budget pruning.
+    auto recurse = [&](auto &&self, size_t depth,
+                       uint64_t budgetUsed) -> void {
+        if (budgetUsed > problem.spareCrossbars)
+            return;
+        if (depth == n) {
+            const double ms = makespanNs(problem, current);
+            if (ms < bestMakespan) {
+                bestMakespan = ms;
+                best = current;
+            }
+            return;
+        }
+        for (uint32_t r = 1; r <= maxReplicas_; ++r) {
+            current[depth] = r;
+            const uint64_t cost =
+                budgetUsed + static_cast<uint64_t>(r - 1) *
+                                 problem.crossbarsPerReplica[depth];
+            if (cost > problem.spareCrossbars)
+                break;
+            self(self, depth + 1, cost);
+        }
+        current[depth] = 1;
+    };
+    recurse(recurse, 0, 0);
+
+    return finish(problem, std::move(best));
+}
+
+} // namespace gopim::alloc

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reference allocators: a bottleneck-sweep optimizer (the expensive
+ * "dynamic programming" style decision procedure the paper contrasts
+ * Algorithm 1 against) and an exhaustive search for small instances
+ * (ground truth in unit tests).
+ */
+
+#ifndef GOPIM_ALLOC_DP_HH
+#define GOPIM_ALLOC_DP_HH
+
+#include "alloc/allocator.hh"
+
+namespace gopim::alloc {
+
+/**
+ * Near-exact reference optimizer. For each candidate bottleneck time
+ * tau (every achievable stage time is a candidate), compute the
+ * minimal replicas bringing every stage under tau, then spend leftover
+ * budget greedily on the largest per-crossbar time deltas; keep the
+ * tau with the best Eq. 6 makespan. Polynomial but far slower than
+ * Algorithm 1 — this is the decision-cost baseline of Section V-B.
+ */
+class BottleneckSweepAllocator : public Allocator
+{
+  public:
+    /** Caps the per-stage replica candidates enumerated per tau. */
+    explicit BottleneckSweepAllocator(uint32_t maxReplicasPerStage = 4096);
+
+    AllocationResult allocate(
+        const AllocationProblem &problem) const override;
+    std::string name() const override { return "BottleneckSweep"; }
+
+  private:
+    uint32_t maxReplicas_;
+};
+
+/**
+ * Exhaustive search over replica vectors (bounded per stage); exact
+ * ground truth for tiny problems in tests. Exponential: use only with
+ * a handful of stages and small bounds.
+ */
+class ExhaustiveAllocator : public Allocator
+{
+  public:
+    explicit ExhaustiveAllocator(uint32_t maxReplicasPerStage = 8);
+
+    AllocationResult allocate(
+        const AllocationProblem &problem) const override;
+    std::string name() const override { return "Exhaustive"; }
+
+  private:
+    uint32_t maxReplicas_;
+};
+
+} // namespace gopim::alloc
+
+#endif // GOPIM_ALLOC_DP_HH

@@ -1,0 +1,186 @@
+#include "common/flags.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gopim {
+
+Flags::Flags(std::string programName, std::string description)
+    : programName_(std::move(programName)),
+      description_(std::move(description))
+{
+}
+
+void
+Flags::addString(const std::string &name, const std::string &def,
+                 const std::string &help)
+{
+    GOPIM_ASSERT(!entries_.count(name), "duplicate flag ", name);
+    entries_[name] = {Type::String, def, def, help, false};
+    order_.push_back(name);
+}
+
+void
+Flags::addInt(const std::string &name, int64_t def,
+              const std::string &help)
+{
+    GOPIM_ASSERT(!entries_.count(name), "duplicate flag ", name);
+    entries_[name] = {Type::Int, std::to_string(def),
+                      std::to_string(def), help, false};
+    order_.push_back(name);
+}
+
+void
+Flags::addDouble(const std::string &name, double def,
+                 const std::string &help)
+{
+    GOPIM_ASSERT(!entries_.count(name), "duplicate flag ", name);
+    std::ostringstream os;
+    os << def;
+    entries_[name] = {Type::Double, os.str(), os.str(), help, false};
+    order_.push_back(name);
+}
+
+void
+Flags::addBool(const std::string &name, bool def,
+               const std::string &help)
+{
+    GOPIM_ASSERT(!entries_.count(name), "duplicate flag ", name);
+    const std::string text = def ? "true" : "false";
+    entries_[name] = {Type::Bool, text, text, help, false};
+    order_.push_back(name);
+}
+
+bool
+Flags::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(helpText().c_str(), stdout);
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        std::string value;
+        bool haveValue = false;
+        if (const auto eq = arg.find('='); eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            haveValue = true;
+        }
+        auto it = entries_.find(arg);
+        if (it == entries_.end())
+            fatal("unknown flag --", arg, " (see --help)");
+        Entry &entry = it->second;
+
+        if (!haveValue) {
+            if (entry.type == Type::Bool) {
+                value = "true"; // bare --flag sets a bool
+                haveValue = true;
+            } else if (i + 1 < argc) {
+                value = argv[++i];
+                haveValue = true;
+            } else {
+                fatal("flag --", arg, " expects a value");
+            }
+        }
+
+        // Validate by type.
+        switch (entry.type) {
+          case Type::Int: {
+            char *end = nullptr;
+            std::strtoll(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0')
+                fatal("flag --", arg, " expects an integer, got '",
+                      value, "'");
+            break;
+          }
+          case Type::Double: {
+            char *end = nullptr;
+            std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0')
+                fatal("flag --", arg, " expects a number, got '",
+                      value, "'");
+            break;
+          }
+          case Type::Bool:
+            if (value != "true" && value != "false" && value != "1" &&
+                value != "0")
+                fatal("flag --", arg, " expects true/false, got '",
+                      value, "'");
+            break;
+          case Type::String:
+            break;
+        }
+        entry.value = value;
+        entry.set = true;
+    }
+    return true;
+}
+
+const Flags::Entry &
+Flags::lookup(const std::string &name, Type type) const
+{
+    const auto it = entries_.find(name);
+    GOPIM_ASSERT(it != entries_.end(), "undeclared flag ", name);
+    GOPIM_ASSERT(it->second.type == type, "flag ", name,
+                 " accessed with wrong type");
+    return it->second;
+}
+
+std::string
+Flags::getString(const std::string &name) const
+{
+    return lookup(name, Type::String).value;
+}
+
+int64_t
+Flags::getInt(const std::string &name) const
+{
+    return std::strtoll(lookup(name, Type::Int).value.c_str(), nullptr,
+                        10);
+}
+
+double
+Flags::getDouble(const std::string &name) const
+{
+    return std::strtod(lookup(name, Type::Double).value.c_str(),
+                       nullptr);
+}
+
+bool
+Flags::getBool(const std::string &name) const
+{
+    const std::string &v = lookup(name, Type::Bool).value;
+    return v == "true" || v == "1";
+}
+
+bool
+Flags::isSet(const std::string &name) const
+{
+    const auto it = entries_.find(name);
+    GOPIM_ASSERT(it != entries_.end(), "undeclared flag ", name);
+    return it->second.set;
+}
+
+std::string
+Flags::helpText() const
+{
+    std::ostringstream os;
+    os << programName_ << " - " << description_ << "\n\nFlags:\n";
+    for (const auto &name : order_) {
+        const Entry &e = entries_.at(name);
+        os << "  --" << name << " (default: " << e.def << ")\n      "
+           << e.help << "\n";
+    }
+    os << "  --help\n      Show this message.\n";
+    return os.str();
+}
+
+} // namespace gopim

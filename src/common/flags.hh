@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the tools and benchmark
+ * binaries: --name=value and --name value forms, typed accessors with
+ * defaults, and automatic --help text.
+ */
+
+#ifndef GOPIM_COMMON_FLAGS_HH
+#define GOPIM_COMMON_FLAGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gopim {
+
+/** Declarative flag registry + parser. */
+class Flags
+{
+  public:
+    /** programName and description feed the --help text. */
+    Flags(std::string programName, std::string description);
+
+    /** Declare flags before parse(). */
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+    void addInt(const std::string &name, int64_t def,
+                const std::string &help);
+    void addDouble(const std::string &name, double def,
+                   const std::string &help);
+    void addBool(const std::string &name, bool def,
+                 const std::string &help);
+
+    /**
+     * Parse argv. Returns false (after printing help) if --help was
+     * requested; fatal() on unknown flags or malformed values.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    std::string getString(const std::string &name) const;
+    int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /** True if the flag was set on the command line (vs default). */
+    bool isSet(const std::string &name) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Render the --help text. */
+    std::string helpText() const;
+
+  private:
+    enum class Type { String, Int, Double, Bool };
+
+    struct Entry
+    {
+        Type type;
+        std::string value; ///< current value, textual
+        std::string def;
+        std::string help;
+        bool set = false;
+    };
+
+    const Entry &lookup(const std::string &name, Type type) const;
+
+    std::string programName_;
+    std::string description_;
+    std::map<std::string, Entry> entries_;
+    std::vector<std::string> order_; ///< declaration order for help
+    std::vector<std::string> positional_;
+};
+
+} // namespace gopim
+
+#endif // GOPIM_COMMON_FLAGS_HH

@@ -1,0 +1,37 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace gopim {
+
+namespace {
+
+/** Process-wide log level, defaulting to warnings only. */
+LogLevel gLogLevel = LogLevel::Warn;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return gLogLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLogLevel = level;
+}
+
+namespace detail {
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[gopim:%s] %s\n", tag, msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace detail
+
+} // namespace gopim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Status and error reporting helpers, modeled on the gem5 logging split:
+ * inform() for status, warn() for suspicious-but-survivable conditions,
+ * fatal() for user errors (clean exit), and panic() for internal
+ * invariant violations (abort).
+ */
+
+#ifndef GOPIM_COMMON_LOGGING_HH
+#define GOPIM_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gopim {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Global log level; messages above this level are suppressed. */
+LogLevel logLevel();
+
+/** Set the global log level (e.g.\ from a benchmark's --quiet flag). */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Emit one formatted log line to stderr with the given tag. */
+void emit(const char *tag, const std::string &msg);
+
+/** Fold a parameter pack into a single string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Informational message; shown at Info level and above. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Info)
+        detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Debug message; shown only at Debug level. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::emit("debug", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Warning about questionable but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Unrecoverable user-level error (bad configuration, invalid argument).
+ * Prints the message and exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emit("fatal", detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/**
+ * Internal invariant violation: something that should never happen
+ * regardless of user input. Prints the message and aborts.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emit("panic", detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** Assert-like helper that panics with a message when cond is false. */
+#define GOPIM_ASSERT(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::gopim::panic("assertion failed: ", #cond, ": ",              \
+                           ##__VA_ARGS__);                                 \
+    } while (0)
+
+} // namespace gopim
+
+#endif // GOPIM_COMMON_LOGGING_HH

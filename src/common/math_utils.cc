@@ -1,0 +1,43 @@
+#include "common/math_utils.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gopim {
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double x : v)
+        total += x;
+    return total / static_cast<double>(v.size());
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    GOPIM_ASSERT(!v.empty(), "geomean of empty vector");
+    double logSum = 0.0;
+    for (double x : v) {
+        GOPIM_ASSERT(x > 0.0, "geomean requires positive values");
+        logSum += std::log(x);
+    }
+    return std::exp(logSum / static_cast<double>(v.size()));
+}
+
+double
+expectedDistinctBuckets(double draws, double buckets)
+{
+    if (buckets <= 1.0)
+        return buckets;
+    if (draws <= 0.0)
+        return 0.0;
+    const double missProb = std::pow(1.0 - 1.0 / buckets, draws);
+    return buckets * (1.0 - missProb);
+}
+
+} // namespace gopim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small numeric helpers shared across subsystems.
+ */
+
+#ifndef GOPIM_COMMON_MATH_UTILS_HH
+#define GOPIM_COMMON_MATH_UTILS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gopim {
+
+/** Integer ceiling division; b must be positive. */
+constexpr uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Arithmetic mean of a vector; zero for an empty vector. */
+double mean(const std::vector<double> &v);
+
+/** Geometric mean of a vector of positive values. */
+double geomean(const std::vector<double> &v);
+
+/**
+ * Expected number of distinct buckets hit when throwing `draws` balls
+ * uniformly into `buckets` bins: buckets * (1 - (1 - 1/buckets)^draws).
+ * Used to model sparsity-aware window activation in Aggregation.
+ */
+double expectedDistinctBuckets(double draws, double buckets);
+
+/** Linear interpolation between a and b with t in [0, 1]. */
+constexpr double
+lerp(double a, double b, double t)
+{
+    return a + (b - a) * t;
+}
+
+} // namespace gopim
+
+#endif // GOPIM_COMMON_MATH_UTILS_HH

@@ -1,0 +1,128 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gopim {
+
+void
+Accumulator::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ +
+           delta * delta * static_cast<double>(count_) *
+               static_cast<double>(other.count_) / total;
+    mean_ = (mean_ * static_cast<double>(count_) +
+             other.mean_ * static_cast<double>(other.count_)) / total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+double
+Accumulator::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    GOPIM_ASSERT(hi > lo, "histogram range must be non-empty");
+    GOPIM_ASSERT(buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::add(double x)
+{
+    auto idx = static_cast<int64_t>((x - lo_) / width_);
+    idx = std::clamp<int64_t>(idx, 0,
+                              static_cast<int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::bucketLo(size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<uint64_t>(
+        q * static_cast<double>(total_));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen > target)
+            return bucketLo(i) + width_ * 0.5;
+    }
+    return hi_ - width_ * 0.5;
+}
+
+std::string
+Histogram::summary() const
+{
+    std::ostringstream os;
+    os << "n=" << total_ << " p50=" << quantile(0.5)
+       << " p90=" << quantile(0.9) << " p99=" << quantile(0.99);
+    return os.str();
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    GOPIM_ASSERT(!values.empty(), "percentile of empty sample");
+    std::sort(values.begin(), values.end());
+    const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                        static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+} // namespace gopim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Lightweight statistics primitives used throughout the simulator:
+ * streaming accumulators, counters, and fixed-bucket histograms.
+ */
+
+#ifndef GOPIM_COMMON_STATS_HH
+#define GOPIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace gopim {
+
+/**
+ * Streaming accumulator tracking count, sum, min, max, mean, and
+ * variance (Welford's algorithm) of a sequence of samples.
+ */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const Accumulator &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population variance; zero for fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * Fixed-width histogram over [lo, hi) with out-of-range samples clamped
+ * into the first/last bucket.
+ */
+class Histogram
+{
+  public:
+    /** Create a histogram with the given bucket count over [lo, hi). */
+    Histogram(double lo, double hi, size_t buckets);
+
+    /** Record one sample. */
+    void add(double x);
+
+    size_t buckets() const { return counts_.size(); }
+    uint64_t bucketCount(size_t i) const { return counts_.at(i); }
+    uint64_t total() const { return total_; }
+
+    /** Lower edge of bucket i. */
+    double bucketLo(size_t i) const;
+
+    /** Approximate p-quantile (q in [0, 1]) from bucket midpoints. */
+    double quantile(double q) const;
+
+    /** Render a compact one-line summary for logs. */
+    std::string summary() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/** Compute the p-th percentile (0-100) of a copy-sorted sample vector. */
+double percentile(std::vector<double> values, double p);
+
+} // namespace gopim
+
+#endif // GOPIM_COMMON_STATS_HH

@@ -1,0 +1,161 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gopim {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    GOPIM_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+Table &
+Table::row()
+{
+    cells_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    GOPIM_ASSERT(!cells_.empty(), "cell() before row()");
+    GOPIM_ASSERT(cells_.back().size() < headers_.size(),
+                 "row has more cells than headers");
+    cells_.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << value;
+    return cell(os.str());
+}
+
+Table &
+Table::cell(uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(int value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : cells_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto hline = [&] {
+        os << '+';
+        for (size_t w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    hline();
+    os << '|';
+    for (size_t c = 0; c < headers_.size(); ++c)
+        os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+           << headers_[c] << " |";
+    os << '\n';
+    hline();
+    for (const auto &row : cells_) {
+        os << '|';
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &v = c < row.size() ? row[c] : std::string();
+            os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+               << v << " |";
+        }
+        os << '\n';
+    }
+    hline();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto escape = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+
+    for (size_t c = 0; c < headers_.size(); ++c)
+        os << (c ? "," : "") << escape(headers_[c]);
+    os << '\n';
+    for (const auto &row : cells_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << escape(row[c]);
+        os << '\n';
+    }
+}
+
+std::string
+formatTimeNs(double ns)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2);
+    if (ns < 1e3)
+        os << ns << " ns";
+    else if (ns < 1e6)
+        os << ns / 1e3 << " us";
+    else if (ns < 1e9)
+        os << ns / 1e6 << " ms";
+    else
+        os << ns / 1e9 << " s";
+    return os.str();
+}
+
+std::string
+formatEnergyPj(double pj)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2);
+    if (pj < 1e3)
+        os << pj << " pJ";
+    else if (pj < 1e6)
+        os << pj / 1e3 << " nJ";
+    else if (pj < 1e9)
+        os << pj / 1e6 << " uJ";
+    else if (pj < 1e12)
+        os << pj / 1e9 << " mJ";
+    else
+        os << pj / 1e12 << " J";
+    return os.str();
+}
+
+std::string
+formatRatio(double r, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << r << "x";
+    return os.str();
+}
+
+} // namespace gopim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Console table and CSV writer used by the benchmark harnesses to print
+ * the rows/series corresponding to each paper table and figure.
+ */
+
+#ifndef GOPIM_COMMON_TABLE_HH
+#define GOPIM_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gopim {
+
+/**
+ * Row/column text table with aligned console rendering and CSV export.
+ *
+ * Cells are stored as strings; numeric helpers format doubles with a
+ * default precision suitable for speedup/energy ratios.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given title and column headers. */
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls append to it. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &value);
+
+    /** Append a formatted numeric cell (fixed, `digits` decimals). */
+    Table &cell(double value, int digits = 2);
+
+    /** Append an integer cell. */
+    Table &cell(uint64_t value);
+    Table &cell(int value);
+
+    size_t rows() const { return cells_.size(); }
+    size_t cols() const { return headers_.size(); }
+    const std::string &title() const { return title_; }
+
+    /** Render an aligned, boxed console table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header row first). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> cells_;
+};
+
+/** Format a double as a human-readable duration (ns/us/ms/s). */
+std::string formatTimeNs(double ns);
+
+/** Format a double as a human-readable energy (pJ/nJ/uJ/mJ/J). */
+std::string formatEnergyPj(double pj);
+
+/** Format a ratio like "12.3x". */
+std::string formatRatio(double r, int digits = 1);
+
+} // namespace gopim
+
+#endif // GOPIM_COMMON_TABLE_HH

@@ -1,0 +1,176 @@
+#include "core/accelerator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "pipeline/schedule.hh"
+
+namespace gopim::core {
+
+Accelerator::Accelerator(const reram::AcceleratorConfig &hw,
+                         SystemConfig system)
+    : hw_(hw), system_(std::move(system)), timeModel_(hw),
+      energyModel_(hw)
+{
+    hw_.validate();
+}
+
+RunResult
+Accelerator::run(const gcn::Workload &workload) const
+{
+    const auto profile =
+        gcn::VertexProfile::build(workload.dataset, workload.seed);
+    return run(workload, profile);
+}
+
+RunResult
+Accelerator::run(const gcn::Workload &workload,
+                 const gcn::VertexProfile &profile) const
+{
+    return runWithEstimates(workload, profile, {});
+}
+
+RunResult
+Accelerator::runWithEstimates(
+    const gcn::Workload &workload, const gcn::VertexProfile &profile,
+    const std::vector<double> &estimatedStageTimesNs) const
+{
+    const auto stages =
+        pipeline::buildTrainingStages(workload.model.numLayers);
+    const auto artifacts = gcn::MappingArtifacts::build(
+        profile, system_.policy, workload.dataset, hw_.crossbar.rows);
+    const auto costs =
+        timeModel_.allCosts(workload, system_.policy, artifacts);
+
+    const uint32_t mbPerEpoch = workload.microBatchesPerEpoch();
+    const uint32_t totalMicroBatches = mbPerEpoch * workload.epochs;
+
+    // Build the allocation problem. The allocator may be driven by
+    // external time estimates (predictor study); scalable/fixed parts
+    // keep their modeled proportions under the estimated totals.
+    alloc::AllocationProblem problem;
+    problem.stages = stages;
+    problem.numMicroBatches = mbPerEpoch;
+    // A stage has at most a few micro-batches' worth of inputs in
+    // flight; replicas beyond that cannot shorten it.
+    problem.maxUsefulReplicas = workload.microBatchSize * 4;
+    uint64_t mandatory = 0;
+    for (const auto &cost : costs) {
+        problem.scalableTimesNs.push_back(cost.scalableNs);
+        problem.fixedTimesNs.push_back(cost.fixedNs);
+        problem.crossbarsPerReplica.push_back(cost.crossbarsPerReplica);
+        mandatory += cost.crossbarsPerReplica;
+    }
+    if (!estimatedStageTimesNs.empty()) {
+        GOPIM_ASSERT(estimatedStageTimesNs.size() == costs.size(),
+                     "estimate vector size mismatch");
+        for (size_t i = 0; i < costs.size(); ++i) {
+            const double total = costs[i].totalNs();
+            const double ratio =
+                total > 0.0 ? estimatedStageTimesNs[i] / total : 1.0;
+            problem.scalableTimesNs[i] *= ratio;
+            problem.fixedTimesNs[i] *= ratio;
+        }
+    }
+    const uint64_t budget = hw_.totalCrossbars();
+    if (mandatory > budget) {
+        fatal("workload '", workload.dataset.name,
+              "' does not fit: needs ", mandatory,
+              " crossbars for single replicas, chip has ", budget);
+    }
+    problem.spareCrossbars = budget - mandatory;
+
+    // Allocate replicas (single replicas when no allocator is set).
+    alloc::AllocationResult allocation;
+    if (system_.allocator) {
+        allocation = system_.allocator->allocate(problem);
+    } else {
+        allocation.replicas.assign(stages.size(), 1);
+        allocation.totalCrossbars = mandatory;
+    }
+
+    // Final stage times always use the exact model (estimates only
+    // influence the allocation decision). Replicas beyond the
+    // effective-parallelism ceiling buy nothing.
+    std::vector<double> stageTimes(stages.size());
+    for (size_t i = 0; i < stages.size(); ++i) {
+        const uint32_t effective = std::min(
+            allocation.replicas[i], problem.maxUsefulReplicas);
+        stageTimes[i] = costs[i].fixedNs +
+                        costs[i].scalableNs /
+                            static_cast<double>(effective);
+    }
+
+    // Schedule under the system's pipelining regime.
+    pipeline::ScheduleResult schedule;
+    switch (system_.pipelineMode) {
+      case PipelineMode::Serial:
+        schedule = pipeline::scheduleSerial(stageTimes,
+                                            totalMicroBatches);
+        break;
+      case PipelineMode::IntraBatch: {
+        const uint32_t perBatch = std::min(
+            system_.microBatchesPerBatch, totalMicroBatches);
+        const uint32_t batches = std::max(
+            1u, totalMicroBatches / std::max(1u, perBatch));
+        schedule = pipeline::scheduleIntraBatchOnly(stageTimes,
+                                                    perBatch, batches);
+        break;
+      }
+      case PipelineMode::IntraInterBatch:
+        schedule = pipeline::schedulePipelined(stageTimes,
+                                               totalMicroBatches);
+        break;
+    }
+
+    // Accumulate energy events over all micro-batches.
+    uint64_t activations = 0;
+    uint64_t rowWrites = 0;
+    uint64_t bufferBytes = 0;
+    for (const auto &cost : costs) {
+        activations += cost.activationsPerMb * totalMicroBatches;
+        rowWrites += cost.rowWritesPerMb * totalMicroBatches;
+        bufferBytes += cost.bufferBytesPerMb * totalMicroBatches;
+    }
+    // Replicated regions receive every write in parallel: the wear and
+    // energy multiply, the latency does not.
+    uint64_t replicatedWrites = 0;
+    for (size_t i = 0; i < stages.size(); ++i)
+        replicatedWrites += costs[i].rowWritesPerMb *
+                            totalMicroBatches *
+                            allocation.replicas[i];
+
+    RunResult result;
+    result.systemName = system_.name;
+    result.datasetName = workload.dataset.name;
+    result.makespanNs = schedule.makespanNs;
+    result.replicas = allocation.replicas;
+    result.totalCrossbars = allocation.totalCrossbars;
+    result.stageCrossbars.resize(stages.size());
+    for (size_t i = 0; i < stages.size(); ++i)
+        result.stageCrossbars[i] =
+            static_cast<uint64_t>(allocation.replicas[i]) *
+            costs[i].crossbarsPerReplica;
+    result.stageTimesNs = stageTimes;
+    result.idleFraction = schedule.idleFraction;
+    result.avgIdleFraction = schedule.avgIdleFraction();
+    result.totalActivations = activations;
+    result.totalRowWrites = replicatedWrites;
+    result.totalBufferBytes = bufferBytes;
+    result.stages = stages;
+
+    // Idle integral: allocated crossbars of each stage times the time
+    // they spend waiting (makespan minus their busy time).
+    double idleCrossbarNs = 0.0;
+    for (size_t i = 0; i < stages.size(); ++i) {
+        idleCrossbarNs += static_cast<double>(result.stageCrossbars[i]) *
+                          schedule.idleFraction[i] *
+                          schedule.makespanNs;
+    }
+    result.energyPj = energyModel_.totalEnergyPj(
+        schedule.makespanNs, activations, replicatedWrites, bufferBytes,
+        idleCrossbarNs);
+    return result;
+}
+
+} // namespace gopim::core

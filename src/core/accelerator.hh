@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The top-level accelerator: composes the ReRAM substrate, the stage
+ * time model, a mapping/selective-update policy, a replica allocator,
+ * and a pipelining regime into a runnable system that produces time,
+ * energy, and utilization results for a workload.
+ */
+
+#ifndef GOPIM_CORE_ACCELERATOR_HH
+#define GOPIM_CORE_ACCELERATOR_HH
+
+#include <memory>
+#include <string>
+
+#include "alloc/allocator.hh"
+#include "core/result.hh"
+#include "gcn/time_model.hh"
+#include "gcn/workload.hh"
+#include "reram/config.hh"
+#include "reram/energy.hh"
+
+namespace gopim::core {
+
+/** Pipelining regime of a system. */
+enum class PipelineMode
+{
+    Serial,         ///< no overlap at all
+    IntraBatch,     ///< pipeline within a batch, drain between batches
+    IntraInterBatch ///< pipeline across batch boundaries too (GoPIM)
+};
+
+/** Full system description: policy + allocator + pipelining. */
+struct SystemConfig
+{
+    std::string name;
+    gcn::ExecutionPolicy policy;
+    PipelineMode pipelineMode = PipelineMode::Serial;
+    /** Replica allocator; null means single replicas everywhere. */
+    std::shared_ptr<const alloc::Allocator> allocator;
+    /** Micro-batches per batch for intra-batch-only draining. */
+    uint32_t microBatchesPerBatch = 8;
+};
+
+/** A configured accelerator ready to run workloads. */
+class Accelerator
+{
+  public:
+    Accelerator(const reram::AcceleratorConfig &hw, SystemConfig system);
+
+    /**
+     * Run a workload end to end: build the vertex profile, cost the
+     * stages, allocate replicas, schedule the pipeline, and account
+     * time and energy.
+     */
+    RunResult run(const gcn::Workload &workload) const;
+
+    /** Run with a pre-built vertex profile (reuse across systems). */
+    RunResult run(const gcn::Workload &workload,
+                  const gcn::VertexProfile &profile) const;
+
+    /**
+     * Run, but let the allocator see externally estimated stage times
+     * instead of the model's exact ones (the ML-vs-profiling study of
+     * Table VII). The final schedule still uses exact times: a wrong
+     * estimate costs performance only through worse allocation.
+     */
+    RunResult runWithEstimates(
+        const gcn::Workload &workload,
+        const gcn::VertexProfile &profile,
+        const std::vector<double> &estimatedStageTimesNs) const;
+
+    const SystemConfig &system() const { return system_; }
+    const reram::AcceleratorConfig &hardware() const { return hw_; }
+
+  private:
+    reram::AcceleratorConfig hw_;
+    SystemConfig system_;
+    gcn::StageTimeModel timeModel_;
+    reram::EnergyModel energyModel_;
+};
+
+} // namespace gopim::core
+
+#endif // GOPIM_CORE_ACCELERATOR_HH

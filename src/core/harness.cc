@@ -1,0 +1,86 @@
+#include "core/harness.hh"
+
+#include "common/logging.hh"
+
+namespace gopim::core {
+
+ComparisonHarness::ComparisonHarness(reram::AcceleratorConfig hw)
+    : hw_(hw)
+{
+    hw_.validate();
+}
+
+RunResult
+ComparisonHarness::runOne(SystemKind kind,
+                          const gcn::Workload &workload) const
+{
+    Accelerator accel(hw_, makeSystem(kind));
+    return accel.run(workload);
+}
+
+std::vector<ComparisonRow>
+ComparisonHarness::runGrid(
+    const std::vector<SystemKind> &systems,
+    const std::vector<std::string> &datasetNames) const
+{
+    std::vector<ComparisonRow> rows;
+    rows.reserve(datasetNames.size());
+    for (const auto &name : datasetNames) {
+        const auto workload = gcn::Workload::paperDefault(name);
+        const auto profile = gcn::VertexProfile::build(
+            workload.dataset, workload.seed);
+
+        ComparisonRow row;
+        row.datasetName = name;
+        for (SystemKind kind : systems) {
+            Accelerator accel(hw_, makeSystem(kind));
+            row.results.push_back(accel.run(workload, profile));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+Table
+ComparisonHarness::speedupTable(
+    const std::string &title,
+    const std::vector<ComparisonRow> &rows) const
+{
+    GOPIM_ASSERT(!rows.empty(), "empty comparison");
+    std::vector<std::string> headers = {"dataset"};
+    for (const auto &r : rows.front().results)
+        headers.push_back(r.systemName);
+
+    Table table(title, headers);
+    for (const auto &row : rows) {
+        auto &t = table.row().cell(row.datasetName);
+        const RunResult &ref = row.results.front();
+        for (const auto &result : row.results) {
+            const double speedup = result.speedupOver(ref);
+            t.cell(speedup, speedup < 100.0 ? 2 : 1);
+        }
+    }
+    return table;
+}
+
+Table
+ComparisonHarness::energyTable(
+    const std::string &title,
+    const std::vector<ComparisonRow> &rows) const
+{
+    GOPIM_ASSERT(!rows.empty(), "empty comparison");
+    std::vector<std::string> headers = {"dataset"};
+    for (const auto &r : rows.front().results)
+        headers.push_back(r.systemName);
+
+    Table table(title, headers);
+    for (const auto &row : rows) {
+        auto &t = table.row().cell(row.datasetName);
+        const RunResult &ref = row.results.front();
+        for (const auto &result : row.results)
+            t.cell(result.energySavingOver(ref), 2);
+    }
+    return table;
+}
+
+} // namespace gopim::core

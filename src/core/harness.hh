@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Comparison harness: runs named systems over datasets and produces
+ * the normalized speedup/energy tables the paper's evaluation reports.
+ */
+
+#ifndef GOPIM_CORE_HARNESS_HH
+#define GOPIM_CORE_HARNESS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/result.hh"
+#include "core/systems.hh"
+#include "gcn/workload.hh"
+#include "reram/config.hh"
+
+namespace gopim::core {
+
+/** Results of one dataset across several systems. */
+struct ComparisonRow
+{
+    std::string datasetName;
+    std::vector<RunResult> results; ///< same order as the system list
+};
+
+/** Runs system x dataset grids and formats results. */
+class ComparisonHarness
+{
+  public:
+    explicit ComparisonHarness(
+        reram::AcceleratorConfig hw =
+            reram::AcceleratorConfig::paperDefault());
+
+    /** Run one system on one workload. */
+    RunResult runOne(SystemKind kind, const gcn::Workload &workload) const;
+
+    /**
+     * Run all `systems` on each dataset's paper-default workload.
+     * The vertex profile is built once per dataset and shared.
+     */
+    std::vector<ComparisonRow> runGrid(
+        const std::vector<SystemKind> &systems,
+        const std::vector<std::string> &datasetNames) const;
+
+    /** Speedup table normalized to the first system in each row. */
+    Table speedupTable(const std::string &title,
+                       const std::vector<ComparisonRow> &rows) const;
+
+    /** Energy-saving table normalized to the first system. */
+    Table energyTable(const std::string &title,
+                      const std::vector<ComparisonRow> &rows) const;
+
+    const reram::AcceleratorConfig &hardware() const { return hw_; }
+
+  private:
+    reram::AcceleratorConfig hw_;
+};
+
+} // namespace gopim::core
+
+#endif // GOPIM_CORE_HARNESS_HH

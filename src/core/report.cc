@@ -1,0 +1,135 @@
+#include "core/report.hh"
+
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace gopim::core {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char ch : s) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+pad(int indent)
+{
+    return std::string(static_cast<size_t>(indent), ' ');
+}
+
+template <typename T>
+void
+writeArray(std::ostream &os, const std::vector<T> &values)
+{
+    os << '[';
+    for (size_t i = 0; i < values.size(); ++i)
+        os << (i ? "," : "") << values[i];
+    os << ']';
+}
+
+} // namespace
+
+void
+writeRunJson(const RunResult &run, std::ostream &os, int indent)
+{
+    const std::string p = pad(indent);
+    const std::string q = pad(indent + 2);
+    os << p << "{\n";
+    os << q << "\"system\": \"" << jsonEscape(run.systemName)
+       << "\",\n";
+    os << q << "\"dataset\": \"" << jsonEscape(run.datasetName)
+       << "\",\n";
+    os << q << "\"makespan_ns\": " << std::setprecision(12)
+       << run.makespanNs << ",\n";
+    os << q << "\"energy_pj\": " << run.energyPj << ",\n";
+    os << q << "\"total_crossbars\": " << run.totalCrossbars << ",\n";
+    os << q << "\"avg_idle_fraction\": " << run.avgIdleFraction
+       << ",\n";
+    os << q << "\"total_activations\": " << run.totalActivations
+       << ",\n";
+    os << q << "\"total_row_writes\": " << run.totalRowWrites << ",\n";
+
+    os << q << "\"stages\": [";
+    for (size_t i = 0; i < run.stages.size(); ++i)
+        os << (i ? "," : "") << '"' << run.stages[i].label() << '"';
+    os << "],\n";
+
+    os << q << "\"replicas\": ";
+    writeArray(os, run.replicas);
+    os << ",\n";
+    os << q << "\"stage_crossbars\": ";
+    writeArray(os, run.stageCrossbars);
+    os << ",\n";
+    os << q << "\"stage_times_ns\": ";
+    writeArray(os, run.stageTimesNs);
+    os << ",\n";
+    os << q << "\"idle_fraction\": ";
+    writeArray(os, run.idleFraction);
+    os << "\n" << p << "}";
+}
+
+void
+writeGridJson(const std::vector<ComparisonRow> &rows, std::ostream &os)
+{
+    os << "[\n";
+    bool first = true;
+    for (const auto &row : rows) {
+        for (const auto &run : row.results) {
+            if (!first)
+                os << ",\n";
+            first = false;
+            writeRunJson(run, os, 2);
+        }
+    }
+    os << "\n]\n";
+}
+
+void
+writeGridCsv(const std::vector<ComparisonRow> &rows, std::ostream &os)
+{
+    os << "dataset,system,makespan_ns,energy_pj,speedup_vs_first,"
+          "energy_saving_vs_first,total_crossbars,avg_idle\n";
+    for (const auto &row : rows) {
+        GOPIM_ASSERT(!row.results.empty(), "empty comparison row");
+        const RunResult &ref = row.results.front();
+        for (const auto &run : row.results) {
+            os << row.datasetName << ',' << run.systemName << ','
+               << run.makespanNs << ',' << run.energyPj << ','
+               << run.speedupOver(ref) << ','
+               << run.energySavingOver(ref) << ','
+               << run.totalCrossbars << ',' << run.avgIdleFraction
+               << '\n';
+        }
+    }
+}
+
+} // namespace gopim::core

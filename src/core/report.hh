@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Result serialization: RunResult and comparison grids to JSON (for
+ * downstream analysis scripts) and CSV (for spreadsheets), used by
+ * the gopim_sim tool and the benchmark harnesses.
+ */
+
+#ifndef GOPIM_CORE_REPORT_HH
+#define GOPIM_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/harness.hh"
+#include "core/result.hh"
+
+namespace gopim::core {
+
+/** Serialize one run as a JSON object. */
+void writeRunJson(const RunResult &run, std::ostream &os,
+                  int indent = 0);
+
+/** Serialize a comparison grid as a JSON array of run objects. */
+void writeGridJson(const std::vector<ComparisonRow> &rows,
+                   std::ostream &os);
+
+/**
+ * Serialize a comparison grid as CSV: one row per (dataset, system)
+ * with makespan, energy, and normalized ratios vs the first system.
+ */
+void writeGridCsv(const std::vector<ComparisonRow> &rows,
+                  std::ostream &os);
+
+/** Escape a string for embedding in JSON. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace gopim::core
+
+#endif // GOPIM_CORE_REPORT_HH

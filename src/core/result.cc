@@ -1,0 +1,21 @@
+#include "core/result.hh"
+
+#include "common/logging.hh"
+
+namespace gopim::core {
+
+double
+RunResult::speedupOver(const RunResult &reference) const
+{
+    GOPIM_ASSERT(makespanNs > 0.0, "speedup of zero-time run");
+    return reference.makespanNs / makespanNs;
+}
+
+double
+RunResult::energySavingOver(const RunResult &reference) const
+{
+    GOPIM_ASSERT(energyPj > 0.0, "energy saving of zero-energy run");
+    return reference.energyPj / energyPj;
+}
+
+} // namespace gopim::core

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Result records produced by accelerator runs and comparisons.
+ */
+
+#ifndef GOPIM_CORE_RESULT_HH
+#define GOPIM_CORE_RESULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pipeline/schedule.hh"
+#include "pipeline/stage.hh"
+
+namespace gopim::core {
+
+/** Outcome of one accelerator run on one workload. */
+struct RunResult
+{
+    std::string systemName;
+    std::string datasetName;
+
+    double makespanNs = 0.0;
+    double energyPj = 0.0;
+
+    /** Replica count per stage (pipeline order). */
+    std::vector<uint32_t> replicas;
+    /** Crossbars per stage including replication. */
+    std::vector<uint64_t> stageCrossbars;
+    uint64_t totalCrossbars = 0;
+
+    /** Per-stage single-replica and post-replication times (ns/mb). */
+    std::vector<double> stageTimesNs;
+
+    /** Idle fraction of each stage's crossbar group. */
+    std::vector<double> idleFraction;
+    double avgIdleFraction = 0.0;
+
+    /** Energy event totals. */
+    uint64_t totalActivations = 0;
+    uint64_t totalRowWrites = 0;
+    uint64_t totalBufferBytes = 0;
+
+    /** Stage descriptors for labeling. */
+    std::vector<pipeline::Stage> stages;
+
+    /** Speedup of this run relative to a reference makespan. */
+    double speedupOver(const RunResult &reference) const;
+
+    /** Energy-saving factor relative to a reference run. */
+    double energySavingOver(const RunResult &reference) const;
+};
+
+} // namespace gopim::core
+
+#endif // GOPIM_CORE_RESULT_HH

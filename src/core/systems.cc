@@ -1,0 +1,129 @@
+#include "core/systems.hh"
+
+#include "alloc/basic.hh"
+#include "alloc/greedy_heap.hh"
+#include "common/logging.hh"
+
+namespace gopim::core {
+
+std::string
+toString(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Serial:
+        return "Serial";
+      case SystemKind::SlimGnnLike:
+        return "SlimGNN-like";
+      case SystemKind::ReGraphX:
+        return "ReGraphX";
+      case SystemKind::ReFlip:
+        return "ReFlip";
+      case SystemKind::GoPimVanilla:
+        return "GoPIM-Vanilla";
+      case SystemKind::GoPim:
+        return "GoPIM";
+      case SystemKind::PlusPP:
+        return "+PP";
+      case SystemKind::PlusISU:
+        return "+ISU";
+      case SystemKind::Naive:
+        return "Naive";
+    }
+    panic("unknown system kind");
+}
+
+SystemConfig
+makeSystem(SystemKind kind)
+{
+    SystemConfig sys;
+    sys.name = toString(kind);
+
+    using mapping::VertexMapStrategy;
+    switch (kind) {
+      case SystemKind::Serial:
+        sys.pipelineMode = PipelineMode::Serial;
+        sys.allocator = nullptr;
+        break;
+
+      case SystemKind::SlimGnnLike:
+        sys.pipelineMode = PipelineMode::IntraBatch;
+        sys.allocator =
+            std::make_shared<alloc::SpaceProportionalAllocator>();
+        sys.policy.intraBatchPipeline = true;
+        // Input subgraph pruning keeps 90% of edges (weight pruning is
+        // excluded from SlimGNN-like per Section VII-A).
+        sys.policy.edgeKeepFraction = 0.9;
+        break;
+
+      case SystemKind::ReGraphX:
+        sys.pipelineMode = PipelineMode::IntraBatch;
+        sys.allocator = std::make_shared<alloc::FixedRatioAllocator>(
+            1.0, 2.0);
+        sys.policy.intraBatchPipeline = true;
+        break;
+
+      case SystemKind::ReFlip:
+        sys.pipelineMode = PipelineMode::IntraBatch;
+        sys.allocator =
+            std::make_shared<alloc::CombinationOnlyAllocator>();
+        sys.policy.intraBatchPipeline = true;
+        sys.policy.hybridReload = true;
+        break;
+
+      case SystemKind::GoPimVanilla:
+        sys.pipelineMode = PipelineMode::IntraInterBatch;
+        sys.allocator = std::make_shared<alloc::GreedyHeapAllocator>();
+        sys.policy.intraBatchPipeline = true;
+        sys.policy.interBatchPipeline = true;
+        break;
+
+      case SystemKind::GoPim:
+        sys.pipelineMode = PipelineMode::IntraInterBatch;
+        sys.allocator = std::make_shared<alloc::GreedyHeapAllocator>();
+        sys.policy.intraBatchPipeline = true;
+        sys.policy.interBatchPipeline = true;
+        sys.policy.mapStrategy = VertexMapStrategy::Interleaved;
+        sys.policy.selectiveUpdate = true;
+        break;
+
+      case SystemKind::PlusPP:
+        sys.pipelineMode = PipelineMode::IntraInterBatch;
+        sys.allocator = nullptr;
+        sys.policy.intraBatchPipeline = true;
+        sys.policy.interBatchPipeline = true;
+        break;
+
+      case SystemKind::PlusISU:
+        sys.pipelineMode = PipelineMode::IntraInterBatch;
+        sys.allocator = nullptr;
+        sys.policy.intraBatchPipeline = true;
+        sys.policy.interBatchPipeline = true;
+        sys.policy.mapStrategy = VertexMapStrategy::Interleaved;
+        sys.policy.selectiveUpdate = true;
+        break;
+
+      case SystemKind::Naive:
+        sys.pipelineMode = PipelineMode::IntraInterBatch;
+        sys.allocator = nullptr;
+        sys.policy.intraBatchPipeline = true;
+        break;
+    }
+    return sys;
+}
+
+std::vector<SystemKind>
+figure13Systems()
+{
+    return {SystemKind::Serial,       SystemKind::SlimGnnLike,
+            SystemKind::ReGraphX,     SystemKind::ReFlip,
+            SystemKind::GoPimVanilla, SystemKind::GoPim};
+}
+
+std::vector<SystemKind>
+figure14Systems()
+{
+    return {SystemKind::Serial, SystemKind::PlusPP, SystemKind::PlusISU,
+            SystemKind::GoPim};
+}
+
+} // namespace gopim::core

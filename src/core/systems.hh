@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Factory for the named accelerator systems compared in Section VII:
+ * Serial, SlimGNN-like, ReGraphX, ReFlip, GoPIM-Vanilla, GoPIM, and
+ * the ablation variants +PP and +ISU (Fig. 14) and Naive (Fig. 15).
+ */
+
+#ifndef GOPIM_CORE_SYSTEMS_HH
+#define GOPIM_CORE_SYSTEMS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hh"
+
+namespace gopim::core {
+
+/** All system identifiers in paper order. */
+enum class SystemKind
+{
+    Serial,       ///< sequential execution, no pipeline, no replicas
+    SlimGnnLike,  ///< intra-batch pipeline + space-proportional replicas
+                  ///< + input subgraph pruning, index mapping
+    ReGraphX,     ///< intra-batch pipeline + fixed 1:2 replicas
+    ReFlip,       ///< replicas only for Combination + hybrid reloads
+    GoPimVanilla, ///< GoPIM without ISU (ML allocation + full pipeline)
+    GoPim,        ///< full GoPIM (ML allocation + ISU)
+    PlusPP,       ///< ablation: Serial + intra/inter-batch pipelining
+    PlusISU,      ///< ablation: +PP with ISU enabled
+    Naive,        ///< pipelined, index mapping, no replicas (Fig. 15)
+};
+
+/** Display name matching the paper's figures. */
+std::string toString(SystemKind kind);
+
+/** Build the SystemConfig for a named system. */
+SystemConfig makeSystem(SystemKind kind);
+
+/** The five Fig. 13 comparison systems plus GoPIM, in paper order. */
+std::vector<SystemKind> figure13Systems();
+
+/** The Fig. 14 ablation ladder: Serial, +PP, +ISU, GoPIM. */
+std::vector<SystemKind> figure14Systems();
+
+} // namespace gopim::core
+
+#endif // GOPIM_CORE_SYSTEMS_HH

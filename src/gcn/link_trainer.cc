@@ -1,0 +1,273 @@
+#include "gcn/link_trainer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "mapping/selective.hh"
+#include "tensor/init.hh"
+#include "tensor/ops.hh"
+
+namespace gopim::gcn {
+
+double
+rocAuc(const std::vector<float> &positiveScores,
+       const std::vector<float> &negativeScores)
+{
+    GOPIM_ASSERT(!positiveScores.empty() && !negativeScores.empty(),
+                 "AUC needs both classes");
+    // Rank-sum (Mann-Whitney) formulation.
+    std::vector<std::pair<float, int>> all;
+    all.reserve(positiveScores.size() + negativeScores.size());
+    for (float s : positiveScores)
+        all.push_back({s, 1});
+    for (float s : negativeScores)
+        all.push_back({s, 0});
+    std::sort(all.begin(), all.end(), [](const auto &a, const auto &b) {
+        return a.first < b.first;
+    });
+
+    // Average ranks over ties.
+    double rankSumPositive = 0.0;
+    size_t i = 0;
+    while (i < all.size()) {
+        size_t j = i;
+        while (j < all.size() && all[j].first == all[i].first)
+            ++j;
+        const double avgRank =
+            (static_cast<double>(i) + static_cast<double>(j - 1)) /
+                2.0 +
+            1.0;
+        for (size_t k = i; k < j; ++k)
+            if (all[k].second == 1)
+                rankSumPositive += avgRank;
+        i = j;
+    }
+    const double np = static_cast<double>(positiveScores.size());
+    const double nn = static_cast<double>(negativeScores.size());
+    return (rankSumPositive - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+LinkPredictionTrainer::LinkPredictionTrainer(const graph::Graph &g,
+                                             TrainerConfig config,
+                                             double testFraction)
+    : graph_(g), config_(config)
+{
+    GOPIM_ASSERT(g.numEdges() >= 10,
+                 "link prediction needs a non-trivial edge set");
+    GOPIM_ASSERT(testFraction > 0.0 && testFraction < 1.0,
+                 "test fraction must be in (0, 1)");
+    Rng rng(config_.seed);
+
+    // Random features (no label leakage; structure is the signal).
+    features_ = tensor::uniformInit(g.numVertices(),
+                                    config_.featureDim, -1.0f, 1.0f,
+                                    rng);
+
+    // Collect undirected edges and split.
+    std::vector<Edge> edges;
+    for (graph::VertexId u = 0; u < g.numVertices(); ++u)
+        for (graph::VertexId v : g.neighbors(u))
+            if (u < v)
+                edges.push_back({u, v});
+    rng.shuffle(edges);
+    const auto testCount = std::max<size_t>(
+        1, static_cast<size_t>(
+               static_cast<double>(edges.size()) * testFraction));
+    testEdges_.assign(edges.begin(),
+                      edges.begin() + static_cast<long>(testCount));
+    trainEdges_.assign(edges.begin() + static_cast<long>(testCount),
+                       edges.end());
+
+    // Message passing sees only the training edges.
+    trainGraph_ = graph::Graph::fromEdges(
+        g.numVertices(),
+        std::vector<Edge>(trainEdges_.begin(), trainEdges_.end()));
+
+    normCoeff_.resize(g.numVertices());
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v)
+        normCoeff_[v] =
+            1.0f / std::sqrt(
+                       static_cast<float>(trainGraph_.degree(v)) +
+                       1.0f);
+}
+
+tensor::Matrix
+LinkPredictionTrainer::aggregate(const tensor::Matrix &h) const
+{
+    tensor::Matrix out(h.rows(), h.cols(), 0.0f);
+    for (graph::VertexId v = 0; v < trainGraph_.numVertices(); ++v) {
+        float *dst = out.rowPtr(v);
+        const float nv = normCoeff_[v];
+        const float selfW = nv * nv;
+        const float *self = h.rowPtr(v);
+        for (size_t c = 0; c < h.cols(); ++c)
+            dst[c] += selfW * self[c];
+        for (graph::VertexId u : trainGraph_.neighbors(v)) {
+            const float w = nv * normCoeff_[u];
+            const float *src = h.rowPtr(u);
+            for (size_t c = 0; c < h.cols(); ++c)
+                dst[c] += w * src[c];
+        }
+    }
+    return out;
+}
+
+LinkTrainResult
+LinkPredictionTrainer::train(const SelectivePolicy &policy) const
+{
+    const auto n = graph_.numVertices();
+    Rng rng(config_.seed + 31);
+
+    tensor::Matrix w1 = tensor::xavierUniform(
+        config_.featureDim, config_.hiddenChannels, rng);
+    tensor::Matrix w2 = tensor::xavierUniform(
+        config_.hiddenChannels, config_.hiddenChannels, rng);
+
+    std::vector<bool> important(n, true);
+    if (policy.enabled)
+        important = mapping::selectImportant(trainGraph_.degrees(),
+                                             policy.theta);
+
+    tensor::Matrix staleH1(n, config_.hiddenChannels, 0.0f);
+    bool staleValid = false;
+
+    const tensor::Matrix aggX = aggregate(features_);
+
+    tensor::Matrix m1(w1.rows(), w1.cols(), 0.0f),
+        v1(w1.rows(), w1.cols(), 0.0f);
+    tensor::Matrix m2(w2.rows(), w2.cols(), 0.0f),
+        v2(w2.rows(), w2.cols(), 0.0f);
+    const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+
+    auto sampleNegative = [&]() {
+        while (true) {
+            const auto u = static_cast<graph::VertexId>(
+                rng.uniformInt(static_cast<uint64_t>(n)));
+            const auto v = static_cast<graph::VertexId>(
+                rng.uniformInt(static_cast<uint64_t>(n)));
+            if (u != v && !graph_.hasEdge(u, v))
+                return Edge{u, v};
+        }
+    };
+
+    LinkTrainResult result;
+    for (uint32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+        const bool coldRefresh =
+            !policy.enabled || !staleValid ||
+            (epoch % policy.coldPeriod == 0);
+
+        // Encoder forward: Z = A_hat ReLU(A_hat X W1) W2.
+        tensor::Matrix z1 = tensor::matmul(aggX, w1);
+        tensor::Matrix h1 = tensor::relu(z1);
+        if (policy.enabled) {
+            if (coldRefresh) {
+                staleH1 = h1;
+                staleValid = true;
+            } else {
+                for (graph::VertexId v = 0; v < n; ++v) {
+                    if (!important[v])
+                        std::copy(staleH1.rowPtr(v),
+                                  staleH1.rowPtr(v) + h1.cols(),
+                                  h1.rowPtr(v));
+                    else
+                        std::copy(h1.rowPtr(v),
+                                  h1.rowPtr(v) + h1.cols(),
+                                  staleH1.rowPtr(v));
+                }
+            }
+        }
+        tensor::Matrix aggH1 = aggregate(h1);
+        tensor::Matrix z = tensor::matmul(aggH1, w2);
+
+        // Decoder: BCE over positive train edges + equal negatives.
+        // Gradient accumulates into dZ.
+        tensor::Matrix dZ(z.rows(), z.cols(), 0.0f);
+        double loss = 0.0;
+        const auto batch = trainEdges_.size();
+        auto scoreAndGrad = [&](const Edge &e, float label) {
+            const float *zu = z.rowPtr(e.first);
+            const float *zv = z.rowPtr(e.second);
+            float dot = 0.0f;
+            for (size_t c = 0; c < z.cols(); ++c)
+                dot += zu[c] * zv[c];
+            const float p =
+                1.0f / (1.0f + std::exp(-std::clamp(dot, -30.0f,
+                                                    30.0f)));
+            loss -= label > 0.5f ? std::log(std::max(p, 1e-12f))
+                                 : std::log(std::max(1.0f - p,
+                                                     1e-12f));
+            const float gradDot =
+                (p - label) / static_cast<float>(2 * batch);
+            float *du = dZ.rowPtr(e.first);
+            float *dv = dZ.rowPtr(e.second);
+            for (size_t c = 0; c < z.cols(); ++c) {
+                du[c] += gradDot * zv[c];
+                dv[c] += gradDot * zu[c];
+            }
+        };
+        for (const Edge &e : trainEdges_)
+            scoreAndGrad(e, 1.0f);
+        for (size_t i = 0; i < batch; ++i)
+            scoreAndGrad(sampleNegative(), 0.0f);
+        loss /= static_cast<double>(2 * batch);
+        result.lossHistory.push_back(loss);
+        result.finalTrainLoss = loss;
+
+        // Backward through the encoder.
+        tensor::Matrix gw2 = tensor::matmulTransA(aggH1, dZ);
+        tensor::Matrix up =
+            aggregate(tensor::matmulTransB(dZ, w2));
+        tensor::Matrix dZ1 = tensor::reluBackward(up, z1);
+        tensor::Matrix gw1 = tensor::matmulTransA(aggX, dZ1);
+
+        const double corr1 =
+            1.0 - std::pow(beta1, static_cast<double>(epoch) + 1.0);
+        const double corr2 =
+            1.0 - std::pow(beta2, static_cast<double>(epoch) + 1.0);
+        auto adam = [&](tensor::Matrix &w, const tensor::Matrix &gw,
+                        tensor::Matrix &m, tensor::Matrix &v) {
+            float *wp = w.data();
+            const float *gp = gw.data();
+            float *mp = m.data();
+            float *vp = v.data();
+            for (size_t i = 0; i < w.size(); ++i) {
+                const double grad =
+                    gp[i] + config_.weightDecay *
+                                static_cast<double>(wp[i]);
+                mp[i] = static_cast<float>(beta1 * mp[i] +
+                                           (1.0 - beta1) * grad);
+                vp[i] = static_cast<float>(
+                    beta2 * vp[i] + (1.0 - beta2) * grad * grad);
+                wp[i] -= static_cast<float>(
+                    config_.learningRate * (mp[i] / corr1) /
+                    (std::sqrt(vp[i] / corr2) + eps));
+            }
+        };
+        adam(w1, gw1, m1, v1);
+        adam(w2, gw2, m2, v2);
+
+        // Evaluation: AUC on held-out edges vs fresh negatives.
+        std::vector<float> posScores, negScores;
+        auto score = [&](const Edge &e) {
+            const float *zu = z.rowPtr(e.first);
+            const float *zv = z.rowPtr(e.second);
+            float dot = 0.0f;
+            for (size_t c = 0; c < z.cols(); ++c)
+                dot += zu[c] * zv[c];
+            return dot;
+        };
+        for (const Edge &e : testEdges_)
+            posScores.push_back(score(e));
+        for (size_t i = 0; i < testEdges_.size(); ++i)
+            negScores.push_back(score(sampleNegative()));
+        const double auc = rocAuc(posScores, negScores);
+        result.finalTestAuc = auc;
+        result.bestTestAuc = std::max(result.bestTestAuc, auc);
+    }
+    return result;
+}
+
+} // namespace gopim::gcn

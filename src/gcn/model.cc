@@ -1,0 +1,39 @@
+#include "gcn/model.hh"
+
+#include "common/logging.hh"
+
+namespace gopim::gcn {
+
+std::pair<uint32_t, uint32_t>
+GcnModelConfig::layerDims(uint32_t layer) const
+{
+    GOPIM_ASSERT(layer >= 1 && layer <= numLayers,
+                 "layer index out of range");
+    const uint32_t in = layer == 1 ? inputChannels : hiddenChannels;
+    const uint32_t out =
+        layer == numLayers ? outputChannels : hiddenChannels;
+    return {in, out};
+}
+
+GcnModelConfig
+paperModelFor(const std::string &datasetName)
+{
+    // Table IV, verbatim.
+    if (datasetName == "ddi")
+        return {"ddi", 2, 0.005, 0.5, 256, 256, 256};
+    if (datasetName == "collab")
+        return {"collab", 3, 0.001, 0.0, 128, 256, 256};
+    if (datasetName == "ppa")
+        return {"ppa", 3, 0.01, 0.0, 58, 256, 256};
+    if (datasetName == "proteins")
+        return {"proteins", 3, 0.01, 0.0, 8, 256, 112};
+    if (datasetName == "arxiv")
+        return {"arxiv", 3, 0.01, 0.5, 128, 256, 40};
+    if (datasetName == "products")
+        return {"products", 3, 0.01, 0.5, 100, 256, 47};
+    if (datasetName == "Cora")
+        return {"Cora", 3, 0.005, 0.5, 256, 256, 256};
+    fatal("no paper model for dataset '", datasetName, "'");
+}
+
+} // namespace gopim::gcn

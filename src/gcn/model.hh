@@ -1,0 +1,42 @@
+/**
+ * @file
+ * GCN model architectures and training hyperparameters (Table IV).
+ */
+
+#ifndef GOPIM_GCN_MODEL_HH
+#define GOPIM_GCN_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace gopim::gcn {
+
+/** GCN architecture + training hyperparameters for one dataset. */
+struct GcnModelConfig
+{
+    std::string name;
+    uint32_t numLayers = 2;
+    double learningRate = 0.01;
+    double dropout = 0.0;
+    uint32_t inputChannels = 0;
+    uint32_t hiddenChannels = 256;
+    uint32_t outputChannels = 0;
+
+    /**
+     * (input, output) feature dims of layer l (1-based): first layer
+     * maps input->hidden, middle layers hidden->hidden, last layer
+     * hidden->output.
+     */
+    std::pair<uint32_t, uint32_t> layerDims(uint32_t layer) const;
+
+    /** Total pipeline stages for training: 4 per layer. */
+    uint32_t numStages() const { return 4 * numLayers; }
+};
+
+/** Table IV configuration for a dataset; fatal() on unknown names. */
+GcnModelConfig paperModelFor(const std::string &datasetName);
+
+} // namespace gopim::gcn
+
+#endif // GOPIM_GCN_MODEL_HH

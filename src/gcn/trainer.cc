@@ -1,0 +1,273 @@
+#include "gcn/trainer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "mapping/selective.hh"
+#include "tensor/init.hh"
+#include "tensor/ops.hh"
+
+namespace gopim::gcn {
+
+FunctionalTrainer::FunctionalTrainer(const graph::LabeledGraph &data,
+                                     TrainerConfig config)
+    : data_(data), config_(config)
+{
+    const auto &g = data_.graph;
+    GOPIM_ASSERT(g.numVertices() > 0, "trainer needs a non-empty graph");
+    GOPIM_ASSERT(data_.labels.size() == g.numVertices(),
+                 "label count mismatch");
+
+    Rng rng(config_.seed);
+
+    // Features: noisy class-mean signal so the GCN has something to
+    // learn, matching the planted-partition substitution in DESIGN.md.
+    const uint32_t dim = config_.featureDim;
+    tensor::Matrix classMeans = tensor::uniformInit(
+        static_cast<size_t>(data_.numClasses), dim, -1.0f, 1.0f, rng);
+    features_ = tensor::Matrix(g.numVertices(), dim);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        const auto label = static_cast<size_t>(data_.labels[v]);
+        for (uint32_t c = 0; c < dim; ++c)
+            features_(v, c) =
+                classMeans(label, c) +
+                static_cast<float>(rng.normal(0.0, 1.0));
+    }
+
+    // Symmetric normalization coefficients with self loops.
+    normCoeff_.resize(g.numVertices());
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v)
+        normCoeff_[v] = 1.0f / std::sqrt(
+                                   static_cast<float>(g.degree(v)) + 1.0f);
+
+    // Random train/test split.
+    std::vector<uint32_t> order(g.numVertices());
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    const auto trainCount = static_cast<size_t>(
+        static_cast<double>(order.size()) * config_.trainFraction);
+    trainMask_.assign(order.begin(),
+                      order.begin() + static_cast<long>(trainCount));
+    testMask_.assign(order.begin() + static_cast<long>(trainCount),
+                     order.end());
+    GOPIM_ASSERT(!trainMask_.empty() && !testMask_.empty(),
+                 "degenerate train/test split");
+}
+
+tensor::Matrix
+FunctionalTrainer::aggregate(const tensor::Matrix &h) const
+{
+    const auto &g = data_.graph;
+    GOPIM_ASSERT(h.rows() == g.numVertices(),
+                 "aggregate: row count mismatch");
+    tensor::Matrix out(h.rows(), h.cols(), 0.0f);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        float *dst = out.rowPtr(v);
+        const float nv = normCoeff_[v];
+        // Self loop.
+        {
+            const float w = nv * nv;
+            const float *src = h.rowPtr(v);
+            for (size_t c = 0; c < h.cols(); ++c)
+                dst[c] += w * src[c];
+        }
+        for (graph::VertexId u : g.neighbors(v)) {
+            const float w = nv * normCoeff_[u];
+            const float *src = h.rowPtr(u);
+            for (size_t c = 0; c < h.cols(); ++c)
+                dst[c] += w * src[c];
+        }
+    }
+    return out;
+}
+
+TrainResult
+FunctionalTrainer::train(const SelectivePolicy &policy) const
+{
+    const auto &g = data_.graph;
+    const size_t numClasses = static_cast<size_t>(data_.numClasses);
+    const uint32_t layers = std::max(config_.numLayers, 1u);
+    Rng rng(config_.seed + 101);
+
+    // Layer dims: featureDim -> hidden^(L-1) -> numClasses.
+    std::vector<tensor::Matrix> weights;
+    for (uint32_t l = 0; l < layers; ++l) {
+        const size_t in =
+            l == 0 ? config_.featureDim : config_.hiddenChannels;
+        const size_t out =
+            l + 1 == layers ? numClasses : config_.hiddenChannels;
+        weights.push_back(tensor::xavierUniform(in, out, rng));
+    }
+
+    // Importance selection mirrors the hardware policy.
+    std::vector<bool> important(g.numVertices(), true);
+    if (policy.enabled)
+        important =
+            mapping::selectImportant(g.degrees(), policy.theta);
+
+    // Stale crossbar image of each hidden layer's combined features.
+    std::vector<tensor::Matrix> staleH(
+        layers > 1 ? layers - 1 : 0,
+        tensor::Matrix(g.numVertices(), config_.hiddenChannels, 0.0f));
+    bool staleValid = false;
+
+    // Pre-aggregate the input features once (layer-1 input is static).
+    const tensor::Matrix aggX = aggregate(features_);
+
+    // Adam state, one pair per weight matrix.
+    std::vector<tensor::Matrix> mAdam, vAdam;
+    for (const auto &w : weights) {
+        mAdam.emplace_back(w.rows(), w.cols(), 0.0f);
+        vAdam.emplace_back(w.rows(), w.cols(), 0.0f);
+    }
+    const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+
+    TrainResult result;
+    for (uint32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+        const bool coldRefresh =
+            !policy.enabled || !staleValid ||
+            (epoch % policy.coldPeriod == 0);
+
+        // The crossbars hold a noisy image of the weights; both the
+        // forward pass and (approximately) the backward pass see it.
+        std::vector<tensor::Matrix> programmed;
+        if (config_.weightNoiseSigma > 0.0) {
+            for (const auto &w : weights) {
+                tensor::Matrix noisy = w;
+                float *p = noisy.data();
+                for (size_t i = 0; i < noisy.size(); ++i)
+                    p[i] *= static_cast<float>(
+                        1.0 + rng.normal(0.0,
+                                         config_.weightNoiseSigma));
+                programmed.push_back(std::move(noisy));
+            }
+        }
+        const auto &activeWeights =
+            config_.weightNoiseSigma > 0.0 ? programmed : weights;
+
+        // Forward pass: per layer, combine (matmul) then aggregate.
+        // `layerInputs[l]` is the aggregated input feeding layer l.
+        std::vector<tensor::Matrix> layerInputs;
+        std::vector<tensor::Matrix> preacts;
+        std::vector<tensor::Matrix> dropMasks(layers);
+        layerInputs.push_back(aggX);
+        tensor::Matrix logits;
+        for (uint32_t l = 0; l < layers; ++l) {
+            tensor::Matrix z =
+                tensor::matmul(layerInputs[l], activeWeights[l]);
+            if (l + 1 == layers) {
+                preacts.push_back(z);
+                logits = std::move(z);
+                break;
+            }
+            preacts.push_back(z);
+            tensor::Matrix h = tensor::relu(z);
+
+            // Selective updating: non-important vertices keep the
+            // stale crossbar image between cold refreshes, at every
+            // hidden layer (each layer's feature map is a separate
+            // crossbar region).
+            if (policy.enabled) {
+                auto &stale = staleH[l];
+                if (coldRefresh) {
+                    stale = h;
+                } else {
+                    for (graph::VertexId v = 0; v < g.numVertices();
+                         ++v) {
+                        if (!important[v]) {
+                            std::copy(stale.rowPtr(v),
+                                      stale.rowPtr(v) + h.cols(),
+                                      h.rowPtr(v));
+                        } else {
+                            std::copy(h.rowPtr(v),
+                                      h.rowPtr(v) + h.cols(),
+                                      stale.rowPtr(v));
+                        }
+                    }
+                }
+            }
+
+            // Inverted dropout (training path); the mask also gates
+            // the backward pass.
+            if (config_.dropout > 0.0) {
+                const float keep =
+                    1.0f - static_cast<float>(config_.dropout);
+                dropMasks[l] = tensor::Matrix(h.rows(), h.cols());
+                float *mp = dropMasks[l].data();
+                float *hp = h.data();
+                for (size_t i = 0; i < h.size(); ++i) {
+                    mp[i] =
+                        rng.bernoulli(keep) ? 1.0f / keep : 0.0f;
+                    hp[i] *= mp[i];
+                }
+            }
+            layerInputs.push_back(aggregate(h));
+        }
+        if (policy.enabled && coldRefresh)
+            staleValid = true;
+
+        tensor::Matrix grad;
+        const float loss = tensor::softmaxCrossEntropy(
+            logits, data_.labels, trainMask_, &grad);
+        result.lossHistory.push_back(loss);
+        result.finalTrainLoss = loss;
+
+        // Backward pass: mirror the forward loop.
+        std::vector<tensor::Matrix> weightGrads(layers);
+        for (uint32_t li = layers; li > 0; --li) {
+            const uint32_t l = li - 1;
+            weightGrads[l] =
+                tensor::matmulTransA(layerInputs[l], grad);
+            if (l == 0)
+                break;
+            // Upstream through the aggregation (A_hat symmetric),
+            // the dropout mask, and the ReLU of layer l-1; the
+            // backward MVMs run on the same programmed crossbars.
+            tensor::Matrix up = aggregate(
+                tensor::matmulTransB(grad, activeWeights[l]));
+            if (config_.dropout > 0.0) {
+                float *dp = up.data();
+                const float *mp = dropMasks[l - 1].data();
+                for (size_t i = 0; i < up.size(); ++i)
+                    dp[i] *= mp[i];
+            }
+            grad = tensor::reluBackward(up, preacts[l - 1]);
+        }
+
+        // Adam step with decoupled weight decay.
+        const double corr1 =
+            1.0 - std::pow(beta1, static_cast<double>(epoch) + 1.0);
+        const double corr2 =
+            1.0 - std::pow(beta2, static_cast<double>(epoch) + 1.0);
+        for (uint32_t l = 0; l < layers; ++l) {
+            float *wp = weights[l].data();
+            const float *gp = weightGrads[l].data();
+            float *mp = mAdam[l].data();
+            float *vp = vAdam[l].data();
+            for (size_t i = 0; i < weights[l].size(); ++i) {
+                const double gradW =
+                    gp[i] + config_.weightDecay *
+                                static_cast<double>(wp[i]);
+                mp[i] = static_cast<float>(beta1 * mp[i] +
+                                           (1.0 - beta1) * gradW);
+                vp[i] = static_cast<float>(
+                    beta2 * vp[i] + (1.0 - beta2) * gradW * gradW);
+                wp[i] -= static_cast<float>(
+                    config_.learningRate * (mp[i] / corr1) /
+                    (std::sqrt(vp[i] / corr2) + eps));
+            }
+        }
+
+        const double acc =
+            tensor::accuracy(logits, data_.labels, testMask_);
+        result.finalTestAccuracy = acc;
+        result.bestTestAccuracy =
+            std::max(result.bestTestAccuracy, acc);
+    }
+    return result;
+}
+
+} // namespace gopim::gcn

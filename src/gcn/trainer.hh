@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Functional (numerically real) GCN trainer for the accuracy
+ * experiments (Table V, Fig. 16a/b).
+ *
+ * Trains a two-layer GCN with softmax cross-entropy on a labeled
+ * graph and emulates selective vertex updating the way the hardware
+ * experiences it: combined features of non-important vertices are NOT
+ * rewritten onto the crossbars every epoch, so Aggregation reads stale
+ * rows until the next cold refresh. OSU vs ISU differ only in timing,
+ * not in which values go stale, so accuracy here depends on the
+ * selection policy (theta, cold period) alone — as in the paper.
+ */
+
+#ifndef GOPIM_GCN_TRAINER_HH
+#define GOPIM_GCN_TRAINER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/generators.hh"
+#include "tensor/matrix.hh"
+
+namespace gopim::gcn {
+
+/** Training hyperparameters for the functional trainer. */
+struct TrainerConfig
+{
+    uint32_t epochs = 120;
+    double learningRate = 0.01;
+    double weightDecay = 5e-4;
+    /** Inverted dropout on hidden layers (Table IV uses 0-0.5). */
+    double dropout = 0.0;
+    /**
+     * ReRAM programming noise: each epoch's forward pass sees the
+     * weights as the crossbars hold them, with multiplicative
+     * conductance variation of this sigma (0 = ideal devices).
+     */
+    double weightNoiseSigma = 0.0;
+    /** GCN depth; Table IV uses 2 (ddi) or 3 (all others). */
+    uint32_t numLayers = 2;
+    uint32_t hiddenChannels = 64;
+    uint32_t featureDim = 32;
+    /** Fraction of vertices used for training (rest is test). */
+    double trainFraction = 0.6;
+    uint64_t seed = 3;
+};
+
+/** Selective-update emulation policy. */
+struct SelectivePolicy
+{
+    bool enabled = false;
+    double theta = 0.5;
+    uint32_t coldPeriod = 20;
+};
+
+/** Result of one training run. */
+struct TrainResult
+{
+    double finalTestAccuracy = 0.0;
+    double bestTestAccuracy = 0.0;
+    double finalTrainLoss = 0.0;
+    std::vector<double> lossHistory;
+};
+
+/**
+ * N-layer GCN trainer over a labeled graph with symmetric-normalized
+ * aggregation (D^-1/2 (A + I) D^-1/2). Layer l computes
+ * H_l = ReLU(A_hat H_{l-1} W_l) with the final layer linear into the
+ * class logits, matching the paper's Combination-Aggregation loop.
+ */
+class FunctionalTrainer
+{
+  public:
+    /** Build trainer state (features, masks, normalization). */
+    FunctionalTrainer(const graph::LabeledGraph &data,
+                      TrainerConfig config);
+
+    /** Train from fresh weights under the given selective policy. */
+    TrainResult train(const SelectivePolicy &policy) const;
+
+    /** Normalized aggregation A_hat * H (exposed for testing). */
+    tensor::Matrix aggregate(const tensor::Matrix &h) const;
+
+    const std::vector<uint32_t> &trainVertices() const
+    {
+        return trainMask_;
+    }
+    const std::vector<uint32_t> &testVertices() const
+    {
+        return testMask_;
+    }
+
+  private:
+    const graph::LabeledGraph &data_;
+    TrainerConfig config_;
+    tensor::Matrix features_;
+    std::vector<float> normCoeff_; ///< 1/sqrt(deg+1) per vertex
+    std::vector<uint32_t> trainMask_;
+    std::vector<uint32_t> testMask_;
+    std::vector<bool> important_; ///< top-theta by degree (filled lazily)
+};
+
+} // namespace gopim::gcn
+
+#endif // GOPIM_GCN_TRAINER_HH

@@ -1,0 +1,140 @@
+#include "graph/analysis.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace gopim::graph {
+
+Components
+connectedComponents(const Graph &g)
+{
+    Components result;
+    constexpr uint32_t kUnlabeled = UINT32_MAX;
+    result.componentOf.assign(g.numVertices(), kUnlabeled);
+
+    std::vector<uint64_t> sizes;
+    std::deque<VertexId> frontier;
+    for (VertexId seed = 0; seed < g.numVertices(); ++seed) {
+        if (result.componentOf[seed] != kUnlabeled)
+            continue;
+        const uint32_t label = result.count++;
+        uint64_t size = 0;
+        frontier.push_back(seed);
+        result.componentOf[seed] = label;
+        while (!frontier.empty()) {
+            const VertexId v = frontier.front();
+            frontier.pop_front();
+            ++size;
+            for (VertexId u : g.neighbors(v)) {
+                if (result.componentOf[u] == kUnlabeled) {
+                    result.componentOf[u] = label;
+                    frontier.push_back(u);
+                }
+            }
+        }
+        sizes.push_back(size);
+    }
+    result.largestSize =
+        sizes.empty() ? 0 : *std::max_element(sizes.begin(),
+                                              sizes.end());
+    return result;
+}
+
+double
+clusteringCoefficient(const Graph &g, uint32_t sampleVertices)
+{
+    const VertexId n = g.numVertices();
+    if (n == 0)
+        return 0.0;
+
+    const uint32_t step =
+        sampleVertices > 0 && sampleVertices < n
+            ? std::max<uint32_t>(1, n / sampleVertices)
+            : 1;
+
+    uint64_t closed = 0; // ordered closed wedges (2 x triangles x 3)
+    uint64_t wedges = 0;
+    for (VertexId v = 0; v < n; v += step) {
+        const auto nbrs = g.neighbors(v);
+        if (nbrs.size() < 2)
+            continue;
+        wedges += static_cast<uint64_t>(nbrs.size()) *
+                  (nbrs.size() - 1) / 2;
+        // Count edges among neighbors via sorted intersection.
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+            for (size_t j = i + 1; j < nbrs.size(); ++j) {
+                if (g.hasEdge(nbrs[i], nbrs[j]))
+                    ++closed;
+            }
+        }
+    }
+    if (wedges == 0)
+        return 0.0;
+    return static_cast<double>(closed) / static_cast<double>(wedges);
+}
+
+Histogram
+degreeHistogram(const Graph &g, size_t buckets)
+{
+    double maxDeg = 1.0;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        maxDeg = std::max(maxDeg, static_cast<double>(g.degree(v)));
+    Histogram h(0.0, maxDeg + 1.0, buckets);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        h.add(static_cast<double>(g.degree(v)));
+    return h;
+}
+
+double
+degreeAssortativity(const Graph &g)
+{
+    // Pearson correlation of (deg(u), deg(v)) over directed edges.
+    double sumX = 0.0, sumY = 0.0, sumXY = 0.0, sumX2 = 0.0,
+           sumY2 = 0.0;
+    uint64_t m = 0;
+    for (VertexId u = 0; u < g.numVertices(); ++u) {
+        const double du = g.degree(u);
+        for (VertexId v : g.neighbors(u)) {
+            const double dv = g.degree(v);
+            sumX += du;
+            sumY += dv;
+            sumXY += du * dv;
+            sumX2 += du * du;
+            sumY2 += dv * dv;
+            ++m;
+        }
+    }
+    if (m == 0)
+        return 0.0;
+    const double n = static_cast<double>(m);
+    const double cov = sumXY / n - (sumX / n) * (sumY / n);
+    const double varX = sumX2 / n - (sumX / n) * (sumX / n);
+    const double varY = sumY2 / n - (sumY / n) * (sumY / n);
+    if (varX <= 0.0 || varY <= 0.0)
+        return 0.0;
+    return cov / std::sqrt(varX * varY);
+}
+
+double
+powerLawExponent(const Graph &g, uint32_t dMin)
+{
+    GOPIM_ASSERT(dMin >= 1, "dMin must be >= 1");
+    double logSum = 0.0;
+    uint64_t count = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        const uint32_t d = g.degree(v);
+        if (d >= dMin) {
+            logSum += std::log(static_cast<double>(d) /
+                               (static_cast<double>(dMin) - 0.5));
+            ++count;
+        }
+    }
+    if (count == 0 || logSum <= 0.0)
+        return 0.0;
+    return 1.0 + static_cast<double>(count) / logSum;
+}
+
+} // namespace gopim::graph

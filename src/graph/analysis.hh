@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Structural graph analysis: connected components, clustering
+ * coefficient, degree histograms, and degree-assortativity — the
+ * statistics used to check synthetic catalog graphs against their
+ * OGB references and by the graph_stats tool.
+ */
+
+#ifndef GOPIM_GRAPH_ANALYSIS_HH
+#define GOPIM_GRAPH_ANALYSIS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "graph/graph.hh"
+
+namespace gopim::graph {
+
+/** Connected-component labeling result. */
+struct Components
+{
+    std::vector<uint32_t> componentOf; ///< label per vertex
+    uint32_t count = 0;
+    uint64_t largestSize = 0;
+};
+
+/** Label connected components via BFS. */
+Components connectedComponents(const Graph &g);
+
+/**
+ * Global clustering coefficient: 3 x triangles / open wedges.
+ * Exact triangle counting via sorted-neighbor intersection — use the
+ * `sampleVertices` cap for very large graphs (0 = exact).
+ */
+double clusteringCoefficient(const Graph &g,
+                             uint32_t sampleVertices = 0);
+
+/** Histogram of vertex degrees on a log-ish scale. */
+Histogram degreeHistogram(const Graph &g, size_t buckets = 32);
+
+/**
+ * Degree assortativity (Pearson correlation of endpoint degrees over
+ * edges); negative for hub-to-leaf graphs, positive for social-style
+ * graphs.
+ */
+double degreeAssortativity(const Graph &g);
+
+/**
+ * Estimate the power-law exponent alpha of the degree distribution
+ * by the discrete MLE alpha = 1 + n / sum(ln(d_i / d_min)) over
+ * vertices with degree >= dMin.
+ */
+double powerLawExponent(const Graph &g, uint32_t dMin = 2);
+
+} // namespace gopim::graph
+
+#endif // GOPIM_GRAPH_ANALYSIS_HH

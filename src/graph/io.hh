@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Graph persistence: text edge-list and a compact binary CSR format,
+ * so users can feed their own graphs to the simulator and cache
+ * generated ones between runs.
+ */
+
+#ifndef GOPIM_GRAPH_IO_HH
+#define GOPIM_GRAPH_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hh"
+
+namespace gopim::graph {
+
+/**
+ * Parse a text edge list: one "u v" pair per line, '#' comments and
+ * blank lines ignored; vertex count is max id + 1 unless a
+ * "# vertices N" header is present. fatal() on malformed input.
+ */
+Graph readEdgeList(std::istream &in);
+
+/** Load an edge-list file; fatal() if it cannot be opened. */
+Graph loadEdgeList(const std::string &path);
+
+/** Write a graph as a text edge list (one undirected edge per line). */
+void writeEdgeList(const Graph &g, std::ostream &out);
+
+/**
+ * Binary CSR snapshot (magic + counts + row pointers + columns),
+ * little-endian, for fast reload of large generated graphs.
+ */
+void saveBinary(const Graph &g, const std::string &path);
+
+/** Load a binary CSR snapshot; fatal() on bad magic or truncation. */
+Graph loadBinary(const std::string &path);
+
+} // namespace gopim::graph
+
+#endif // GOPIM_GRAPH_IO_HH

@@ -1,0 +1,79 @@
+#include "graph/sparsify.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace gopim::graph {
+
+namespace {
+
+/** Collect each undirected edge once as (min, max) pairs. */
+std::vector<std::pair<VertexId, VertexId>>
+undirectedEdges(const Graph &g)
+{
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    edges.reserve(g.numEdges());
+    for (VertexId u = 0; u < g.numVertices(); ++u)
+        for (VertexId v : g.neighbors(u))
+            if (u <= v)
+                edges.emplace_back(u, v);
+    return edges;
+}
+
+} // namespace
+
+Graph
+dropEdges(const Graph &g, double keepProb, Rng &rng)
+{
+    GOPIM_ASSERT(keepProb >= 0.0 && keepProb <= 1.0,
+                 "keep probability out of range");
+    auto edges = undirectedEdges(g);
+    std::vector<std::pair<VertexId, VertexId>> kept;
+    kept.reserve(static_cast<size_t>(
+        static_cast<double>(edges.size()) * keepProb));
+    for (auto e : edges)
+        if (rng.bernoulli(keepProb))
+            kept.push_back(e);
+    return Graph::fromEdges(g.numVertices(), std::move(kept));
+}
+
+Graph
+keepTopEdgesByDegreeProduct(const Graph &g, double keepFraction)
+{
+    GOPIM_ASSERT(keepFraction >= 0.0 && keepFraction <= 1.0,
+                 "keep fraction out of range");
+    auto edges = undirectedEdges(g);
+    const auto keepCount = static_cast<size_t>(
+        static_cast<double>(edges.size()) * keepFraction);
+    std::stable_sort(edges.begin(), edges.end(),
+                     [&g](const auto &a, const auto &b) {
+                         const uint64_t pa =
+                             static_cast<uint64_t>(g.degree(a.first)) *
+                             g.degree(a.second);
+                         const uint64_t pb =
+                             static_cast<uint64_t>(g.degree(b.first)) *
+                             g.degree(b.second);
+                         return pa > pb;
+                     });
+    edges.resize(keepCount);
+    return Graph::fromEdges(g.numVertices(), std::move(edges));
+}
+
+Graph
+pruneLowDegreeVertices(const Graph &g, uint32_t minDegree)
+{
+    std::vector<std::pair<VertexId, VertexId>> kept;
+    for (VertexId u = 0; u < g.numVertices(); ++u) {
+        if (g.degree(u) < minDegree)
+            continue;
+        for (VertexId v : g.neighbors(u))
+            if (u <= v && g.degree(v) >= minDegree)
+                kept.emplace_back(u, v);
+    }
+    return Graph::fromEdges(g.numVertices(), std::move(kept));
+}
+
+} // namespace gopim::graph

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Graph sparsification utilities (Section II-C of the paper).
+ *
+ * Two heuristic families are provided: random edge dropping (DropEdge
+ * style) and degree-product ranking (keep edges between important
+ * vertices). SlimGNN-like's "input subgraph pruning" baseline uses the
+ * random variant; GoPIM itself sparsifies *updates*, not edges (see
+ * mapping/selective.hh), but these utilities let the baselines be
+ * reproduced faithfully.
+ */
+
+#ifndef GOPIM_GRAPH_SPARSIFY_HH
+#define GOPIM_GRAPH_SPARSIFY_HH
+
+#include "common/rng.hh"
+#include "graph/graph.hh"
+
+namespace gopim::graph {
+
+/** Uniformly drop edges, keeping each with probability keepProb. */
+Graph dropEdges(const Graph &g, double keepProb, Rng &rng);
+
+/**
+ * Keep the top keepFraction of edges ranked by the degree product of
+ * their endpoints (higher product = more structurally important in the
+ * heuristic-sparsification literature).
+ */
+Graph keepTopEdgesByDegreeProduct(const Graph &g, double keepFraction);
+
+/**
+ * Remove vertices whose degree is below `minDegree` (their edges go
+ * with them). Vertex ids are preserved; removed vertices become
+ * isolated.
+ */
+Graph pruneLowDegreeVertices(const Graph &g, uint32_t minDegree);
+
+} // namespace gopim::graph
+
+#endif // GOPIM_GRAPH_SPARSIFY_HH

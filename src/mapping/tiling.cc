@@ -1,0 +1,34 @@
+#include "mapping/tiling.hh"
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+
+namespace gopim::mapping {
+
+ReplicaFootprint
+tileMatrix(uint64_t rows, uint64_t cols,
+           const reram::AcceleratorConfig &cfg)
+{
+    GOPIM_ASSERT(rows > 0 && cols > 0, "cannot tile an empty matrix");
+    const auto &xb = cfg.crossbar;
+    const uint64_t slices = xb.slicesPerValue();
+
+    ReplicaFootprint fp;
+    fp.logicalRows = rows;
+    fp.logicalCols = cols;
+    fp.rowGroups = ceilDiv(rows, xb.rows);
+    fp.colSegments = ceilDiv(cols * slices, xb.cols);
+    // Cell-exact packing (the paper packs partial tiles densely; this
+    // is what reproduces Table VI's 534 crossbars for ddi Aggregation).
+    fp.crossbars = ceilDiv(rows * cols * slices, xb.cells());
+    return fp;
+}
+
+uint64_t
+crossbarsPerReplica(uint64_t rows, uint64_t cols,
+                    const reram::AcceleratorConfig &cfg)
+{
+    return tileMatrix(rows, cols, cfg).crossbars;
+}
+
+} // namespace gopim::mapping

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Matrix-to-crossbar tiling arithmetic.
+ *
+ * A logical R x C matrix of 16-bit values occupies
+ * ceil(R * C * slices / (64 * 64)) crossbars per replica, with
+ * slices = 2 cells per value. This formula reproduces the paper's
+ * Table VI crossbar counts exactly (see DESIGN.md §2).
+ */
+
+#ifndef GOPIM_MAPPING_TILING_HH
+#define GOPIM_MAPPING_TILING_HH
+
+#include <cstdint>
+
+#include "reram/config.hh"
+
+namespace gopim::mapping {
+
+/** Footprint of one replica of a mapped matrix. */
+struct ReplicaFootprint
+{
+    uint64_t logicalRows = 0;
+    uint64_t logicalCols = 0;
+    /** Crossbars needed for one replica. */
+    uint64_t crossbars = 0;
+    /** Vertical row groups (tiles stacked along the input dim). */
+    uint64_t rowGroups = 0;
+    /** Horizontal segments each logical row spans. */
+    uint64_t colSegments = 0;
+};
+
+/** Compute the crossbar footprint of an R x C matrix replica. */
+ReplicaFootprint tileMatrix(uint64_t rows, uint64_t cols,
+                            const reram::AcceleratorConfig &cfg);
+
+/** Crossbars for one replica (shorthand for tileMatrix().crossbars). */
+uint64_t crossbarsPerReplica(uint64_t rows, uint64_t cols,
+                             const reram::AcceleratorConfig &cfg);
+
+} // namespace gopim::mapping
+
+#endif // GOPIM_MAPPING_TILING_HH

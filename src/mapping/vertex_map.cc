@@ -1,0 +1,97 @@
+#include "mapping/vertex_map.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+
+namespace gopim::mapping {
+
+std::string
+toString(VertexMapStrategy s)
+{
+    switch (s) {
+      case VertexMapStrategy::IndexBased:
+        return "index-based";
+      case VertexMapStrategy::Interleaved:
+        return "interleaved";
+    }
+    panic("unknown mapping strategy");
+}
+
+VertexAssignment
+mapVertices(const std::vector<uint32_t> &degrees, uint32_t rowsPerGroup,
+            VertexMapStrategy strategy)
+{
+    GOPIM_ASSERT(!degrees.empty(), "cannot map zero vertices");
+    GOPIM_ASSERT(rowsPerGroup > 0, "row group must hold >= 1 vertex");
+
+    const auto n = static_cast<uint32_t>(degrees.size());
+    VertexAssignment out;
+    out.rowsPerGroup = rowsPerGroup;
+    out.numGroups = static_cast<uint32_t>(ceilDiv(n, rowsPerGroup));
+    out.groupOf.resize(n);
+
+    switch (strategy) {
+      case VertexMapStrategy::IndexBased:
+        for (uint32_t v = 0; v < n; ++v)
+            out.groupOf[v] = v / rowsPerGroup;
+        break;
+
+      case VertexMapStrategy::Interleaved: {
+        // Sort by degree descending (stable on id), then deal the
+        // ranked list round-robin across groups: rank i -> group
+        // i % numGroups. Group capacity is respected automatically
+        // because each group receives every numGroups-th rank.
+        std::vector<uint32_t> order(n);
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&degrees](uint32_t a, uint32_t b) {
+                             return degrees[a] != degrees[b]
+                                        ? degrees[a] > degrees[b]
+                                        : a < b;
+                         });
+        for (uint32_t rank = 0; rank < n; ++rank)
+            out.groupOf[order[rank]] = rank % out.numGroups;
+        break;
+      }
+    }
+    return out;
+}
+
+std::vector<double>
+perGroupAvgDegree(const VertexAssignment &assignment,
+                  const std::vector<uint32_t> &degrees)
+{
+    GOPIM_ASSERT(assignment.groupOf.size() == degrees.size(),
+                 "assignment/degree size mismatch");
+    std::vector<double> sums(assignment.numGroups, 0.0);
+    std::vector<uint32_t> counts(assignment.numGroups, 0);
+    for (size_t v = 0; v < degrees.size(); ++v) {
+        sums[assignment.groupOf[v]] += degrees[v];
+        ++counts[assignment.groupOf[v]];
+    }
+    for (size_t g = 0; g < sums.size(); ++g)
+        if (counts[g] > 0)
+            sums[g] /= counts[g];
+    return sums;
+}
+
+double
+MinMax::skew() const
+{
+    return max / std::max(min, 1e-9);
+}
+
+MinMax
+minMax(const std::vector<double> &values)
+{
+    GOPIM_ASSERT(!values.empty(), "minMax of empty vector");
+    MinMax mm;
+    mm.min = *std::min_element(values.begin(), values.end());
+    mm.max = *std::max_element(values.begin(), values.end());
+    return mm;
+}
+
+} // namespace gopim::mapping

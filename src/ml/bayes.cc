@@ -1,0 +1,88 @@
+#include "ml/bayes.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gopim::ml {
+
+BinnedBayesRegressor::BinnedBayesRegressor(BayesParams params)
+    : params_(params)
+{
+    GOPIM_ASSERT(params_.binsPerFeature >= 2, "need at least two bins");
+}
+
+void
+BinnedBayesRegressor::fit(const Dataset &data)
+{
+    GOPIM_ASSERT(data.size() > 0, "cannot fit on empty dataset");
+    const size_t d = data.numFeatures();
+    const size_t bins = params_.binsPerFeature;
+
+    globalMean_ = 0.0;
+    for (double t : data.y)
+        globalMean_ += t;
+    globalMean_ /= static_cast<double>(data.size());
+
+    edges_.assign(d, {});
+    binMeans_.assign(d, std::vector<double>(bins, 0.0));
+    binCounts_.assign(d, std::vector<double>(bins, 0.0));
+
+    std::vector<float> column(data.size());
+    for (size_t f = 0; f < d; ++f) {
+        for (size_t r = 0; r < data.size(); ++r)
+            column[r] = data.x(r, f);
+        std::sort(column.begin(), column.end());
+
+        // Equal-frequency edges at the internal quantiles.
+        edges_[f].resize(bins - 1);
+        for (size_t b = 1; b < bins; ++b) {
+            const size_t idx = std::min(
+                data.size() - 1,
+                b * data.size() / bins);
+            edges_[f][b - 1] = column[idx];
+        }
+
+        std::vector<double> sums(bins, 0.0);
+        for (size_t r = 0; r < data.size(); ++r) {
+            const size_t b = binOf(f, data.x(r, f));
+            sums[b] += data.y[r];
+            binCounts_[f][b] += 1.0;
+        }
+        for (size_t b = 0; b < bins; ++b) {
+            // Shrink small bins toward the global mean.
+            binMeans_[f][b] =
+                (sums[b] + params_.priorStrength * globalMean_) /
+                (binCounts_[f][b] + params_.priorStrength);
+        }
+    }
+}
+
+size_t
+BinnedBayesRegressor::binOf(size_t feature, float value) const
+{
+    const auto &edges = edges_[feature];
+    const auto it =
+        std::upper_bound(edges.begin(), edges.end(), value);
+    return static_cast<size_t>(it - edges.begin());
+}
+
+double
+BinnedBayesRegressor::predict(const std::vector<float> &features) const
+{
+    GOPIM_ASSERT(features.size() == edges_.size(),
+                 "predict: feature width mismatch");
+    // Precision-weighted average of per-feature bin means.
+    double weighted = 0.0;
+    double weightSum = 0.0;
+    for (size_t f = 0; f < features.size(); ++f) {
+        const size_t b = binOf(f, features[f]);
+        const double w = binCounts_[f][b] + 1e-9;
+        weighted += w * binMeans_[f][b];
+        weightSum += w;
+    }
+    return weightSum > 0.0 ? weighted / weightSum : globalMean_;
+}
+
+} // namespace gopim::ml

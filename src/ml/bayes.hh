@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Binned Bayesian-mean regressor standing in for the paper's "BR"
+ * (Bernoulli Regression) entry in Fig. 9 — see DESIGN.md §6 for the
+ * naming caveat. Each feature is quantized into equal-frequency bins;
+ * prediction is the precision-weighted average of per-bin target means
+ * (a naive-Bayes-style factorized estimate).
+ */
+
+#ifndef GOPIM_ML_BAYES_HH
+#define GOPIM_ML_BAYES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/regressor.hh"
+
+namespace gopim::ml {
+
+/** Hyperparameters for the binned Bayes regressor. */
+struct BayesParams
+{
+    uint32_t binsPerFeature = 8;
+    /** Pseudo-count shrinking bin means toward the global mean. */
+    double priorStrength = 2.0;
+};
+
+/** Factorized binned-mean regressor ("BR"). */
+class BinnedBayesRegressor : public Regressor
+{
+  public:
+    explicit BinnedBayesRegressor(BayesParams params = {});
+
+    void fit(const Dataset &data) override;
+    double predict(const std::vector<float> &features) const override;
+    std::string name() const override { return "BR"; }
+
+  private:
+    /** Bin index of a value for a feature, via learned edges. */
+    size_t binOf(size_t feature, float value) const;
+
+    BayesParams params_;
+    double globalMean_ = 0.0;
+    /** Per feature: sorted bin upper edges (binsPerFeature - 1 each). */
+    std::vector<std::vector<float>> edges_;
+    /** Per feature x bin: shrunk target mean. */
+    std::vector<std::vector<double>> binMeans_;
+    /** Per feature x bin: sample count (for precision weighting). */
+    std::vector<std::vector<double>> binCounts_;
+};
+
+} // namespace gopim::ml
+
+#endif // GOPIM_ML_BAYES_HH

@@ -1,0 +1,98 @@
+#include "ml/data.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace gopim::ml {
+
+void
+Dataset::append(const std::vector<float> &features, double target)
+{
+    if (x.empty()) {
+        x = tensor::Matrix(1, features.size());
+        std::copy(features.begin(), features.end(), x.rowPtr(0));
+    } else {
+        GOPIM_ASSERT(features.size() == x.cols(),
+                     "appended sample has wrong feature width");
+        tensor::Matrix grown(x.rows() + 1, x.cols());
+        std::copy(x.data(), x.data() + x.size(), grown.data());
+        std::copy(features.begin(), features.end(),
+                  grown.rowPtr(x.rows()));
+        x = std::move(grown);
+    }
+    y.push_back(target);
+}
+
+Split
+trainTestSplit(const Dataset &data, double trainFraction, Rng &rng)
+{
+    GOPIM_ASSERT(trainFraction > 0.0 && trainFraction < 1.0,
+                 "train fraction must be in (0, 1)");
+    GOPIM_ASSERT(data.size() >= 2, "need at least two samples to split");
+
+    std::vector<size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    const auto trainCount = std::max<size_t>(
+        1, static_cast<size_t>(
+               static_cast<double>(data.size()) * trainFraction));
+
+    Split split;
+    auto copyRows = [&](Dataset &dst, size_t begin, size_t end) {
+        dst.x = tensor::Matrix(end - begin, data.x.cols());
+        dst.y.resize(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+            const size_t src = order[i];
+            std::copy(data.x.rowPtr(src),
+                      data.x.rowPtr(src) + data.x.cols(),
+                      dst.x.rowPtr(i - begin));
+            dst.y[i - begin] = data.y[src];
+        }
+    };
+    copyRows(split.train, 0, trainCount);
+    copyRows(split.test, trainCount, data.size());
+    return split;
+}
+
+void
+StandardScaler::fit(const tensor::Matrix &x)
+{
+    GOPIM_ASSERT(x.rows() > 0, "cannot fit scaler on empty data");
+    means_.assign(x.cols(), 0.0f);
+    stds_.assign(x.cols(), 0.0f);
+
+    for (size_t r = 0; r < x.rows(); ++r)
+        for (size_t c = 0; c < x.cols(); ++c)
+            means_[c] += x(r, c);
+    for (auto &m : means_)
+        m /= static_cast<float>(x.rows());
+
+    for (size_t r = 0; r < x.rows(); ++r)
+        for (size_t c = 0; c < x.cols(); ++c) {
+            const float d = x(r, c) - means_[c];
+            stds_[c] += d * d;
+        }
+    for (auto &s : stds_)
+        s = std::sqrt(s / static_cast<float>(x.rows()));
+}
+
+tensor::Matrix
+StandardScaler::transform(const tensor::Matrix &x) const
+{
+    GOPIM_ASSERT(x.cols() == means_.size(),
+                 "scaler width mismatch (fit on different data?)");
+    tensor::Matrix out = x;
+    for (size_t r = 0; r < out.rows(); ++r)
+        for (size_t c = 0; c < out.cols(); ++c) {
+            const float s = stds_[c];
+            if (s > 1e-9f)
+                out(r, c) = (out(r, c) - means_[c]) / s;
+        }
+    return out;
+}
+
+} // namespace gopim::ml

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tabular regression dataset container, train/test splitting, and
+ * feature standardization for the ML library.
+ */
+
+#ifndef GOPIM_ML_DATA_HH
+#define GOPIM_ML_DATA_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+#include "tensor/matrix.hh"
+
+namespace gopim::ml {
+
+/** A supervised regression dataset: one row of X per target in y. */
+struct Dataset
+{
+    tensor::Matrix x;
+    std::vector<double> y;
+
+    size_t size() const { return y.size(); }
+    size_t numFeatures() const { return x.cols(); }
+
+    /** Append one sample; feature width must match existing rows. */
+    void append(const std::vector<float> &features, double target);
+};
+
+/** Result of a random train/test split. */
+struct Split
+{
+    Dataset train;
+    Dataset test;
+};
+
+/**
+ * Randomly split into train/test with the given train fraction
+ * (paper uses 8:2 for the predictor study).
+ */
+Split trainTestSplit(const Dataset &data, double trainFraction, Rng &rng);
+
+/**
+ * Per-feature standardizer (zero mean, unit variance), fit on train
+ * data and applied to both splits. Targets can optionally be scaled by
+ * a constant so RMSE values are comparable across experiments.
+ */
+class StandardScaler
+{
+  public:
+    /** Learn per-column mean and stddev from the data. */
+    void fit(const tensor::Matrix &x);
+
+    /** Apply the learned transform (columns with zero spread pass through). */
+    tensor::Matrix transform(const tensor::Matrix &x) const;
+
+    const std::vector<float> &means() const { return means_; }
+    const std::vector<float> &stddevs() const { return stds_; }
+
+  private:
+    std::vector<float> means_;
+    std::vector<float> stds_;
+};
+
+} // namespace gopim::ml
+
+#endif // GOPIM_ML_DATA_HH

@@ -1,0 +1,59 @@
+#include "ml/forest.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace gopim::ml {
+
+RandomForestRegressor::RandomForestRegressor(ForestParams params)
+    : params_(params)
+{
+    GOPIM_ASSERT(params_.numTrees >= 1, "need at least one tree");
+    GOPIM_ASSERT(params_.sampleFraction > 0.0 &&
+                     params_.sampleFraction <= 1.0,
+                 "sample fraction must be in (0, 1]");
+}
+
+void
+RandomForestRegressor::fit(const Dataset &data)
+{
+    GOPIM_ASSERT(data.size() > 0, "cannot fit on empty dataset");
+    trees_.clear();
+    Rng rng(params_.seed);
+
+    const auto sampleCount = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(data.size()) *
+                               params_.sampleFraction));
+
+    for (uint32_t t = 0; t < params_.numTrees; ++t) {
+        // Bootstrap sample (with replacement).
+        Dataset sample;
+        sample.x = tensor::Matrix(sampleCount, data.numFeatures());
+        sample.y.resize(sampleCount);
+        for (size_t i = 0; i < sampleCount; ++i) {
+            const size_t src = rng.uniformInt(
+                static_cast<uint64_t>(data.size()));
+            std::copy(data.x.rowPtr(src),
+                      data.x.rowPtr(src) + data.numFeatures(),
+                      sample.x.rowPtr(i));
+            sample.y[i] = data.y[src];
+        }
+        DecisionTreeRegressor tree(params_.tree);
+        tree.fit(sample);
+        trees_.push_back(std::move(tree));
+    }
+}
+
+double
+RandomForestRegressor::predict(const std::vector<float> &features) const
+{
+    GOPIM_ASSERT(!trees_.empty(), "predict before fit");
+    double sum = 0.0;
+    for (const auto &tree : trees_)
+        sum += tree.predict(features);
+    return sum / static_cast<double>(trees_.size());
+}
+
+} // namespace gopim::ml

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Random forest regressor: bagged CART trees with per-tree bootstrap
+ * samples, averaging their predictions. Extends the Fig. 9 zoo with
+ * the variance-reduction ensemble family.
+ */
+
+#ifndef GOPIM_ML_FOREST_HH
+#define GOPIM_ML_FOREST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/tree.hh"
+
+namespace gopim::ml {
+
+/** Hyperparameters for the random forest. */
+struct ForestParams
+{
+    uint32_t numTrees = 50;
+    /** Bootstrap sample fraction per tree. */
+    double sampleFraction = 0.8;
+    TreeParams tree{.maxDepth = 10,
+                    .minSamplesLeaf = 2,
+                    .minImpurityDecrease = 1e-12};
+    uint64_t seed = 17;
+};
+
+/** Bagged ensemble of CART trees. */
+class RandomForestRegressor : public Regressor
+{
+  public:
+    explicit RandomForestRegressor(ForestParams params = {});
+
+    void fit(const Dataset &data) override;
+    double predict(const std::vector<float> &features) const override;
+    std::string name() const override { return "RF"; }
+
+    size_t treeCount() const { return trees_.size(); }
+
+  private:
+    ForestParams params_;
+    std::vector<DecisionTreeRegressor> trees_;
+};
+
+} // namespace gopim::ml
+
+#endif // GOPIM_ML_FOREST_HH

@@ -1,0 +1,58 @@
+#include "ml/gbt.hh"
+
+#include "common/logging.hh"
+
+namespace gopim::ml {
+
+GradientBoostedTrees::GradientBoostedTrees(GbtParams params)
+    : params_(params)
+{
+    GOPIM_ASSERT(params_.numTrees >= 1, "need at least one tree");
+    GOPIM_ASSERT(params_.learningRate > 0.0 &&
+                     params_.learningRate <= 1.0,
+                 "learning rate must be in (0, 1]");
+}
+
+void
+GradientBoostedTrees::fit(const Dataset &data)
+{
+    GOPIM_ASSERT(data.size() > 0, "cannot fit on empty dataset");
+    trees_.clear();
+
+    // Base prediction: the target mean.
+    baseline_ = 0.0;
+    for (double t : data.y)
+        baseline_ += t;
+    baseline_ /= static_cast<double>(data.size());
+
+    std::vector<double> residuals(data.size());
+    std::vector<double> current(data.size(), baseline_);
+    std::vector<float> row(data.numFeatures());
+
+    for (uint32_t t = 0; t < params_.numTrees; ++t) {
+        for (size_t i = 0; i < data.size(); ++i)
+            residuals[i] = data.y[i] - current[i];
+
+        DecisionTreeRegressor tree(params_.tree);
+        tree.fitTargets(data.x, residuals);
+
+        for (size_t i = 0; i < data.size(); ++i) {
+            const float *src = data.x.rowPtr(i);
+            row.assign(src, src + data.numFeatures());
+            current[i] += params_.learningRate * tree.predict(row);
+        }
+        trees_.push_back(std::move(tree));
+    }
+}
+
+double
+GradientBoostedTrees::predict(const std::vector<float> &features) const
+{
+    GOPIM_ASSERT(!trees_.empty(), "predict before fit");
+    double out = baseline_;
+    for (const auto &tree : trees_)
+        out += params_.learningRate * tree.predict(features);
+    return out;
+}
+
+} // namespace gopim::ml

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Gradient-boosted regression trees (squared loss), an "XGB-lite"
+ * standing in for the XGBoost entry in Fig. 9.
+ */
+
+#ifndef GOPIM_ML_GBT_HH
+#define GOPIM_ML_GBT_HH
+
+#include <vector>
+
+#include "ml/tree.hh"
+
+namespace gopim::ml {
+
+/** Hyperparameters for the boosted ensemble. */
+struct GbtParams
+{
+    uint32_t numTrees = 100;
+    double learningRate = 0.1;
+    TreeParams tree{.maxDepth = 4,
+                    .minSamplesLeaf = 3,
+                    .minImpurityDecrease = 1e-12};
+};
+
+/** Boosted ensemble of CART trees fit on squared-loss residuals. */
+class GradientBoostedTrees : public Regressor
+{
+  public:
+    explicit GradientBoostedTrees(GbtParams params = {});
+
+    void fit(const Dataset &data) override;
+    double predict(const std::vector<float> &features) const override;
+    std::string name() const override { return "XGB"; }
+
+    size_t treeCount() const { return trees_.size(); }
+
+  private:
+    GbtParams params_;
+    double baseline_ = 0.0;
+    std::vector<DecisionTreeRegressor> trees_;
+};
+
+} // namespace gopim::ml
+
+#endif // GOPIM_ML_GBT_HH

@@ -1,0 +1,59 @@
+#include "ml/knn.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace gopim::ml {
+
+KnnRegressor::KnnRegressor(KnnParams params) : params_(params)
+{
+    GOPIM_ASSERT(params_.k >= 1, "k must be >= 1");
+}
+
+void
+KnnRegressor::fit(const Dataset &data)
+{
+    GOPIM_ASSERT(data.size() > 0, "cannot fit on empty dataset");
+    train_ = data;
+}
+
+double
+KnnRegressor::predict(const std::vector<float> &features) const
+{
+    GOPIM_ASSERT(train_.size() > 0, "predict before fit");
+    GOPIM_ASSERT(features.size() == train_.numFeatures(),
+                 "predict: feature width mismatch");
+
+    const size_t k = std::min<size_t>(params_.k, train_.size());
+    // Partial selection of the k smallest squared distances.
+    std::vector<std::pair<double, size_t>> dist(train_.size());
+    for (size_t i = 0; i < train_.size(); ++i) {
+        const float *row = train_.x.rowPtr(i);
+        double d2 = 0.0;
+        for (size_t f = 0; f < features.size(); ++f) {
+            const double d = row[f] - features[f];
+            d2 += d * d;
+        }
+        dist[i] = {d2, i};
+    }
+    std::nth_element(dist.begin(),
+                     dist.begin() + static_cast<long>(k - 1),
+                     dist.end());
+
+    double weighted = 0.0;
+    double weightSum = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+        const auto [d2, idx] = dist[i];
+        const double w =
+            params_.distanceWeighted ? 1.0 / (std::sqrt(d2) + 1e-9)
+                                     : 1.0;
+        weighted += w * train_.y[idx];
+        weightSum += w;
+    }
+    return weighted / weightSum;
+}
+
+} // namespace gopim::ml

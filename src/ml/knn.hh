@@ -1,0 +1,41 @@
+/**
+ * @file
+ * k-nearest-neighbors regressor (inverse-distance weighted average),
+ * a lazy-learning contrast point for the Fig. 9 model zoo.
+ */
+
+#ifndef GOPIM_ML_KNN_HH
+#define GOPIM_ML_KNN_HH
+
+#include <cstdint>
+
+#include "ml/regressor.hh"
+
+namespace gopim::ml {
+
+/** Hyperparameters for kNN regression. */
+struct KnnParams
+{
+    uint32_t k = 5;
+    /** Inverse-distance weighting; plain mean when false. */
+    bool distanceWeighted = true;
+};
+
+/** Brute-force Euclidean kNN regressor. */
+class KnnRegressor : public Regressor
+{
+  public:
+    explicit KnnRegressor(KnnParams params = {});
+
+    void fit(const Dataset &data) override;
+    double predict(const std::vector<float> &features) const override;
+    std::string name() const override { return "KNN"; }
+
+  private:
+    KnnParams params_;
+    Dataset train_;
+};
+
+} // namespace gopim::ml
+
+#endif // GOPIM_ML_KNN_HH

@@ -1,0 +1,103 @@
+#include "ml/linear.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gopim::ml {
+
+LinearRegressor::LinearRegressor(double lambda) : lambda_(lambda)
+{
+    GOPIM_ASSERT(lambda >= 0.0, "ridge penalty must be non-negative");
+}
+
+std::vector<double>
+solveSpd(std::vector<double> a, std::vector<double> b, size_t n)
+{
+    GOPIM_ASSERT(a.size() == n * n && b.size() == n,
+                 "solveSpd: shape mismatch");
+
+    // Cholesky: A = L L^T, stored in the lower triangle of a.
+    for (size_t j = 0; j < n; ++j) {
+        double diag = a[j * n + j];
+        for (size_t k = 0; k < j; ++k)
+            diag -= a[j * n + k] * a[j * n + k];
+        GOPIM_ASSERT(diag > 0.0,
+                     "solveSpd: matrix not positive definite");
+        const double ljj = std::sqrt(diag);
+        a[j * n + j] = ljj;
+        for (size_t i = j + 1; i < n; ++i) {
+            double v = a[i * n + j];
+            for (size_t k = 0; k < j; ++k)
+                v -= a[i * n + k] * a[j * n + k];
+            a[i * n + j] = v / ljj;
+        }
+    }
+
+    // Forward substitution: L z = b.
+    for (size_t i = 0; i < n; ++i) {
+        double v = b[i];
+        for (size_t k = 0; k < i; ++k)
+            v -= a[i * n + k] * b[k];
+        b[i] = v / a[i * n + i];
+    }
+    // Back substitution: L^T x = z.
+    for (size_t ii = n; ii > 0; --ii) {
+        const size_t i = ii - 1;
+        double v = b[i];
+        for (size_t k = i + 1; k < n; ++k)
+            v -= a[k * n + i] * b[k];
+        b[i] = v / a[i * n + i];
+    }
+    return b;
+}
+
+void
+LinearRegressor::fit(const Dataset &data)
+{
+    GOPIM_ASSERT(data.size() > 0, "cannot fit on empty dataset");
+    const size_t d = data.numFeatures();
+    const size_t n = d + 1; // bias column appended
+
+    // Normal equations with an implicit all-ones bias column.
+    std::vector<double> gram(n * n, 0.0);
+    std::vector<double> xty(n, 0.0);
+    for (size_t r = 0; r < data.size(); ++r) {
+        const float *row = data.x.rowPtr(r);
+        for (size_t i = 0; i < d; ++i) {
+            for (size_t j = 0; j <= i; ++j)
+                gram[i * n + j] +=
+                    static_cast<double>(row[i]) * row[j];
+            gram[d * n + i] += row[i]; // bias x feature
+            xty[i] += static_cast<double>(row[i]) * data.y[r];
+        }
+        gram[d * n + d] += 1.0;
+        xty[d] += data.y[r];
+    }
+    // Mirror to the upper triangle and apply the ridge penalty.
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i + 1; j < n; ++j)
+            gram[i * n + j] = gram[j * n + i];
+    for (size_t i = 0; i < d; ++i)
+        gram[i * n + i] += lambda_;
+    // Tiny jitter keeps the bias row positive definite for degenerate
+    // datasets (e.g. a single sample).
+    gram[d * n + d] += 1e-12;
+
+    auto solution = solveSpd(std::move(gram), std::move(xty), n);
+    weights_.assign(solution.begin(), solution.begin() + d);
+    bias_ = solution[d];
+}
+
+double
+LinearRegressor::predict(const std::vector<float> &features) const
+{
+    GOPIM_ASSERT(features.size() == weights_.size(),
+                 "predict: feature width mismatch");
+    double out = bias_;
+    for (size_t i = 0; i < weights_.size(); ++i)
+        out += weights_[i] * features[i];
+    return out;
+}
+
+} // namespace gopim::ml

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Linear regression with optional L2 (ridge) regularization, solved in
+ * closed form via the normal equations (Cholesky factorization).
+ * Stands in for scikit-learn's "LR" entry in Fig. 9.
+ */
+
+#ifndef GOPIM_ML_LINEAR_HH
+#define GOPIM_ML_LINEAR_HH
+
+#include "ml/regressor.hh"
+
+namespace gopim::ml {
+
+/** Ridge regression y = w.x + b fit by normal equations. */
+class LinearRegressor : public Regressor
+{
+  public:
+    /** lambda is the L2 penalty on the weights (bias is unpenalized). */
+    explicit LinearRegressor(double lambda = 1e-6);
+
+    void fit(const Dataset &data) override;
+    double predict(const std::vector<float> &features) const override;
+    std::string name() const override { return "LR"; }
+
+    const std::vector<double> &weights() const { return weights_; }
+    double bias() const { return bias_; }
+
+  private:
+    double lambda_;
+    std::vector<double> weights_;
+    double bias_ = 0.0;
+};
+
+/**
+ * Solve the symmetric positive-definite system A x = b in place via
+ * Cholesky decomposition. A is row-major n x n. Exposed for reuse and
+ * unit testing.
+ */
+std::vector<double> solveSpd(std::vector<double> a, std::vector<double> b,
+                             size_t n);
+
+} // namespace gopim::ml
+
+#endif // GOPIM_ML_LINEAR_HH

@@ -1,0 +1,79 @@
+#include "ml/metrics.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gopim::ml {
+
+namespace {
+
+void
+checkSizes(const std::vector<double> &truth,
+           const std::vector<double> &pred)
+{
+    GOPIM_ASSERT(!truth.empty(), "metric over empty sample");
+    GOPIM_ASSERT(truth.size() == pred.size(),
+                 "metric: size mismatch between truth and prediction");
+}
+
+} // namespace
+
+double
+rmse(const std::vector<double> &truth, const std::vector<double> &pred)
+{
+    checkSizes(truth, pred);
+    double sum = 0.0;
+    for (size_t i = 0; i < truth.size(); ++i) {
+        const double d = truth[i] - pred[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum / static_cast<double>(truth.size()));
+}
+
+double
+mae(const std::vector<double> &truth, const std::vector<double> &pred)
+{
+    checkSizes(truth, pred);
+    double sum = 0.0;
+    for (size_t i = 0; i < truth.size(); ++i)
+        sum += std::fabs(truth[i] - pred[i]);
+    return sum / static_cast<double>(truth.size());
+}
+
+double
+r2(const std::vector<double> &truth, const std::vector<double> &pred)
+{
+    checkSizes(truth, pred);
+    double meanTruth = 0.0;
+    for (double t : truth)
+        meanTruth += t;
+    meanTruth /= static_cast<double>(truth.size());
+
+    double ssRes = 0.0;
+    double ssTot = 0.0;
+    for (size_t i = 0; i < truth.size(); ++i) {
+        ssRes += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+        ssTot += (truth[i] - meanTruth) * (truth[i] - meanTruth);
+    }
+    if (ssTot <= 0.0)
+        return ssRes <= 0.0 ? 1.0 : 0.0;
+    return 1.0 - ssRes / ssTot;
+}
+
+double
+mape(const std::vector<double> &truth, const std::vector<double> &pred)
+{
+    checkSizes(truth, pred);
+    double sum = 0.0;
+    size_t counted = 0;
+    for (size_t i = 0; i < truth.size(); ++i) {
+        if (truth[i] == 0.0)
+            continue;
+        sum += std::fabs((truth[i] - pred[i]) / truth[i]);
+        ++counted;
+    }
+    return counted ? sum / static_cast<double>(counted) : 0.0;
+}
+
+} // namespace gopim::ml

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Regression quality metrics. RMSE is the paper's primary metric for
+ * the predictor study (Fig. 9).
+ */
+
+#ifndef GOPIM_ML_METRICS_HH
+#define GOPIM_ML_METRICS_HH
+
+#include <vector>
+
+namespace gopim::ml {
+
+/** Root mean squared error. */
+double rmse(const std::vector<double> &truth,
+            const std::vector<double> &pred);
+
+/** Mean absolute error. */
+double mae(const std::vector<double> &truth,
+           const std::vector<double> &pred);
+
+/** Coefficient of determination (R^2); 1.0 is a perfect fit. */
+double r2(const std::vector<double> &truth,
+          const std::vector<double> &pred);
+
+/** Mean absolute percentage error (truth values of 0 are skipped). */
+double mape(const std::vector<double> &truth,
+            const std::vector<double> &pred);
+
+} // namespace gopim::ml
+
+#endif // GOPIM_ML_METRICS_HH

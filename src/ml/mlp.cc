@@ -1,0 +1,196 @@
+#include "ml/mlp.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "tensor/init.hh"
+#include "tensor/ops.hh"
+
+namespace gopim::ml {
+
+MlpRegressor::MlpRegressor(MlpParams params) : params_(std::move(params))
+{
+    GOPIM_ASSERT(params_.epochs >= 1, "need at least one epoch");
+    GOPIM_ASSERT(params_.batchSize >= 1, "batch size must be >= 1");
+}
+
+std::string
+MlpRegressor::name() const
+{
+    // "MLP-3" for one hidden layer (3 layers counting input/output),
+    // matching the paper's layer-count convention.
+    return "MLP-" + std::to_string(params_.hiddenLayers.size() + 2);
+}
+
+size_t
+MlpRegressor::parameterCount() const
+{
+    size_t count = 0;
+    for (size_t l = 0; l < weights_.size(); ++l)
+        count += weights_[l].size() + biases_[l].size();
+    return count;
+}
+
+tensor::Matrix
+MlpRegressor::forward(const tensor::Matrix &input,
+                      std::vector<tensor::Matrix> *preacts,
+                      std::vector<tensor::Matrix> *acts) const
+{
+    tensor::Matrix cur = input;
+    if (acts)
+        acts->push_back(cur);
+    for (size_t l = 0; l < weights_.size(); ++l) {
+        tensor::Matrix z = tensor::matmul(cur, weights_[l]);
+        tensor::addRowBias(z, biases_[l]);
+        if (preacts)
+            preacts->push_back(z);
+        const bool isOutput = l + 1 == weights_.size();
+        cur = isOutput ? z : tensor::relu(z);
+        if (acts && !isOutput)
+            acts->push_back(cur);
+    }
+    return cur;
+}
+
+void
+MlpRegressor::fit(const Dataset &data)
+{
+    GOPIM_ASSERT(data.size() > 0, "cannot fit on empty dataset");
+    const size_t inputDim = data.numFeatures();
+
+    // Layer dims: input -> hidden... -> 1.
+    std::vector<size_t> dims;
+    dims.push_back(inputDim);
+    for (size_t h : params_.hiddenLayers)
+        dims.push_back(h);
+    dims.push_back(1);
+
+    Rng rng(params_.seed);
+    weights_.clear();
+    biases_.clear();
+    mW_.clear();
+    vW_.clear();
+    mB_.clear();
+    vB_.clear();
+    for (size_t l = 0; l + 1 < dims.size(); ++l) {
+        weights_.push_back(
+            tensor::xavierUniform(dims[l], dims[l + 1], rng));
+        biases_.emplace_back(dims[l + 1], 0.0f);
+        mW_.emplace_back(dims[l], dims[l + 1], 0.0f);
+        vW_.emplace_back(dims[l], dims[l + 1], 0.0f);
+        mB_.emplace_back(dims[l + 1], 0.0f);
+        vB_.emplace_back(dims[l + 1], 0.0f);
+    }
+
+    const double beta1 = 0.9;
+    const double beta2 = 0.999;
+    const double eps = 1e-8;
+    uint64_t step = 0;
+
+    std::vector<size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    for (uint32_t epoch = 0; epoch < params_.epochs; ++epoch) {
+        rng.shuffle(order);
+        for (size_t start = 0; start < data.size();
+             start += params_.batchSize) {
+            const size_t end =
+                std::min(start + params_.batchSize, data.size());
+            const size_t bs = end - start;
+
+            tensor::Matrix batch(bs, inputDim);
+            std::vector<float> targets(bs);
+            for (size_t i = 0; i < bs; ++i) {
+                const size_t src = order[start + i];
+                std::copy(data.x.rowPtr(src),
+                          data.x.rowPtr(src) + inputDim,
+                          batch.rowPtr(i));
+                targets[i] = static_cast<float>(data.y[src]);
+            }
+
+            std::vector<tensor::Matrix> preacts;
+            std::vector<tensor::Matrix> acts;
+            tensor::Matrix out = forward(batch, &preacts, &acts);
+
+            // dL/dout for 0.5 * mean squared error.
+            tensor::Matrix grad(bs, 1);
+            for (size_t i = 0; i < bs; ++i)
+                grad(i, 0) = (out(i, 0) - targets[i]) /
+                             static_cast<float>(bs);
+
+            ++step;
+            const double corr1 =
+                1.0 - std::pow(beta1, static_cast<double>(step));
+            const double corr2 =
+                1.0 - std::pow(beta2, static_cast<double>(step));
+
+            // Backward pass, updating each layer as we go.
+            for (size_t li = weights_.size(); li > 0; --li) {
+                const size_t l = li - 1;
+                const tensor::Matrix &layerIn = acts[l];
+
+                tensor::Matrix gw =
+                    tensor::matmulTransA(layerIn, grad);
+                std::vector<float> gb(biases_[l].size(), 0.0f);
+                for (size_t r = 0; r < grad.rows(); ++r)
+                    for (size_t c = 0; c < grad.cols(); ++c)
+                        gb[c] += grad(r, c);
+
+                if (l > 0) {
+                    tensor::Matrix upstream =
+                        tensor::matmulTransB(grad, weights_[l]);
+                    grad = tensor::reluBackward(upstream,
+                                                preacts[l - 1]);
+                }
+
+                // Adam update with decoupled weight decay.
+                float *w = weights_[l].data();
+                float *gwp = gw.data();
+                float *mw = mW_[l].data();
+                float *vw = vW_[l].data();
+                for (size_t i = 0; i < weights_[l].size(); ++i) {
+                    const double g =
+                        gwp[i] +
+                        params_.weightDecay * static_cast<double>(w[i]);
+                    mw[i] = static_cast<float>(beta1 * mw[i] +
+                                               (1.0 - beta1) * g);
+                    vw[i] = static_cast<float>(beta2 * vw[i] +
+                                               (1.0 - beta2) * g * g);
+                    const double mHat = mw[i] / corr1;
+                    const double vHat = vw[i] / corr2;
+                    w[i] -= static_cast<float>(
+                        params_.learningRate * mHat /
+                        (std::sqrt(vHat) + eps));
+                }
+                for (size_t i = 0; i < biases_[l].size(); ++i) {
+                    const double g = gb[i];
+                    mB_[l][i] = static_cast<float>(
+                        beta1 * mB_[l][i] + (1.0 - beta1) * g);
+                    vB_[l][i] = static_cast<float>(
+                        beta2 * vB_[l][i] + (1.0 - beta2) * g * g);
+                    const double mHat = mB_[l][i] / corr1;
+                    const double vHat = vB_[l][i] / corr2;
+                    biases_[l][i] -= static_cast<float>(
+                        params_.learningRate * mHat /
+                        (std::sqrt(vHat) + eps));
+                }
+            }
+        }
+    }
+}
+
+double
+MlpRegressor::predict(const std::vector<float> &features) const
+{
+    GOPIM_ASSERT(!weights_.empty(), "predict before fit");
+    GOPIM_ASSERT(features.size() == weights_.front().rows(),
+                 "predict: feature width mismatch");
+    tensor::Matrix input(1, features.size());
+    std::copy(features.begin(), features.end(), input.rowPtr(0));
+    const tensor::Matrix out = forward(input, nullptr, nullptr);
+    return out(0, 0);
+}
+
+} // namespace gopim::ml

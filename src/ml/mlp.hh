@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Multilayer perceptron regressor trained with Adam on squared loss.
+ *
+ * This is the paper's chosen Time Predictor model: a three-layer MLP
+ * (10 input neurons, 256 hidden, 1 output). The layer count and widths
+ * are configurable so Fig. 9(b)/(c)'s depth and width sweeps can be
+ * reproduced.
+ */
+
+#ifndef GOPIM_ML_MLP_HH
+#define GOPIM_ML_MLP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/regressor.hh"
+#include "tensor/matrix.hh"
+
+namespace gopim::ml {
+
+/** Hyperparameters for the MLP regressor. */
+struct MlpParams
+{
+    /** Hidden layer widths; {256} reproduces the paper's 3-layer MLP. */
+    std::vector<size_t> hiddenLayers = {256};
+    uint32_t epochs = 400;
+    size_t batchSize = 32;
+    double learningRate = 1e-3;
+    double weightDecay = 1e-5;
+    uint64_t seed = 11;
+};
+
+/** Fully-connected ReLU MLP with a linear output head. */
+class MlpRegressor : public Regressor
+{
+  public:
+    explicit MlpRegressor(MlpParams params = {});
+
+    void fit(const Dataset &data) override;
+    double predict(const std::vector<float> &features) const override;
+    std::string name() const override;
+
+    /** Total trainable parameter count (0 before fit). */
+    size_t parameterCount() const;
+
+    /** Number of weight layers (hidden + output). */
+    size_t layerCount() const { return weights_.size(); }
+
+  private:
+    /** Forward pass for a row batch; fills per-layer pre-activations. */
+    tensor::Matrix forward(const tensor::Matrix &input,
+                           std::vector<tensor::Matrix> *preacts,
+                           std::vector<tensor::Matrix> *acts) const;
+
+    MlpParams params_;
+    std::vector<tensor::Matrix> weights_; ///< layer i: in x out
+    std::vector<std::vector<float>> biases_;
+
+    // Adam state, one entry per weight/bias tensor.
+    std::vector<tensor::Matrix> mW_, vW_;
+    std::vector<std::vector<float>> mB_, vB_;
+};
+
+} // namespace gopim::ml
+
+#endif // GOPIM_ML_MLP_HH

@@ -1,0 +1,19 @@
+#include "ml/regressor.hh"
+
+namespace gopim::ml {
+
+std::vector<double>
+Regressor::predictAll(const tensor::Matrix &x) const
+{
+    std::vector<double> out;
+    out.reserve(x.rows());
+    std::vector<float> row(x.cols());
+    for (size_t r = 0; r < x.rows(); ++r) {
+        const float *src = x.rowPtr(r);
+        row.assign(src, src + x.cols());
+        out.push_back(predict(row));
+    }
+    return out;
+}
+
+} // namespace gopim::ml

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Common interface for all regressors in the ML library. The Fig. 9
+ * predictor study trains every implementation on the same stage-time
+ * dataset and compares RMSE.
+ */
+
+#ifndef GOPIM_ML_REGRESSOR_HH
+#define GOPIM_ML_REGRESSOR_HH
+
+#include <string>
+#include <vector>
+
+#include "ml/data.hh"
+#include "tensor/matrix.hh"
+
+namespace gopim::ml {
+
+/** Abstract supervised regressor. */
+class Regressor
+{
+  public:
+    virtual ~Regressor() = default;
+
+    /** Fit on the given dataset (features already scaled if desired). */
+    virtual void fit(const Dataset &data) = 0;
+
+    /** Predict a single sample (row vector of features). */
+    virtual double predict(const std::vector<float> &features) const = 0;
+
+    /** Predict every row of a feature matrix. */
+    std::vector<double> predictAll(const tensor::Matrix &x) const;
+
+    /** Short display name for reports (e.g. "XGB", "MLP-3"). */
+    virtual std::string name() const = 0;
+};
+
+} // namespace gopim::ml
+
+#endif // GOPIM_ML_REGRESSOR_HH

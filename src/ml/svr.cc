@@ -1,0 +1,68 @@
+#include "ml/svr.hh"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace gopim::ml {
+
+LinearSvr::LinearSvr(SvrParams params) : params_(params)
+{
+    GOPIM_ASSERT(params_.epsilon >= 0.0, "epsilon must be >= 0");
+    GOPIM_ASSERT(params_.c > 0.0, "C must be positive");
+}
+
+void
+LinearSvr::fit(const Dataset &data)
+{
+    GOPIM_ASSERT(data.size() > 0, "cannot fit on empty dataset");
+    const size_t d = data.numFeatures();
+    weights_.assign(d, 0.0);
+    bias_ = 0.0;
+
+    Rng rng(params_.seed);
+    std::vector<size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    for (uint32_t epoch = 0; epoch < params_.epochs; ++epoch) {
+        rng.shuffle(order);
+        // 1/t learning-rate decay keeps late epochs stable.
+        const double lr = params_.learningRate /
+                          (1.0 + 0.01 * static_cast<double>(epoch));
+        for (size_t idx : order) {
+            const float *row = data.x.rowPtr(idx);
+            double pred = bias_;
+            for (size_t i = 0; i < d; ++i)
+                pred += weights_[i] * row[i];
+            const double err = pred - data.y[idx];
+
+            // Subgradient of the epsilon-insensitive loss.
+            double g = 0.0;
+            if (err > params_.epsilon)
+                g = 1.0;
+            else if (err < -params_.epsilon)
+                g = -1.0;
+
+            for (size_t i = 0; i < d; ++i) {
+                // L2 shrinkage plus the loss subgradient.
+                weights_[i] -=
+                    lr * (weights_[i] / params_.c + g * row[i]);
+            }
+            bias_ -= lr * g;
+        }
+    }
+}
+
+double
+LinearSvr::predict(const std::vector<float> &features) const
+{
+    GOPIM_ASSERT(features.size() == weights_.size(),
+                 "predict: feature width mismatch");
+    double out = bias_;
+    for (size_t i = 0; i < weights_.size(); ++i)
+        out += weights_[i] * features[i];
+    return out;
+}
+
+} // namespace gopim::ml

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Linear support vector regression trained with stochastic subgradient
+ * descent on the epsilon-insensitive loss. Stands in for the "SVR"
+ * entry in Fig. 9.
+ */
+
+#ifndef GOPIM_ML_SVR_HH
+#define GOPIM_ML_SVR_HH
+
+#include "common/rng.hh"
+#include "ml/regressor.hh"
+
+namespace gopim::ml {
+
+/** Hyperparameters for linear SVR. */
+struct SvrParams
+{
+    double epsilon = 0.01;   ///< insensitivity tube half-width
+    double c = 10.0;         ///< loss weight vs. L2 regularization
+    uint32_t epochs = 200;
+    double learningRate = 0.01;
+    uint64_t seed = 7;
+};
+
+/** Linear epsilon-SVR via SGD. */
+class LinearSvr : public Regressor
+{
+  public:
+    explicit LinearSvr(SvrParams params = {});
+
+    void fit(const Dataset &data) override;
+    double predict(const std::vector<float> &features) const override;
+    std::string name() const override { return "SVR"; }
+
+  private:
+    SvrParams params_;
+    std::vector<double> weights_;
+    double bias_ = 0.0;
+};
+
+} // namespace gopim::ml
+
+#endif // GOPIM_ML_SVR_HH

@@ -1,0 +1,159 @@
+#include "ml/tree.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace gopim::ml {
+
+DecisionTreeRegressor::DecisionTreeRegressor(TreeParams params)
+    : params_(params)
+{
+    GOPIM_ASSERT(params_.maxDepth >= 1, "tree depth must be >= 1");
+    GOPIM_ASSERT(params_.minSamplesLeaf >= 1,
+                 "minSamplesLeaf must be >= 1");
+}
+
+void
+DecisionTreeRegressor::fit(const Dataset &data)
+{
+    fitTargets(data.x, data.y);
+}
+
+void
+DecisionTreeRegressor::fitTargets(const tensor::Matrix &x,
+                                  const std::vector<double> &targets)
+{
+    GOPIM_ASSERT(x.rows() == targets.size(),
+                 "tree fit: row/target count mismatch");
+    GOPIM_ASSERT(!targets.empty(), "tree fit: empty dataset");
+    nodes_.clear();
+    std::vector<uint32_t> indices(x.rows());
+    std::iota(indices.begin(), indices.end(), 0);
+    build(x, targets, indices, 0, indices.size(), 0);
+}
+
+int32_t
+DecisionTreeRegressor::build(const tensor::Matrix &x,
+                             const std::vector<double> &targets,
+                             std::vector<uint32_t> &indices, size_t begin,
+                             size_t end, uint32_t depth)
+{
+    const size_t count = end - begin;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+        sum += targets[indices[i]];
+        sumSq += targets[indices[i]] * targets[indices[i]];
+    }
+    const double nodeMean = sum / static_cast<double>(count);
+    const double nodeSse =
+        sumSq - sum * sum / static_cast<double>(count);
+
+    const auto nodeIdx = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back({-1, -1, 0, 0.0f, nodeMean, depth});
+
+    if (depth >= params_.maxDepth ||
+        count < 2 * params_.minSamplesLeaf || nodeSse <= 1e-12) {
+        return nodeIdx;
+    }
+
+    // Exhaustive best split: scan each feature in sorted order and
+    // track the SSE reduction of every candidate threshold.
+    double bestGain = params_.minImpurityDecrease;
+    uint32_t bestFeature = 0;
+    float bestThreshold = 0.0f;
+    bool found = false;
+
+    std::vector<uint32_t> sorted(indices.begin() +
+                                     static_cast<long>(begin),
+                                 indices.begin() + static_cast<long>(end));
+    for (uint32_t f = 0; f < x.cols(); ++f) {
+        std::sort(sorted.begin(), sorted.end(),
+                  [&](uint32_t a, uint32_t b) {
+                      return x(a, f) < x(b, f);
+                  });
+        double leftSum = 0.0;
+        double leftSq = 0.0;
+        for (size_t i = 0; i + 1 < count; ++i) {
+            const double t = targets[sorted[i]];
+            leftSum += t;
+            leftSq += t * t;
+            const float cur = x(sorted[i], f);
+            const float nxt = x(sorted[i + 1], f);
+            if (cur == nxt)
+                continue;
+            const size_t nl = i + 1;
+            const size_t nr = count - nl;
+            if (nl < params_.minSamplesLeaf ||
+                nr < params_.minSamplesLeaf)
+                continue;
+            const double rightSum = sum - leftSum;
+            const double rightSq = sumSq - leftSq;
+            const double sseL =
+                leftSq - leftSum * leftSum / static_cast<double>(nl);
+            const double sseR =
+                rightSq -
+                rightSum * rightSum / static_cast<double>(nr);
+            const double gain = nodeSse - sseL - sseR;
+            if (gain > bestGain) {
+                bestGain = gain;
+                bestFeature = f;
+                bestThreshold = (cur + nxt) * 0.5f;
+                found = true;
+            }
+        }
+    }
+
+    if (!found)
+        return nodeIdx;
+
+    const auto mid = std::partition(
+        indices.begin() + static_cast<long>(begin),
+        indices.begin() + static_cast<long>(end), [&](uint32_t idx) {
+            return x(idx, bestFeature) <= bestThreshold;
+        });
+    const auto midPos = static_cast<size_t>(mid - indices.begin());
+    // partition() can theoretically degenerate with exotic float
+    // comparisons; guard against infinite recursion.
+    if (midPos == begin || midPos == end)
+        return nodeIdx;
+
+    nodes_[static_cast<size_t>(nodeIdx)].feature = bestFeature;
+    nodes_[static_cast<size_t>(nodeIdx)].threshold = bestThreshold;
+    const int32_t left =
+        build(x, targets, indices, begin, midPos, depth + 1);
+    const int32_t right =
+        build(x, targets, indices, midPos, end, depth + 1);
+    nodes_[static_cast<size_t>(nodeIdx)].left = left;
+    nodes_[static_cast<size_t>(nodeIdx)].right = right;
+    return nodeIdx;
+}
+
+double
+DecisionTreeRegressor::predict(const std::vector<float> &features) const
+{
+    GOPIM_ASSERT(!nodes_.empty(), "predict before fit");
+    size_t node = 0;
+    while (nodes_[node].left >= 0) {
+        const auto &n = nodes_[node];
+        GOPIM_ASSERT(n.feature < features.size(),
+                     "predict: feature width mismatch");
+        node = static_cast<size_t>(
+            features[n.feature] <= n.threshold ? n.left : n.right);
+    }
+    return nodes_[node].value;
+}
+
+uint32_t
+DecisionTreeRegressor::depth() const
+{
+    uint32_t d = 0;
+    for (const auto &n : nodes_)
+        d = std::max(d, n.depth);
+    return d;
+}
+
+} // namespace gopim::ml

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * CART regression tree (variance-reduction splits). Stands in for
+ * scikit-learn's "DT" entry in Fig. 9 and serves as the weak learner
+ * for the gradient-boosted ensemble (XGB-lite).
+ */
+
+#ifndef GOPIM_ML_TREE_HH
+#define GOPIM_ML_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/regressor.hh"
+
+namespace gopim::ml {
+
+/** Hyperparameters for a regression tree. */
+struct TreeParams
+{
+    uint32_t maxDepth = 8;
+    uint32_t minSamplesLeaf = 2;
+    /** Minimum variance improvement required to accept a split. */
+    double minImpurityDecrease = 1e-12;
+};
+
+/** CART regression tree. */
+class DecisionTreeRegressor : public Regressor
+{
+  public:
+    explicit DecisionTreeRegressor(TreeParams params = {});
+
+    void fit(const Dataset &data) override;
+
+    /**
+     * Fit against an explicit target vector (used by gradient boosting
+     * to fit residuals without copying the feature matrix).
+     */
+    void fitTargets(const tensor::Matrix &x,
+                    const std::vector<double> &targets);
+
+    double predict(const std::vector<float> &features) const override;
+    std::string name() const override { return "DT"; }
+
+    /** Number of nodes in the fitted tree (0 before fit). */
+    size_t nodeCount() const { return nodes_.size(); }
+
+    /** Depth of the fitted tree. */
+    uint32_t depth() const;
+
+  private:
+    struct Node
+    {
+        int32_t left = -1;   ///< child index, -1 for leaf
+        int32_t right = -1;
+        uint32_t feature = 0;
+        float threshold = 0.0f;
+        double value = 0.0;  ///< leaf prediction (mean of targets)
+        uint32_t depth = 0;
+    };
+
+    int32_t build(const tensor::Matrix &x,
+                  const std::vector<double> &targets,
+                  std::vector<uint32_t> &indices, size_t begin,
+                  size_t end, uint32_t depth);
+
+    TreeParams params_;
+    std::vector<Node> nodes_;
+};
+
+} // namespace gopim::ml
+
+#endif // GOPIM_ML_TREE_HH

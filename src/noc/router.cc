@@ -1,0 +1,71 @@
+#include "noc/router.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gopim::noc {
+
+NocModel::NocModel(MeshTopology topology, NocParams params)
+    : topology_(topology), params_(params)
+{
+    GOPIM_ASSERT(params_.hopLatencyNs > 0.0 &&
+                     params_.linkBytesPerNs > 0.0,
+                 "NoC parameters must be positive");
+}
+
+double
+NocModel::messageLatencyNs(uint32_t hops, uint64_t bytes) const
+{
+    // Cut-through: head latency plus serialization of the body.
+    return static_cast<double>(hops) * params_.hopLatencyNs +
+           static_cast<double>(bytes) / params_.linkBytesPerNs;
+}
+
+double
+NocModel::messageEnergyPj(uint32_t hops, uint64_t bytes) const
+{
+    return static_cast<double>(hops) * static_cast<double>(bytes) *
+           params_.energyPerBytePerHopPj;
+}
+
+double
+NocModel::reductionLatencyNs(uint64_t tiles, uint64_t bytes) const
+{
+    GOPIM_ASSERT(tiles >= 1, "reduction over zero tiles");
+    if (tiles == 1)
+        return 0.0;
+    double total = 0.0;
+    uint64_t remaining = tiles;
+    while (remaining > 1) {
+        // Participants at this level form a sub-mesh; partners are a
+        // mean-hop apart within it.
+        const auto sub = MeshTopology::forTileCount(remaining);
+        const auto hops = static_cast<uint32_t>(
+            std::ceil(sub.meanHops()));
+        total += messageLatencyNs(std::max(1u, hops), bytes) +
+                 params_.adderLatencyNs;
+        remaining = (remaining + 1) / 2;
+    }
+    return total;
+}
+
+double
+NocModel::reductionEnergyPj(uint64_t tiles, uint64_t bytes) const
+{
+    GOPIM_ASSERT(tiles >= 1, "reduction over zero tiles");
+    double total = 0.0;
+    uint64_t remaining = tiles;
+    while (remaining > 1) {
+        const auto sub = MeshTopology::forTileCount(remaining);
+        const auto hops = static_cast<uint32_t>(
+            std::ceil(sub.meanHops()));
+        // remaining/2 messages move in parallel at this level.
+        total += static_cast<double>(remaining / 2) *
+                 messageEnergyPj(std::max(1u, hops), bytes);
+        remaining = (remaining + 1) / 2;
+    }
+    return total;
+}
+
+} // namespace gopim::noc

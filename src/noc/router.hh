@@ -1,0 +1,63 @@
+/**
+ * @file
+ * NoC link/router timing-energy model and reduction-tree latency for
+ * inter-tile partial-sum aggregation (the adders + pipeline bus of
+ * Section IV-A).
+ */
+
+#ifndef GOPIM_NOC_ROUTER_HH
+#define GOPIM_NOC_ROUTER_HH
+
+#include <cstdint>
+
+#include "noc/topology.hh"
+
+namespace gopim::noc {
+
+/** Link and router parameters. */
+struct NocParams
+{
+    /** Per-hop router + link traversal latency (ns). */
+    double hopLatencyNs = 1.2;
+    /** Link bandwidth (bytes per ns). */
+    double linkBytesPerNs = 32.0;
+    /** Energy per byte per hop (pJ). */
+    double energyPerBytePerHopPj = 0.8;
+    /** Adder latency at each reduction-tree level (ns). */
+    double adderLatencyNs = 0.5;
+};
+
+/** Latency/energy calculator over a mesh. */
+class NocModel
+{
+  public:
+    NocModel(MeshTopology topology, NocParams params = {});
+
+    const MeshTopology &topology() const { return topology_; }
+    const NocParams &params() const { return params_; }
+
+    /** Latency of one message of `bytes` over `hops` hops (ns). */
+    double messageLatencyNs(uint32_t hops, uint64_t bytes) const;
+
+    /** Energy of one message (pJ). */
+    double messageEnergyPj(uint32_t hops, uint64_t bytes) const;
+
+    /**
+     * Latency of reducing partial sums from `tiles` tiles into one
+     * (ns): a binary tree of ceil(log2(tiles)) levels; each level
+     * moves `bytes` over the mean hop distance of a mesh of the
+     * remaining participants and adds.
+     */
+    double reductionLatencyNs(uint64_t tiles, uint64_t bytes) const;
+
+    /** Energy of the same reduction (pJ). */
+    double reductionEnergyPj(uint64_t tiles, uint64_t bytes) const;
+
+  private:
+    MeshTopology topology_;
+    NocParams params_;
+};
+
+} // namespace gopim::noc
+
+#endif // GOPIM_NOC_ROUTER_HH

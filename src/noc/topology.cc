@@ -1,0 +1,64 @@
+#include "noc/topology.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gopim::noc {
+
+MeshTopology::MeshTopology(uint32_t cols, uint32_t rows)
+    : cols_(cols), rows_(rows)
+{
+    GOPIM_ASSERT(cols > 0 && rows > 0, "mesh dimensions must be > 0");
+}
+
+MeshTopology
+MeshTopology::forTileCount(uint64_t tiles)
+{
+    GOPIM_ASSERT(tiles > 0, "mesh needs at least one tile");
+    const auto side = static_cast<uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(tiles))));
+    uint32_t rows = side;
+    while (static_cast<uint64_t>(side) * (rows - 1) >= tiles &&
+           rows > 1)
+        --rows;
+    return MeshTopology(side, rows);
+}
+
+TileCoord
+MeshTopology::coordOf(uint64_t tileId) const
+{
+    GOPIM_ASSERT(tileId < tileCount(), "tile id out of range");
+    return {static_cast<uint32_t>(tileId % cols_),
+            static_cast<uint32_t>(tileId / cols_)};
+}
+
+uint64_t
+MeshTopology::idOf(TileCoord c) const
+{
+    GOPIM_ASSERT(c.x < cols_ && c.y < rows_, "coord out of range");
+    return static_cast<uint64_t>(c.y) * cols_ + c.x;
+}
+
+uint32_t
+MeshTopology::hops(uint64_t fromTile, uint64_t toTile) const
+{
+    const TileCoord a = coordOf(fromTile);
+    const TileCoord b = coordOf(toTile);
+    const uint32_t dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+    const uint32_t dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+    return dx + dy;
+}
+
+double
+MeshTopology::meanHops() const
+{
+    // Mean Manhattan distance on a mesh: E|dx| + E|dy| where
+    // E|d| = (n^2 - 1) / (3n) for uniform endpoints on n columns.
+    auto meanAbs = [](double n) {
+        return (n * n - 1.0) / (3.0 * n);
+    };
+    return meanAbs(cols_) + meanAbs(rows_);
+}
+
+} // namespace gopim::noc

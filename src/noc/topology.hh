@@ -1,0 +1,65 @@
+/**
+ * @file
+ * On-chip network topology. GoPIM's tiles are "connected through
+ * adders and pipeline bus" for inter-tile aggregation (Section IV-A);
+ * ReGraphX uses a 3D mesh. This module models a 2D mesh with XY
+ * routing (the standard substrate) so the inter-tile costs of large
+ * replicas can be studied (bench/ablation_noc).
+ */
+
+#ifndef GOPIM_NOC_TOPOLOGY_HH
+#define GOPIM_NOC_TOPOLOGY_HH
+
+#include <cstdint>
+
+namespace gopim::noc {
+
+/** Tile coordinate in the mesh. */
+struct TileCoord
+{
+    uint32_t x = 0;
+    uint32_t y = 0;
+
+    bool operator==(const TileCoord &other) const = default;
+};
+
+/** 2D mesh of tiles with XY dimension-ordered routing. */
+class MeshTopology
+{
+  public:
+    /** cols x rows mesh; both must be positive. */
+    MeshTopology(uint32_t cols, uint32_t rows);
+
+    /** Smallest near-square mesh holding `tiles` tiles. */
+    static MeshTopology forTileCount(uint64_t tiles);
+
+    uint32_t cols() const { return cols_; }
+    uint32_t rows() const { return rows_; }
+    uint64_t tileCount() const
+    {
+        return static_cast<uint64_t>(cols_) * rows_;
+    }
+
+    /** Coordinate of a tile id (row-major). */
+    TileCoord coordOf(uint64_t tileId) const;
+
+    /** Tile id of a coordinate. */
+    uint64_t idOf(TileCoord c) const;
+
+    /** Manhattan hop count between two tiles (XY routing). */
+    uint32_t hops(uint64_t fromTile, uint64_t toTile) const;
+
+    /** Network diameter (max hops between any two tiles). */
+    uint32_t diameter() const { return cols_ - 1 + rows_ - 1; }
+
+    /** Mean hop distance under uniform-random traffic (closed form). */
+    double meanHops() const;
+
+  private:
+    uint32_t cols_;
+    uint32_t rows_;
+};
+
+} // namespace gopim::noc
+
+#endif // GOPIM_NOC_TOPOLOGY_HH

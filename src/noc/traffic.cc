@@ -1,0 +1,52 @@
+#include "noc/traffic.hh"
+
+#include "common/logging.hh"
+
+namespace gopim::noc {
+
+TrafficRecorder::TrafficRecorder(const NocModel &model) : model_(model)
+{
+}
+
+void
+TrafficRecorder::record(uint64_t fromTile, uint64_t toTile,
+                        uint64_t bytes)
+{
+    const uint32_t hops = model_.topology().hops(fromTile, toTile);
+    ++stats_.messages;
+    stats_.bytes += bytes;
+    stats_.hopBytes += bytes * hops;
+    stats_.latencySumNs += model_.messageLatencyNs(hops, bytes);
+    stats_.energyPj += model_.messageEnergyPj(hops, bytes);
+}
+
+void
+uniformRandomTraffic(TrafficRecorder &recorder, uint64_t messages,
+                     uint64_t bytesPerMessage, Rng &rng)
+{
+    const uint64_t tileCount =
+        recorder.model().topology().tileCount();
+    for (uint64_t i = 0; i < messages; ++i) {
+        const uint64_t from = rng.uniformInt(tileCount);
+        const uint64_t to = rng.uniformInt(tileCount);
+        recorder.record(from, to, bytesPerMessage);
+    }
+}
+
+void
+hotspotTraffic(TrafficRecorder &recorder, uint64_t messages,
+               uint64_t bytesPerMessage, double hotFraction, Rng &rng)
+{
+    GOPIM_ASSERT(hotFraction >= 0.0 && hotFraction <= 1.0,
+                 "hot fraction out of range");
+    const uint64_t tileCount =
+        recorder.model().topology().tileCount();
+    for (uint64_t i = 0; i < messages; ++i) {
+        const uint64_t from = rng.uniformInt(tileCount);
+        const uint64_t to =
+            rng.bernoulli(hotFraction) ? 0 : rng.uniformInt(tileCount);
+        recorder.record(from, to, bytesPerMessage);
+    }
+}
+
+} // namespace gopim::noc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * NoC traffic accounting and synthetic traffic patterns for the
+ * interconnect ablation (bench/ablation_noc) and stress tests.
+ */
+
+#ifndef GOPIM_NOC_TRAFFIC_HH
+#define GOPIM_NOC_TRAFFIC_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "noc/router.hh"
+
+namespace gopim::noc {
+
+/** Aggregated traffic statistics. */
+struct TrafficStats
+{
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+    uint64_t hopBytes = 0; ///< sum of bytes x hops (load metric)
+    double latencySumNs = 0.0;
+    double energyPj = 0.0;
+
+    double avgLatencyNs() const
+    {
+        return messages ? latencySumNs / static_cast<double>(messages)
+                        : 0.0;
+    }
+
+    double avgHops() const
+    {
+        return bytes ? static_cast<double>(hopBytes) /
+                           static_cast<double>(bytes)
+                     : 0.0;
+    }
+};
+
+/** Records messages against a NocModel. */
+class TrafficRecorder
+{
+  public:
+    explicit TrafficRecorder(const NocModel &model);
+
+    /** Record one message between two tiles. */
+    void record(uint64_t fromTile, uint64_t toTile, uint64_t bytes);
+
+    const TrafficStats &stats() const { return stats_; }
+    const NocModel &model() const { return model_; }
+    void reset() { stats_ = {}; }
+
+  private:
+    const NocModel &model_;
+    TrafficStats stats_;
+};
+
+/** Drive `messages` uniform-random messages through the recorder. */
+void uniformRandomTraffic(TrafficRecorder &recorder, uint64_t messages,
+                          uint64_t bytesPerMessage, Rng &rng);
+
+/**
+ * Hotspot traffic: `hotFraction` of messages target tile 0 (the
+ * global-buffer corner), the rest are uniform.
+ */
+void hotspotTraffic(TrafficRecorder &recorder, uint64_t messages,
+                    uint64_t bytesPerMessage, double hotFraction,
+                    Rng &rng);
+
+} // namespace gopim::noc
+
+#endif // GOPIM_NOC_TRAFFIC_HH

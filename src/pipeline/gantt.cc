@@ -1,0 +1,60 @@
+#include "pipeline/gantt.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace gopim::pipeline {
+
+std::string
+renderGantt(const std::vector<Stage> &stages,
+            const ScheduleResult &schedule, GanttOptions options)
+{
+    GOPIM_ASSERT(stages.size() == schedule.windows.size(),
+                 "gantt: stage/schedule mismatch");
+    GOPIM_ASSERT(options.width >= 8, "gantt too narrow");
+
+    const uint32_t drawnMb = std::min<uint32_t>(
+        options.maxMicroBatches,
+        static_cast<uint32_t>(schedule.windows.front().size()));
+    // Time horizon: end of the last drawn micro-batch.
+    double horizon = 0.0;
+    for (const auto &row : schedule.windows)
+        horizon = std::max(horizon, row[drawnMb - 1].endNs);
+    GOPIM_ASSERT(horizon > 0.0, "gantt over empty schedule");
+
+    const double nsPerCol = horizon / static_cast<double>(options.width);
+
+    size_t labelWidth = 0;
+    for (const auto &s : stages)
+        labelWidth = std::max(labelWidth, s.label().size());
+
+    std::ostringstream os;
+    os << "time: 0 .. " << formatTimeNs(horizon);
+    if (drawnMb < schedule.windows.front().size())
+        os << " (first " << drawnMb << " of "
+           << schedule.windows.front().size() << " micro-batches)";
+    os << "\n";
+
+    for (size_t i = 0; i < stages.size(); ++i) {
+        std::string line(options.width, '.');
+        for (uint32_t j = 0; j < drawnMb; ++j) {
+            const auto &w = schedule.windows[i][j];
+            auto begin = static_cast<size_t>(w.startNs / nsPerCol);
+            auto end = static_cast<size_t>(w.endNs / nsPerCol);
+            begin = std::min(begin, options.width - 1);
+            end = std::min(std::max(end, begin + 1), options.width);
+            const char mark = static_cast<char>('0' + j % 10);
+            for (size_t c = begin; c < end; ++c)
+                line[c] = mark;
+        }
+        std::string label = stages[i].label();
+        label.resize(labelWidth, ' ');
+        os << label << " |" << line << "|\n";
+    }
+    return os.str();
+}
+
+} // namespace gopim::pipeline

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * ASCII Gantt rendering of a pipeline schedule — the visual the
+ * paper's Fig. 5 and Fig. 10 timelines use, for terminals.
+ */
+
+#ifndef GOPIM_PIPELINE_GANTT_HH
+#define GOPIM_PIPELINE_GANTT_HH
+
+#include <string>
+#include <vector>
+
+#include "pipeline/schedule.hh"
+#include "pipeline/stage.hh"
+
+namespace gopim::pipeline {
+
+/** Rendering options. */
+struct GanttOptions
+{
+    /** Character columns available for the time axis. */
+    size_t width = 72;
+    /** Cap on micro-batches drawn (the rest is elided). */
+    uint32_t maxMicroBatches = 16;
+};
+
+/**
+ * Render the schedule as one row per stage. Each micro-batch's busy
+ * window is drawn with a distinct digit (micro-batch index mod 10);
+ * '.' marks idle time. Stage labels come from `stages`.
+ */
+std::string renderGantt(const std::vector<Stage> &stages,
+                        const ScheduleResult &schedule,
+                        GanttOptions options = {});
+
+} // namespace gopim::pipeline
+
+#endif // GOPIM_PIPELINE_GANTT_HH

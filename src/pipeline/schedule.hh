@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Micro-batch pipeline schedule over a linear stage chain.
+ *
+ * Implements the paper's Eq. (3)-(6): stage i of micro-batch j starts
+ * no earlier than stage i-1 of the same micro-batch and stage i of the
+ * previous micro-batch. For identical per-micro-batch stage times the
+ * exact recurrence collapses to the closed form
+ * T_A = sum_i T_i + (B - 1) * max_i T_i, which computeExact() verifies
+ * against in the test suite.
+ */
+
+#ifndef GOPIM_PIPELINE_SCHEDULE_HH
+#define GOPIM_PIPELINE_SCHEDULE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gopim::pipeline {
+
+/** Per-stage interval in the computed timeline. */
+struct StageWindow
+{
+    double startNs = 0.0;
+    double endNs = 0.0;
+};
+
+/** Result of scheduling B micro-batches through N stages. */
+struct ScheduleResult
+{
+    double makespanNs = 0.0;
+    /** Busy time of each stage's crossbar group over the whole run. */
+    std::vector<double> busyNs;
+    /** Idle fraction of each stage's group: 1 - busy / makespan. */
+    std::vector<double> idleFraction;
+    /** Start/end of every (stage, micro-batch) pair; stage-major. */
+    std::vector<std::vector<StageWindow>> windows;
+
+    /** Average idle fraction across stages. */
+    double avgIdleFraction() const;
+};
+
+/**
+ * Exact event-driven pipeline schedule (Eqs. 3-4) for per-stage,
+ * per-micro-batch execution times. stageTimesNs[i] applies to every
+ * micro-batch of stage i; B is the micro-batch count.
+ */
+ScheduleResult schedulePipelined(const std::vector<double> &stageTimesNs,
+                                 uint32_t numMicroBatches);
+
+/**
+ * Serial (non-pipelined) schedule: micro-batches and stages strictly
+ * in sequence, as the paper's Serial baseline executes.
+ */
+ScheduleResult scheduleSerial(const std::vector<double> &stageTimesNs,
+                              uint32_t numMicroBatches);
+
+/** Closed-form pipelined makespan (Eq. 6). */
+double pipelinedMakespanNs(const std::vector<double> &stageTimesNs,
+                           uint32_t numMicroBatches);
+
+/**
+ * General flow-shop recurrence with per-(stage, micro-batch) times —
+ * Eq. 6's closed form only holds when every micro-batch takes the
+ * same time per stage, but a real epoch's last micro-batch is ragged
+ * (|V| mod B vertices). times[i][j] is stage i's time for micro-batch
+ * j; all stages must list the same micro-batch count.
+ */
+ScheduleResult schedulePipelinedVariable(
+    const std::vector<std::vector<double>> &timesNs);
+
+/**
+ * Pipelined schedule with an inter-batch barrier every
+ * `microBatchesPerBatch` micro-batches: the pipeline drains at each
+ * weight update, modeling intra-batch-only pipelining (SlimGNN-like /
+ * ReGraphX). Total micro-batches = batches x microBatchesPerBatch.
+ */
+ScheduleResult scheduleIntraBatchOnly(
+    const std::vector<double> &stageTimesNs,
+    uint32_t microBatchesPerBatch, uint32_t numBatches);
+
+} // namespace gopim::pipeline
+
+#endif // GOPIM_PIPELINE_SCHEDULE_HH

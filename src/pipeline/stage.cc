@@ -1,0 +1,52 @@
+#include "pipeline/stage.hh"
+
+#include "common/logging.hh"
+
+namespace gopim::pipeline {
+
+std::string
+toString(StageType t)
+{
+    switch (t) {
+      case StageType::Combination:
+        return "CO";
+      case StageType::Aggregation:
+        return "AG";
+      case StageType::LossCompute:
+        return "LC";
+      case StageType::GradientCompute:
+        return "GC";
+    }
+    panic("unknown stage type");
+}
+
+std::string
+Stage::label() const
+{
+    return toString(type) + std::to_string(layer);
+}
+
+std::vector<Stage>
+buildTrainingStages(uint32_t numLayers)
+{
+    GOPIM_ASSERT(numLayers >= 1, "GCN needs at least one layer");
+    std::vector<Stage> stages;
+    stages.reserve(4ull * numLayers);
+    for (uint32_t l = 1; l <= numLayers; ++l) {
+        stages.push_back({StageType::Combination, l});
+        stages.push_back({StageType::Aggregation, l});
+    }
+    for (uint32_t l = numLayers; l >= 1; --l) {
+        stages.push_back({StageType::LossCompute, l});
+        stages.push_back({StageType::GradientCompute, l});
+    }
+    return stages;
+}
+
+bool
+mapsVertexFeatures(StageType t)
+{
+    return t == StageType::Aggregation;
+}
+
+} // namespace gopim::pipeline

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * GCN training stage descriptors. An L-layer model trains in 4L stages
+ * (Section V-B): CO1, AG1, ..., COL, AGL, then LCL, GCL, ..., LC1, GC1
+ * in the backward pass.
+ */
+
+#ifndef GOPIM_PIPELINE_STAGE_HH
+#define GOPIM_PIPELINE_STAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gopim::pipeline {
+
+/** The four stage types of GCN training (Section II-A). */
+enum class StageType
+{
+    Combination,     ///< CO: feature x weight MVM
+    Aggregation,     ///< AG: adjacency x feature MVM + vertex updates
+    LossCompute,     ///< LC: backward error propagation
+    GradientCompute, ///< GC: weight gradient accumulation
+};
+
+/** Short paper-style stage code ("CO", "AG", "LC", "GC"). */
+std::string toString(StageType t);
+
+/** One pipeline stage of one layer. */
+struct Stage
+{
+    StageType type = StageType::Combination;
+    uint32_t layer = 0; ///< 1-based layer index
+
+    /** Paper-style label, e.g. "AG2". */
+    std::string label() const;
+};
+
+/**
+ * Build the 4L-stage training sequence for an L-layer GCN:
+ * forward CO/AG per layer, then backward LC/GC from layer L down to 1.
+ */
+std::vector<Stage> buildTrainingStages(uint32_t numLayers);
+
+/** True for stages whose crossbars map vertex features (AG). */
+bool mapsVertexFeatures(StageType t);
+
+} // namespace gopim::pipeline
+
+#endif // GOPIM_PIPELINE_STAGE_HH

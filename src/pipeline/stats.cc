@@ -1,0 +1,39 @@
+#include "pipeline/stats.hh"
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+
+namespace gopim::pipeline {
+
+IdleReport
+buildIdleReport(const std::vector<Stage> &stages,
+                const ScheduleResult &schedule)
+{
+    GOPIM_ASSERT(stages.size() == schedule.idleFraction.size(),
+                 "stage/schedule size mismatch");
+    IdleReport report;
+    report.stageLabels.reserve(stages.size());
+    report.idlePercent.reserve(stages.size());
+    for (size_t i = 0; i < stages.size(); ++i) {
+        report.stageLabels.push_back(stages[i].label());
+        report.idlePercent.push_back(schedule.idleFraction[i] * 100.0);
+    }
+    report.avgIdlePercent = mean(report.idlePercent);
+    return report;
+}
+
+Table
+idleReportTable(const std::string &title, const IdleReport &report)
+{
+    Table table(title, {"stage group", "idle %"});
+    for (size_t i = 0; i < report.stageLabels.size(); ++i) {
+        table.row()
+            .cell("XBS" + std::to_string(i + 1) + " (" +
+                  report.stageLabels[i] + ")")
+            .cell(report.idlePercent[i], 2);
+    }
+    table.row().cell("average").cell(report.avgIdlePercent, 2);
+    return table;
+}
+
+} // namespace gopim::pipeline

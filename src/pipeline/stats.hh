@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Idle-time reporting over pipeline schedules (Figs. 4 and 15).
+ */
+
+#ifndef GOPIM_PIPELINE_STATS_HH
+#define GOPIM_PIPELINE_STATS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "pipeline/schedule.hh"
+#include "pipeline/stage.hh"
+
+namespace gopim::pipeline {
+
+/** Per-stage idle summary of one scheduled run. */
+struct IdleReport
+{
+    std::vector<std::string> stageLabels;
+    std::vector<double> idlePercent;
+    double avgIdlePercent = 0.0;
+};
+
+/** Build an idle report from a schedule and its stage descriptors. */
+IdleReport buildIdleReport(const std::vector<Stage> &stages,
+                           const ScheduleResult &schedule);
+
+/** Render an idle report as a Table ("XBSi" columns, Fig. 4 style). */
+Table idleReportTable(const std::string &title, const IdleReport &report);
+
+} // namespace gopim::pipeline
+
+#endif // GOPIM_PIPELINE_STATS_HH

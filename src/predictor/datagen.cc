@@ -1,0 +1,89 @@
+#include "predictor/datagen.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "predictor/features.hh"
+
+namespace gopim::predictor {
+
+size_t
+StageSampleSet::totalSamples() const
+{
+    size_t total = 0;
+    for (const auto &d : perStageType)
+        total += d.size();
+    return total;
+}
+
+WorkloadRandomizer::WorkloadRandomizer(uint64_t seed) : rng_(seed) {}
+
+gcn::Workload
+WorkloadRandomizer::next()
+{
+    gcn::Workload w;
+    // Log-uniform vertex counts spanning the catalog's range.
+    const double logV = rng_.uniform(std::log10(2e3), std::log10(3e6));
+    w.dataset.name = "synthetic";
+    w.dataset.numVertices =
+        static_cast<uint64_t>(std::pow(10.0, logV));
+    w.dataset.avgDegree = rng_.uniform(2.0, 600.0);
+    w.dataset.numEdges = static_cast<uint64_t>(
+        w.dataset.avgDegree *
+        static_cast<double>(w.dataset.numVertices) / 2.0);
+    w.dataset.featureDim =
+        static_cast<uint32_t>(rng_.uniformInt(8, 1024));
+
+    w.model.name = "synthetic";
+    w.model.numLayers =
+        static_cast<uint32_t>(rng_.uniformInt(2, 4));
+    w.model.inputChannels = w.dataset.featureDim;
+    w.model.hiddenChannels =
+        static_cast<uint32_t>(rng_.uniformInt(32, 512));
+    w.model.outputChannels =
+        static_cast<uint32_t>(rng_.uniformInt(8, 512));
+
+    w.microBatchSize = static_cast<uint32_t>(
+        static_cast<uint64_t>(1) << rng_.uniformInt(4, 8)); // 16..256
+    w.seed = rng_.next();
+    return w;
+}
+
+void
+appendWorkloadSamples(const gcn::StageTimeModel &model,
+                      const gcn::Workload &workload, StageSampleSet &out)
+{
+    // Predictor samples describe the un-replicated pipeline under the
+    // default policy (Section V-A predicts times *without* replicas).
+    // Full updates make the mapping irrelevant to the stage times, so
+    // the cheap analytic artifacts suffice (no degree materialization).
+    gcn::ExecutionPolicy policy;
+    const auto artifacts = gcn::MappingArtifacts::fullUpdateApprox(
+        workload.dataset.numVertices, model.config().crossbar.rows);
+
+    const auto stages =
+        pipeline::buildTrainingStages(workload.model.numLayers);
+    for (const auto &stage : stages) {
+        const auto cost =
+            model.cost(workload, policy, artifacts, stage);
+        const auto features =
+            extractFeatures(workload, stage.layer).toVector();
+        const double target = std::log10(std::max(cost.totalNs(), 1.0));
+        out.perStageType[StageSampleSet::indexOf(stage.type)].append(
+            features, target);
+    }
+}
+
+StageSampleSet
+generateSamples(const gcn::StageTimeModel &model, size_t numWorkloads,
+                uint64_t seed)
+{
+    GOPIM_ASSERT(numWorkloads > 0, "need at least one workload");
+    WorkloadRandomizer randomizer(seed);
+    StageSampleSet out;
+    for (size_t i = 0; i < numWorkloads; ++i)
+        appendWorkloadSamples(model, randomizer.next(), out);
+    return out;
+}
+
+} // namespace gopim::predictor

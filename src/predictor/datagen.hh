@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Training-data generation for the time predictor.
+ *
+ * Randomized workloads are executed through the analytic stage time
+ * model to produce (features, time) samples per stage type — the same
+ * closed loop the paper builds by profiling workloads on its own
+ * simulator (Section V-A). Targets are log10(time_ns), standardized;
+ * RMSE values reported by Fig. 9 benches are on that normalized scale.
+ */
+
+#ifndef GOPIM_PREDICTOR_DATAGEN_HH
+#define GOPIM_PREDICTOR_DATAGEN_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "gcn/time_model.hh"
+#include "gcn/workload.hh"
+#include "ml/data.hh"
+#include "pipeline/stage.hh"
+
+namespace gopim::predictor {
+
+/** One dataset per stage type (CO, AG, LC, GC). */
+struct StageSampleSet
+{
+    std::array<ml::Dataset, 4> perStageType;
+
+    static size_t indexOf(pipeline::StageType t)
+    {
+        return static_cast<size_t>(t);
+    }
+
+    size_t totalSamples() const;
+};
+
+/** Randomized workload generator for predictor training. */
+class WorkloadRandomizer
+{
+  public:
+    explicit WorkloadRandomizer(uint64_t seed);
+
+    /** Draw a random workload spanning the catalog's parameter space. */
+    gcn::Workload next();
+
+  private:
+    Rng rng_;
+};
+
+/**
+ * Generate `numWorkloads` random workloads and record each layer's
+ * per-stage-type (features, log10 time) samples (the paper gathers
+ * 2200 samples; each workload contributes numLayers samples per type).
+ */
+StageSampleSet generateSamples(const gcn::StageTimeModel &model,
+                               size_t numWorkloads, uint64_t seed);
+
+/** Samples for one specific workload (used in generalization tests). */
+void appendWorkloadSamples(const gcn::StageTimeModel &model,
+                           const gcn::Workload &workload,
+                           StageSampleSet &out);
+
+} // namespace gopim::predictor
+
+#endif // GOPIM_PREDICTOR_DATAGEN_HH

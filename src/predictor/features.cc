@@ -1,0 +1,39 @@
+#include "predictor/features.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gopim::predictor {
+
+std::vector<float>
+LayerFeatures::toVector() const
+{
+    auto lg = [](double v) {
+        return static_cast<float>(std::log10(std::max(v, 1.0)));
+    };
+    return {lg(rIfmCo), lg(cIfmCo), lg(rWCo),
+            lg(cWCo),   lg(rAAg),   lg(cAAg),
+            lg(rFAg),   lg(cFAg),   static_cast<float>(sparsity),
+            static_cast<float>(layer)};
+}
+
+LayerFeatures
+extractFeatures(const gcn::Workload &workload, uint32_t layer)
+{
+    const auto [fin, fout] = workload.model.layerDims(layer);
+    LayerFeatures f;
+    f.rIfmCo = workload.microBatchSize;
+    f.cIfmCo = fin;
+    f.rWCo = fin;
+    f.cWCo = fout;
+    f.rAAg = workload.microBatchSize;
+    f.cAAg = static_cast<double>(workload.dataset.numVertices);
+    f.rFAg = static_cast<double>(workload.dataset.numVertices);
+    f.cFAg = fout;
+    f.sparsity = workload.dataset.stats().sparsity();
+    f.layer = layer;
+    return f;
+}
+
+} // namespace gopim::predictor

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table I input features of the execution-time predictor: the matrix
+ * dimensions of the layer's Combination and Aggregation MVMs, the
+ * graph sparsity, and the layer index.
+ */
+
+#ifndef GOPIM_PREDICTOR_FEATURES_HH
+#define GOPIM_PREDICTOR_FEATURES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gcn/workload.hh"
+
+namespace gopim::predictor {
+
+/** The ten Table I features of one GCN layer. */
+struct LayerFeatures
+{
+    double rIfmCo = 0.0; ///< rows of the CO input matrix (micro-batch)
+    double cIfmCo = 0.0; ///< cols of the CO input matrix (F_in)
+    double rWCo = 0.0;   ///< rows of the mapped CO weight matrix
+    double cWCo = 0.0;   ///< cols of the mapped CO weight matrix
+    double rAAg = 0.0;   ///< rows of the adjacency input (micro-batch)
+    double cAAg = 0.0;   ///< cols of the adjacency input (|V|)
+    double rFAg = 0.0;   ///< rows of the mapped AG feature matrix (|V|)
+    double cFAg = 0.0;   ///< cols of the mapped AG feature matrix
+    double sparsity = 0.0; ///< adjacency sparsity of the graph
+    double layer = 0.0;  ///< layer index k
+
+    /** Flatten to the predictor's 10-float input vector (log-scaled
+     *  dimensions, which linearizes the multiplicative cost model). */
+    std::vector<float> toVector() const;
+
+    static constexpr size_t kNumFeatures = 10;
+};
+
+/** Extract the Table I features of layer `layer` of a workload. */
+LayerFeatures extractFeatures(const gcn::Workload &workload,
+                              uint32_t layer);
+
+} // namespace gopim::predictor
+
+#endif // GOPIM_PREDICTOR_FEATURES_HH

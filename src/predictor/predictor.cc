@@ -1,0 +1,107 @@
+#include "predictor/predictor.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "predictor/features.hh"
+
+namespace gopim::predictor {
+
+TimePredictor::TimePredictor(ml::MlpParams mlpParams)
+    : mlpParams_(std::move(mlpParams))
+{
+}
+
+void
+TimePredictor::fit(const StageSampleSet &samples)
+{
+    for (size_t t = 0; t < models_.size(); ++t) {
+        const ml::Dataset &data = samples.perStageType[t];
+        GOPIM_ASSERT(data.size() > 0,
+                     "no samples for stage type ", t);
+        scalers_[t].fit(data.x);
+        ml::Dataset scaled;
+        scaled.x = scalers_[t].transform(data.x);
+        scaled.y = data.y;
+        models_[t] = std::make_unique<ml::MlpRegressor>(mlpParams_);
+        models_[t]->fit(scaled);
+    }
+    fitted_ = true;
+}
+
+double
+TimePredictor::predictStageTimeNs(const gcn::Workload &workload,
+                                  const pipeline::Stage &stage) const
+{
+    GOPIM_ASSERT(fitted_, "predict before fit");
+    const size_t t = StageSampleSet::indexOf(stage.type);
+    const auto raw = extractFeatures(workload, stage.layer).toVector();
+
+    // Apply the stage type's feature scaler to the single row.
+    tensor::Matrix row(1, raw.size());
+    std::copy(raw.begin(), raw.end(), row.rowPtr(0));
+    const tensor::Matrix scaled = scalers_[t].transform(row);
+    std::vector<float> features(scaled.rowPtr(0),
+                                scaled.rowPtr(0) + scaled.cols());
+
+    const double logTime = models_[t]->predict(features);
+    return std::pow(10.0, logTime);
+}
+
+std::vector<double>
+TimePredictor::predictAllStageTimesNs(const gcn::Workload &workload) const
+{
+    const auto stages =
+        pipeline::buildTrainingStages(workload.model.numLayers);
+    std::vector<double> times;
+    times.reserve(stages.size());
+    for (const auto &stage : stages)
+        times.push_back(predictStageTimeNs(workload, stage));
+    return times;
+}
+
+ProfilingPredictor::ProfilingPredictor(const gcn::StageTimeModel &model)
+    : model_(model)
+{
+}
+
+double
+ProfilingPredictor::predictStageTimeNs(const gcn::Workload &workload,
+                                       const pipeline::Stage &stage) const
+{
+    gcn::ExecutionPolicy policy;
+    const auto artifacts = gcn::MappingArtifacts::fullUpdateApprox(
+        workload.dataset.numVertices, model_.config().crossbar.rows);
+    return model_.cost(workload, policy, artifacts, stage).totalNs();
+}
+
+std::vector<double>
+ProfilingPredictor::predictAllStageTimesNs(
+    const gcn::Workload &workload) const
+{
+    const auto stages =
+        pipeline::buildTrainingStages(workload.model.numLayers);
+    std::vector<double> times;
+    times.reserve(stages.size());
+    for (const auto &stage : stages)
+        times.push_back(predictStageTimeNs(workload, stage));
+    return times;
+}
+
+double
+ProfilingPredictor::profilingCostSeconds(
+    const gcn::Workload &workload) const
+{
+    // Profiling executes the full un-replicated serial pipeline for a
+    // profiling run of 30 epochs (Section V-A's data collection);
+    // this reproduces the ~1688.9 s figure on ppa-scale workloads.
+    const auto times = predictAllStageTimesNs(workload);
+    double sumNs = 0.0;
+    for (double t : times)
+        sumNs += t;
+    const double epochNs =
+        sumNs * static_cast<double>(workload.microBatchesPerEpoch());
+    return epochNs * 30.0 / 1e9;
+}
+
+} // namespace gopim::predictor

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The execution-time predictor (Section V-A): one MLP per stage type
+ * over the Table I features, trained on generated samples, plus the
+ * profiling baseline that returns exact simulator times at a much
+ * higher (modeled) collection cost.
+ */
+
+#ifndef GOPIM_PREDICTOR_PREDICTOR_HH
+#define GOPIM_PREDICTOR_PREDICTOR_HH
+
+#include <array>
+#include <memory>
+
+#include "gcn/time_model.hh"
+#include "gcn/workload.hh"
+#include "ml/data.hh"
+#include "ml/mlp.hh"
+#include "pipeline/stage.hh"
+#include "predictor/datagen.hh"
+
+namespace gopim::predictor {
+
+/** MLP-based stage-time predictor. */
+class TimePredictor
+{
+  public:
+    /** mlpParams configures each per-stage-type MLP identically. */
+    explicit TimePredictor(ml::MlpParams mlpParams = {});
+
+    /** Train all four per-stage-type models on the sample set. */
+    void fit(const StageSampleSet &samples);
+
+    /** Predicted single-replica time of one stage (ns). */
+    double predictStageTimeNs(const gcn::Workload &workload,
+                              const pipeline::Stage &stage) const;
+
+    /** Predicted times of all 4L stages (ns). */
+    std::vector<double> predictAllStageTimesNs(
+        const gcn::Workload &workload) const;
+
+    bool fitted() const { return fitted_; }
+
+  private:
+    ml::MlpParams mlpParams_;
+    std::array<std::unique_ptr<ml::MlpRegressor>, 4> models_;
+    std::array<ml::StandardScaler, 4> scalers_;
+    bool fitted_ = false;
+};
+
+/**
+ * Profiling baseline: returns the simulator's exact stage times. Its
+ * modeled collection cost (the paper reports 1688.9 s per profile on
+ * ppa) is exposed so the Table VII overhead comparison can be made.
+ */
+class ProfilingPredictor
+{
+  public:
+    explicit ProfilingPredictor(const gcn::StageTimeModel &model);
+
+    double predictStageTimeNs(const gcn::Workload &workload,
+                              const pipeline::Stage &stage) const;
+
+    std::vector<double> predictAllStageTimesNs(
+        const gcn::Workload &workload) const;
+
+    /** Modeled wall-clock cost of collecting one profile (seconds). */
+    double profilingCostSeconds(const gcn::Workload &workload) const;
+
+  private:
+    const gcn::StageTimeModel &model_;
+};
+
+} // namespace gopim::predictor
+
+#endif // GOPIM_PREDICTOR_PREDICTOR_HH

@@ -1,0 +1,28 @@
+#include "reram/area.hh"
+
+namespace gopim::reram {
+
+AreaBreakdown
+computeArea(const AcceleratorConfig &cfg)
+{
+    const auto &xb = cfg.crossbar;
+    const auto &pe = cfg.pe;
+    const auto &tile = cfg.tile;
+    const auto &chip = cfg.chip;
+
+    AreaBreakdown out;
+    out.perPeMm2 = xb.areaMm2 * pe.crossbarsPerPe + pe.adcAreaMm2 +
+                   pe.dacAreaMm2 + pe.shAreaMm2 + pe.irAreaMm2 +
+                   pe.orAreaMm2 + pe.saAreaMm2;
+    out.perTileMm2 = out.perPeMm2 * tile.pesPerTile +
+                     tile.inputBufferAreaMm2 +
+                     tile.crossbarBufferAreaMm2 +
+                     tile.outputBufferAreaMm2 + tile.nfuAreaMm2 +
+                     tile.pfuAreaMm2;
+    out.chipMm2 = out.perTileMm2 * chip.tilesPerChip +
+                  chip.weightComputerAreaMm2 + chip.activationAreaMm2 +
+                  chip.controllerAreaMm2;
+    return out;
+}
+
+} // namespace gopim::reram

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Chip area roll-up from the Table II component areas.
+ */
+
+#ifndef GOPIM_RERAM_AREA_HH
+#define GOPIM_RERAM_AREA_HH
+
+#include "reram/config.hh"
+
+namespace gopim::reram {
+
+/** Area accounting (mm^2) per hierarchy level. */
+struct AreaBreakdown
+{
+    double perPeMm2 = 0.0;
+    double perTileMm2 = 0.0;
+    double chipMm2 = 0.0;
+};
+
+/** Compute the full area roll-up for a configuration. */
+AreaBreakdown computeArea(const AcceleratorConfig &cfg);
+
+} // namespace gopim::reram
+
+#endif // GOPIM_RERAM_AREA_HH

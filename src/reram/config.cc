@@ -1,0 +1,36 @@
+#include "reram/config.hh"
+
+#include "common/logging.hh"
+
+namespace gopim::reram {
+
+void
+AcceleratorConfig::validate() const
+{
+    if (crossbar.rows == 0 || crossbar.cols == 0)
+        fatal("crossbar dimensions must be positive");
+    if (crossbar.bitsPerCell == 0 || crossbar.valueBits == 0)
+        fatal("cell/value bit widths must be positive");
+    if (crossbar.valueBits % pe.dacResolutionBits != 0)
+        fatal("value bits (", crossbar.valueBits,
+              ") must be a multiple of DAC resolution (",
+              pe.dacResolutionBits, ")");
+    if (pe.crossbarsPerPe == 0 || tile.pesPerTile == 0 ||
+        chip.tilesPerChip == 0)
+        fatal("hierarchy counts must be positive");
+    if (crossbar.readLatencyNs <= 0.0 || crossbar.writeLatencyNs <= 0.0)
+        fatal("latencies must be positive");
+    if (chip.writeEndurance <= 0.0)
+        fatal("write endurance must be positive");
+}
+
+AcceleratorConfig
+AcceleratorConfig::paperDefault()
+{
+    // Field defaults already encode Table II; this simply validates.
+    AcceleratorConfig cfg;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace gopim::reram

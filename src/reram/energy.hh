@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Analytic energy model derived from Table II power figures.
+ *
+ * Dynamic energy is charged per crossbar activation (one bit-serial
+ * window cycle through one crossbar, including the pro-rated ADC, DAC,
+ * S&H and S+A periphery) and per crossbar-row write. Static energy is
+ * charged for the chip background (controller, activation module,
+ * weight manager) over the makespan plus a leakage fraction for
+ * crossbars that are allocated but idle — which is exactly the cost
+ * the paper's pipeline optimizations reduce.
+ */
+
+#ifndef GOPIM_RERAM_ENERGY_HH
+#define GOPIM_RERAM_ENERGY_HH
+
+#include <cstdint>
+
+#include "reram/config.hh"
+
+namespace gopim::reram {
+
+/** Energy calculator; all results in pJ (mW x ns = pJ). */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const AcceleratorConfig &cfg);
+
+    /**
+     * Dynamic energy of one crossbar activation: one read cycle through
+     * one crossbar plus its share of PE periphery (pJ).
+     */
+    double activationEnergyPj() const;
+
+    /** Dynamic energy of writing one crossbar row (pJ). */
+    double rowWriteEnergyPj() const;
+
+    /** Energy of moving one byte through the tile buffers (pJ). */
+    double bufferEnergyPerBytePj() const;
+
+    /** Chip background power: controller + activation + weight mgr (mW). */
+    double backgroundPowerMw() const;
+
+    /**
+     * Idle power of one allocated crossbar plus its PE periphery share
+     * (mW). Allocated-but-idle crossbars draw this the whole time they
+     * sit waiting — the energy waste the paper's pipeline
+     * optimizations attack (Section III-A).
+     */
+    double idlePowerPerCrossbarMw() const;
+
+    /**
+     * Total energy of a run (pJ): activations and row writes are event
+     * counts; makespan covers the chip background; idleCrossbarNs is
+     * the integral over stages of (allocated crossbars x idle time).
+     */
+    double totalEnergyPj(double makespanNs, uint64_t activations,
+                         uint64_t rowWrites, uint64_t bufferBytes,
+                         double idleCrossbarNs) const;
+
+    const AcceleratorConfig &config() const { return cfg_; }
+
+  private:
+    AcceleratorConfig cfg_;
+    /**
+     * Fraction of active power drawn by an idle (allocated) crossbar.
+     * Idle regions are power gated; only gated leakage remains.
+     */
+    static constexpr double kIdleFraction = 3e-4;
+};
+
+} // namespace gopim::reram
+
+#endif // GOPIM_RERAM_ENERGY_HH

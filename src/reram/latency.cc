@@ -1,0 +1,51 @@
+#include "reram/latency.hh"
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+
+namespace gopim::reram {
+
+LatencyModel::LatencyModel(const AcceleratorConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+}
+
+double
+LatencyModel::windowLatencyNs() const
+{
+    return static_cast<double>(cfg_.inputCycles()) *
+           cfg_.crossbar.readLatencyNs;
+}
+
+double
+LatencyModel::mvmLatencyNs(uint64_t mappedRows) const
+{
+    GOPIM_ASSERT(mappedRows > 0, "MVM over empty matrix");
+    const uint64_t windows = ceilDiv(mappedRows, cfg_.windowRows());
+    return static_cast<double>(windows) * windowLatencyNs();
+}
+
+double
+LatencyModel::mvmStreamLatencyNs(uint64_t numInputs, uint64_t mappedRows,
+                                 uint32_t replicas) const
+{
+    GOPIM_ASSERT(replicas > 0, "at least one replica required");
+    // Each replica serves an even share of the input stream.
+    const uint64_t share = ceilDiv(numInputs, replicas);
+    return static_cast<double>(share) * mvmLatencyNs(mappedRows);
+}
+
+double
+LatencyModel::rowWriteLatencyNs() const
+{
+    return cfg_.crossbar.writeLatencyNs;
+}
+
+double
+LatencyModel::updateLatencyNs(uint64_t rowsPerCrossbarMax) const
+{
+    return static_cast<double>(rowsPerCrossbarMax) *
+           cfg_.crossbar.writeLatencyNs;
+}
+
+} // namespace gopim::reram

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Analytic latency model of ReRAM crossbar operations.
+ *
+ * An MVM over a mapped matrix streams its input vector through the
+ * replica in serial "row windows" of one PE's worth of wordlines; each
+ * window costs (value bits / DAC bits) bit-serial read cycles. Writes
+ * are serial within a crossbar and parallel across crossbars. See
+ * DESIGN.md §2 for the calibration against the paper's published
+ * ratios.
+ */
+
+#ifndef GOPIM_RERAM_LATENCY_HH
+#define GOPIM_RERAM_LATENCY_HH
+
+#include <cstdint>
+
+#include "reram/config.hh"
+
+namespace gopim::reram {
+
+/** Latency calculator for crossbar-level operations. */
+class LatencyModel
+{
+  public:
+    explicit LatencyModel(const AcceleratorConfig &cfg);
+
+    /** One bit-serial MVM pass over one row window (ns). */
+    double windowLatencyNs() const;
+
+    /**
+     * Latency of one input vector through a mapped matrix with
+     * `mappedRows` logical rows (ns): serial row windows, bit-serial
+     * input cycles each.
+     */
+    double mvmLatencyNs(uint64_t mappedRows) const;
+
+    /**
+     * Latency of `numInputs` input vectors through the matrix, with
+     * the workload divided evenly over `replicas` replicas (ns).
+     * Inputs pipeline through windows, so total = per-input x inputs.
+     */
+    double mvmStreamLatencyNs(uint64_t numInputs, uint64_t mappedRows,
+                              uint32_t replicas) const;
+
+    /** Latency of one crossbar-row write (ns). */
+    double rowWriteLatencyNs() const;
+
+    /**
+     * Latency of writing `rowsPerCrossbarMax` rows into the most-loaded
+     * crossbar (ns). Writes within a crossbar are serial; writes to
+     * different crossbars proceed in parallel, so the slowest crossbar
+     * bounds the update (Section III-A of the paper).
+     */
+    double updateLatencyNs(uint64_t rowsPerCrossbarMax) const;
+
+    const AcceleratorConfig &config() const { return cfg_; }
+
+  private:
+    AcceleratorConfig cfg_;
+};
+
+} // namespace gopim::reram
+
+#endif // GOPIM_RERAM_LATENCY_HH

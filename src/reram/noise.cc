@@ -1,0 +1,69 @@
+#include "reram/noise.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gopim::reram {
+
+DeviceNoiseModel::DeviceNoiseModel(NoiseParams params)
+    : params_(params), rng_(params.seed)
+{
+    GOPIM_ASSERT(params_.conductanceSigma >= 0.0,
+                 "variation sigma must be >= 0");
+}
+
+uint32_t
+DeviceNoiseModel::levelsFor(const AcceleratorConfig &cfg)
+{
+    const uint32_t bits =
+        cfg.crossbar.bitsPerCell * cfg.crossbar.slicesPerValue();
+    GOPIM_ASSERT(bits < 31, "level count overflow");
+    return 1u << bits;
+}
+
+tensor::Matrix
+DeviceNoiseModel::program(const tensor::Matrix &ideal)
+{
+    tensor::Matrix out = ideal;
+    float *p = out.data();
+
+    if (params_.quantLevels >= 2) {
+        // Symmetric uniform quantization over the observed range.
+        float maxAbs = 0.0f;
+        for (size_t i = 0; i < out.size(); ++i)
+            maxAbs = std::max(maxAbs, std::fabs(p[i]));
+        if (maxAbs > 0.0f) {
+            const float step =
+                2.0f * maxAbs /
+                static_cast<float>(params_.quantLevels - 1);
+            for (size_t i = 0; i < out.size(); ++i)
+                p[i] = std::round(p[i] / step) * step;
+        }
+    }
+
+    if (params_.conductanceSigma > 0.0) {
+        for (size_t i = 0; i < out.size(); ++i)
+            p[i] *= static_cast<float>(
+                1.0 + rng_.normal(0.0, params_.conductanceSigma));
+    }
+    return out;
+}
+
+double
+DeviceNoiseModel::programmingRmse(const tensor::Matrix &ideal)
+{
+    const tensor::Matrix actual = program(ideal);
+    double num = 0.0, den = 0.0;
+    const float *a = ideal.data();
+    const float *b = actual.data();
+    for (size_t i = 0; i < ideal.size(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        num += d * d;
+        den += static_cast<double>(a[i]) * a[i];
+    }
+    return den > 0.0 ? std::sqrt(num / den) : 0.0;
+}
+
+} // namespace gopim::reram

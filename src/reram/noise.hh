@@ -1,0 +1,65 @@
+/**
+ * @file
+ * ReRAM device non-ideality model: programmed conductances deviate
+ * from their targets (log-normal device variation) and values are
+ * quantized to the cell's discrete levels. Used to study how much
+ * analog error GCN training on the crossbars tolerates — the device-
+ * level counterpart of the paper's accuracy analyses.
+ */
+
+#ifndef GOPIM_RERAM_NOISE_HH
+#define GOPIM_RERAM_NOISE_HH
+
+#include "common/rng.hh"
+#include "reram/config.hh"
+#include "tensor/matrix.hh"
+
+namespace gopim::reram {
+
+/** Non-ideality parameters. */
+struct NoiseParams
+{
+    /**
+     * Relative conductance variation sigma: each programmed value is
+     * multiplied by (1 + N(0, sigma)). Published ReRAM variation is
+     * typically 3-10% per cell.
+     */
+    double conductanceSigma = 0.0;
+    /**
+     * Quantize values to the number of levels the mapped cells
+     * provide (2^(bitsPerCell * slicesPerValue) per weight); 0 keeps
+     * full precision.
+     */
+    uint32_t quantLevels = 0;
+    uint64_t seed = 29;
+};
+
+/** Applies write-time non-idealities to matrices mapped on crossbars. */
+class DeviceNoiseModel
+{
+  public:
+    explicit DeviceNoiseModel(NoiseParams params);
+
+    /** Levels implied by a crossbar config's cell/value widths. */
+    static uint32_t levelsFor(const AcceleratorConfig &cfg);
+
+    /**
+     * Return the matrix as the crossbars would actually hold it:
+     * symmetric-range quantization to quantLevels (if set) followed
+     * by per-cell multiplicative variation (if sigma > 0).
+     */
+    tensor::Matrix program(const tensor::Matrix &ideal);
+
+    /** Root-mean-square relative error of programming a matrix. */
+    double programmingRmse(const tensor::Matrix &ideal);
+
+    const NoiseParams &params() const { return params_; }
+
+  private:
+    NoiseParams params_;
+    Rng rng_;
+};
+
+} // namespace gopim::reram
+
+#endif // GOPIM_RERAM_NOISE_HH

@@ -1,0 +1,67 @@
+#include "reram/resources.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gopim::reram {
+
+ChipResources::ChipResources(const AcceleratorConfig &cfg)
+    : cfg_(cfg), total_(cfg.totalCrossbars())
+{
+    cfg_.validate();
+}
+
+size_t
+ChipResources::allocate(const std::string &name, uint64_t crossbars)
+{
+    if (crossbars > freeCrossbars()) {
+        fatal("crossbar budget exceeded: requested ", crossbars,
+              " for '", name, "' with only ", freeCrossbars(),
+              " of ", total_, " free");
+    }
+    allocated_ += crossbars;
+    allocs_.push_back({name, crossbars, 0});
+    return allocs_.size() - 1;
+}
+
+void
+ChipResources::reset()
+{
+    allocated_ = 0;
+    allocs_.clear();
+}
+
+void
+ChipResources::recordWrites(size_t allocIdx, uint64_t rowWrites)
+{
+    GOPIM_ASSERT(allocIdx < allocs_.size(),
+                 "recordWrites: bad allocation index");
+    allocs_[allocIdx].rowWrites += rowWrites;
+}
+
+uint64_t
+ChipResources::totalRowWrites() const
+{
+    uint64_t total = 0;
+    for (const auto &a : allocs_)
+        total += a.rowWrites;
+    return total;
+}
+
+double
+ChipResources::worstWearFraction() const
+{
+    double worst = 0.0;
+    for (const auto &a : allocs_) {
+        if (a.crossbars == 0)
+            continue;
+        const double rows = static_cast<double>(a.crossbars) *
+                            cfg_.crossbar.rows;
+        const double perRow = static_cast<double>(a.rowWrites) / rows;
+        worst = std::max(worst, perRow / cfg_.chip.writeEndurance);
+    }
+    return worst;
+}
+
+} // namespace gopim::reram

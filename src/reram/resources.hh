@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Chip-level crossbar resource accounting: allocation against the
+ * 16 GB crossbar budget and per-region write-endurance tracking.
+ */
+
+#ifndef GOPIM_RERAM_RESOURCES_HH
+#define GOPIM_RERAM_RESOURCES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reram/config.hh"
+
+namespace gopim::reram {
+
+/** Handle for a named crossbar allocation (one pipeline stage). */
+struct Allocation
+{
+    std::string name;
+    uint64_t crossbars = 0;
+    uint64_t rowWrites = 0; ///< cumulative row writes into this region
+};
+
+/**
+ * Tracks crossbar allocations against the chip budget. Used by the
+ * accelerator to enforce the paper's "same crossbar resources for all
+ * accelerators" fairness constraint, and by the endurance study to
+ * account lifetime wear.
+ */
+class ChipResources
+{
+  public:
+    explicit ChipResources(const AcceleratorConfig &cfg);
+
+    uint64_t totalCrossbars() const { return total_; }
+    uint64_t allocatedCrossbars() const { return allocated_; }
+    uint64_t freeCrossbars() const { return total_ - allocated_; }
+
+    /**
+     * Allocate `crossbars` under `name`; returns the allocation index.
+     * fatal() if the budget is exceeded (a configuration error).
+     */
+    size_t allocate(const std::string &name, uint64_t crossbars);
+
+    /** Release every allocation. */
+    void reset();
+
+    /** Record row writes against an allocation (endurance + energy). */
+    void recordWrites(size_t allocIdx, uint64_t rowWrites);
+
+    const std::vector<Allocation> &allocations() const { return allocs_; }
+
+    /** Total row writes across all allocations. */
+    uint64_t totalRowWrites() const;
+
+    /**
+     * Estimated consumed lifetime fraction of the most-written region:
+     * writes per row / endurance, assuming writes spread over the
+     * region's rows.
+     */
+    double worstWearFraction() const;
+
+  private:
+    AcceleratorConfig cfg_;
+    uint64_t total_;
+    uint64_t allocated_ = 0;
+    std::vector<Allocation> allocs_;
+};
+
+} // namespace gopim::reram
+
+#endif // GOPIM_RERAM_RESOURCES_HH

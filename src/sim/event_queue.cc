@@ -1,0 +1,48 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace gopim::sim {
+
+void
+EventQueue::schedule(double timeNs, Callback callback)
+{
+    GOPIM_ASSERT(timeNs >= now_ - 1e-9,
+                 "cannot schedule into the past (t=", timeNs,
+                 ", now=", now_, ")");
+    events_.push({timeNs, nextSeq_++, std::move(callback)});
+}
+
+void
+EventQueue::scheduleAfter(double delayNs, Callback callback)
+{
+    GOPIM_ASSERT(delayNs >= 0.0, "negative delay");
+    schedule(now_ + delayNs, std::move(callback));
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    // Copy out before pop: the callback may schedule new events.
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.timeNs;
+    ++processed_;
+    event.callback();
+    return true;
+}
+
+void
+EventQueue::run(uint64_t maxEvents)
+{
+    uint64_t steps = 0;
+    while (step()) {
+        if (++steps > maxEvents)
+            panic("event queue exceeded ", maxEvents,
+                  " events: runaway simulation");
+    }
+}
+
+} // namespace gopim::sim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Discrete-event simulation core: a time-ordered event queue with
+ * deterministic tie-breaking (insertion order), the foundation of the
+ * event-driven pipeline simulator in sim/pipeline_sim.hh.
+ */
+
+#ifndef GOPIM_SIM_EVENT_QUEUE_HH
+#define GOPIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace gopim::sim {
+
+/** Time-ordered callback queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule a callback at absolute time `timeNs` (>= now). */
+    void schedule(double timeNs, Callback callback);
+
+    /** Schedule relative to the current time. */
+    void scheduleAfter(double delayNs, Callback callback);
+
+    /** Current simulation time. */
+    double nowNs() const { return now_; }
+
+    bool empty() const { return events_.empty(); }
+    size_t pending() const { return events_.size(); }
+    uint64_t processed() const { return processed_; }
+
+    /** Pop and execute the earliest event; false if none remain. */
+    bool step();
+
+    /**
+     * Run until the queue drains; panics after `maxEvents` as a
+     * runaway guard (callbacks scheduling unboundedly).
+     */
+    void run(uint64_t maxEvents = 100'000'000);
+
+  private:
+    struct Event
+    {
+        double timeNs;
+        uint64_t seq; ///< insertion order for deterministic ties
+        Callback callback;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.timeNs != b.timeNs)
+                return a.timeNs > b.timeNs;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    double now_ = 0.0;
+    uint64_t nextSeq_ = 0;
+    uint64_t processed_ = 0;
+};
+
+} // namespace gopim::sim
+
+#endif // GOPIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,220 @@
+#include "sim/pipeline_sim.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+#include "sim/event_queue.hh"
+
+namespace gopim::sim {
+
+double
+SimResult::idleFraction(size_t stage) const
+{
+    GOPIM_ASSERT(stage < busyNs.size(), "stage out of range");
+    if (makespanNs <= 0.0)
+        return 0.0;
+    // Busy time is summed across the stage's servers; normalize by
+    // one server's wall clock so a saturated single server reads 0.
+    return std::clamp(1.0 - busyNs[stage] / makespanNs, 0.0, 1.0);
+}
+
+namespace {
+
+/** Mutable per-station simulation state. */
+struct Station
+{
+    StationConfig config;
+    /** Micro-batches waiting to start (arrival order). */
+    std::deque<uint32_t> inputQueue;
+    /**
+     * Finished micro-batches awaiting handoff downstream, in finish
+     * order; each holds one of this station's servers until accepted.
+     * Multi-server stations may legitimately finish out of order
+     * (distinct replica groups), so handoff follows finish order.
+     */
+    std::deque<std::pair<uint32_t, double>> blocked; ///< (mb, doneAt)
+    uint32_t freeServers = 0;
+    double busyNs = 0.0;
+    double blockedNs = 0.0;
+};
+
+class Simulation
+{
+  public:
+    Simulation(const std::vector<StationConfig> &configs,
+               uint32_t microBatches, const ServiceSampler &sampler,
+               uint64_t seed)
+        : sampler_(sampler), rng_(seed)
+    {
+        stations_.reserve(configs.size());
+        for (const auto &cfg : configs) {
+            Station s;
+            s.config = cfg;
+            s.freeServers = cfg.servers;
+            stations_.push_back(std::move(s));
+        }
+        // All micro-batches are released to stage 0 at t = 0; stage
+        // 0's input feed is the off-chip stream, unbounded.
+        for (uint32_t j = 0; j < microBatches; ++j)
+            stations_.front().inputQueue.push_back(j);
+    }
+
+    SimResult
+    run()
+    {
+        tryStart(0);
+        queue_.run();
+
+        SimResult result;
+        result.makespanNs = queue_.nowNs();
+        result.completed = completed_;
+        result.eventsProcessed = queue_.processed();
+        for (const auto &s : stations_) {
+            result.busyNs.push_back(s.busyNs);
+            result.blockedNs.push_back(s.blockedNs);
+        }
+        return result;
+    }
+
+  private:
+    double
+    serviceTime(size_t stage, uint32_t mb)
+    {
+        if (sampler_)
+            return sampler_(stage, mb, rng_);
+        return stations_[stage].config.serviceTimeNs;
+    }
+
+    /**
+     * Start queued micro-batches while servers are free. Starting
+     * work frees input-buffer slots, so upstream blocked handoffs are
+     * drained afterwards.
+     */
+    void
+    tryStart(size_t stageIdx)
+    {
+        Station &station = stations_[stageIdx];
+        bool startedAny = false;
+        while (station.freeServers > 0 &&
+               !station.inputQueue.empty()) {
+            const uint32_t mb = station.inputQueue.front();
+            station.inputQueue.pop_front();
+            --station.freeServers;
+            startedAny = true;
+            const double service = serviceTime(stageIdx, mb);
+            station.busyNs += service;
+            queue_.scheduleAfter(service, [this, stageIdx, mb] {
+                onFinish(stageIdx, mb);
+            });
+        }
+        if (startedAny && stageIdx > 0)
+            drainBlocked(stageIdx - 1);
+    }
+
+    /** Room for one more waiting micro-batch in front of a station? */
+    bool
+    hasSpace(size_t stageIdx) const
+    {
+        const Station &station = stations_[stageIdx];
+        // A free server with an empty queue means direct handoff: the
+        // job will not occupy a buffer slot.
+        if (station.freeServers > 0 && station.inputQueue.empty())
+            return true;
+        return station.inputQueue.size() <
+               static_cast<size_t>(station.config.inputBuffer);
+    }
+
+    /** Move this station's blocked handoffs downstream, in order. */
+    void
+    drainBlocked(size_t stageIdx)
+    {
+        Station &station = stations_[stageIdx];
+        const size_t next = stageIdx + 1;
+        while (!station.blocked.empty() && hasSpace(next)) {
+            const auto [mb, doneAt] = station.blocked.front();
+            station.blocked.pop_front();
+            station.blockedNs += queue_.nowNs() - doneAt;
+            ++station.freeServers;
+            stations_[next].inputQueue.push_back(mb);
+            tryStart(next);
+            tryStart(stageIdx);
+            // This station's server freed: the release propagates
+            // upstream even when this station had nothing queued.
+            if (stageIdx > 0)
+                drainBlocked(stageIdx - 1);
+        }
+    }
+
+    void
+    onFinish(size_t stageIdx, uint32_t mb)
+    {
+        Station &station = stations_[stageIdx];
+        if (stageIdx + 1 == stations_.size()) {
+            ++completed_;
+            ++station.freeServers;
+            tryStart(stageIdx);
+        } else {
+            // Handoffs leave in finish order through the blocked
+            // queue; an immediate handoff spends zero time blocked.
+            station.blocked.push_back({mb, queue_.nowNs()});
+            drainBlocked(stageIdx);
+        }
+        // A server freed (or a handoff slot opened) here; upstream
+        // blocked handoffs may now fit even if nothing new started.
+        if (stageIdx > 0)
+            drainBlocked(stageIdx - 1);
+    }
+
+    ServiceSampler sampler_;
+    Rng rng_;
+    std::vector<Station> stations_;
+    EventQueue queue_;
+    uint32_t completed_ = 0;
+};
+
+} // namespace
+
+SimResult
+simulatePipeline(const std::vector<StationConfig> &stations,
+                 uint32_t microBatches, const ServiceSampler &sampler,
+                 uint64_t seed)
+{
+    GOPIM_ASSERT(!stations.empty(), "pipeline with no stations");
+    GOPIM_ASSERT(microBatches >= 1, "need at least one micro-batch");
+    for (const auto &s : stations)
+        GOPIM_ASSERT(s.servers >= 1, "station needs >= 1 server");
+    Simulation sim(stations, microBatches, sampler, seed);
+    auto result = sim.run();
+    GOPIM_ASSERT(result.completed == microBatches,
+                 "pipeline deadlocked: ", result.completed, " of ",
+                 microBatches, " completed");
+    return result;
+}
+
+ServiceSampler
+makeWriteRetrySampler(const std::vector<StationConfig> &stations,
+                      double retryProb, double writeFraction)
+{
+    GOPIM_ASSERT(retryProb >= 0.0 && retryProb < 1.0,
+                 "retry probability must be in [0, 1)");
+    GOPIM_ASSERT(writeFraction >= 0.0 && writeFraction <= 1.0,
+                 "write fraction must be in [0, 1]");
+    std::vector<double> base;
+    for (const auto &s : stations)
+        base.push_back(s.serviceTimeNs);
+
+    return [base, retryProb, writeFraction](
+               size_t stage, uint32_t, Rng &rng) {
+        const double computePart = base[stage] * (1.0 - writeFraction);
+        const double writePart = base[stage] * writeFraction;
+        // Geometric retries: each write-verify failure repeats the
+        // write portion.
+        uint32_t attempts = 1;
+        while (rng.bernoulli(retryProb) && attempts < 64)
+            ++attempts;
+        return computePart + writePart * static_cast<double>(attempts);
+    };
+}
+
+} // namespace gopim::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Event-driven flow-shop simulator of the GCN training pipeline.
+ *
+ * Where pipeline/schedule.hh evaluates the closed-form Eq. 6 makespan
+ * (single server per stage, unbounded buffers, deterministic times),
+ * this simulator executes the pipeline event by event and can model
+ * what the closed form cannot:
+ *
+ *  - bounded inter-stage buffers (a full buffer blocks the upstream
+ *    server — backpressure),
+ *  - multi-server stages (replica groups processing distinct
+ *    micro-batches concurrently instead of splitting one),
+ *  - stochastic service times (e.g. ReRAM write-verify retries).
+ *
+ * With one server per stage, unbounded buffers, and deterministic
+ * times it reproduces the closed form exactly — the integration tests
+ * assert this equivalence.
+ */
+
+#ifndef GOPIM_SIM_PIPELINE_SIM_HH
+#define GOPIM_SIM_PIPELINE_SIM_HH
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace gopim::sim {
+
+/** One pipeline stage as a queueing station. */
+struct StationConfig
+{
+    /** Deterministic service time per micro-batch (ns). */
+    double serviceTimeNs = 0.0;
+    /** Concurrent micro-batches the stage can process. */
+    uint32_t servers = 1;
+    /**
+     * Input-buffer slots in front of this station (waiting
+     * micro-batches, excluding the ones in service). Unbounded by
+     * default; 0 forces direct handoff.
+     */
+    uint32_t inputBuffer = std::numeric_limits<uint32_t>::max();
+};
+
+/**
+ * Optional stochastic service-time hook: returns the actual service
+ * time for (stage, microBatch); defaults to the configured constant.
+ */
+using ServiceSampler =
+    std::function<double(size_t stage, uint32_t microBatch, Rng &rng)>;
+
+/** Simulation outcome. */
+struct SimResult
+{
+    double makespanNs = 0.0;
+    /** Per-stage total busy (serving) time across servers. */
+    std::vector<double> busyNs;
+    /** Per-stage total time finished work sat blocked by backpressure. */
+    std::vector<double> blockedNs;
+    /** Completed micro-batches (== requested unless deadlocked). */
+    uint32_t completed = 0;
+    uint64_t eventsProcessed = 0;
+
+    /** Idle fraction of a stage's servers over the makespan. */
+    double idleFraction(size_t stage) const;
+};
+
+/**
+ * Simulate `microBatches` jobs flowing through the stations in order.
+ * `sampler` (optional) overrides per-job service times; `seed` drives
+ * the sampler's randomness.
+ */
+SimResult simulatePipeline(const std::vector<StationConfig> &stations,
+                           uint32_t microBatches,
+                           const ServiceSampler &sampler = {},
+                           uint64_t seed = 1);
+
+/**
+ * ReRAM write-retry sampler factory: with probability `retryProb`
+ * each (geometric) attempt of the stage's write portion fails
+ * write-verify and repeats. `writeFraction` is the portion of the
+ * stage's service time attributable to writes.
+ */
+ServiceSampler makeWriteRetrySampler(
+    const std::vector<StationConfig> &stations, double retryProb,
+    double writeFraction);
+
+} // namespace gopim::sim
+
+#endif // GOPIM_SIM_PIPELINE_SIM_HH

@@ -1,0 +1,36 @@
+#include "tensor/init.hh"
+
+#include <cmath>
+
+namespace gopim::tensor {
+
+Matrix
+xavierUniform(size_t rows, size_t cols, Rng &rng)
+{
+    const double a = std::sqrt(6.0 / static_cast<double>(rows + cols));
+    return uniformInit(rows, cols, static_cast<float>(-a),
+                       static_cast<float>(a), rng);
+}
+
+Matrix
+heNormal(size_t rows, size_t cols, Rng &rng)
+{
+    const double stddev = std::sqrt(2.0 / static_cast<double>(rows));
+    Matrix m(rows, cols);
+    float *p = m.data();
+    for (size_t i = 0; i < m.size(); ++i)
+        p[i] = static_cast<float>(rng.normal(0.0, stddev));
+    return m;
+}
+
+Matrix
+uniformInit(size_t rows, size_t cols, float lo, float hi, Rng &rng)
+{
+    Matrix m(rows, cols);
+    float *p = m.data();
+    for (size_t i = 0; i < m.size(); ++i)
+        p[i] = static_cast<float>(rng.uniform(lo, hi));
+    return m;
+}
+
+} // namespace gopim::tensor

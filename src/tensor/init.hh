@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Weight initializers for the ML library and the functional trainer.
+ */
+
+#ifndef GOPIM_TENSOR_INIT_HH
+#define GOPIM_TENSOR_INIT_HH
+
+#include "common/rng.hh"
+#include "tensor/matrix.hh"
+
+namespace gopim::tensor {
+
+/** Xavier/Glorot uniform initialization: U(-a, a), a = sqrt(6/(in+out)). */
+Matrix xavierUniform(size_t rows, size_t cols, Rng &rng);
+
+/** He/Kaiming normal initialization: N(0, sqrt(2/in)). */
+Matrix heNormal(size_t rows, size_t cols, Rng &rng);
+
+/** Uniform initialization in [lo, hi). */
+Matrix uniformInit(size_t rows, size_t cols, float lo, float hi, Rng &rng);
+
+} // namespace gopim::tensor
+
+#endif // GOPIM_TENSOR_INIT_HH

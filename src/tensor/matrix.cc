@@ -1,0 +1,76 @@
+#include "tensor/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gopim::tensor {
+
+Matrix::Matrix(size_t rows, size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<std::vector<float>> &rows)
+{
+    GOPIM_ASSERT(!rows.empty(), "fromRows needs at least one row");
+    Matrix m(rows.size(), rows.front().size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+        GOPIM_ASSERT(rows[r].size() == m.cols_,
+                     "fromRows: ragged row lengths");
+        std::copy(rows[r].begin(), rows[r].end(), m.rowPtr(r));
+    }
+    return m;
+}
+
+float &
+Matrix::at(size_t r, size_t c)
+{
+    GOPIM_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+float
+Matrix::at(size_t r, size_t c) const
+{
+    GOPIM_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+void
+Matrix::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            t(c, r) = (*this)(r, c);
+    return t;
+}
+
+bool
+Matrix::operator==(const Matrix &other) const
+{
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+}
+
+float
+Matrix::maxAbsDiff(const Matrix &other) const
+{
+    GOPIM_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+                 "maxAbsDiff: shape mismatch");
+    float maxDiff = 0.0f;
+    for (size_t i = 0; i < data_.size(); ++i)
+        maxDiff = std::max(maxDiff, std::fabs(data_[i] - other.data_[i]));
+    return maxDiff;
+}
+
+} // namespace gopim::tensor

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Dense row-major float matrix used by the ML library and the
+ * functional GCN trainer. Deliberately minimal: the simulator's hot
+ * paths are analytic, so this favors clarity over BLAS-grade tuning.
+ */
+
+#ifndef GOPIM_TENSOR_MATRIX_HH
+#define GOPIM_TENSOR_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace gopim::tensor {
+
+/** Dense row-major matrix of floats. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix initialized to `fill`. */
+    Matrix(size_t rows, size_t cols, float fill = 0.0f);
+
+    /** Build from nested initializer data (row major); rows must agree. */
+    static Matrix fromRows(const std::vector<std::vector<float>> &rows);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float &at(size_t r, size_t c);
+    float at(size_t r, size_t c) const;
+
+    float &operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    float operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    float *rowPtr(size_t r) { return data_.data() + r * cols_; }
+    const float *rowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Set all elements to `value`. */
+    void fill(float value);
+
+    /** Return the transpose. */
+    Matrix transposed() const;
+
+    /** Exact element-wise equality (for tests). */
+    bool operator==(const Matrix &other) const;
+
+    /** Max absolute element difference; matrices must be same shape. */
+    float maxAbsDiff(const Matrix &other) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace gopim::tensor
+
+#endif // GOPIM_TENSOR_MATRIX_HH

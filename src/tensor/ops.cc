@@ -1,0 +1,239 @@
+#include "tensor/ops.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gopim::tensor {
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    GOPIM_ASSERT(a.cols() == b.rows(), "matmul: inner dims mismatch");
+    Matrix c(a.rows(), b.cols(), 0.0f);
+    // ikj loop order keeps the inner loop streaming over rows of B.
+    for (size_t i = 0; i < a.rows(); ++i) {
+        float *cRow = c.rowPtr(i);
+        for (size_t k = 0; k < a.cols(); ++k) {
+            const float aik = a(i, k);
+            if (aik == 0.0f)
+                continue;
+            const float *bRow = b.rowPtr(k);
+            for (size_t j = 0; j < b.cols(); ++j)
+                cRow[j] += aik * bRow[j];
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulTransA(const Matrix &a, const Matrix &b)
+{
+    GOPIM_ASSERT(a.rows() == b.rows(), "matmulTransA: dims mismatch");
+    Matrix c(a.cols(), b.cols(), 0.0f);
+    for (size_t k = 0; k < a.rows(); ++k) {
+        const float *aRow = a.rowPtr(k);
+        const float *bRow = b.rowPtr(k);
+        for (size_t i = 0; i < a.cols(); ++i) {
+            const float aki = aRow[i];
+            if (aki == 0.0f)
+                continue;
+            float *cRow = c.rowPtr(i);
+            for (size_t j = 0; j < b.cols(); ++j)
+                cRow[j] += aki * bRow[j];
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulTransB(const Matrix &a, const Matrix &b)
+{
+    GOPIM_ASSERT(a.cols() == b.cols(), "matmulTransB: dims mismatch");
+    Matrix c(a.rows(), b.rows(), 0.0f);
+    for (size_t i = 0; i < a.rows(); ++i) {
+        const float *aRow = a.rowPtr(i);
+        float *cRow = c.rowPtr(i);
+        for (size_t j = 0; j < b.rows(); ++j) {
+            const float *bRow = b.rowPtr(j);
+            float dot = 0.0f;
+            for (size_t k = 0; k < a.cols(); ++k)
+                dot += aRow[k] * bRow[k];
+            cRow[j] = dot;
+        }
+    }
+    return c;
+}
+
+std::vector<float>
+mvm(const Matrix &a, const std::vector<float> &x)
+{
+    GOPIM_ASSERT(x.size() == a.cols(), "mvm: dimension mismatch");
+    std::vector<float> y(a.rows(), 0.0f);
+    for (size_t i = 0; i < a.rows(); ++i) {
+        const float *row = a.rowPtr(i);
+        float dot = 0.0f;
+        for (size_t j = 0; j < a.cols(); ++j)
+            dot += row[j] * x[j];
+        y[i] = dot;
+    }
+    return y;
+}
+
+Matrix
+add(const Matrix &a, const Matrix &b)
+{
+    GOPIM_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "add: shape mismatch");
+    Matrix c = a;
+    addScaled(c, b, 1.0f);
+    return c;
+}
+
+Matrix
+sub(const Matrix &a, const Matrix &b)
+{
+    GOPIM_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "sub: shape mismatch");
+    Matrix c = a;
+    addScaled(c, b, -1.0f);
+    return c;
+}
+
+void
+addScaled(Matrix &a, const Matrix &b, float s)
+{
+    GOPIM_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "addScaled: shape mismatch");
+    float *pa = a.data();
+    const float *pb = b.data();
+    for (size_t i = 0; i < a.size(); ++i)
+        pa[i] += s * pb[i];
+}
+
+void
+scale(Matrix &a, float s)
+{
+    float *p = a.data();
+    for (size_t i = 0; i < a.size(); ++i)
+        p[i] *= s;
+}
+
+void
+addRowBias(Matrix &a, const std::vector<float> &bias)
+{
+    GOPIM_ASSERT(bias.size() == a.cols(), "addRowBias: width mismatch");
+    for (size_t r = 0; r < a.rows(); ++r) {
+        float *row = a.rowPtr(r);
+        for (size_t c = 0; c < a.cols(); ++c)
+            row[c] += bias[c];
+    }
+}
+
+Matrix
+relu(const Matrix &a)
+{
+    Matrix out = a;
+    float *p = out.data();
+    for (size_t i = 0; i < out.size(); ++i)
+        p[i] = std::max(p[i], 0.0f);
+    return out;
+}
+
+Matrix
+reluBackward(const Matrix &grad, const Matrix &input)
+{
+    GOPIM_ASSERT(grad.rows() == input.rows() &&
+                     grad.cols() == input.cols(),
+                 "reluBackward: shape mismatch");
+    Matrix out = grad;
+    float *p = out.data();
+    const float *in = input.data();
+    for (size_t i = 0; i < out.size(); ++i)
+        if (in[i] <= 0.0f)
+            p[i] = 0.0f;
+    return out;
+}
+
+Matrix
+softmaxRows(const Matrix &logits)
+{
+    Matrix out = logits;
+    for (size_t r = 0; r < out.rows(); ++r) {
+        float *row = out.rowPtr(r);
+        float maxVal = row[0];
+        for (size_t c = 1; c < out.cols(); ++c)
+            maxVal = std::max(maxVal, row[c]);
+        float sum = 0.0f;
+        for (size_t c = 0; c < out.cols(); ++c) {
+            row[c] = std::exp(row[c] - maxVal);
+            sum += row[c];
+        }
+        for (size_t c = 0; c < out.cols(); ++c)
+            row[c] /= sum;
+    }
+    return out;
+}
+
+float
+softmaxCrossEntropy(const Matrix &logits, const std::vector<int> &labels,
+                    const std::vector<uint32_t> &rows, Matrix *outGrad)
+{
+    GOPIM_ASSERT(labels.size() == logits.rows(),
+                 "cross entropy: one label per row required");
+    GOPIM_ASSERT(!rows.empty(), "cross entropy over empty row set");
+    if (outGrad)
+        *outGrad = Matrix(logits.rows(), logits.cols(), 0.0f);
+
+    const Matrix probs = softmaxRows(logits);
+    const float invN = 1.0f / static_cast<float>(rows.size());
+    float loss = 0.0f;
+    for (uint32_t r : rows) {
+        GOPIM_ASSERT(r < logits.rows(), "cross entropy: row out of range");
+        const int label = labels[r];
+        GOPIM_ASSERT(label >= 0 &&
+                         static_cast<size_t>(label) < logits.cols(),
+                     "cross entropy: label out of range");
+        const float p = std::max(probs(r, static_cast<size_t>(label)),
+                                 1e-12f);
+        loss -= std::log(p);
+        if (outGrad) {
+            for (size_t c = 0; c < logits.cols(); ++c)
+                (*outGrad)(r, c) = probs(r, c) * invN;
+            (*outGrad)(r, static_cast<size_t>(label)) -= invN;
+        }
+    }
+    return loss * invN;
+}
+
+double
+accuracy(const Matrix &logits, const std::vector<int> &labels,
+         const std::vector<uint32_t> &rows)
+{
+    GOPIM_ASSERT(!rows.empty(), "accuracy over empty row set");
+    size_t correct = 0;
+    for (uint32_t r : rows) {
+        const float *row = logits.rowPtr(r);
+        size_t best = 0;
+        for (size_t c = 1; c < logits.cols(); ++c)
+            if (row[c] > row[best])
+                best = c;
+        if (static_cast<int>(best) == labels[r])
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(rows.size());
+}
+
+float
+frobeniusNorm(const Matrix &a)
+{
+    double sum = 0.0;
+    const float *p = a.data();
+    for (size_t i = 0; i < a.size(); ++i)
+        sum += static_cast<double>(p[i]) * p[i];
+    return static_cast<float>(std::sqrt(sum));
+}
+
+} // namespace gopim::tensor

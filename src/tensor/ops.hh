@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Dense linear-algebra kernels and neural-network primitives over
+ * Matrix: GEMM/MVM, elementwise ops, activations, and losses.
+ */
+
+#ifndef GOPIM_TENSOR_OPS_HH
+#define GOPIM_TENSOR_OPS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace gopim::tensor {
+
+/** C = A * B. Shapes must agree (A: m x k, B: k x n). */
+Matrix matmul(const Matrix &a, const Matrix &b);
+
+/** C = A^T * B (without materializing the transpose). */
+Matrix matmulTransA(const Matrix &a, const Matrix &b);
+
+/** C = A * B^T (without materializing the transpose). */
+Matrix matmulTransB(const Matrix &a, const Matrix &b);
+
+/** y = A * x for a dense vector x (x.size() == A.cols()). */
+std::vector<float> mvm(const Matrix &a, const std::vector<float> &x);
+
+/** Element-wise sum; shapes must agree. */
+Matrix add(const Matrix &a, const Matrix &b);
+
+/** Element-wise difference a - b; shapes must agree. */
+Matrix sub(const Matrix &a, const Matrix &b);
+
+/** a += scale * b, in place; shapes must agree. */
+void addScaled(Matrix &a, const Matrix &b, float scale);
+
+/** Multiply every element by `scale`, in place. */
+void scale(Matrix &a, float scale);
+
+/** Add row vector `bias` (length cols) to every row, in place. */
+void addRowBias(Matrix &a, const std::vector<float> &bias);
+
+/** ReLU applied element-wise (returns a copy). */
+Matrix relu(const Matrix &a);
+
+/**
+ * Backward of ReLU: grad masked by the forward *input* sign
+ * (out = grad where input > 0 else 0).
+ */
+Matrix reluBackward(const Matrix &grad, const Matrix &input);
+
+/** Row-wise softmax (numerically stabilized). */
+Matrix softmaxRows(const Matrix &logits);
+
+/**
+ * Mean cross-entropy over the given rows against integer labels, and
+ * (via outGrad) the gradient w.r.t. the logits for exactly those rows
+ * (zero elsewhere). Rows not listed in `rows` do not contribute.
+ */
+float softmaxCrossEntropy(const Matrix &logits,
+                          const std::vector<int> &labels,
+                          const std::vector<uint32_t> &rows,
+                          Matrix *outGrad);
+
+/** Fraction of rows (from `rows`) whose argmax matches the label. */
+double accuracy(const Matrix &logits, const std::vector<int> &labels,
+                const std::vector<uint32_t> &rows);
+
+/** Frobenius norm. */
+float frobeniusNorm(const Matrix &a);
+
+} // namespace gopim::tensor
+
+#endif // GOPIM_TENSOR_OPS_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the simulated-annealing allocator and its
+ * relationship to the greedy (Algorithm 1) solution quality.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/annealing.hh"
+#include "alloc/dp.hh"
+#include "alloc/greedy_heap.hh"
+#include "common/rng.hh"
+#include "pipeline/stage.hh"
+
+namespace gopim::alloc {
+namespace {
+
+using pipeline::Stage;
+using pipeline::StageType;
+
+AllocationProblem
+randomProblem(uint64_t seed, size_t stages)
+{
+    Rng rng(seed);
+    AllocationProblem p;
+    for (size_t i = 0; i < stages; ++i) {
+        p.stages.push_back(
+            {static_cast<StageType>(rng.uniformInt(uint64_t{4})), 1});
+        p.scalableTimesNs.push_back(rng.uniform(1.0, 300.0));
+        p.fixedTimesNs.push_back(rng.uniform(0.0, 3.0));
+        p.crossbarsPerReplica.push_back(
+            1 + rng.uniformInt(uint64_t{20}));
+    }
+    p.spareCrossbars = 50 + rng.uniformInt(uint64_t{200});
+    p.numMicroBatches =
+        2 + static_cast<uint32_t>(rng.uniformInt(uint64_t{20}));
+    return p;
+}
+
+TEST(Annealing, RespectsBudget)
+{
+    for (uint64_t seed : {1u, 2u, 3u}) {
+        const auto p = randomProblem(seed, 6);
+        const auto result =
+            AnnealingAllocator({.iterations = 5000}).allocate(p);
+        uint64_t used = 0;
+        for (size_t i = 0; i < p.numStages(); ++i) {
+            EXPECT_GE(result.replicas[i], 1u);
+            used += static_cast<uint64_t>(result.replicas[i] - 1) *
+                    p.crossbarsPerReplica[i];
+        }
+        EXPECT_LE(used, p.spareCrossbars) << "seed " << seed;
+    }
+}
+
+TEST(Annealing, NeverWorseThanItsGreedyWarmStart)
+{
+    for (uint64_t seed : {5u, 6u, 7u, 8u}) {
+        const auto p = randomProblem(seed, 5);
+        const double greedy = makespanNs(
+            p, GreedyHeapAllocator(4096, 0.0).allocate(p).replicas);
+        const double annealed = makespanNs(
+            p, AnnealingAllocator({.iterations = 8000})
+                   .allocate(p)
+                   .replicas);
+        // Annealing keeps the best-seen state, which includes the
+        // warm start.
+        EXPECT_LE(annealed, greedy + 1e-9) << "seed " << seed;
+    }
+}
+
+TEST(Annealing, FindsOptimumOnTinyProblem)
+{
+    AllocationProblem p;
+    p.stages = {{StageType::Combination, 1},
+                {StageType::Aggregation, 1}};
+    p.scalableTimesNs = {1.0, 6.0};
+    p.fixedTimesNs = {0.0, 0.0};
+    p.crossbarsPerReplica = {1, 1};
+    p.spareCrossbars = 3;
+    p.numMicroBatches = 2;
+
+    const double optimal =
+        makespanNs(p, ExhaustiveAllocator(4).allocate(p).replicas);
+    const double annealed = makespanNs(
+        p, AnnealingAllocator({.iterations = 3000}).allocate(p)
+               .replicas);
+    EXPECT_DOUBLE_EQ(annealed, optimal);
+}
+
+TEST(Annealing, DeterministicForSameSeed)
+{
+    const auto p = randomProblem(9, 6);
+    const auto a = AnnealingAllocator({.seed = 4}).allocate(p);
+    const auto b = AnnealingAllocator({.seed = 4}).allocate(p);
+    EXPECT_EQ(a.replicas, b.replicas);
+}
+
+TEST(Annealing, GreedyIsCloseToAnnealedQuality)
+{
+    // The paper's claim: the heap greedy decides in micro/milliseconds
+    // with near-reference quality. Check the gap stays tight.
+    for (uint64_t seed : {20u, 21u, 22u}) {
+        const auto p = randomProblem(seed, 8);
+        const double greedy = makespanNs(
+            p, GreedyHeapAllocator(4096, 0.0).allocate(p).replicas);
+        const double annealed = makespanNs(
+            p, AnnealingAllocator({.iterations = 30000})
+                   .allocate(p)
+                   .replicas);
+        EXPECT_LE(greedy, annealed * 1.15) << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace gopim::alloc

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the common infrastructure: RNG determinism and
+ * distribution sanity, streaming statistics, histograms, tables, and
+ * math helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace gopim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanConverges)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(3);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t v = rng.uniformInt(uint64_t{7});
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, UniformIntRangeInclusive)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.uniformInt(int64_t{-3}, int64_t{3});
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Rng, NormalMomentsConverge)
+{
+    Rng rng(11);
+    const int n = 100000;
+    double sum = 0.0, sumSq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sumSq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sumSq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, DiscreteFollowsWeights)
+{
+    Rng rng(17);
+    std::vector<double> weights = {1.0, 3.0};
+    int ones = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ones += rng.discrete(weights) == 1;
+    EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(19);
+    std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    auto original = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(23);
+    Rng child = a.fork();
+    EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator acc;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        acc.add(x);
+    EXPECT_EQ(acc.count(), 4u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+    EXPECT_NEAR(acc.variance(), 1.25, 1e-12);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_EQ(acc.mean(), 0.0);
+    EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesCombinedStream)
+{
+    Accumulator a, b, combined;
+    Rng rng(29);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(5.0, 2.0);
+        (i % 2 ? a : b).add(x);
+        combined.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+}
+
+TEST(Histogram, CountsAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(-100.0); // clamps into the first bucket
+    h.add(100.0);  // clamps into the last bucket
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(9), 2u);
+}
+
+TEST(Histogram, QuantileMonotone)
+{
+    Histogram h(0.0, 100.0, 50);
+    Rng rng(31);
+    for (int i = 0; i < 10000; ++i)
+        h.add(rng.uniform(0.0, 100.0));
+    EXPECT_LE(h.quantile(0.25), h.quantile(0.5));
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 5.0);
+}
+
+TEST(Percentile, ExactOnSmallSamples)
+{
+    std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+}
+
+TEST(MathUtils, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 5), 0u);
+    EXPECT_EQ(ceilDiv(1, 5), 1u);
+    EXPECT_EQ(ceilDiv(5, 5), 1u);
+    EXPECT_EQ(ceilDiv(6, 5), 2u);
+    EXPECT_EQ(ceilDiv(4267, 64), 67u);
+}
+
+TEST(MathUtils, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({10.0, 1000.0}), 100.0, 1e-9);
+}
+
+TEST(MathUtils, ExpectedDistinctBuckets)
+{
+    // No draws -> no buckets hit; many draws -> all buckets hit.
+    EXPECT_DOUBLE_EQ(expectedDistinctBuckets(0.0, 100.0), 0.0);
+    EXPECT_NEAR(expectedDistinctBuckets(1e6, 100.0), 100.0, 1e-6);
+    // One draw hits exactly one bucket.
+    EXPECT_NEAR(expectedDistinctBuckets(1.0, 100.0), 1.0, 1e-9);
+    // Monotone in draws.
+    EXPECT_LT(expectedDistinctBuckets(10.0, 100.0),
+              expectedDistinctBuckets(20.0, 100.0));
+}
+
+TEST(Table, RendersAllCells)
+{
+    Table t("demo", {"a", "b"});
+    t.row().cell("x").cell(1.5, 1);
+    t.row().cell("y").cell(uint64_t{7});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    Table t("", {"name", "value"});
+    t.row().cell("has,comma").cell("has\"quote");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Format, HumanReadableUnits)
+{
+    EXPECT_EQ(formatTimeNs(12.0), "12.00 ns");
+    EXPECT_EQ(formatTimeNs(1.5e6), "1.50 ms");
+    EXPECT_EQ(formatEnergyPj(2.5e6), "2.50 uJ");
+    EXPECT_EQ(formatRatio(3.25, 2), "3.25x");
+}
+
+} // namespace
+} // namespace gopim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the command-line flag parser: declaration, both
+ * --name=value and --name value forms, type validation, defaults,
+ * positional arguments, and help generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/flags.hh"
+
+namespace gopim {
+namespace {
+
+Flags
+makeFlags()
+{
+    Flags flags("tool", "a test tool");
+    flags.addString("dataset", "ddi", "dataset name");
+    flags.addInt("epochs", 1, "training epochs");
+    flags.addDouble("theta", 0.5, "update threshold");
+    flags.addBool("csv", false, "emit csv");
+    return flags;
+}
+
+TEST(Flags, DefaultsWhenUnset)
+{
+    auto flags = makeFlags();
+    const char *argv[] = {"tool"};
+    ASSERT_TRUE(flags.parse(1, argv));
+    EXPECT_EQ(flags.getString("dataset"), "ddi");
+    EXPECT_EQ(flags.getInt("epochs"), 1);
+    EXPECT_DOUBLE_EQ(flags.getDouble("theta"), 0.5);
+    EXPECT_FALSE(flags.getBool("csv"));
+    EXPECT_FALSE(flags.isSet("dataset"));
+}
+
+TEST(Flags, EqualsForm)
+{
+    auto flags = makeFlags();
+    const char *argv[] = {"tool", "--dataset=collab", "--epochs=5",
+                          "--theta=0.8", "--csv=true"};
+    ASSERT_TRUE(flags.parse(5, argv));
+    EXPECT_EQ(flags.getString("dataset"), "collab");
+    EXPECT_EQ(flags.getInt("epochs"), 5);
+    EXPECT_DOUBLE_EQ(flags.getDouble("theta"), 0.8);
+    EXPECT_TRUE(flags.getBool("csv"));
+    EXPECT_TRUE(flags.isSet("dataset"));
+}
+
+TEST(Flags, SpaceSeparatedForm)
+{
+    auto flags = makeFlags();
+    const char *argv[] = {"tool", "--dataset", "ppa", "--epochs",
+                          "-3"};
+    ASSERT_TRUE(flags.parse(5, argv));
+    EXPECT_EQ(flags.getString("dataset"), "ppa");
+    EXPECT_EQ(flags.getInt("epochs"), -3);
+}
+
+TEST(Flags, BareBoolSetsTrue)
+{
+    auto flags = makeFlags();
+    const char *argv[] = {"tool", "--csv"};
+    ASSERT_TRUE(flags.parse(2, argv));
+    EXPECT_TRUE(flags.getBool("csv"));
+}
+
+TEST(Flags, PositionalArgumentsCollected)
+{
+    auto flags = makeFlags();
+    const char *argv[] = {"tool", "input.el", "--epochs=2",
+                          "output.bin"};
+    ASSERT_TRUE(flags.parse(4, argv));
+    ASSERT_EQ(flags.positional().size(), 2u);
+    EXPECT_EQ(flags.positional()[0], "input.el");
+    EXPECT_EQ(flags.positional()[1], "output.bin");
+}
+
+TEST(Flags, HelpReturnsFalse)
+{
+    auto flags = makeFlags();
+    const char *argv[] = {"tool", "--help"};
+    EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(Flags, HelpTextMentionsEveryFlag)
+{
+    const auto text = makeFlags().helpText();
+    for (const char *name : {"dataset", "epochs", "theta", "csv"})
+        EXPECT_NE(text.find(name), std::string::npos) << name;
+}
+
+TEST(FlagsDeath, UnknownFlagIsFatal)
+{
+    auto flags = makeFlags();
+    const char *argv[] = {"tool", "--bogus=1"};
+    EXPECT_DEATH(flags.parse(2, argv), "unknown flag");
+}
+
+TEST(FlagsDeath, BadIntIsFatal)
+{
+    auto flags = makeFlags();
+    const char *argv[] = {"tool", "--epochs=three"};
+    EXPECT_DEATH(flags.parse(2, argv), "integer");
+}
+
+TEST(FlagsDeath, BadDoubleIsFatal)
+{
+    auto flags = makeFlags();
+    const char *argv[] = {"tool", "--theta=half"};
+    EXPECT_DEATH(flags.parse(2, argv), "number");
+}
+
+TEST(FlagsDeath, MissingValueIsFatal)
+{
+    auto flags = makeFlags();
+    const char *argv[] = {"tool", "--dataset"};
+    EXPECT_DEATH(flags.parse(2, argv), "expects a value");
+}
+
+} // namespace
+} // namespace gopim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the ASCII Gantt renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/gantt.hh"
+#include "pipeline/schedule.hh"
+#include "pipeline/stage.hh"
+
+namespace gopim::pipeline {
+namespace {
+
+TEST(Gantt, ContainsAllStageLabels)
+{
+    const auto stages = buildTrainingStages(2);
+    std::vector<double> times(stages.size(), 1.0);
+    times[1] = 5.0;
+    const auto schedule = schedulePipelined(times, 4);
+    const auto text = renderGantt(stages, schedule);
+    for (const auto &s : stages)
+        EXPECT_NE(text.find(s.label()), std::string::npos)
+            << s.label();
+}
+
+TEST(Gantt, RowsMatchStagesAndWidth)
+{
+    const auto stages = buildTrainingStages(1);
+    const std::vector<double> times = {1.0, 2.0, 1.0, 1.0};
+    const auto schedule = schedulePipelined(times, 3);
+    GanttOptions options;
+    options.width = 40;
+    const auto text = renderGantt(stages, schedule, options);
+
+    size_t rows = 0;
+    size_t barCols = 0;
+    std::istringstream lines(text);
+    std::string line;
+    std::getline(lines, line); // header
+    while (std::getline(lines, line)) {
+        ++rows;
+        const auto open = line.find('|');
+        const auto close = line.rfind('|');
+        ASSERT_NE(open, std::string::npos);
+        barCols = close - open - 1;
+    }
+    EXPECT_EQ(rows, stages.size());
+    EXPECT_EQ(barCols, options.width);
+}
+
+TEST(Gantt, SerialShowsNoOverlap)
+{
+    const auto stages = buildTrainingStages(1);
+    const std::vector<double> times = {1.0, 1.0, 1.0, 1.0};
+    const auto schedule = scheduleSerial(times, 2);
+    const auto text = renderGantt(stages, schedule);
+
+    // In a serial schedule no two stages are busy in the same column:
+    // per character column at most one non-'.' across stage rows.
+    std::vector<std::string> bars;
+    std::istringstream lines(text);
+    std::string line;
+    std::getline(lines, line);
+    while (std::getline(lines, line)) {
+        const auto open = line.find('|');
+        bars.push_back(line.substr(open + 1,
+                                   line.rfind('|') - open - 1));
+    }
+    for (size_t c = 0; c < bars.front().size(); ++c) {
+        int busy = 0;
+        for (const auto &bar : bars)
+            busy += bar[c] != '.';
+        EXPECT_LE(busy, 1) << "column " << c;
+    }
+}
+
+TEST(Gantt, ElidesExcessMicroBatches)
+{
+    const auto stages = buildTrainingStages(1);
+    const std::vector<double> times = {1.0, 1.0, 1.0, 1.0};
+    const auto schedule = schedulePipelined(times, 100);
+    GanttOptions options;
+    options.maxMicroBatches = 8;
+    const auto text = renderGantt(stages, schedule, options);
+    EXPECT_NE(text.find("first 8 of 100"), std::string::npos);
+}
+
+} // namespace
+} // namespace gopim::pipeline

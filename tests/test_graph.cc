@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Unit tests for the graph substrate: CSR construction, generators
+ * (degree targets, determinism), the Table III dataset catalog, and
+ * sparsification utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hh"
+#include "graph/datasets.hh"
+#include "graph/generators.hh"
+#include "graph/graph.hh"
+#include "graph/sparsify.hh"
+
+namespace gopim::graph {
+namespace {
+
+Graph
+triangleWithTail()
+{
+    // 0-1, 1-2, 2-0 triangle plus 2-3 tail.
+    return Graph::fromEdges(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+}
+
+TEST(Graph, CsrBasics)
+{
+    const Graph g = triangleWithTail();
+    EXPECT_EQ(g.numVertices(), 4u);
+    EXPECT_EQ(g.numEdges(), 4u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(2), 3u);
+    EXPECT_EQ(g.degree(3), 1u);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 0)); // symmetrized
+    EXPECT_FALSE(g.hasEdge(0, 3));
+}
+
+TEST(Graph, DuplicateEdgesRemoved)
+{
+    const Graph g =
+        Graph::fromEdges(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, SelfLoopCountedOnce)
+{
+    const Graph g = Graph::fromEdges(2, {{0, 0}, {0, 1}});
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.degree(0), 2u); // self loop + edge to 1
+}
+
+TEST(Graph, NeighborsSorted)
+{
+    const Graph g = Graph::fromEdges(5, {{2, 4}, {2, 0}, {2, 3}});
+    const auto nbrs = g.neighbors(2);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    EXPECT_EQ(nbrs.size(), 3u);
+}
+
+TEST(Graph, AverageDegreeAndDensity)
+{
+    const Graph g = triangleWithTail();
+    EXPECT_DOUBLE_EQ(g.averageDegree(), 2.0); // 8 directed / 4
+    EXPECT_DOUBLE_EQ(g.density(), 4.0 / 6.0);
+}
+
+TEST(Graph, VerticesByDegreeDescIsStable)
+{
+    const Graph g = triangleWithTail();
+    const auto order = g.verticesByDegreeDesc();
+    EXPECT_EQ(order.front(), 2u); // degree 3
+    EXPECT_EQ(order.back(), 3u);  // degree 1
+    // Equal degrees (0 and 1) keep id order.
+    EXPECT_LT(std::find(order.begin(), order.end(), 0u),
+              std::find(order.begin(), order.end(), 1u));
+}
+
+TEST(Graph, StatsMatchGraph)
+{
+    const Graph g = triangleWithTail();
+    const GraphStats s = computeStats(g);
+    EXPECT_EQ(s.numVertices, 4u);
+    EXPECT_EQ(s.numEdges, 4u);
+    EXPECT_DOUBLE_EQ(s.avgDegree, 2.0);
+    EXPECT_DOUBLE_EQ(s.maxDegree, 3.0);
+    EXPECT_NEAR(s.sparsity(), 1.0 - 8.0 / 16.0, 1e-12);
+}
+
+TEST(Generators, PowerLawSequenceHitsTargetMean)
+{
+    Rng rng(3);
+    const auto degrees =
+        powerLawDegreeSequence(50000, 40.0, 2.1, 5000, rng);
+    const double avg =
+        std::accumulate(degrees.begin(), degrees.end(), 0.0) /
+        static_cast<double>(degrees.size());
+    EXPECT_NEAR(avg, 40.0, 4.0);
+    // Power law implies heavy skew: max far above the mean.
+    const auto maxDeg = *std::max_element(degrees.begin(), degrees.end());
+    EXPECT_GT(maxDeg, 200u);
+    for (auto d : degrees)
+        EXPECT_GE(d, 1u);
+}
+
+TEST(Generators, PowerLawDeterministicPerSeed)
+{
+    Rng a(7), b(7);
+    EXPECT_EQ(powerLawDegreeSequence(100, 5.0, 2.1, 50, a),
+              powerLawDegreeSequence(100, 5.0, 2.1, 50, b));
+}
+
+TEST(Generators, ChungLuApproximatesTargets)
+{
+    Rng rng(11);
+    const auto targets = powerLawDegreeSequence(20000, 16.0, 2.1,
+                                                2000, rng);
+    const Graph g = chungLu(targets, rng);
+    EXPECT_EQ(g.numVertices(), 20000u);
+    const double targetAvg =
+        std::accumulate(targets.begin(), targets.end(), 0.0) /
+        static_cast<double>(targets.size());
+    EXPECT_NEAR(g.averageDegree(), targetAvg, targetAvg * 0.25);
+}
+
+TEST(Generators, ErdosRenyiEdgeCount)
+{
+    Rng rng(13);
+    const Graph g = erdosRenyi(2000, 0.01, rng);
+    const double expected = 0.01 * 2000.0 * 1999.0 / 2.0;
+    EXPECT_NEAR(static_cast<double>(g.numEdges()), expected,
+                expected * 0.1);
+}
+
+TEST(Generators, ErdosRenyiZeroProbability)
+{
+    Rng rng(17);
+    const Graph g = erdosRenyi(100, 0.0, rng);
+    EXPECT_EQ(g.numEdges(), 0u);
+}
+
+TEST(Generators, PlantedPartitionFavorsIntraClassEdges)
+{
+    Rng rng(19);
+    const auto data = plantedPartition(300, 3, 0.2, 0.01, rng);
+    EXPECT_EQ(data.labels.size(), 300u);
+    uint64_t intra = 0, inter = 0;
+    for (VertexId u = 0; u < data.graph.numVertices(); ++u)
+        for (VertexId v : data.graph.neighbors(u))
+            (data.labels[u] == data.labels[v] ? intra : inter)++;
+    EXPECT_GT(intra, inter * 3);
+}
+
+TEST(Generators, DegreeCorrectedPartitionProducesHubs)
+{
+    Rng rng(23);
+    const auto data =
+        degreeCorrectedPartition(3000, 4, 12.0, 2.1, 0.1, rng);
+    EXPECT_EQ(data.numClasses, 4);
+    const auto degrees = data.graph.degrees();
+    const auto maxDeg =
+        *std::max_element(degrees.begin(), degrees.end());
+    const double avg = data.graph.averageDegree();
+    EXPECT_GT(maxDeg, avg * 5);
+    EXPECT_NEAR(avg, 12.0 * 2.0 / 2.0, 6.0); // roughly the target
+}
+
+TEST(Catalog, TableThreeContents)
+{
+    const auto &all = DatasetCatalog::all();
+    ASSERT_EQ(all.size(), 7u);
+    const auto &ddi = DatasetCatalog::byName("ddi");
+    EXPECT_EQ(ddi.numVertices, 4267u);
+    EXPECT_EQ(ddi.numEdges, 1334889u);
+    EXPECT_DOUBLE_EQ(ddi.avgDegree, 500.5);
+    EXPECT_EQ(ddi.featureDim, 256u);
+    EXPECT_EQ(ddi.task, TaskType::LinkPrediction);
+    EXPECT_FALSE(ddi.isSparse());
+
+    const auto &cora = DatasetCatalog::byName("Cora");
+    EXPECT_TRUE(cora.isSparse());
+    EXPECT_EQ(cora.featureDim, 1433u);
+
+    const auto &products = DatasetCatalog::byName("products");
+    EXPECT_EQ(products.numVertices, 2449029u);
+}
+
+TEST(Catalog, SetsMatchPaper)
+{
+    EXPECT_EQ(DatasetCatalog::figure13Set().size(), 5u);
+    EXPECT_EQ(DatasetCatalog::motivationSet().size(), 6u);
+}
+
+TEST(Catalog, DegreeSequenceMatchesSpec)
+{
+    Rng rng(29);
+    const auto &collab = DatasetCatalog::byName("collab");
+    const auto degrees =
+        DatasetCatalog::degreeSequence(collab, 0.1, rng);
+    EXPECT_EQ(degrees.size(),
+              static_cast<size_t>(collab.numVertices / 10));
+    const double avg =
+        std::accumulate(degrees.begin(), degrees.end(), 0.0) /
+        static_cast<double>(degrees.size());
+    EXPECT_NEAR(avg, collab.avgDegree, collab.avgDegree * 0.2);
+}
+
+TEST(Catalog, MaterializeSmallScale)
+{
+    Rng rng(31);
+    const auto &ddi = DatasetCatalog::byName("ddi");
+    const Graph g = DatasetCatalog::materialize(ddi, 0.25, rng);
+    EXPECT_NEAR(static_cast<double>(g.numVertices()),
+                ddi.numVertices * 0.25, 2.0);
+    EXPECT_GT(g.averageDegree(), ddi.avgDegree * 0.3);
+}
+
+TEST(Catalog, ScaledPreservesAvgDegree)
+{
+    const auto &ppa = DatasetCatalog::byName("ppa");
+    const auto half = DatasetCatalog::scaled(ppa, 0.5);
+    EXPECT_EQ(half.numVertices, ppa.numVertices / 2);
+    EXPECT_DOUBLE_EQ(half.avgDegree, ppa.avgDegree);
+}
+
+TEST(Sparsify, DropEdgesKeepsRoughFraction)
+{
+    Rng rng(37);
+    const Graph g = erdosRenyi(1000, 0.02, rng);
+    const Graph h = dropEdges(g, 0.5, rng);
+    EXPECT_NEAR(static_cast<double>(h.numEdges()),
+                static_cast<double>(g.numEdges()) * 0.5,
+                static_cast<double>(g.numEdges()) * 0.1);
+    EXPECT_EQ(h.numVertices(), g.numVertices());
+}
+
+TEST(Sparsify, KeepTopEdgesPrefersHighDegreeEndpoints)
+{
+    Rng rng(41);
+    const auto targets =
+        powerLawDegreeSequence(2000, 10.0, 2.1, 500, rng);
+    const Graph g = chungLu(targets, rng);
+    const Graph h = keepTopEdgesByDegreeProduct(g, 0.3);
+    EXPECT_NEAR(static_cast<double>(h.numEdges()),
+                static_cast<double>(g.numEdges()) * 0.3, 2.0);
+
+    // Surviving endpoints should be biased toward high degrees.
+    double avgDegKept = 0.0;
+    uint64_t endpoints = 0;
+    for (VertexId u = 0; u < h.numVertices(); ++u) {
+        for (VertexId v : h.neighbors(u)) {
+            avgDegKept += g.degree(v);
+            ++endpoints;
+        }
+    }
+    ASSERT_GT(endpoints, 0u);
+    avgDegKept /= static_cast<double>(endpoints);
+    EXPECT_GT(avgDegKept, g.averageDegree());
+}
+
+TEST(Sparsify, PruneLowDegreeVertices)
+{
+    const Graph g = triangleWithTail();
+    const Graph h = pruneLowDegreeVertices(g, 2);
+    // Vertex 3 (degree 1) loses its edge; the triangle survives.
+    EXPECT_EQ(h.numEdges(), 3u);
+    EXPECT_EQ(h.degree(3), 0u);
+    EXPECT_EQ(h.numVertices(), g.numVertices());
+}
+
+} // namespace
+} // namespace gopim::graph

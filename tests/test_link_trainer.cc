@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the link-prediction trainer: AUC computation, edge
+ * splitting, learning on structured graphs, and the selective-update
+ * staleness emulation on the link task.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "gcn/link_trainer.hh"
+#include "graph/generators.hh"
+
+namespace gopim::gcn {
+namespace {
+
+TEST(RocAuc, PerfectSeparation)
+{
+    EXPECT_DOUBLE_EQ(rocAuc({2.0f, 3.0f}, {0.0f, 1.0f}), 1.0);
+    EXPECT_DOUBLE_EQ(rocAuc({0.0f, 1.0f}, {2.0f, 3.0f}), 0.0);
+}
+
+TEST(RocAuc, ChanceAndTies)
+{
+    // Identical scores: every comparison is a tie -> 0.5.
+    EXPECT_DOUBLE_EQ(rocAuc({1.0f, 1.0f}, {1.0f, 1.0f}), 0.5);
+    // Interleaved scores.
+    EXPECT_DOUBLE_EQ(rocAuc({1.0f, 3.0f}, {0.0f, 2.0f}), 0.75);
+}
+
+TEST(RocAuc, RandomScoresNearHalf)
+{
+    Rng rng(3);
+    std::vector<float> pos, neg;
+    for (int i = 0; i < 4000; ++i) {
+        pos.push_back(static_cast<float>(rng.uniform()));
+        neg.push_back(static_cast<float>(rng.uniform()));
+    }
+    EXPECT_NEAR(rocAuc(pos, neg), 0.5, 0.03);
+}
+
+class LinkTrainerTest : public ::testing::Test
+{
+  protected:
+    LinkTrainerTest()
+    {
+        Rng rng(41);
+        // Community structure makes links predictable.
+        data_ = graph::degreeCorrectedPartition(500, 4, 14.0, 2.1,
+                                                0.05, rng);
+    }
+
+    graph::LabeledGraph data_;
+};
+
+TEST_F(LinkTrainerTest, SplitsEdges)
+{
+    TrainerConfig cfg;
+    LinkPredictionTrainer trainer(data_.graph, cfg, 0.2);
+    EXPECT_NEAR(static_cast<double>(trainer.testEdgeCount()),
+                static_cast<double>(data_.graph.numEdges()) * 0.2,
+                2.0);
+    EXPECT_EQ(trainer.trainEdgeCount() + trainer.testEdgeCount(),
+              data_.graph.numEdges());
+}
+
+TEST_F(LinkTrainerTest, LearnsAboveChance)
+{
+    TrainerConfig cfg;
+    cfg.epochs = 40;
+    cfg.featureDim = 16;
+    cfg.hiddenChannels = 16;
+    LinkPredictionTrainer trainer(data_.graph, cfg);
+    const auto result = trainer.train({});
+    ASSERT_EQ(result.lossHistory.size(), 40u);
+    EXPECT_LT(result.lossHistory.back(),
+              result.lossHistory.front());
+    EXPECT_GT(result.bestTestAuc, 0.70);
+}
+
+TEST_F(LinkTrainerTest, SelectiveUpdatingCostsLittleAuc)
+{
+    TrainerConfig cfg;
+    cfg.epochs = 40;
+    cfg.featureDim = 16;
+    cfg.hiddenChannels = 16;
+    LinkPredictionTrainer trainer(data_.graph, cfg);
+    const auto full = trainer.train({});
+    const auto selective = trainer.train(
+        {.enabled = true, .theta = 0.5, .coldPeriod = 20});
+    EXPECT_GT(selective.bestTestAuc, full.bestTestAuc - 0.06);
+}
+
+TEST_F(LinkTrainerTest, DeterministicForSameSeed)
+{
+    TrainerConfig cfg;
+    cfg.epochs = 10;
+    LinkPredictionTrainer a(data_.graph, cfg), b(data_.graph, cfg);
+    EXPECT_DOUBLE_EQ(a.train({}).finalTestAuc,
+                     b.train({}).finalTestAuc);
+}
+
+} // namespace
+} // namespace gopim::gcn

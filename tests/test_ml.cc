@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Unit tests for the ML library: data handling, metrics, and every
+ * regressor family (fit quality on synthetic functions, determinism,
+ * interface contracts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "ml/bayes.hh"
+#include "ml/data.hh"
+#include "ml/gbt.hh"
+#include "ml/linear.hh"
+#include "ml/metrics.hh"
+#include "ml/mlp.hh"
+#include "ml/svr.hh"
+#include "ml/tree.hh"
+
+namespace gopim::ml {
+namespace {
+
+/** y = 2 x0 - 3 x1 + 1 with optional noise. */
+Dataset
+linearData(size_t n, double noise, uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset data;
+    for (size_t i = 0; i < n; ++i) {
+        const float x0 = static_cast<float>(rng.uniform(-2.0, 2.0));
+        const float x1 = static_cast<float>(rng.uniform(-2.0, 2.0));
+        const double y =
+            2.0 * x0 - 3.0 * x1 + 1.0 + rng.normal(0.0, noise);
+        data.append({x0, x1}, y);
+    }
+    return data;
+}
+
+/** Nonlinear target: y = sin(2 x0) + x1^2. */
+Dataset
+nonlinearData(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset data;
+    for (size_t i = 0; i < n; ++i) {
+        const float x0 = static_cast<float>(rng.uniform(-2.0, 2.0));
+        const float x1 = static_cast<float>(rng.uniform(-2.0, 2.0));
+        data.append({x0, x1}, std::sin(2.0 * x0) + x1 * x1);
+    }
+    return data;
+}
+
+TEST(Data, AppendGrowsMatrix)
+{
+    Dataset d;
+    d.append({1.0f, 2.0f}, 3.0);
+    d.append({4.0f, 5.0f}, 6.0);
+    EXPECT_EQ(d.size(), 2u);
+    EXPECT_EQ(d.numFeatures(), 2u);
+    EXPECT_FLOAT_EQ(d.x(1, 0), 4.0f);
+    EXPECT_DOUBLE_EQ(d.y[1], 6.0);
+}
+
+TEST(Data, TrainTestSplitPartition)
+{
+    const Dataset d = linearData(100, 0.0, 1);
+    Rng rng(2);
+    const Split split = trainTestSplit(d, 0.8, rng);
+    EXPECT_EQ(split.train.size(), 80u);
+    EXPECT_EQ(split.test.size(), 20u);
+    EXPECT_EQ(split.train.numFeatures(), 2u);
+}
+
+TEST(Data, StandardScalerNormalizes)
+{
+    const Dataset d = linearData(500, 0.0, 3);
+    StandardScaler scaler;
+    scaler.fit(d.x);
+    const auto scaled = scaler.transform(d.x);
+    for (size_t c = 0; c < scaled.cols(); ++c) {
+        double sum = 0.0, sumSq = 0.0;
+        for (size_t r = 0; r < scaled.rows(); ++r) {
+            sum += scaled(r, c);
+            sumSq += static_cast<double>(scaled(r, c)) * scaled(r, c);
+        }
+        const double mean = sum / static_cast<double>(scaled.rows());
+        const double var =
+            sumSq / static_cast<double>(scaled.rows()) - mean * mean;
+        EXPECT_NEAR(mean, 0.0, 1e-4);
+        EXPECT_NEAR(var, 1.0, 1e-3);
+    }
+}
+
+TEST(Metrics, KnownValues)
+{
+    const std::vector<double> truth = {1.0, 2.0, 3.0};
+    const std::vector<double> pred = {1.0, 2.0, 5.0};
+    EXPECT_NEAR(rmse(truth, pred), std::sqrt(4.0 / 3.0), 1e-12);
+    EXPECT_NEAR(mae(truth, pred), 2.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(rmse(truth, truth), 0.0);
+    EXPECT_DOUBLE_EQ(r2(truth, truth), 1.0);
+    EXPECT_LT(r2(truth, pred), 1.0);
+}
+
+TEST(Metrics, MapeSkipsZeroTruth)
+{
+    EXPECT_NEAR(mape({0.0, 2.0}, {5.0, 1.0}), 0.5, 1e-12);
+}
+
+TEST(Linear, RecoversExactCoefficients)
+{
+    const Dataset d = linearData(200, 0.0, 5);
+    LinearRegressor lr(0.0);
+    lr.fit(d);
+    EXPECT_NEAR(lr.weights()[0], 2.0, 1e-3);
+    EXPECT_NEAR(lr.weights()[1], -3.0, 1e-3);
+    EXPECT_NEAR(lr.bias(), 1.0, 1e-3);
+    EXPECT_NEAR(lr.predict({1.0f, 1.0f}), 0.0, 1e-3);
+}
+
+TEST(Linear, RidgeShrinksWeights)
+{
+    const Dataset d = linearData(100, 0.1, 7);
+    LinearRegressor plain(1e-9), ridged(100.0);
+    plain.fit(d);
+    ridged.fit(d);
+    EXPECT_LT(std::fabs(ridged.weights()[0]),
+              std::fabs(plain.weights()[0]));
+}
+
+TEST(Linear, SolveSpdKnownSystem)
+{
+    // [[4,1],[1,3]] x = [1,2] -> x = [1/11, 7/11].
+    const auto x = solveSpd({4, 1, 1, 3}, {1, 2}, 2);
+    EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-12);
+    EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-12);
+}
+
+TEST(Tree, FitsPiecewiseConstantExactly)
+{
+    Dataset d;
+    for (int i = 0; i < 50; ++i) {
+        const float x = static_cast<float>(i);
+        d.append({x}, x < 25.0f ? 10.0 : 20.0);
+    }
+    DecisionTreeRegressor tree({.maxDepth = 3, .minSamplesLeaf = 1,
+                                .minImpurityDecrease = 1e-12});
+    tree.fit(d);
+    EXPECT_NEAR(tree.predict({5.0f}), 10.0, 1e-9);
+    EXPECT_NEAR(tree.predict({40.0f}), 20.0, 1e-9);
+    EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(Tree, RespectsMinSamplesLeaf)
+{
+    const Dataset d = linearData(40, 0.0, 9);
+    DecisionTreeRegressor tree({.maxDepth = 20, .minSamplesLeaf = 10,
+                                .minImpurityDecrease = 1e-12});
+    tree.fit(d);
+    // With 40 samples and >= 10 per leaf, at most 4 leaves -> 7 nodes.
+    EXPECT_LE(tree.nodeCount(), 7u);
+}
+
+TEST(Tree, BetterThanMeanOnNonlinear)
+{
+    const Dataset train = nonlinearData(500, 11);
+    const Dataset test = nonlinearData(200, 12);
+    DecisionTreeRegressor tree;
+    tree.fit(train);
+    const auto pred = tree.predictAll(test.x);
+
+    double meanTarget = 0.0;
+    for (double y : train.y)
+        meanTarget += y;
+    meanTarget /= static_cast<double>(train.size());
+    const std::vector<double> baseline(test.size(), meanTarget);
+
+    EXPECT_LT(rmse(test.y, pred), rmse(test.y, baseline) * 0.5);
+}
+
+TEST(Gbt, OutperformsSingleTree)
+{
+    const Dataset train = nonlinearData(600, 13);
+    const Dataset test = nonlinearData(200, 14);
+
+    DecisionTreeRegressor tree({.maxDepth = 4, .minSamplesLeaf = 3,
+                                .minImpurityDecrease = 1e-12});
+    tree.fit(train);
+    GradientBoostedTrees gbt({.numTrees = 60, .learningRate = 0.15});
+    gbt.fit(train);
+    EXPECT_EQ(gbt.treeCount(), 60u);
+
+    const double treeRmse = rmse(test.y, tree.predictAll(test.x));
+    const double gbtRmse = rmse(test.y, gbt.predictAll(test.x));
+    EXPECT_LT(gbtRmse, treeRmse);
+}
+
+TEST(Svr, FitsLinearFunction)
+{
+    const Dataset train = linearData(300, 0.02, 15);
+    const Dataset test = linearData(100, 0.0, 16);
+    LinearSvr svr({.epsilon = 0.01,
+                   .c = 10.0,
+                   .epochs = 300,
+                   .learningRate = 0.01,
+                   .seed = 7});
+    svr.fit(train);
+    EXPECT_LT(rmse(test.y, svr.predictAll(test.x)), 0.25);
+}
+
+TEST(Bayes, PredictsBinnedMeans)
+{
+    // Single informative feature.
+    Dataset d;
+    Rng rng(17);
+    for (int i = 0; i < 400; ++i) {
+        const float x = static_cast<float>(rng.uniform(0.0, 1.0));
+        d.append({x}, x < 0.5f ? 1.0 : 3.0);
+    }
+    BinnedBayesRegressor br({.binsPerFeature = 8, .priorStrength = 1.0});
+    br.fit(d);
+    EXPECT_NEAR(br.predict({0.1f}), 1.0, 0.2);
+    EXPECT_NEAR(br.predict({0.9f}), 3.0, 0.2);
+}
+
+TEST(Mlp, FitsLinearFunction)
+{
+    const Dataset train = linearData(400, 0.0, 19);
+    const Dataset test = linearData(100, 0.0, 20);
+    MlpRegressor mlp({.hiddenLayers = {32},
+                      .epochs = 200,
+                      .batchSize = 32,
+                      .learningRate = 1e-3,
+                      .weightDecay = 0.0,
+                      .seed = 3});
+    mlp.fit(train);
+    EXPECT_LT(rmse(test.y, mlp.predictAll(test.x)), 0.3);
+}
+
+TEST(Mlp, FitsNonlinearBetterThanLinearModel)
+{
+    const Dataset train = nonlinearData(800, 21);
+    const Dataset test = nonlinearData(200, 22);
+
+    LinearRegressor lr;
+    lr.fit(train);
+    MlpRegressor mlp({.hiddenLayers = {64},
+                      .epochs = 300,
+                      .batchSize = 32,
+                      .learningRate = 2e-3,
+                      .weightDecay = 0.0,
+                      .seed = 5});
+    mlp.fit(train);
+
+    EXPECT_LT(rmse(test.y, mlp.predictAll(test.x)),
+              rmse(test.y, lr.predictAll(test.x)) * 0.5);
+}
+
+TEST(Mlp, NameReflectsLayerCount)
+{
+    MlpRegressor three({.hiddenLayers = {256}});
+    MlpRegressor five({.hiddenLayers = {64, 64, 64}});
+    EXPECT_EQ(three.name(), "MLP-3");
+    EXPECT_EQ(five.name(), "MLP-5");
+}
+
+TEST(Mlp, ParameterCountMatchesArchitecture)
+{
+    const Dataset d = linearData(50, 0.0, 23);
+    MlpRegressor mlp({.hiddenLayers = {8}, .epochs = 1});
+    mlp.fit(d);
+    // 2 -> 8 -> 1: (2*8 + 8) + (8*1 + 1) = 33.
+    EXPECT_EQ(mlp.parameterCount(), 33u);
+    EXPECT_EQ(mlp.layerCount(), 2u);
+}
+
+TEST(Mlp, DeterministicForSameSeed)
+{
+    const Dataset d = linearData(100, 0.05, 24);
+    MlpRegressor a({.hiddenLayers = {16}, .epochs = 50, .seed = 9});
+    MlpRegressor b({.hiddenLayers = {16}, .epochs = 50, .seed = 9});
+    a.fit(d);
+    b.fit(d);
+    EXPECT_DOUBLE_EQ(a.predict({0.5f, 0.5f}), b.predict({0.5f, 0.5f}));
+}
+
+TEST(Regressors, PredictAllMatchesPredict)
+{
+    const Dataset d = linearData(60, 0.0, 25);
+    LinearRegressor lr;
+    lr.fit(d);
+    const auto all = lr.predictAll(d.x);
+    std::vector<float> row(d.numFeatures());
+    for (size_t i = 0; i < d.size(); ++i) {
+        row.assign(d.x.rowPtr(i), d.x.rowPtr(i) + d.numFeatures());
+        EXPECT_DOUBLE_EQ(all[i], lr.predict(row));
+    }
+}
+
+} // namespace
+} // namespace gopim::ml

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the ensemble/lazy regressors added beyond the Fig. 9
+ * core zoo: kNN and random forest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "ml/forest.hh"
+#include "ml/knn.hh"
+#include "ml/metrics.hh"
+#include "ml/tree.hh"
+
+namespace gopim::ml {
+namespace {
+
+Dataset
+waveData(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset data;
+    for (size_t i = 0; i < n; ++i) {
+        const float x0 = static_cast<float>(rng.uniform(-3.0, 3.0));
+        const float x1 = static_cast<float>(rng.uniform(-3.0, 3.0));
+        data.append({x0, x1}, std::sin(x0) + 0.5 * std::cos(2 * x1));
+    }
+    return data;
+}
+
+TEST(Knn, ExactNeighborRecovery)
+{
+    Dataset d;
+    d.append({0.0f}, 1.0);
+    d.append({10.0f}, 2.0);
+    d.append({20.0f}, 3.0);
+    KnnRegressor knn({.k = 1});
+    knn.fit(d);
+    EXPECT_DOUBLE_EQ(knn.predict({0.1f}), 1.0);
+    EXPECT_DOUBLE_EQ(knn.predict({19.0f}), 3.0);
+}
+
+TEST(Knn, KLargerThanDatasetClamps)
+{
+    Dataset d;
+    d.append({0.0f}, 2.0);
+    d.append({1.0f}, 4.0);
+    KnnRegressor knn({.k = 50, .distanceWeighted = false});
+    knn.fit(d);
+    EXPECT_DOUBLE_EQ(knn.predict({0.5f}), 3.0); // plain mean of both
+}
+
+TEST(Knn, DistanceWeightingPullsTowardNearest)
+{
+    Dataset d;
+    d.append({0.0f}, 0.0);
+    d.append({1.0f}, 10.0);
+    KnnRegressor weighted({.k = 2, .distanceWeighted = true});
+    KnnRegressor plain({.k = 2, .distanceWeighted = false});
+    weighted.fit(d);
+    plain.fit(d);
+    EXPECT_DOUBLE_EQ(plain.predict({0.1f}), 5.0);
+    EXPECT_LT(weighted.predict({0.1f}), 2.0);
+}
+
+TEST(Knn, InterpolatesSmoothFunction)
+{
+    const Dataset train = waveData(800, 3);
+    const Dataset test = waveData(200, 4);
+    KnnRegressor knn({.k = 5});
+    knn.fit(train);
+    EXPECT_LT(rmse(test.y, knn.predictAll(test.x)), 0.2);
+}
+
+TEST(Forest, BeatsSingleTreeOnNoisyData)
+{
+    Rng rng(5);
+    Dataset train = waveData(600, 7);
+    for (auto &y : train.y)
+        y += rng.normal(0.0, 0.3); // label noise
+    const Dataset test = waveData(200, 8);
+
+    DecisionTreeRegressor tree(
+        {.maxDepth = 12, .minSamplesLeaf = 1,
+         .minImpurityDecrease = 1e-12});
+    tree.fit(train);
+    RandomForestRegressor forest({.numTrees = 40});
+    forest.fit(train);
+    EXPECT_EQ(forest.treeCount(), 40u);
+
+    const double treeRmse = rmse(test.y, tree.predictAll(test.x));
+    const double forestRmse = rmse(test.y, forest.predictAll(test.x));
+    // Bagging averages out the noise a deep single tree memorizes.
+    EXPECT_LT(forestRmse, treeRmse);
+}
+
+TEST(Forest, DeterministicForSameSeed)
+{
+    const Dataset d = waveData(100, 9);
+    RandomForestRegressor a({.numTrees = 10, .seed = 42});
+    RandomForestRegressor b({.numTrees = 10, .seed = 42});
+    a.fit(d);
+    b.fit(d);
+    EXPECT_DOUBLE_EQ(a.predict({0.5f, 0.5f}), b.predict({0.5f, 0.5f}));
+}
+
+TEST(Forest, NamesAndInterface)
+{
+    EXPECT_EQ(RandomForestRegressor().name(), "RF");
+    EXPECT_EQ(KnnRegressor().name(), "KNN");
+}
+
+} // namespace
+} // namespace gopim::ml

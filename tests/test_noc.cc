@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the NoC substrate: mesh topology arithmetic, XY hop
+ * counts, message latency/energy, reduction trees, and traffic
+ * patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "noc/router.hh"
+#include "noc/topology.hh"
+#include "noc/traffic.hh"
+
+namespace gopim::noc {
+namespace {
+
+TEST(Topology, CoordinateRoundTrip)
+{
+    const MeshTopology mesh(4, 3);
+    EXPECT_EQ(mesh.tileCount(), 12u);
+    for (uint64_t id = 0; id < mesh.tileCount(); ++id)
+        EXPECT_EQ(mesh.idOf(mesh.coordOf(id)), id);
+    EXPECT_EQ(mesh.coordOf(5).x, 1u);
+    EXPECT_EQ(mesh.coordOf(5).y, 1u);
+}
+
+TEST(Topology, ManhattanHops)
+{
+    const MeshTopology mesh(4, 4);
+    EXPECT_EQ(mesh.hops(0, 0), 0u);
+    EXPECT_EQ(mesh.hops(0, 3), 3u);    // same row
+    EXPECT_EQ(mesh.hops(0, 12), 3u);   // same column
+    EXPECT_EQ(mesh.hops(0, 15), 6u);   // opposite corner = diameter
+    EXPECT_EQ(mesh.hops(15, 0), 6u);   // symmetric
+    EXPECT_EQ(mesh.diameter(), 6u);
+}
+
+TEST(Topology, ForTileCountCoversRequest)
+{
+    for (uint64_t tiles : {1u, 2u, 5u, 16u, 100u, 1000u}) {
+        const auto mesh = MeshTopology::forTileCount(tiles);
+        EXPECT_GE(mesh.tileCount(), tiles) << tiles;
+        // Near-square: aspect ratio bounded.
+        EXPECT_LE(mesh.cols(), mesh.rows() * 2 + 1) << tiles;
+    }
+}
+
+TEST(Topology, MeanHopsMatchesExhaustive)
+{
+    const MeshTopology mesh(5, 3);
+    double total = 0.0;
+    for (uint64_t a = 0; a < mesh.tileCount(); ++a)
+        for (uint64_t b = 0; b < mesh.tileCount(); ++b)
+            total += mesh.hops(a, b);
+    const double exhaustive =
+        total / static_cast<double>(mesh.tileCount() *
+                                    mesh.tileCount());
+    EXPECT_NEAR(mesh.meanHops(), exhaustive, 1e-9);
+}
+
+TEST(Router, MessageLatencyComponents)
+{
+    const NocModel model(MeshTopology(4, 4));
+    const auto &p = model.params();
+    EXPECT_DOUBLE_EQ(model.messageLatencyNs(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(model.messageLatencyNs(3, 64),
+                     3 * p.hopLatencyNs + 64.0 / p.linkBytesPerNs);
+    // Monotone in both arguments.
+    EXPECT_LT(model.messageLatencyNs(1, 64),
+              model.messageLatencyNs(2, 64));
+    EXPECT_LT(model.messageLatencyNs(2, 64),
+              model.messageLatencyNs(2, 128));
+}
+
+TEST(Router, MessageEnergyScalesWithHopBytes)
+{
+    const NocModel model(MeshTopology(4, 4));
+    EXPECT_DOUBLE_EQ(model.messageEnergyPj(2, 100),
+                     model.messageEnergyPj(1, 200));
+    EXPECT_DOUBLE_EQ(model.messageEnergyPj(0, 100), 0.0);
+}
+
+TEST(Router, ReductionTreeDepthLogarithmic)
+{
+    const NocModel model(MeshTopology(32, 32));
+    EXPECT_DOUBLE_EQ(model.reductionLatencyNs(1, 64), 0.0);
+    const double two = model.reductionLatencyNs(2, 64);
+    const double four = model.reductionLatencyNs(4, 64);
+    const double sixteen = model.reductionLatencyNs(16, 64);
+    EXPECT_GT(two, 0.0);
+    EXPECT_GT(four, two);
+    EXPECT_GT(sixteen, four);
+    // log-ish growth: 16 tiles is far less than 8x the 2-tile cost.
+    EXPECT_LT(sixteen, two * 8.0);
+}
+
+TEST(Router, ReductionEnergyCountsAllMessages)
+{
+    const NocModel model(MeshTopology(8, 8));
+    EXPECT_DOUBLE_EQ(model.reductionEnergyPj(1, 64), 0.0);
+    // Energy grows roughly linearly with participants (n-1 merges).
+    const double e4 = model.reductionEnergyPj(4, 64);
+    const double e16 = model.reductionEnergyPj(16, 64);
+    EXPECT_GT(e16, e4 * 2.0);
+}
+
+TEST(Traffic, RecorderAccumulates)
+{
+    const NocModel model(MeshTopology(4, 4));
+    TrafficRecorder recorder(model);
+    recorder.record(0, 15, 128); // 6 hops
+    recorder.record(0, 0, 64);   // 0 hops
+    EXPECT_EQ(recorder.stats().messages, 2u);
+    EXPECT_EQ(recorder.stats().bytes, 192u);
+    EXPECT_EQ(recorder.stats().hopBytes, 6u * 128);
+    EXPECT_GT(recorder.stats().energyPj, 0.0);
+    recorder.reset();
+    EXPECT_EQ(recorder.stats().messages, 0u);
+}
+
+TEST(Traffic, UniformMatchesMeanHops)
+{
+    const NocModel model(MeshTopology(8, 8));
+    TrafficRecorder recorder(model);
+    Rng rng(3);
+    uniformRandomTraffic(recorder, 20000, 64, rng);
+    EXPECT_EQ(recorder.stats().messages, 20000u);
+    EXPECT_NEAR(recorder.stats().avgHops(),
+                model.topology().meanHops(), 0.15);
+}
+
+TEST(Traffic, HotspotShortensOrLengthensTowardCorner)
+{
+    const NocModel model(MeshTopology(8, 8));
+    Rng rngA(5), rngB(5);
+    TrafficRecorder uniform(model), hotspot(model);
+    uniformRandomTraffic(uniform, 20000, 64, rngA);
+    hotspotTraffic(hotspot, 20000, 64, 0.9, rngB);
+    // Targeting corner tile 0 from uniform sources gives mean hops
+    // (cols-1)/2 + (rows-1)/2 = 7, above uniform's ~5.25.
+    EXPECT_GT(hotspot.stats().avgHops(), uniform.stats().avgHops());
+}
+
+} // namespace
+} // namespace gopim::noc

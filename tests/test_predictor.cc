@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the time predictor: Table I feature extraction, data
+ * generation, MLP predictor accuracy against the simulator's ground
+ * truth, and the profiling baseline's cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gcn/time_model.hh"
+#include "gcn/workload.hh"
+#include "ml/metrics.hh"
+#include "predictor/datagen.hh"
+#include "predictor/features.hh"
+#include "predictor/predictor.hh"
+#include "reram/config.hh"
+
+namespace gopim::predictor {
+namespace {
+
+gcn::StageTimeModel
+makeModel()
+{
+    return gcn::StageTimeModel(
+        reram::AcceleratorConfig::paperDefault());
+}
+
+TEST(Features, TableOneExtraction)
+{
+    const auto w = gcn::Workload::paperDefault("ddi");
+    const auto f = extractFeatures(w, 1);
+    EXPECT_DOUBLE_EQ(f.rIfmCo, 64.0);   // micro-batch rows
+    EXPECT_DOUBLE_EQ(f.cIfmCo, 256.0);  // F_in
+    EXPECT_DOUBLE_EQ(f.rWCo, 256.0);
+    EXPECT_DOUBLE_EQ(f.cWCo, 256.0);
+    EXPECT_DOUBLE_EQ(f.cAAg, 4267.0);   // |V|
+    EXPECT_DOUBLE_EQ(f.rFAg, 4267.0);
+    EXPECT_DOUBLE_EQ(f.cFAg, 256.0);
+    EXPECT_DOUBLE_EQ(f.layer, 1.0);
+    EXPECT_GT(f.sparsity, 0.8);
+    EXPECT_LT(f.sparsity, 1.0);
+}
+
+TEST(Features, VectorHasTenEntries)
+{
+    const auto w = gcn::Workload::paperDefault("collab");
+    const auto v = extractFeatures(w, 2).toVector();
+    EXPECT_EQ(v.size(), LayerFeatures::kNumFeatures);
+    // Log scaling keeps magnitudes modest.
+    for (float x : v)
+        EXPECT_LT(std::fabs(x), 10.0f);
+}
+
+TEST(Datagen, RandomizerCoversParameterSpace)
+{
+    WorkloadRandomizer randomizer(5);
+    uint64_t minV = UINT64_MAX, maxV = 0;
+    for (int i = 0; i < 50; ++i) {
+        const auto w = randomizer.next();
+        minV = std::min(minV, w.dataset.numVertices);
+        maxV = std::max(maxV, w.dataset.numVertices);
+        EXPECT_GE(w.model.numLayers, 2u);
+        EXPECT_LE(w.model.numLayers, 4u);
+        EXPECT_GE(w.microBatchSize, 16u);
+        EXPECT_LE(w.microBatchSize, 256u);
+    }
+    EXPECT_LT(minV, 20000u);
+    EXPECT_GT(maxV, 500000u);
+}
+
+TEST(Datagen, SamplesPerStageType)
+{
+    const auto model = makeModel();
+    const auto samples = generateSamples(model, 40, 7);
+    // Each workload contributes numLayers samples per stage type.
+    for (const auto &d : samples.perStageType) {
+        EXPECT_GT(d.size(), 40u); // at least 2 layers per workload
+        EXPECT_EQ(d.numFeatures(), LayerFeatures::kNumFeatures);
+    }
+    EXPECT_EQ(samples.totalSamples(),
+              samples.perStageType[0].size() * 4);
+}
+
+TEST(Datagen, TargetsAreLogTimes)
+{
+    const auto model = makeModel();
+    const auto samples = generateSamples(model, 20, 9);
+    for (const auto &d : samples.perStageType)
+        for (double y : d.y) {
+            EXPECT_GT(y, 0.0);   // > 1 ns
+            EXPECT_LT(y, 12.0);  // < 1000 s
+        }
+}
+
+TEST(Predictor, LearnsStageTimesAccurately)
+{
+    const auto model = makeModel();
+    const auto samples = generateSamples(model, 150, 11);
+
+    ml::MlpParams params;
+    params.hiddenLayers = {64};
+    params.epochs = 150;
+    TimePredictor predictor(params);
+    predictor.fit(samples);
+    EXPECT_TRUE(predictor.fitted());
+
+    // Evaluate on unseen workloads against the exact model.
+    const gcn::StageTimeModel &exact = model;
+    ProfilingPredictor profiling(exact);
+    WorkloadRandomizer randomizer(999);
+    std::vector<double> truth, pred;
+    for (int i = 0; i < 20; ++i) {
+        const auto w = randomizer.next();
+        const auto exactTimes = profiling.predictAllStageTimesNs(w);
+        const auto mlTimes = predictor.predictAllStageTimesNs(w);
+        for (size_t s = 0; s < exactTimes.size(); ++s) {
+            truth.push_back(std::log10(exactTimes[s]));
+            pred.push_back(std::log10(std::max(mlTimes[s], 1.0)));
+        }
+    }
+    // Within ~0.25 decades RMSE on unseen workloads (the paper reports
+    // 93.4% accuracy on unseen datasets).
+    EXPECT_LT(ml::rmse(truth, pred), 0.25);
+}
+
+TEST(Predictor, ProfilingIsExact)
+{
+    const auto model = makeModel();
+    ProfilingPredictor profiling(model);
+    const auto w = gcn::Workload::paperDefault("ddi");
+
+    const auto artifacts = gcn::MappingArtifacts::fullUpdateApprox(
+        w.dataset.numVertices, model.config().crossbar.rows);
+    gcn::ExecutionPolicy policy;
+    const auto costs = model.allCosts(w, policy, artifacts);
+    const auto times = profiling.predictAllStageTimesNs(w);
+    ASSERT_EQ(times.size(), costs.size());
+    for (size_t i = 0; i < times.size(); ++i)
+        EXPECT_DOUBLE_EQ(times[i], costs[i].totalNs());
+}
+
+TEST(Predictor, ProfilingCostMatchesPaperScale)
+{
+    // The paper reports ~1688.9 s to profile the ppa workload once.
+    const auto model = makeModel();
+    ProfilingPredictor profiling(model);
+    const auto w = gcn::Workload::paperDefault("ppa");
+    const double seconds = profiling.profilingCostSeconds(w);
+    EXPECT_GT(seconds, 100.0);
+    EXPECT_LT(seconds, 20000.0);
+}
+
+} // namespace
+} // namespace gopim::predictor

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Property-based tests: parameterized sweeps asserting invariants of
+ * the core algorithms over randomized inputs — schedule laws, tiling
+ * arithmetic, mapping balance, allocator dominance, and energy
+ * monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "alloc/basic.hh"
+#include "alloc/greedy_heap.hh"
+#include "common/rng.hh"
+#include "graph/generators.hh"
+#include "mapping/selective.hh"
+#include "mapping/tiling.hh"
+#include "mapping/vertex_map.hh"
+#include "pipeline/schedule.hh"
+#include "reram/energy.hh"
+
+namespace gopim {
+namespace {
+
+// ---------------------------------------------------------------- //
+// Schedule laws over random stage-time vectors.
+
+class ScheduleLaws : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ScheduleLaws, ClosedFormAndBounds)
+{
+    Rng rng(GetParam());
+    const size_t stages = 2 + rng.uniformInt(uint64_t{10});
+    const uint32_t b =
+        1 + static_cast<uint32_t>(rng.uniformInt(uint64_t{60}));
+    std::vector<double> times(stages);
+    double sum = 0.0, maxT = 0.0;
+    for (auto &t : times) {
+        t = rng.uniform(0.0, 100.0);
+        sum += t;
+        maxT = std::max(maxT, t);
+    }
+    if (sum == 0.0)
+        times[0] = sum = maxT = 1.0;
+
+    const auto pipe = pipeline::schedulePipelined(times, b);
+    const auto serial = pipeline::scheduleSerial(times, b);
+
+    // Law 1: recurrence equals the Eq. 6 closed form.
+    EXPECT_NEAR(pipe.makespanNs,
+                pipeline::pipelinedMakespanNs(times, b),
+                1e-9 * pipe.makespanNs + 1e-12);
+    // Law 2: pipelining never loses to serial, never beats bounds.
+    EXPECT_LE(pipe.makespanNs, serial.makespanNs + 1e-9);
+    EXPECT_GE(pipe.makespanNs, maxT * b - 1e-9);
+    EXPECT_GE(pipe.makespanNs, sum - 1e-9);
+    // Law 3: serial is exactly B times the stage sum.
+    EXPECT_NEAR(serial.makespanNs, sum * b, 1e-6);
+    // Law 4: idle fractions are well-formed and the bottleneck stage
+    // has the minimum idle fraction.
+    const size_t bottleneck = static_cast<size_t>(
+        std::max_element(times.begin(), times.end()) - times.begin());
+    for (size_t i = 0; i < stages; ++i) {
+        EXPECT_GE(pipe.idleFraction[i], 0.0);
+        EXPECT_LE(pipe.idleFraction[i], 1.0);
+        EXPECT_GE(pipe.idleFraction[i],
+                  pipe.idleFraction[bottleneck] - 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ScheduleLaws,
+                         ::testing::Range<uint64_t>(1, 25));
+
+// ---------------------------------------------------------------- //
+// Tiling arithmetic over random matrix shapes.
+
+class TilingLaws : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(TilingLaws, FootprintInvariants)
+{
+    Rng rng(GetParam() * 131);
+    const auto cfg = reram::AcceleratorConfig::paperDefault();
+    const uint64_t rows = 1 + rng.uniformInt(uint64_t{100000});
+    const uint64_t cols = 1 + rng.uniformInt(uint64_t{4096});
+    const auto fp = mapping::tileMatrix(rows, cols, cfg);
+
+    // Enough crossbars for the cells, never more than the bounding
+    // tile grid.
+    const uint64_t cells =
+        rows * cols * cfg.crossbar.slicesPerValue();
+    EXPECT_GE(fp.crossbars * cfg.crossbar.cells(), cells);
+    EXPECT_LE(fp.crossbars, fp.rowGroups * fp.colSegments);
+    // One extra row can only grow the footprint.
+    EXPECT_LE(fp.crossbars,
+              mapping::crossbarsPerReplica(rows + 1, cols, cfg));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, TilingLaws,
+                         ::testing::Range<uint64_t>(1, 20));
+
+// ---------------------------------------------------------------- //
+// Mapping balance over random degree distributions.
+
+class MappingLaws : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(MappingLaws, InterleavingNeverWorsensBalance)
+{
+    Rng rng(GetParam() * 977);
+    const uint64_t n = 256 + rng.uniformInt(uint64_t{5000});
+    const double avgDeg = rng.uniform(2.0, 200.0);
+    auto degrees = graph::powerLawDegreeSequence(
+        n, avgDeg, 2.1, static_cast<uint32_t>(n / 2), rng);
+    // Index correlation, as in real datasets.
+    std::sort(degrees.begin(), degrees.end(), std::greater<>());
+
+    const auto index = mapping::mapVertices(
+        degrees, 64, mapping::VertexMapStrategy::IndexBased);
+    const auto inter = mapping::mapVertices(
+        degrees, 64, mapping::VertexMapStrategy::Interleaved);
+
+    const auto skewIndex = mapping::minMax(
+        mapping::perGroupAvgDegree(index, degrees)).skew();
+    const auto skewInter = mapping::minMax(
+        mapping::perGroupAvgDegree(inter, degrees)).skew();
+    EXPECT_LE(skewInter, skewIndex + 1e-9);
+
+    // Selective updating: ISU's update bound never exceeds OSU's.
+    const auto important = mapping::selectImportant(degrees, 0.5);
+    const mapping::SelectiveUpdateParams params{.theta = 0.5,
+                                                .coldPeriod = 20};
+    EXPECT_LE(mapping::epochUpdateSlots(inter, important, params),
+              mapping::epochUpdateSlots(index, important, params) +
+                  1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, MappingLaws,
+                         ::testing::Range<uint64_t>(1, 15));
+
+// ---------------------------------------------------------------- //
+// Allocator dominance over random problems.
+
+class AllocatorLaws : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(AllocatorLaws, GreedyDominatesNaivePolicies)
+{
+    Rng rng(GetParam() * 389);
+    alloc::AllocationProblem p;
+    const size_t n = 2 + rng.uniformInt(uint64_t{10});
+    for (size_t i = 0; i < n; ++i) {
+        p.stages.push_back(
+            {static_cast<pipeline::StageType>(
+                 rng.uniformInt(uint64_t{4})),
+             static_cast<uint32_t>(i / 4 + 1)});
+        p.scalableTimesNs.push_back(rng.uniform(0.1, 1000.0));
+        p.fixedTimesNs.push_back(rng.uniform(0.0, 10.0));
+        p.crossbarsPerReplica.push_back(
+            1 + rng.uniformInt(uint64_t{100}));
+    }
+    p.spareCrossbars = rng.uniformInt(uint64_t{5000});
+    p.numMicroBatches =
+        1 + static_cast<uint32_t>(rng.uniformInt(uint64_t{100}));
+    p.maxUsefulReplicas = 256;
+
+    const double greedy = alloc::makespanNs(
+        p, alloc::GreedyHeapAllocator(0, 0.0).allocate(p).replicas);
+    for (const auto &result :
+         {alloc::SerialAllocator().allocate(p),
+          alloc::FixedRatioAllocator().allocate(p),
+          alloc::SpaceProportionalAllocator().allocate(p),
+          alloc::CombinationOnlyAllocator().allocate(p)}) {
+        EXPECT_LE(greedy,
+                  alloc::makespanNs(p, result.replicas) + 1e-9);
+        // Budget respected by everyone.
+        uint64_t used = 0;
+        for (size_t i = 0; i < n; ++i)
+            used += static_cast<uint64_t>(result.replicas[i] - 1) *
+                    p.crossbarsPerReplica[i];
+        EXPECT_LE(used, p.spareCrossbars);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomProblems, AllocatorLaws,
+                         ::testing::Range<uint64_t>(1, 30));
+
+// ---------------------------------------------------------------- //
+// Energy monotonicity.
+
+class EnergyLaws : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(EnergyLaws, MonotoneInEveryArgument)
+{
+    Rng rng(GetParam() * 71);
+    const reram::EnergyModel energy(
+        reram::AcceleratorConfig::paperDefault());
+    const double makespan = rng.uniform(1.0, 1e9);
+    const auto acts = rng.uniformInt(uint64_t{1000000});
+    const auto writes = rng.uniformInt(uint64_t{1000000});
+    const auto bytes = rng.uniformInt(uint64_t{1000000});
+    const double idle = rng.uniform(0.0, 1e12);
+
+    const double base =
+        energy.totalEnergyPj(makespan, acts, writes, bytes, idle);
+    EXPECT_GT(base, 0.0);
+    EXPECT_GE(energy.totalEnergyPj(makespan * 2, acts, writes, bytes,
+                                   idle),
+              base);
+    EXPECT_GE(energy.totalEnergyPj(makespan, acts + 1, writes, bytes,
+                                   idle),
+              base);
+    EXPECT_GE(energy.totalEnergyPj(makespan, acts, writes + 1, bytes,
+                                   idle),
+              base);
+    EXPECT_GE(energy.totalEnergyPj(makespan, acts, writes, bytes + 1,
+                                   idle),
+              base);
+    EXPECT_GE(energy.totalEnergyPj(makespan, acts, writes, bytes,
+                                   idle * 2 + 1.0),
+              base);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPoints, EnergyLaws,
+                         ::testing::Range<uint64_t>(1, 15));
+
+} // namespace
+} // namespace gopim

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the ReRAM device model: Table II configuration
+ * invariants, latency/energy/area arithmetic, and resource accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reram/area.hh"
+#include "reram/config.hh"
+#include "reram/energy.hh"
+#include "reram/latency.hh"
+#include "reram/resources.hh"
+
+namespace gopim::reram {
+namespace {
+
+TEST(Config, PaperDefaultMatchesTableTwo)
+{
+    const auto cfg = AcceleratorConfig::paperDefault();
+    EXPECT_EQ(cfg.crossbar.rows, 64u);
+    EXPECT_EQ(cfg.crossbar.cols, 64u);
+    EXPECT_EQ(cfg.crossbar.bitsPerCell, 2u);
+    EXPECT_DOUBLE_EQ(cfg.crossbar.readLatencyNs, 29.31);
+    EXPECT_DOUBLE_EQ(cfg.crossbar.writeLatencyNs, 50.88);
+    EXPECT_EQ(cfg.pe.crossbarsPerPe, 32u);
+    EXPECT_EQ(cfg.tile.pesPerTile, 8u);
+    EXPECT_EQ(cfg.chip.tilesPerChip, 65536u);
+}
+
+TEST(Config, DerivedQuantities)
+{
+    const auto cfg = AcceleratorConfig::paperDefault();
+    // 65536 tiles x 8 PEs x 32 crossbars = 16,777,216 crossbars.
+    EXPECT_EQ(cfg.totalCrossbars(), 16777216u);
+    // 16.7M crossbars x 4096 cells x 2 bits / 8 = 16 GiB (Table II).
+    EXPECT_EQ(cfg.capacityBytes(), 16ull * 1024 * 1024 * 1024);
+    // 16-bit inputs through 2-bit DACs: 8 bit-serial cycles.
+    EXPECT_EQ(cfg.inputCycles(), 8u);
+    // Row window: 32 crossbars x 64 rows.
+    EXPECT_EQ(cfg.windowRows(), 2048u);
+}
+
+TEST(Config, ValidateRejectsBadGeometry)
+{
+    auto cfg = AcceleratorConfig::paperDefault();
+    cfg.crossbar.valueBits = 15; // not a multiple of DAC bits
+    EXPECT_DEATH(cfg.validate(), "multiple");
+}
+
+TEST(Latency, WindowAndMvm)
+{
+    const auto cfg = AcceleratorConfig::paperDefault();
+    LatencyModel lat(cfg);
+    EXPECT_DOUBLE_EQ(lat.windowLatencyNs(), 8 * 29.31);
+    // 256 rows fit in one 2048-row window.
+    EXPECT_DOUBLE_EQ(lat.mvmLatencyNs(256), 8 * 29.31);
+    // 4267 rows need 3 windows.
+    EXPECT_DOUBLE_EQ(lat.mvmLatencyNs(4267), 3 * 8 * 29.31);
+}
+
+TEST(Latency, ReplicasDivideStreams)
+{
+    const auto cfg = AcceleratorConfig::paperDefault();
+    LatencyModel lat(cfg);
+    const double one = lat.mvmStreamLatencyNs(64, 256, 1);
+    const double four = lat.mvmStreamLatencyNs(64, 256, 4);
+    EXPECT_DOUBLE_EQ(one, 64 * 8 * 29.31);
+    EXPECT_DOUBLE_EQ(four, one / 4.0);
+}
+
+TEST(Latency, UpdateSerialWithinCrossbar)
+{
+    const auto cfg = AcceleratorConfig::paperDefault();
+    LatencyModel lat(cfg);
+    EXPECT_DOUBLE_EQ(lat.rowWriteLatencyNs(), 50.88);
+    EXPECT_DOUBLE_EQ(lat.updateLatencyNs(64), 64 * 50.88);
+    EXPECT_DOUBLE_EQ(lat.updateLatencyNs(0), 0.0);
+}
+
+TEST(Energy, EventEnergiesPositiveAndOrdered)
+{
+    const auto cfg = AcceleratorConfig::paperDefault();
+    EnergyModel energy(cfg);
+    // One activation covers a full 8-cycle bit-serial pass, so it
+    // outweighs a single row-write pulse; per unit time the write
+    // still draws 2x the crossbar read power.
+    EXPECT_GT(energy.activationEnergyPj(), 0.0);
+    EXPECT_GT(energy.rowWriteEnergyPj(), 0.0);
+    EXPECT_GT(energy.activationEnergyPj(), energy.rowWriteEnergyPj());
+    const double readCyclePj = cfg.crossbar.powerMw *
+                               cfg.crossbar.readLatencyNs /
+                               cfg.inputCycles();
+    EXPECT_GT(energy.rowWriteEnergyPj(), readCyclePj);
+    EXPECT_GT(energy.backgroundPowerMw(), 500.0); // controller alone
+}
+
+TEST(Energy, TotalDecomposes)
+{
+    const auto cfg = AcceleratorConfig::paperDefault();
+    EnergyModel energy(cfg);
+    const double onlyDynamic =
+        energy.totalEnergyPj(0.0, 100, 10, 1000, 0.0);
+    EXPECT_DOUBLE_EQ(onlyDynamic,
+                     100 * energy.activationEnergyPj() +
+                         10 * energy.rowWriteEnergyPj() +
+                         1000 * energy.bufferEnergyPerBytePj());
+
+    const double withTime =
+        energy.totalEnergyPj(1000.0, 100, 10, 1000, 0.0);
+    EXPECT_GT(withTime, onlyDynamic);
+
+    const double withIdle =
+        energy.totalEnergyPj(1000.0, 100, 10, 1000, 5000.0);
+    EXPECT_GT(withIdle, withTime);
+}
+
+TEST(Energy, IdleCrossbarsCostEnergy)
+{
+    const auto cfg = AcceleratorConfig::paperDefault();
+    EnergyModel energy(cfg);
+    // Same makespan and work, different idle integrals: more idle
+    // crossbar-time must cost more (the paper's core observation).
+    const double busy = energy.totalEnergyPj(1e6, 1000, 0, 0, 1e6);
+    const double idle = energy.totalEnergyPj(1e6, 1000, 0, 0, 1e9);
+    EXPECT_GT(idle, busy);
+}
+
+TEST(Area, RollupScalesWithHierarchy)
+{
+    const auto cfg = AcceleratorConfig::paperDefault();
+    const auto area = computeArea(cfg);
+    EXPECT_GT(area.perPeMm2, 0.0);
+    EXPECT_GT(area.perTileMm2, area.perPeMm2 * cfg.tile.pesPerTile);
+    EXPECT_GT(area.chipMm2,
+              area.perTileMm2 * static_cast<double>(
+                                    cfg.chip.tilesPerChip));
+}
+
+TEST(Resources, AllocationAccounting)
+{
+    const auto cfg = AcceleratorConfig::paperDefault();
+    ChipResources res(cfg);
+    EXPECT_EQ(res.totalCrossbars(), cfg.totalCrossbars());
+    EXPECT_EQ(res.freeCrossbars(), res.totalCrossbars());
+
+    const size_t a = res.allocate("stage0", 1000);
+    const size_t b = res.allocate("stage1", 2000);
+    EXPECT_EQ(res.allocatedCrossbars(), 3000u);
+    EXPECT_EQ(res.allocations()[a].name, "stage0");
+    EXPECT_EQ(res.allocations()[b].crossbars, 2000u);
+
+    res.reset();
+    EXPECT_EQ(res.allocatedCrossbars(), 0u);
+}
+
+TEST(Resources, OverAllocationIsFatal)
+{
+    const auto cfg = AcceleratorConfig::paperDefault();
+    ChipResources res(cfg);
+    EXPECT_DEATH(res.allocate("huge", cfg.totalCrossbars() + 1),
+                 "budget");
+}
+
+TEST(Resources, WearTracking)
+{
+    const auto cfg = AcceleratorConfig::paperDefault();
+    ChipResources res(cfg);
+    const size_t idx = res.allocate("features", 10);
+    EXPECT_DOUBLE_EQ(res.worstWearFraction(), 0.0);
+
+    // 10 crossbars x 64 rows = 640 rows; 640 writes = 1 write per row.
+    res.recordWrites(idx, 640);
+    EXPECT_EQ(res.totalRowWrites(), 640u);
+    EXPECT_NEAR(res.worstWearFraction(), 1.0 / cfg.chip.writeEndurance,
+                1e-18);
+}
+
+} // namespace
+} // namespace gopim::reram

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for the tensor substrate: matrix storage, linear algebra
+ * kernels, activations, and the softmax cross-entropy loss/gradient.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "tensor/init.hh"
+#include "tensor/matrix.hh"
+#include "tensor/ops.hh"
+
+namespace gopim::tensor {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess)
+{
+    Matrix m(2, 3, 1.5f);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.size(), 6u);
+    EXPECT_FLOAT_EQ(m(1, 2), 1.5f);
+    m(0, 1) = 2.0f;
+    EXPECT_FLOAT_EQ(m.at(0, 1), 2.0f);
+}
+
+TEST(Matrix, FromRowsAndTranspose)
+{
+    const Matrix m = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    const Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_FLOAT_EQ(t(0, 1), 4.0f);
+    EXPECT_FLOAT_EQ(t(2, 0), 3.0f);
+    EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(Matrix, MaxAbsDiff)
+{
+    Matrix a = Matrix::fromRows({{1, 2}});
+    Matrix b = Matrix::fromRows({{1.5, 2}});
+    EXPECT_FLOAT_EQ(a.maxAbsDiff(b), 0.5f);
+    EXPECT_FLOAT_EQ(a.maxAbsDiff(a), 0.0f);
+}
+
+TEST(Ops, MatmulKnownResult)
+{
+    const Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    const Matrix b = Matrix::fromRows({{5, 6}, {7, 8}});
+    const Matrix c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+    EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+    EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(Ops, TransposedMatmulsAgreeWithExplicitTranspose)
+{
+    Rng rng(5);
+    const Matrix a = uniformInit(4, 3, -1.0f, 1.0f, rng);
+    const Matrix b = uniformInit(4, 5, -1.0f, 1.0f, rng);
+    const Matrix viaHelper = matmulTransA(a, b);
+    const Matrix viaExplicit = matmul(a.transposed(), b);
+    EXPECT_LT(viaHelper.maxAbsDiff(viaExplicit), 1e-5f);
+
+    const Matrix c = uniformInit(6, 5, -1.0f, 1.0f, rng);
+    const Matrix viaHelperB = matmulTransB(b, c);
+    const Matrix viaExplicitB = matmul(b, c.transposed());
+    EXPECT_LT(viaHelperB.maxAbsDiff(viaExplicitB), 1e-5f);
+}
+
+TEST(Ops, MvmMatchesMatmul)
+{
+    Rng rng(7);
+    const Matrix a = uniformInit(3, 4, -2.0f, 2.0f, rng);
+    const std::vector<float> x = {1.0f, -1.0f, 0.5f, 2.0f};
+    const auto y = mvm(a, x);
+    Matrix xm(4, 1);
+    for (size_t i = 0; i < 4; ++i)
+        xm(i, 0) = x[i];
+    const Matrix ref = matmul(a, xm);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(y[i], ref(i, 0), 1e-5f);
+}
+
+TEST(Ops, AddSubScale)
+{
+    const Matrix a = Matrix::fromRows({{1, 2}});
+    const Matrix b = Matrix::fromRows({{3, 5}});
+    EXPECT_EQ(add(a, b), Matrix::fromRows({{4, 7}}));
+    EXPECT_EQ(sub(b, a), Matrix::fromRows({{2, 3}}));
+    Matrix c = a;
+    scale(c, 2.0f);
+    EXPECT_EQ(c, Matrix::fromRows({{2, 4}}));
+    addScaled(c, b, -1.0f);
+    EXPECT_EQ(c, Matrix::fromRows({{-1, -1}}));
+}
+
+TEST(Ops, AddRowBias)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    addRowBias(a, {10.0f, 20.0f});
+    EXPECT_EQ(a, Matrix::fromRows({{11, 22}, {13, 24}}));
+}
+
+TEST(Ops, ReluAndBackward)
+{
+    const Matrix x = Matrix::fromRows({{-1, 0, 2}});
+    const Matrix y = relu(x);
+    EXPECT_EQ(y, Matrix::fromRows({{0, 0, 2}}));
+
+    const Matrix grad = Matrix::fromRows({{5, 5, 5}});
+    const Matrix gx = reluBackward(grad, x);
+    EXPECT_EQ(gx, Matrix::fromRows({{0, 0, 5}}));
+}
+
+TEST(Ops, SoftmaxRowsSumToOne)
+{
+    Rng rng(9);
+    const Matrix logits = uniformInit(5, 7, -3.0f, 3.0f, rng);
+    const Matrix p = softmaxRows(logits);
+    for (size_t r = 0; r < p.rows(); ++r) {
+        float sum = 0.0f;
+        for (size_t c = 0; c < p.cols(); ++c) {
+            EXPECT_GT(p(r, c), 0.0f);
+            sum += p(r, c);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(Ops, SoftmaxNumericallyStableWithLargeLogits)
+{
+    const Matrix logits = Matrix::fromRows({{1000.0f, 1001.0f}});
+    const Matrix p = softmaxRows(logits);
+    EXPECT_FALSE(std::isnan(p(0, 0)));
+    EXPECT_NEAR(p(0, 0) + p(0, 1), 1.0f, 1e-5f);
+    EXPECT_GT(p(0, 1), p(0, 0));
+}
+
+TEST(Ops, CrossEntropyPerfectPredictionNearZero)
+{
+    Matrix logits = Matrix::fromRows({{20.0f, 0.0f}, {0.0f, 20.0f}});
+    const std::vector<int> labels = {0, 1};
+    const float loss =
+        softmaxCrossEntropy(logits, labels, {0, 1}, nullptr);
+    EXPECT_LT(loss, 1e-4f);
+}
+
+TEST(Ops, CrossEntropyUniformIsLogC)
+{
+    Matrix logits(1, 4, 0.0f);
+    const std::vector<int> labels = {2};
+    const float loss =
+        softmaxCrossEntropy(logits, labels, {0}, nullptr);
+    EXPECT_NEAR(loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(Ops, CrossEntropyGradientMatchesFiniteDifference)
+{
+    Rng rng(13);
+    Matrix logits = uniformInit(3, 4, -1.0f, 1.0f, rng);
+    const std::vector<int> labels = {1, 3, 0};
+    const std::vector<uint32_t> rows = {0, 1, 2};
+
+    Matrix grad;
+    softmaxCrossEntropy(logits, labels, rows, &grad);
+
+    const float eps = 1e-3f;
+    for (size_t r = 0; r < logits.rows(); ++r) {
+        for (size_t c = 0; c < logits.cols(); ++c) {
+            Matrix plus = logits, minus = logits;
+            plus(r, c) += eps;
+            minus(r, c) -= eps;
+            const float lp =
+                softmaxCrossEntropy(plus, labels, rows, nullptr);
+            const float lm =
+                softmaxCrossEntropy(minus, labels, rows, nullptr);
+            const float numeric = (lp - lm) / (2 * eps);
+            EXPECT_NEAR(grad(r, c), numeric, 2e-3f)
+                << "at (" << r << "," << c << ")";
+        }
+    }
+}
+
+TEST(Ops, CrossEntropyGradientZeroOutsideMask)
+{
+    Matrix logits = Matrix::fromRows({{1, 2}, {3, 4}});
+    Matrix grad;
+    softmaxCrossEntropy(logits, {0, 1}, {0}, &grad);
+    EXPECT_FLOAT_EQ(grad(1, 0), 0.0f);
+    EXPECT_FLOAT_EQ(grad(1, 1), 0.0f);
+}
+
+TEST(Ops, AccuracyCountsArgmaxHits)
+{
+    const Matrix logits =
+        Matrix::fromRows({{0.9f, 0.1f}, {0.2f, 0.8f}, {0.6f, 0.4f}});
+    const std::vector<int> labels = {0, 1, 1};
+    EXPECT_DOUBLE_EQ(accuracy(logits, labels, {0, 1, 2}), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(accuracy(logits, labels, {0, 1}), 1.0);
+}
+
+TEST(Ops, FrobeniusNorm)
+{
+    const Matrix m = Matrix::fromRows({{3, 4}});
+    EXPECT_NEAR(frobeniusNorm(m), 5.0f, 1e-6f);
+}
+
+TEST(Init, XavierBoundsRespected)
+{
+    Rng rng(17);
+    const size_t in = 50, out = 70;
+    const Matrix w = xavierUniform(in, out, rng);
+    const float bound = std::sqrt(6.0f / (in + out));
+    for (size_t i = 0; i < w.size(); ++i) {
+        EXPECT_GE(w.data()[i], -bound);
+        EXPECT_LE(w.data()[i], bound);
+    }
+}
+
+TEST(Init, HeNormalVariance)
+{
+    Rng rng(19);
+    const Matrix w = heNormal(200, 200, rng);
+    double sumSq = 0.0;
+    for (size_t i = 0; i < w.size(); ++i)
+        sumSq += static_cast<double>(w.data()[i]) * w.data()[i];
+    const double variance = sumSq / static_cast<double>(w.size());
+    EXPECT_NEAR(variance, 2.0 / 200.0, 2e-3);
+}
+
+} // namespace
+} // namespace gopim::tensor

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * gopim_sim: command-line driver for the simulator. Runs any of the
+ * named systems on any catalog dataset (or a user edge-list file),
+ * printing the makespan, energy, allocation, idle profile, and
+ * optionally a Gantt chart or CSV row — the everyday entry point for
+ * downstream users.
+ */
+
+#include <iostream>
+
+#include "common/flags.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/accelerator.hh"
+#include "core/harness.hh"
+#include "core/report.hh"
+#include "core/systems.hh"
+#include "gcn/workload.hh"
+#include "graph/datasets.hh"
+#include "graph/io.hh"
+#include "pipeline/gantt.hh"
+
+namespace {
+
+using namespace gopim;
+
+core::SystemKind
+systemByName(const std::string &name)
+{
+    for (auto kind :
+         {core::SystemKind::Serial, core::SystemKind::SlimGnnLike,
+          core::SystemKind::ReGraphX, core::SystemKind::ReFlip,
+          core::SystemKind::GoPimVanilla, core::SystemKind::GoPim,
+          core::SystemKind::PlusPP, core::SystemKind::PlusISU,
+          core::SystemKind::Naive}) {
+        if (toString(kind) == name)
+            return kind;
+    }
+    fatal("unknown system '", name,
+          "' (try GoPIM, Serial, SlimGNN-like, ReGraphX, ReFlip, "
+          "GoPIM-Vanilla)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags flags("gopim_sim",
+                "run a GoPIM accelerator system on a GCN workload");
+    flags.addString("dataset", "ddi",
+                    "catalog dataset name (Table III)");
+    flags.addString("graph", "",
+                    "optional edge-list file overriding the catalog "
+                    "graph statistics");
+    flags.addString("system", "GoPIM", "system to simulate");
+    flags.addString("baseline", "Serial",
+                    "system to normalize speedup/energy against");
+    flags.addInt("micro-batch", 64, "micro-batch size");
+    flags.addInt("epochs", 1, "training epochs simulated");
+    flags.addDouble("theta", 0.0,
+                    "selective update threshold (0 = adaptive rule)");
+    flags.addBool("gantt", false, "render the pipeline Gantt chart");
+    flags.addBool("csv", false, "emit one CSV row instead of tables");
+    flags.addBool("json", false,
+                  "emit the full run result as JSON instead of "
+                  "tables");
+    flags.addInt("seed", 1, "profile generation seed");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    auto workload = gcn::Workload::paperDefault(
+        flags.getString("dataset"));
+    workload.microBatchSize =
+        static_cast<uint32_t>(flags.getInt("micro-batch"));
+    workload.epochs = static_cast<uint32_t>(flags.getInt("epochs"));
+    workload.seed = static_cast<uint64_t>(flags.getInt("seed"));
+
+    if (!flags.getString("graph").empty()) {
+        const auto g = graph::loadEdgeList(flags.getString("graph"));
+        workload.dataset.name = flags.getString("graph");
+        workload.dataset.numVertices = g.numVertices();
+        workload.dataset.numEdges = g.numEdges();
+        workload.dataset.avgDegree = g.averageDegree();
+    }
+
+    core::ComparisonHarness harness;
+    auto system = core::makeSystem(
+        systemByName(flags.getString("system")));
+    if (flags.getDouble("theta") > 0.0) {
+        system.policy.selectiveUpdate = true;
+        system.policy.theta = flags.getDouble("theta");
+    }
+
+    const auto profile =
+        gcn::VertexProfile::build(workload.dataset, workload.seed);
+    core::Accelerator accel(harness.hardware(), system);
+    const auto run = accel.run(workload, profile);
+    const auto baseline = harness.runOne(
+        systemByName(flags.getString("baseline")), workload);
+
+    if (flags.getBool("json")) {
+        core::writeRunJson(run, std::cout);
+        std::cout << "\n";
+        return 0;
+    }
+
+    if (flags.getBool("csv")) {
+        std::cout << "dataset,system,makespan_ns,energy_pj,speedup,"
+                     "energy_saving,crossbars,avg_idle\n"
+                  << run.datasetName << ',' << run.systemName << ','
+                  << run.makespanNs << ',' << run.energyPj << ','
+                  << run.speedupOver(baseline) << ','
+                  << run.energySavingOver(baseline) << ','
+                  << run.totalCrossbars << ','
+                  << run.avgIdleFraction << "\n";
+        return 0;
+    }
+
+    std::cout << run.systemName << " on " << run.datasetName << " ("
+              << workload.dataset.numVertices << " vertices, "
+              << workload.model.numLayers << "-layer GCN, micro-batch "
+              << workload.microBatchSize << ")\n\n";
+    std::cout << "makespan      : " << formatTimeNs(run.makespanNs)
+              << "\n";
+    std::cout << "energy        : " << formatEnergyPj(run.energyPj)
+              << "\n";
+    std::cout << "vs " << baseline.systemName << "     : "
+              << formatRatio(run.speedupOver(baseline)) << " speedup, "
+              << formatRatio(run.energySavingOver(baseline))
+              << " energy saving\n";
+    std::cout << "crossbars     : " << run.totalCrossbars << " of "
+              << harness.hardware().totalCrossbars() << "\n";
+    std::cout << "avg idle      : " << run.avgIdleFraction * 100.0
+              << "%\n\n";
+
+    Table stagesTable("per-stage allocation",
+                      {"stage", "replicas", "crossbars", "time/mb",
+                       "idle %"});
+    for (size_t i = 0; i < run.stages.size(); ++i) {
+        stagesTable.row()
+            .cell(run.stages[i].label())
+            .cell(static_cast<uint64_t>(run.replicas[i]))
+            .cell(run.stageCrossbars[i])
+            .cell(formatTimeNs(run.stageTimesNs[i]))
+            .cell(run.idleFraction[i] * 100.0, 1);
+    }
+    stagesTable.print(std::cout);
+
+    if (flags.getBool("gantt")) {
+        const auto schedule = pipeline::schedulePipelined(
+            run.stageTimesNs,
+            std::min(workload.microBatchesPerEpoch() * workload.epochs,
+                     16u));
+        std::cout << '\n'
+                  << pipeline::renderGantt(run.stages, schedule);
+    }
+    return 0;
+}
