@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_device_noise.dir/ablation_device_noise.cc.o"
+  "CMakeFiles/ablation_device_noise.dir/ablation_device_noise.cc.o.d"
+  "ablation_device_noise"
+  "ablation_device_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_device_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eventdriven.dir/ablation_eventdriven.cc.o"
+  "CMakeFiles/ablation_eventdriven.dir/ablation_eventdriven.cc.o.d"
+  "ablation_eventdriven"
+  "ablation_eventdriven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eventdriven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_isu.dir/ablation_isu.cc.o"
+  "CMakeFiles/ablation_isu.dir/ablation_isu.cc.o.d"
+  "ablation_isu"
+  "ablation_isu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_isu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_alloc_example.dir/fig05_alloc_example.cc.o"
+  "CMakeFiles/fig05_alloc_example.dir/fig05_alloc_example.cc.o.d"
+  "fig05_alloc_example"
+  "fig05_alloc_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_alloc_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_osu_example.dir/fig07_osu_example.cc.o"
+  "CMakeFiles/fig07_osu_example.dir/fig07_osu_example.cc.o.d"
+  "fig07_osu_example"
+  "fig07_osu_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_osu_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_predictor_rmse.dir/fig09_predictor_rmse.cc.o"
+  "CMakeFiles/fig09_predictor_rmse.dir/fig09_predictor_rmse.cc.o.d"
+  "fig09_predictor_rmse"
+  "fig09_predictor_rmse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_predictor_rmse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_idle_batches.dir/fig15_idle_batches.cc.o"
+  "CMakeFiles/fig15_idle_batches.dir/fig15_idle_batches.cc.o.d"
+  "fig15_idle_batches"
+  "fig15_idle_batches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_idle_batches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table02_config.cc" "bench/CMakeFiles/table02_config.dir/table02_config.cc.o" "gcc" "bench/CMakeFiles/table02_config.dir/table02_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gopim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_eventsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_gcn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_reram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

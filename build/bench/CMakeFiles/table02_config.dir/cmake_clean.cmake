@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_config.dir/table02_config.cc.o"
+  "CMakeFiles/table02_config.dir/table02_config.cc.o.d"
+  "table02_config"
+  "table02_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_allocation.dir/table06_allocation.cc.o"
+  "CMakeFiles/table06_allocation.dir/table06_allocation.cc.o.d"
+  "table06_allocation"
+  "table06_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_ml_vs_profiling.dir/table07_ml_vs_profiling.cc.o"
+  "CMakeFiles/table07_ml_vs_profiling.dir/table07_ml_vs_profiling.cc.o.d"
+  "table07_ml_vs_profiling"
+  "table07_ml_vs_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_ml_vs_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

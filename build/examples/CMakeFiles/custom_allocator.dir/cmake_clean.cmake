@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_allocator.dir/custom_allocator.cc.o"
+  "CMakeFiles/custom_allocator.dir/custom_allocator.cc.o.d"
+  "custom_allocator"
+  "custom_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

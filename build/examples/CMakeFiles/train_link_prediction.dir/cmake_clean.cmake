@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_link_prediction.dir/train_link_prediction.cc.o"
+  "CMakeFiles/train_link_prediction.dir/train_link_prediction.cc.o.d"
+  "train_link_prediction"
+  "train_link_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_link_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

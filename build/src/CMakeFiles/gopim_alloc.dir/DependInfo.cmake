@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocator.cc" "src/CMakeFiles/gopim_alloc.dir/alloc/allocator.cc.o" "gcc" "src/CMakeFiles/gopim_alloc.dir/alloc/allocator.cc.o.d"
+  "/root/repo/src/alloc/annealing.cc" "src/CMakeFiles/gopim_alloc.dir/alloc/annealing.cc.o" "gcc" "src/CMakeFiles/gopim_alloc.dir/alloc/annealing.cc.o.d"
+  "/root/repo/src/alloc/basic.cc" "src/CMakeFiles/gopim_alloc.dir/alloc/basic.cc.o" "gcc" "src/CMakeFiles/gopim_alloc.dir/alloc/basic.cc.o.d"
+  "/root/repo/src/alloc/dp.cc" "src/CMakeFiles/gopim_alloc.dir/alloc/dp.cc.o" "gcc" "src/CMakeFiles/gopim_alloc.dir/alloc/dp.cc.o.d"
+  "/root/repo/src/alloc/greedy_heap.cc" "src/CMakeFiles/gopim_alloc.dir/alloc/greedy_heap.cc.o" "gcc" "src/CMakeFiles/gopim_alloc.dir/alloc/greedy_heap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gopim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_pipeline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

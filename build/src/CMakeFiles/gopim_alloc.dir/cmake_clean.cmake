@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gopim_alloc.dir/alloc/allocator.cc.o"
+  "CMakeFiles/gopim_alloc.dir/alloc/allocator.cc.o.d"
+  "CMakeFiles/gopim_alloc.dir/alloc/annealing.cc.o"
+  "CMakeFiles/gopim_alloc.dir/alloc/annealing.cc.o.d"
+  "CMakeFiles/gopim_alloc.dir/alloc/basic.cc.o"
+  "CMakeFiles/gopim_alloc.dir/alloc/basic.cc.o.d"
+  "CMakeFiles/gopim_alloc.dir/alloc/dp.cc.o"
+  "CMakeFiles/gopim_alloc.dir/alloc/dp.cc.o.d"
+  "CMakeFiles/gopim_alloc.dir/alloc/greedy_heap.cc.o"
+  "CMakeFiles/gopim_alloc.dir/alloc/greedy_heap.cc.o.d"
+  "libgopim_alloc.a"
+  "libgopim_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gopim_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gopim_common.dir/common/flags.cc.o"
+  "CMakeFiles/gopim_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/gopim_common.dir/common/logging.cc.o"
+  "CMakeFiles/gopim_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/gopim_common.dir/common/math_utils.cc.o"
+  "CMakeFiles/gopim_common.dir/common/math_utils.cc.o.d"
+  "CMakeFiles/gopim_common.dir/common/rng.cc.o"
+  "CMakeFiles/gopim_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/gopim_common.dir/common/stats.cc.o"
+  "CMakeFiles/gopim_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/gopim_common.dir/common/table.cc.o"
+  "CMakeFiles/gopim_common.dir/common/table.cc.o.d"
+  "libgopim_common.a"
+  "libgopim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gopim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

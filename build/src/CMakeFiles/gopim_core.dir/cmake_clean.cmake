@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gopim_core.dir/core/accelerator.cc.o"
+  "CMakeFiles/gopim_core.dir/core/accelerator.cc.o.d"
+  "CMakeFiles/gopim_core.dir/core/harness.cc.o"
+  "CMakeFiles/gopim_core.dir/core/harness.cc.o.d"
+  "CMakeFiles/gopim_core.dir/core/report.cc.o"
+  "CMakeFiles/gopim_core.dir/core/report.cc.o.d"
+  "CMakeFiles/gopim_core.dir/core/result.cc.o"
+  "CMakeFiles/gopim_core.dir/core/result.cc.o.d"
+  "CMakeFiles/gopim_core.dir/core/systems.cc.o"
+  "CMakeFiles/gopim_core.dir/core/systems.cc.o.d"
+  "libgopim_core.a"
+  "libgopim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gopim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

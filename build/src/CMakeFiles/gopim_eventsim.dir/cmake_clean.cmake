@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gopim_eventsim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/gopim_eventsim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/gopim_eventsim.dir/sim/pipeline_sim.cc.o"
+  "CMakeFiles/gopim_eventsim.dir/sim/pipeline_sim.cc.o.d"
+  "libgopim_eventsim.a"
+  "libgopim_eventsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gopim_eventsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

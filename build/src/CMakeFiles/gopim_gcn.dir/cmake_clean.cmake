@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gopim_gcn.dir/gcn/link_trainer.cc.o"
+  "CMakeFiles/gopim_gcn.dir/gcn/link_trainer.cc.o.d"
+  "CMakeFiles/gopim_gcn.dir/gcn/model.cc.o"
+  "CMakeFiles/gopim_gcn.dir/gcn/model.cc.o.d"
+  "CMakeFiles/gopim_gcn.dir/gcn/time_model.cc.o"
+  "CMakeFiles/gopim_gcn.dir/gcn/time_model.cc.o.d"
+  "CMakeFiles/gopim_gcn.dir/gcn/trainer.cc.o"
+  "CMakeFiles/gopim_gcn.dir/gcn/trainer.cc.o.d"
+  "CMakeFiles/gopim_gcn.dir/gcn/workload.cc.o"
+  "CMakeFiles/gopim_gcn.dir/gcn/workload.cc.o.d"
+  "libgopim_gcn.a"
+  "libgopim_gcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gopim_gcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

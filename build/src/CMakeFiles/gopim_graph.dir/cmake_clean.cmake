@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gopim_graph.dir/graph/analysis.cc.o"
+  "CMakeFiles/gopim_graph.dir/graph/analysis.cc.o.d"
+  "CMakeFiles/gopim_graph.dir/graph/datasets.cc.o"
+  "CMakeFiles/gopim_graph.dir/graph/datasets.cc.o.d"
+  "CMakeFiles/gopim_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/gopim_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/gopim_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/gopim_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/gopim_graph.dir/graph/io.cc.o"
+  "CMakeFiles/gopim_graph.dir/graph/io.cc.o.d"
+  "CMakeFiles/gopim_graph.dir/graph/sparsify.cc.o"
+  "CMakeFiles/gopim_graph.dir/graph/sparsify.cc.o.d"
+  "libgopim_graph.a"
+  "libgopim_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gopim_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

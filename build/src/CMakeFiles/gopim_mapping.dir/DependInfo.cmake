@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/selective.cc" "src/CMakeFiles/gopim_mapping.dir/mapping/selective.cc.o" "gcc" "src/CMakeFiles/gopim_mapping.dir/mapping/selective.cc.o.d"
+  "/root/repo/src/mapping/tiling.cc" "src/CMakeFiles/gopim_mapping.dir/mapping/tiling.cc.o" "gcc" "src/CMakeFiles/gopim_mapping.dir/mapping/tiling.cc.o.d"
+  "/root/repo/src/mapping/vertex_map.cc" "src/CMakeFiles/gopim_mapping.dir/mapping/vertex_map.cc.o" "gcc" "src/CMakeFiles/gopim_mapping.dir/mapping/vertex_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gopim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_reram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gopim_mapping.dir/mapping/selective.cc.o"
+  "CMakeFiles/gopim_mapping.dir/mapping/selective.cc.o.d"
+  "CMakeFiles/gopim_mapping.dir/mapping/tiling.cc.o"
+  "CMakeFiles/gopim_mapping.dir/mapping/tiling.cc.o.d"
+  "CMakeFiles/gopim_mapping.dir/mapping/vertex_map.cc.o"
+  "CMakeFiles/gopim_mapping.dir/mapping/vertex_map.cc.o.d"
+  "libgopim_mapping.a"
+  "libgopim_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gopim_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

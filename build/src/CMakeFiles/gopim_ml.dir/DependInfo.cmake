@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/bayes.cc" "src/CMakeFiles/gopim_ml.dir/ml/bayes.cc.o" "gcc" "src/CMakeFiles/gopim_ml.dir/ml/bayes.cc.o.d"
+  "/root/repo/src/ml/data.cc" "src/CMakeFiles/gopim_ml.dir/ml/data.cc.o" "gcc" "src/CMakeFiles/gopim_ml.dir/ml/data.cc.o.d"
+  "/root/repo/src/ml/forest.cc" "src/CMakeFiles/gopim_ml.dir/ml/forest.cc.o" "gcc" "src/CMakeFiles/gopim_ml.dir/ml/forest.cc.o.d"
+  "/root/repo/src/ml/gbt.cc" "src/CMakeFiles/gopim_ml.dir/ml/gbt.cc.o" "gcc" "src/CMakeFiles/gopim_ml.dir/ml/gbt.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/CMakeFiles/gopim_ml.dir/ml/knn.cc.o" "gcc" "src/CMakeFiles/gopim_ml.dir/ml/knn.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/CMakeFiles/gopim_ml.dir/ml/linear.cc.o" "gcc" "src/CMakeFiles/gopim_ml.dir/ml/linear.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/gopim_ml.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/gopim_ml.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/CMakeFiles/gopim_ml.dir/ml/mlp.cc.o" "gcc" "src/CMakeFiles/gopim_ml.dir/ml/mlp.cc.o.d"
+  "/root/repo/src/ml/regressor.cc" "src/CMakeFiles/gopim_ml.dir/ml/regressor.cc.o" "gcc" "src/CMakeFiles/gopim_ml.dir/ml/regressor.cc.o.d"
+  "/root/repo/src/ml/svr.cc" "src/CMakeFiles/gopim_ml.dir/ml/svr.cc.o" "gcc" "src/CMakeFiles/gopim_ml.dir/ml/svr.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/CMakeFiles/gopim_ml.dir/ml/tree.cc.o" "gcc" "src/CMakeFiles/gopim_ml.dir/ml/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gopim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

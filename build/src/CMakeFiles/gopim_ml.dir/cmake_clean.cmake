@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gopim_ml.dir/ml/bayes.cc.o"
+  "CMakeFiles/gopim_ml.dir/ml/bayes.cc.o.d"
+  "CMakeFiles/gopim_ml.dir/ml/data.cc.o"
+  "CMakeFiles/gopim_ml.dir/ml/data.cc.o.d"
+  "CMakeFiles/gopim_ml.dir/ml/forest.cc.o"
+  "CMakeFiles/gopim_ml.dir/ml/forest.cc.o.d"
+  "CMakeFiles/gopim_ml.dir/ml/gbt.cc.o"
+  "CMakeFiles/gopim_ml.dir/ml/gbt.cc.o.d"
+  "CMakeFiles/gopim_ml.dir/ml/knn.cc.o"
+  "CMakeFiles/gopim_ml.dir/ml/knn.cc.o.d"
+  "CMakeFiles/gopim_ml.dir/ml/linear.cc.o"
+  "CMakeFiles/gopim_ml.dir/ml/linear.cc.o.d"
+  "CMakeFiles/gopim_ml.dir/ml/metrics.cc.o"
+  "CMakeFiles/gopim_ml.dir/ml/metrics.cc.o.d"
+  "CMakeFiles/gopim_ml.dir/ml/mlp.cc.o"
+  "CMakeFiles/gopim_ml.dir/ml/mlp.cc.o.d"
+  "CMakeFiles/gopim_ml.dir/ml/regressor.cc.o"
+  "CMakeFiles/gopim_ml.dir/ml/regressor.cc.o.d"
+  "CMakeFiles/gopim_ml.dir/ml/svr.cc.o"
+  "CMakeFiles/gopim_ml.dir/ml/svr.cc.o.d"
+  "CMakeFiles/gopim_ml.dir/ml/tree.cc.o"
+  "CMakeFiles/gopim_ml.dir/ml/tree.cc.o.d"
+  "libgopim_ml.a"
+  "libgopim_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gopim_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gopim_noc.dir/noc/router.cc.o"
+  "CMakeFiles/gopim_noc.dir/noc/router.cc.o.d"
+  "CMakeFiles/gopim_noc.dir/noc/topology.cc.o"
+  "CMakeFiles/gopim_noc.dir/noc/topology.cc.o.d"
+  "CMakeFiles/gopim_noc.dir/noc/traffic.cc.o"
+  "CMakeFiles/gopim_noc.dir/noc/traffic.cc.o.d"
+  "libgopim_noc.a"
+  "libgopim_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gopim_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

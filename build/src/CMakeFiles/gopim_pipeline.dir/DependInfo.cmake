@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/gantt.cc" "src/CMakeFiles/gopim_pipeline.dir/pipeline/gantt.cc.o" "gcc" "src/CMakeFiles/gopim_pipeline.dir/pipeline/gantt.cc.o.d"
+  "/root/repo/src/pipeline/schedule.cc" "src/CMakeFiles/gopim_pipeline.dir/pipeline/schedule.cc.o" "gcc" "src/CMakeFiles/gopim_pipeline.dir/pipeline/schedule.cc.o.d"
+  "/root/repo/src/pipeline/stage.cc" "src/CMakeFiles/gopim_pipeline.dir/pipeline/stage.cc.o" "gcc" "src/CMakeFiles/gopim_pipeline.dir/pipeline/stage.cc.o.d"
+  "/root/repo/src/pipeline/stats.cc" "src/CMakeFiles/gopim_pipeline.dir/pipeline/stats.cc.o" "gcc" "src/CMakeFiles/gopim_pipeline.dir/pipeline/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gopim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

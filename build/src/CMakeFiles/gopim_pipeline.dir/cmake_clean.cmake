@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gopim_pipeline.dir/pipeline/gantt.cc.o"
+  "CMakeFiles/gopim_pipeline.dir/pipeline/gantt.cc.o.d"
+  "CMakeFiles/gopim_pipeline.dir/pipeline/schedule.cc.o"
+  "CMakeFiles/gopim_pipeline.dir/pipeline/schedule.cc.o.d"
+  "CMakeFiles/gopim_pipeline.dir/pipeline/stage.cc.o"
+  "CMakeFiles/gopim_pipeline.dir/pipeline/stage.cc.o.d"
+  "CMakeFiles/gopim_pipeline.dir/pipeline/stats.cc.o"
+  "CMakeFiles/gopim_pipeline.dir/pipeline/stats.cc.o.d"
+  "libgopim_pipeline.a"
+  "libgopim_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gopim_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gopim_predictor.dir/predictor/datagen.cc.o"
+  "CMakeFiles/gopim_predictor.dir/predictor/datagen.cc.o.d"
+  "CMakeFiles/gopim_predictor.dir/predictor/features.cc.o"
+  "CMakeFiles/gopim_predictor.dir/predictor/features.cc.o.d"
+  "CMakeFiles/gopim_predictor.dir/predictor/predictor.cc.o"
+  "CMakeFiles/gopim_predictor.dir/predictor/predictor.cc.o.d"
+  "libgopim_predictor.a"
+  "libgopim_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gopim_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reram/area.cc" "src/CMakeFiles/gopim_reram.dir/reram/area.cc.o" "gcc" "src/CMakeFiles/gopim_reram.dir/reram/area.cc.o.d"
+  "/root/repo/src/reram/config.cc" "src/CMakeFiles/gopim_reram.dir/reram/config.cc.o" "gcc" "src/CMakeFiles/gopim_reram.dir/reram/config.cc.o.d"
+  "/root/repo/src/reram/energy.cc" "src/CMakeFiles/gopim_reram.dir/reram/energy.cc.o" "gcc" "src/CMakeFiles/gopim_reram.dir/reram/energy.cc.o.d"
+  "/root/repo/src/reram/latency.cc" "src/CMakeFiles/gopim_reram.dir/reram/latency.cc.o" "gcc" "src/CMakeFiles/gopim_reram.dir/reram/latency.cc.o.d"
+  "/root/repo/src/reram/noise.cc" "src/CMakeFiles/gopim_reram.dir/reram/noise.cc.o" "gcc" "src/CMakeFiles/gopim_reram.dir/reram/noise.cc.o.d"
+  "/root/repo/src/reram/resources.cc" "src/CMakeFiles/gopim_reram.dir/reram/resources.cc.o" "gcc" "src/CMakeFiles/gopim_reram.dir/reram/resources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gopim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gopim_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

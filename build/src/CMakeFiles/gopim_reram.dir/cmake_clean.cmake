@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gopim_reram.dir/reram/area.cc.o"
+  "CMakeFiles/gopim_reram.dir/reram/area.cc.o.d"
+  "CMakeFiles/gopim_reram.dir/reram/config.cc.o"
+  "CMakeFiles/gopim_reram.dir/reram/config.cc.o.d"
+  "CMakeFiles/gopim_reram.dir/reram/energy.cc.o"
+  "CMakeFiles/gopim_reram.dir/reram/energy.cc.o.d"
+  "CMakeFiles/gopim_reram.dir/reram/latency.cc.o"
+  "CMakeFiles/gopim_reram.dir/reram/latency.cc.o.d"
+  "CMakeFiles/gopim_reram.dir/reram/noise.cc.o"
+  "CMakeFiles/gopim_reram.dir/reram/noise.cc.o.d"
+  "CMakeFiles/gopim_reram.dir/reram/resources.cc.o"
+  "CMakeFiles/gopim_reram.dir/reram/resources.cc.o.d"
+  "libgopim_reram.a"
+  "libgopim_reram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gopim_reram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

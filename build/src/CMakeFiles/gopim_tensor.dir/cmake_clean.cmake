@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gopim_tensor.dir/tensor/init.cc.o"
+  "CMakeFiles/gopim_tensor.dir/tensor/init.cc.o.d"
+  "CMakeFiles/gopim_tensor.dir/tensor/matrix.cc.o"
+  "CMakeFiles/gopim_tensor.dir/tensor/matrix.cc.o.d"
+  "CMakeFiles/gopim_tensor.dir/tensor/ops.cc.o"
+  "CMakeFiles/gopim_tensor.dir/tensor/ops.cc.o.d"
+  "libgopim_tensor.a"
+  "libgopim_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gopim_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

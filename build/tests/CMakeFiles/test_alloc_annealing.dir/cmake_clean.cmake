@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_annealing.dir/test_alloc_annealing.cc.o"
+  "CMakeFiles/test_alloc_annealing.dir/test_alloc_annealing.cc.o.d"
+  "test_alloc_annealing"
+  "test_alloc_annealing.pdb"
+  "test_alloc_annealing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_annealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_trainer.dir/test_link_trainer.cc.o"
+  "CMakeFiles/test_link_trainer.dir/test_link_trainer.cc.o.d"
+  "test_link_trainer"
+  "test_link_trainer.pdb"
+  "test_link_trainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_ensemble.dir/test_ml_ensemble.cc.o"
+  "CMakeFiles/test_ml_ensemble.dir/test_ml_ensemble.cc.o.d"
+  "test_ml_ensemble"
+  "test_ml_ensemble.pdb"
+  "test_ml_ensemble[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

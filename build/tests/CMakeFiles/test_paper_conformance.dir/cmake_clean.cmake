@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_conformance.dir/test_paper_conformance.cc.o"
+  "CMakeFiles/test_paper_conformance.dir/test_paper_conformance.cc.o.d"
+  "test_paper_conformance"
+  "test_paper_conformance.pdb"
+  "test_paper_conformance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_ml[1]_include.cmake")
+include("/root/repo/build/tests/test_reram[1]_include.cmake")
+include("/root/repo/build/tests/test_mapping[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_alloc[1]_include.cmake")
+include("/root/repo/build/tests/test_gcn[1]_include.cmake")
+include("/root/repo/build/tests/test_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_flags[1]_include.cmake")
+include("/root/repo/build/tests/test_noc[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_io[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_ensemble[1]_include.cmake")
+include("/root/repo/build/tests/test_alloc_annealing[1]_include.cmake")
+include("/root/repo/build/tests/test_gantt[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_link_trainer[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_conformance[1]_include.cmake")

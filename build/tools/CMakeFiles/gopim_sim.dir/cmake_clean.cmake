@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gopim_sim.dir/gopim_sim.cc.o"
+  "CMakeFiles/gopim_sim.dir/gopim_sim.cc.o.d"
+  "gopim_sim"
+  "gopim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gopim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
