@@ -10,8 +10,10 @@
 #include <cmath>
 #include <iostream>
 
+#include "common/flags.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
+#include "core/options.hh"
 #include "reram/config.hh"
 #include "gcn/trainer.hh"
 #include "graph/generators.hh"
@@ -44,8 +46,15 @@ mvmOutputError(const tensor::Matrix &x, const tensor::Matrix &wIdeal,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Flags flags("ablation_device_noise",
+                "Device non-ideality ablation: programming error "
+                "and training accuracy");
+    core::addSimFlags(flags);
+    if (!flags.parse(argc, argv))
+        return 0;
+
     const auto cfg = reram::AcceleratorConfig::paperDefault();
     Rng rng(3);
 

@@ -12,9 +12,11 @@
 
 #include <iostream>
 
+#include "common/flags.hh"
 #include "common/table.hh"
 #include "core/accelerator.hh"
 #include "core/harness.hh"
+#include "core/options.hh"
 #include "core/systems.hh"
 #include "gcn/workload.hh"
 #include "graph/datasets.hh"
@@ -37,9 +39,18 @@ stationsFrom(const std::vector<double> &stageTimes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    core::ComparisonHarness harness;
+    Flags flags("ablation_eventdriven",
+                "Event-driven vs closed-form validation and "
+                "robustness ablation");
+    core::addSimFlags(flags);
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    core::ComparisonHarness harness(
+        reram::AcceleratorConfig::paperDefault(),
+        core::simContextFromFlags(flags));
 
     // (a) Validation on every dataset's GoPIM stage times.
     {

@@ -11,19 +11,30 @@
 #include <iostream>
 
 #include "alloc/greedy_heap.hh"
+#include "common/flags.hh"
 #include "common/table.hh"
 #include "core/accelerator.hh"
 #include "core/harness.hh"
+#include "core/options.hh"
 #include "core/systems.hh"
 #include "gcn/workload.hh"
 #include "reram/resources.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gopim;
 
-    core::ComparisonHarness harness;
+    Flags flags("ablation_isu",
+                "ISU design ablation (tolerance, cold period, "
+                "endurance)");
+    core::addSimFlags(flags);
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    core::ComparisonHarness harness(
+        reram::AcceleratorConfig::paperDefault(),
+        core::simContextFromFlags(flags));
     const auto workload = gcn::Workload::paperDefault("ddi");
     const auto profile =
         gcn::VertexProfile::build(workload.dataset, workload.seed);
@@ -37,6 +48,7 @@ main()
                      "crossbars allocated"});
         for (double tol : {0.0, 1e-5, 1e-4, 1e-3, 1e-2}) {
             auto system = core::makeSystem(core::SystemKind::GoPim);
+            system.sim = harness.simContext();
             system.allocator =
                 std::make_shared<alloc::GreedyHeapAllocator>(0, tol);
             core::Accelerator accel(harness.hardware(), system);
@@ -58,6 +70,7 @@ main()
                      "row writes"});
         for (uint32_t period : {1u, 5u, 20u, 50u, 200u}) {
             auto system = core::makeSystem(core::SystemKind::GoPim);
+            system.sim = harness.simContext();
             system.policy.coldPeriod = period;
             core::Accelerator accel(harness.hardware(), system);
             const auto run = accel.run(workload, profile);

@@ -8,10 +8,12 @@
 
 #include <iostream>
 
+#include "common/flags.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "core/accelerator.hh"
 #include "core/harness.hh"
+#include "core/options.hh"
 #include "core/systems.hh"
 #include "gcn/time_model.hh"
 #include "gcn/workload.hh"
@@ -19,9 +21,15 @@
 #include "noc/traffic.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gopim;
+
+    Flags flags("ablation_noc",
+                "Interconnect ablation: reduction-network impact");
+    core::addSimFlags(flags);
+    if (!flags.parse(argc, argv))
+        return 0;
 
     // (a) Mesh scaling characteristics.
     {
@@ -82,7 +90,9 @@ main()
                     "inter-tile reduction model",
                     {"dataset", "ideal interconnect", "with NoC",
                      "slowdown %"});
-        core::ComparisonHarness harness;
+        core::ComparisonHarness harness(
+            reram::AcceleratorConfig::paperDefault(),
+            core::simContextFromFlags(flags));
         for (const auto &spec :
              {graph::DatasetCatalog::byName("ddi"),
               graph::DatasetCatalog::byName("proteins")}) {
@@ -93,10 +103,8 @@ main()
             const auto serial =
                 harness.runOne(core::SystemKind::Serial, workload);
 
-            core::Accelerator ideal(
-                harness.hardware(),
-                core::makeSystem(core::SystemKind::GoPim));
-            const auto idealRun = ideal.run(workload, profile);
+            const auto idealRun = harness.runOne(
+                core::SystemKind::GoPim, workload, profile);
 
             // NoC-aware run: same system, NoC modeling enabled.
             // The accelerator owns its time model, so rebuild with a

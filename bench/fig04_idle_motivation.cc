@@ -11,17 +11,27 @@
 
 #include "common/math_utils.hh"
 #include "common/table.hh"
+#include "common/flags.hh"
 #include "core/harness.hh"
+#include "core/options.hh"
 #include "core/systems.hh"
 #include "gcn/workload.hh"
 #include "graph/datasets.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gopim;
 
-    core::ComparisonHarness harness;
+    Flags flags("fig04_idle_motivation",
+                "Fig. 4 crossbar-idle motivation study");
+    core::addSimFlags(flags);
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    core::ComparisonHarness harness(
+        reram::AcceleratorConfig::paperDefault(),
+        core::simContextFromFlags(flags));
     const auto datasets = graph::DatasetCatalog::motivationSet();
 
     // Column per stage group of the deepest model (12 for 3 layers).

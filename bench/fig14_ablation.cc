@@ -11,22 +11,33 @@
 
 #include <iostream>
 
+#include "common/flags.hh"
 #include "common/table.hh"
 #include "core/harness.hh"
+#include "core/options.hh"
 #include "graph/datasets.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gopim;
 
-    core::ComparisonHarness harness;
+    Flags flags("fig14_ablation",
+                "Fig. 14 technique-contribution ablation");
+    core::addSimFlags(flags);
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    core::ComparisonHarness harness(
+        reram::AcceleratorConfig::paperDefault(),
+        core::simContextFromFlags(flags));
     const auto systems = core::figure14Systems();
     std::vector<std::string> datasetNames;
     for (const auto &spec : graph::DatasetCatalog::figure13Set())
         datasetNames.push_back(spec.name);
 
-    const auto rows = harness.runGrid(systems, datasetNames);
+    const auto rows = harness.runGrid(systems, datasetNames,
+                                      core::jobsFromFlags(flags));
 
     harness
         .speedupTable("Figure 14(a): speedup of each technique "

@@ -11,16 +11,26 @@
 
 #include "common/table.hh"
 #include "core/accelerator.hh"
+#include "common/flags.hh"
 #include "core/harness.hh"
+#include "core/options.hh"
 #include "core/systems.hh"
 #include "gcn/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gopim;
 
-    core::ComparisonHarness harness;
+    Flags flags("fig15_idle_batches",
+                "Fig. 15 idle reduction per stage group");
+    core::addSimFlags(flags);
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    core::ComparisonHarness harness(
+        reram::AcceleratorConfig::paperDefault(),
+        core::simContextFromFlags(flags));
     const char *paperReduction[] = {"46.75", "49.75", "51.75"};
     int idx = 0;
 
@@ -30,14 +40,10 @@ main()
         const auto profile =
             gcn::VertexProfile::build(workload.dataset, workload.seed);
 
-        core::Accelerator naive(
-            harness.hardware(),
-            core::makeSystem(core::SystemKind::Naive));
-        core::Accelerator gopim(
-            harness.hardware(),
-            core::makeSystem(core::SystemKind::GoPim));
-        const auto naiveResult = naive.run(workload, profile);
-        const auto gopimResult = gopim.run(workload, profile);
+        const auto naiveResult = harness.runOne(
+            core::SystemKind::Naive, workload, profile);
+        const auto gopimResult = harness.runOne(
+            core::SystemKind::GoPim, workload, profile);
 
         Table table("Figure 15: idle % per stage group, micro-batch " +
                         std::to_string(mb),

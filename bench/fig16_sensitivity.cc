@@ -12,9 +12,11 @@
 
 #include <iostream>
 
+#include "common/flags.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "core/harness.hh"
+#include "core/options.hh"
 #include "gcn/trainer.hh"
 #include "gcn/workload.hh"
 #include "graph/generators.hh"
@@ -59,8 +61,14 @@ thetaSweep(const std::string &title, const graph::LabeledGraph &data,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Flags flags("fig16_sensitivity",
+                "Fig. 16 theta and micro-batch sensitivity");
+    core::addSimFlags(flags);
+    if (!flags.parse(argc, argv))
+        return 0;
+
     Rng rng(2024);
 
     // (a) Dense graph: ddi-scale density (avg degree well above 8).
@@ -82,7 +90,9 @@ main()
                  "within 1%.\n\n";
 
     // (c) Speedup vs micro-batch size.
-    core::ComparisonHarness harness;
+    core::ComparisonHarness harness(
+        reram::AcceleratorConfig::paperDefault(),
+        core::simContextFromFlags(flags));
     Table batch("Figure 16(c): GoPIM speedup over Serial vs "
                 "micro-batch size (ddi)",
                 {"micro-batch", "speedup"});
@@ -91,16 +101,14 @@ main()
         workload.microBatchSize = mb;
         const auto profile =
             gcn::VertexProfile::build(workload.dataset, workload.seed);
-        core::Accelerator serial(
-            harness.hardware(),
-            core::makeSystem(core::SystemKind::Serial));
-        core::Accelerator gopim(
-            harness.hardware(),
-            core::makeSystem(core::SystemKind::GoPim));
         batch.row()
             .cell(static_cast<uint64_t>(mb))
-            .cell(gopim.run(workload, profile)
-                      .speedupOver(serial.run(workload, profile)),
+            .cell(harness
+                      .runOne(core::SystemKind::GoPim, workload,
+                              profile)
+                      .speedupOver(harness.runOne(
+                          core::SystemKind::Serial, workload,
+                          profile)),
                   1);
     }
     batch.print(std::cout);

@@ -10,16 +10,26 @@
 
 #include <iostream>
 
+#include "common/flags.hh"
 #include "common/table.hh"
 #include "core/harness.hh"
+#include "core/options.hh"
 #include "gcn/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gopim;
 
-    core::ComparisonHarness harness;
+    Flags flags("fig17_scalability",
+                "Fig. 17 feature-dimension and dataset scalability");
+    core::addSimFlags(flags);
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    core::ComparisonHarness harness(
+        reram::AcceleratorConfig::paperDefault(),
+        core::simContextFromFlags(flags));
 
     // (a) Feature dimension sweep on ddi.
     {
@@ -35,14 +45,10 @@ main()
             workload.model.hiddenChannels = dim;
             workload.model.outputChannels = dim;
             workload.dataset.featureDim = dim;
-            core::Accelerator serial(
-                harness.hardware(),
-                core::makeSystem(core::SystemKind::Serial));
-            core::Accelerator gopim(
-                harness.hardware(),
-                core::makeSystem(core::SystemKind::GoPim));
-            const auto s = serial.run(workload, profile);
-            const auto g = gopim.run(workload, profile);
+            const auto s = harness.runOne(
+                core::SystemKind::Serial, workload, profile);
+            const auto g = harness.runOne(
+                core::SystemKind::GoPim, workload, profile);
             table.row()
                 .cell(static_cast<uint64_t>(dim))
                 .cell(g.speedupOver(s), 1)
@@ -82,11 +88,8 @@ main()
         std::vector<core::RunResult> results;
         const auto profile =
             gcn::VertexProfile::build(workload.dataset, workload.seed);
-        for (auto kind : systems) {
-            core::Accelerator accel(harness.hardware(),
-                                    core::makeSystem(kind));
-            results.push_back(accel.run(workload, profile));
-        }
+        for (auto kind : systems)
+            results.push_back(harness.runOne(kind, workload, profile));
         const auto &gopim = results.back();
 
         Table table("Section VII-F: sparse dataset Cora "

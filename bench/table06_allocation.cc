@@ -9,28 +9,36 @@
 
 #include <iostream>
 
+#include "common/flags.hh"
 #include "common/table.hh"
 #include "core/accelerator.hh"
 #include "core/harness.hh"
+#include "core/options.hh"
 #include "core/systems.hh"
 #include "gcn/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gopim;
 
-    core::ComparisonHarness harness;
+    Flags flags("table06_allocation",
+                "Table VI: crossbar allocation details on ddi");
+    core::addSimFlags(flags);
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    core::ComparisonHarness harness(
+        reram::AcceleratorConfig::paperDefault(),
+        core::simContextFromFlags(flags));
     const auto workload = gcn::Workload::paperDefault("ddi");
     const auto profile =
         gcn::VertexProfile::build(workload.dataset, workload.seed);
 
-    core::Accelerator serialAccel(
-        harness.hardware(), core::makeSystem(core::SystemKind::Serial));
-    core::Accelerator gopimAccel(
-        harness.hardware(), core::makeSystem(core::SystemKind::GoPim));
-    const auto serial = serialAccel.run(workload, profile);
-    const auto gopim = gopimAccel.run(workload, profile);
+    const auto serial =
+        harness.runOne(core::SystemKind::Serial, workload, profile);
+    const auto gopim =
+        harness.runOne(core::SystemKind::GoPim, workload, profile);
 
     Table table("Table VI: crossbar allocation details on ddi",
                 {"stage", "Serial replicas", "Serial crossbars",

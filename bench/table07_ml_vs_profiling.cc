@@ -10,9 +10,11 @@
 #include <chrono>
 #include <iostream>
 
+#include "common/flags.hh"
 #include "common/table.hh"
 #include "core/accelerator.hh"
 #include "core/harness.hh"
+#include "core/options.hh"
 #include "core/systems.hh"
 #include "gcn/time_model.hh"
 #include "gcn/workload.hh"
@@ -21,11 +23,19 @@
 #include "predictor/predictor.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gopim;
 
-    core::ComparisonHarness harness;
+    Flags flags("table07_ml_vs_profiling",
+                "Table VII: ML-predicted vs profiled stage times");
+    core::addSimFlags(flags);
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    core::ComparisonHarness harness(
+        reram::AcceleratorConfig::paperDefault(),
+        core::simContextFromFlags(flags));
     const gcn::StageTimeModel model(harness.hardware());
 
     // Train the predictor once on randomized workloads (the paper
@@ -56,13 +66,11 @@ main()
         const auto profile =
             gcn::VertexProfile::build(workload.dataset, workload.seed);
 
-        core::Accelerator serialAccel(
-            harness.hardware(),
-            core::makeSystem(core::SystemKind::Serial));
-        core::Accelerator gopimAccel(
-            harness.hardware(),
-            core::makeSystem(core::SystemKind::GoPim));
-        const auto serial = serialAccel.run(workload, profile);
+        auto gopimSystem = core::makeSystem(core::SystemKind::GoPim);
+        gopimSystem.sim = harness.simContext();
+        core::Accelerator gopimAccel(harness.hardware(), gopimSystem);
+        const auto serial =
+            harness.runOne(core::SystemKind::Serial, workload, profile);
 
         const auto mlTimes =
             timePredictor.predictAllStageTimesNs(workload);

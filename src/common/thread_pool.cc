@@ -1,0 +1,85 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+
+namespace gopim {
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    threads = std::max<size_t>(1, threads);
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+size_t
+ThreadPool::resolveJobs(size_t jobs)
+{
+    if (jobs != 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job(); // packaged_task captures exceptions in the future
+    }
+}
+
+void
+parallelFor(size_t count, size_t jobs,
+            const std::function<void(size_t)> &fn)
+{
+    jobs = std::min(ThreadPool::resolveJobs(jobs), count);
+    if (jobs <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    ThreadPool pool(jobs);
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        futures.push_back(pool.submit([&fn, i] { fn(i); }));
+    // Collect in index order so the first failing index's exception
+    // is the one rethrown, deterministically.
+    for (auto &future : futures)
+        future.get();
+}
+
+} // namespace gopim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for embarrassingly parallel grid
+ * sweeps (the comparison harness's dataset x system cells).
+ *
+ * Tasks are plain std::function jobs; submit() returns a
+ * std::future so callers retrieve results — and rethrown exceptions
+ * — in submission order regardless of completion order, which keeps
+ * parallel runs bit-identical to serial ones.
+ */
+
+#ifndef GOPIM_COMMON_THREAD_POOL_HH
+#define GOPIM_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace gopim {
+
+/** Fixed pool of worker threads draining a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers (>= 1; 0 is clamped to 1). */
+    explicit ThreadPool(size_t threads);
+
+    /** Drains remaining tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a callable; the future yields its result or rethrows
+     * what it threw. Tasks start in FIFO order.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using Result = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        auto future = task->get_future();
+        enqueue([task] { (*task)(); });
+        return future;
+    }
+
+    size_t threadCount() const { return workers_.size(); }
+
+    /**
+     * Sensible worker count for `jobs`: 0 means "all hardware
+     * threads", otherwise `jobs` itself.
+     */
+    static size_t resolveJobs(size_t jobs);
+
+  private:
+    void enqueue(std::function<void()> job);
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Run fn(i) for i in [0, count) on `jobs` workers and block until
+ * all complete; exceptions are rethrown (the first, by index). With
+ * jobs <= 1 the loop runs inline on the caller's thread.
+ */
+void parallelFor(size_t count, size_t jobs,
+                 const std::function<void(size_t)> &fn);
+
+} // namespace gopim
+
+#endif // GOPIM_COMMON_THREAD_POOL_HH

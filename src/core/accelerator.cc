@@ -3,7 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
-#include "pipeline/schedule.hh"
+#include "sim/engine.hh"
+#include "sim/trace.hh"
 
 namespace gopim::core {
 
@@ -93,35 +94,53 @@ Accelerator::runWithEstimates(
     // influence the allocation decision). Replicas beyond the
     // effective-parallelism ceiling buy nothing.
     std::vector<double> stageTimes(stages.size());
+    std::vector<uint32_t> effectiveReplicas(stages.size());
     for (size_t i = 0; i < stages.size(); ++i) {
         const uint32_t effective = std::min(
             allocation.replicas[i], problem.maxUsefulReplicas);
+        effectiveReplicas[i] = effective;
         stageTimes[i] = costs[i].fixedNs +
                         costs[i].scalableNs /
                             static_cast<double>(effective);
     }
 
-    // Schedule under the system's pipelining regime.
-    pipeline::ScheduleResult schedule;
+    // Schedule the pipelining regime on the context's timing backend
+    // (closed-form Eq. 3-6 or the discrete-event flow shop). The
+    // context is copied per run to keep this path stateless.
+    sim::SimContext ctx = system_.sim;
+    ctx.recordWindows = ctx.recordWindows || ctx.traceSink != nullptr;
+
+    sim::ScheduleRequest request;
+    request.stageTimesNs = stageTimes;
+    request.replicas = effectiveReplicas;
+    request.totalMicroBatches = totalMicroBatches;
+    request.microBatchesPerBatch = system_.microBatchesPerBatch;
     switch (system_.pipelineMode) {
       case PipelineMode::Serial:
-        schedule = pipeline::scheduleSerial(stageTimes,
-                                            totalMicroBatches);
+        request.regime = sim::Regime::Serial;
         break;
-      case PipelineMode::IntraBatch: {
-        const uint32_t perBatch = std::min(
-            system_.microBatchesPerBatch, totalMicroBatches);
-        const uint32_t batches = std::max(
-            1u, totalMicroBatches / std::max(1u, perBatch));
-        schedule = pipeline::scheduleIntraBatchOnly(stageTimes,
-                                                    perBatch, batches);
+      case PipelineMode::IntraBatch:
+        request.regime = sim::Regime::IntraBatch;
         break;
-      }
       case PipelineMode::IntraInterBatch:
-        schedule = pipeline::schedulePipelined(stageTimes,
-                                               totalMicroBatches);
+        request.regime = sim::Regime::IntraInterBatch;
         break;
     }
+    if (ctx.event.replicasAsServers) {
+        // Replica groups serve distinct micro-batches instead of
+        // splitting one: the event engine gets single-replica times
+        // and models the parallelism as servers.
+        for (size_t i = 0; i < stages.size(); ++i)
+            request.stageTimesNs[i] =
+                costs[i].fixedNs + costs[i].scalableNs;
+    }
+
+    const sim::ScheduleEngine &engine = sim::resolveEngine(ctx);
+    const sim::StageTimeline schedule = engine.schedule(request, ctx);
+    if (ctx.traceSink)
+        ctx.traceSink->record(
+            {system_.name, workload.dataset.name, engine.name()},
+            stages, schedule);
 
     // Accumulate energy events over all micro-batches.
     uint64_t activations = 0;
@@ -154,6 +173,9 @@ Accelerator::runWithEstimates(
     result.stageTimesNs = stageTimes;
     result.idleFraction = schedule.idleFraction;
     result.avgIdleFraction = schedule.avgIdleFraction();
+    result.engineName = engine.name();
+    result.blockedNs = schedule.blockedNs;
+    result.eventsProcessed = schedule.eventsProcessed;
     result.totalActivations = activations;
     result.totalRowWrites = replicatedWrites;
     result.totalBufferBytes = bufferBytes;

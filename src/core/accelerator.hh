@@ -18,6 +18,7 @@
 #include "gcn/workload.hh"
 #include "reram/config.hh"
 #include "reram/energy.hh"
+#include "sim/context.hh"
 
 namespace gopim::core {
 
@@ -39,6 +40,12 @@ struct SystemConfig
     std::shared_ptr<const alloc::Allocator> allocator;
     /** Micro-batches per batch for intra-batch-only draining. */
     uint32_t microBatchesPerBatch = 8;
+    /**
+     * Timing backend selection, seed, event-engine knobs, and trace
+     * sink. Copied per run, so the scheduling path stays stateless
+     * and grid cells can execute on a thread pool.
+     */
+    sim::SimContext sim;
 };
 
 /** A configured accelerator ready to run workloads. */

@@ -1,43 +1,84 @@
 #include "core/harness.hh"
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace gopim::core {
 
-ComparisonHarness::ComparisonHarness(reram::AcceleratorConfig hw)
-    : hw_(hw)
+ComparisonHarness::ComparisonHarness(reram::AcceleratorConfig hw,
+                                     sim::SimContext simContext)
+    : hw_(hw), sim_(std::move(simContext))
 {
     hw_.validate();
+}
+
+void
+ComparisonHarness::setSimContext(sim::SimContext simContext)
+{
+    sim_ = std::move(simContext);
+}
+
+SystemConfig
+ComparisonHarness::configureSystem(SystemKind kind) const
+{
+    SystemConfig system = makeSystem(kind);
+    system.sim = sim_;
+    return system;
 }
 
 RunResult
 ComparisonHarness::runOne(SystemKind kind,
                           const gcn::Workload &workload) const
 {
-    Accelerator accel(hw_, makeSystem(kind));
+    Accelerator accel(hw_, configureSystem(kind));
     return accel.run(workload);
+}
+
+RunResult
+ComparisonHarness::runOne(SystemKind kind,
+                          const gcn::Workload &workload,
+                          const gcn::VertexProfile &profile) const
+{
+    Accelerator accel(hw_, configureSystem(kind));
+    return accel.run(workload, profile);
 }
 
 std::vector<ComparisonRow>
 ComparisonHarness::runGrid(
     const std::vector<SystemKind> &systems,
-    const std::vector<std::string> &datasetNames) const
+    const std::vector<std::string> &datasetNames, size_t jobs) const
 {
-    std::vector<ComparisonRow> rows;
-    rows.reserve(datasetNames.size());
-    for (const auto &name : datasetNames) {
-        const auto workload = gcn::Workload::paperDefault(name);
-        const auto profile = gcn::VertexProfile::build(
-            workload.dataset, workload.seed);
+    const size_t numDatasets = datasetNames.size();
+    const size_t numSystems = systems.size();
 
-        ComparisonRow row;
-        row.datasetName = name;
-        for (SystemKind kind : systems) {
-            Accelerator accel(hw_, makeSystem(kind));
-            row.results.push_back(accel.run(workload, profile));
-        }
-        rows.push_back(std::move(row));
+    // Workloads and vertex profiles are built once per dataset and
+    // shared read-only by that dataset's cells (profile building
+    // dominates setup cost for the large catalog entries).
+    std::vector<gcn::Workload> workloads;
+    std::vector<gcn::VertexProfile> profiles(numDatasets);
+    workloads.reserve(numDatasets);
+    for (const auto &name : datasetNames)
+        workloads.push_back(gcn::Workload::paperDefault(name));
+    parallelFor(numDatasets, jobs, [&](size_t d) {
+        profiles[d] = gcn::VertexProfile::build(workloads[d].dataset,
+                                                workloads[d].seed);
+    });
+
+    // Every (dataset, system) cell is independent and stateless:
+    // results land in their preassigned slot, so ordering — and
+    // therefore every derived table — is identical for any job
+    // count.
+    std::vector<ComparisonRow> rows(numDatasets);
+    for (size_t d = 0; d < numDatasets; ++d) {
+        rows[d].datasetName = datasetNames[d];
+        rows[d].results.resize(numSystems);
     }
+    parallelFor(numDatasets * numSystems, jobs, [&](size_t cell) {
+        const size_t d = cell / numSystems;
+        const size_t s = cell % numSystems;
+        Accelerator accel(hw_, configureSystem(systems[s]));
+        rows[d].results[s] = accel.run(workloads[d], profiles[d]);
+    });
     return rows;
 }
 

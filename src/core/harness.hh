@@ -16,6 +16,7 @@
 #include "core/systems.hh"
 #include "gcn/workload.hh"
 #include "reram/config.hh"
+#include "sim/context.hh"
 
 namespace gopim::core {
 
@@ -32,18 +33,33 @@ class ComparisonHarness
   public:
     explicit ComparisonHarness(
         reram::AcceleratorConfig hw =
-            reram::AcceleratorConfig::paperDefault());
+            reram::AcceleratorConfig::paperDefault(),
+        sim::SimContext simContext = {});
+
+    /** Timing backend + knobs applied to every system run here. */
+    void setSimContext(sim::SimContext simContext);
+    const sim::SimContext &simContext() const { return sim_; }
 
     /** Run one system on one workload. */
     RunResult runOne(SystemKind kind, const gcn::Workload &workload) const;
 
+    /** Run one system with a pre-built profile (reuse across runs). */
+    RunResult runOne(SystemKind kind, const gcn::Workload &workload,
+                     const gcn::VertexProfile &profile) const;
+
     /**
      * Run all `systems` on each dataset's paper-default workload.
      * The vertex profile is built once per dataset and shared.
+     *
+     * `jobs` spreads the (dataset x system) cells over a thread
+     * pool: 1 runs serially on the caller's thread, 0 uses all
+     * hardware threads. Every cell is stateless and deterministic,
+     * so the result tables are bit-identical for any job count.
      */
     std::vector<ComparisonRow> runGrid(
         const std::vector<SystemKind> &systems,
-        const std::vector<std::string> &datasetNames) const;
+        const std::vector<std::string> &datasetNames,
+        size_t jobs = 1) const;
 
     /** Speedup table normalized to the first system in each row. */
     Table speedupTable(const std::string &title,
@@ -56,7 +72,11 @@ class ComparisonHarness
     const reram::AcceleratorConfig &hardware() const { return hw_; }
 
   private:
+    /** makeSystem(kind) with this harness's sim context applied. */
+    SystemConfig configureSystem(SystemKind kind) const;
+
     reram::AcceleratorConfig hw_;
+    sim::SimContext sim_;
 };
 
 } // namespace gopim::core

@@ -1,0 +1,82 @@
+#include "core/options.hh"
+
+#include <limits>
+#include <memory>
+
+#include "common/logging.hh"
+#include "sim/trace.hh"
+
+namespace gopim::core {
+
+void
+addSimFlags(Flags &flags)
+{
+    flags.addString("engine", "closed",
+                    "timing backend: closed (Eq. 3-6 recurrence) or "
+                    "event (discrete-event flow shop)");
+    flags.addInt("seed", 1, "simulation + profile generation seed");
+    flags.addInt("jobs", 1,
+                 "worker threads for grid runs (0 = all cores)");
+    flags.addString("trace-out", "",
+                    "write a Chrome trace_event JSON timeline here");
+    flags.addInt("buffer-slots", -1,
+                 "event engine: inter-stage input-buffer slots "
+                 "(-1 = unbounded)");
+    flags.addDouble("retry-prob", 0.0,
+                    "event engine: ReRAM write-verify retry "
+                    "probability");
+    flags.addDouble("write-fraction", 0.3,
+                    "event engine: fraction of stage time spent "
+                    "writing (with --retry-prob)");
+}
+
+sim::SimContext
+simContextFromFlags(const Flags &flags)
+{
+    sim::SimContext ctx;
+    ctx.engine = sim::engineKindFromString(flags.getString("engine"));
+    ctx.seed = static_cast<uint64_t>(flags.getInt("seed"));
+
+    const int64_t slots = flags.getInt("buffer-slots");
+    ctx.event.inputBufferSlots =
+        slots < 0 ? std::numeric_limits<uint32_t>::max()
+                  : static_cast<uint32_t>(slots);
+    ctx.event.writeRetryProb = flags.getDouble("retry-prob");
+    if (ctx.event.writeRetryProb < 0.0 ||
+        ctx.event.writeRetryProb >= 1.0)
+        fatal("--retry-prob must be in [0, 1), got ",
+              ctx.event.writeRetryProb);
+    ctx.event.writeFraction = flags.getDouble("write-fraction");
+    if (ctx.event.writeFraction < 0.0 || ctx.event.writeFraction > 1.0)
+        fatal("--write-fraction must be in [0, 1], got ",
+              ctx.event.writeFraction);
+
+    if (!flags.getString("trace-out").empty())
+        ctx.traceSink = std::make_shared<sim::ChromeTraceSink>();
+    return ctx;
+}
+
+size_t
+jobsFromFlags(const Flags &flags)
+{
+    const int64_t jobs = flags.getInt("jobs");
+    if (jobs < 0)
+        fatal("--jobs must be >= 0 (0 = all cores), got ", jobs);
+    return static_cast<size_t>(jobs);
+}
+
+void
+writeTraceIfRequested(const Flags &flags, const sim::SimContext &ctx)
+{
+    const std::string path = flags.getString("trace-out");
+    if (path.empty())
+        return;
+    const auto *sink =
+        dynamic_cast<const sim::ChromeTraceSink *>(ctx.traceSink.get());
+    GOPIM_ASSERT(sink, "trace-out set but no Chrome trace sink");
+    sink->writeFile(path);
+    inform("wrote ", sink->runCount(), "-run Chrome trace to ", path,
+           " (open in chrome://tracing or ui.perfetto.dev)");
+}
+
+} // namespace gopim::core

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The one flag-parsing path shared by tools and benches: every
+ * binary that runs accelerator systems declares the same uniform
+ * simulation flags (--engine, --seed, --jobs, --trace-out, and the
+ * event-engine knobs) and turns them into a sim::SimContext the
+ * same way, so flag spellings and semantics never drift between
+ * entry points.
+ */
+
+#ifndef GOPIM_CORE_OPTIONS_HH
+#define GOPIM_CORE_OPTIONS_HH
+
+#include <cstddef>
+
+#include "common/flags.hh"
+#include "sim/context.hh"
+
+namespace gopim::core {
+
+/**
+ * Declare the uniform simulation flags on `flags`:
+ *   --engine=closed|event   timing backend
+ *   --seed=N                simulation + profile seed
+ *   --jobs=N                grid worker threads (0 = all cores)
+ *   --trace-out=FILE        Chrome trace_event JSON output
+ *   --buffer-slots=N        event engine: inter-stage buffer slots
+ *   --retry-prob=P          event engine: write-verify retry prob
+ *   --write-fraction=F      event engine: write share of stage time
+ */
+void addSimFlags(Flags &flags);
+
+/**
+ * Build the SimContext the parsed flags describe. When --trace-out
+ * is set, a ChromeTraceSink is attached; call writeTraceIfRequested
+ * after the runs to serialize it.
+ */
+sim::SimContext simContextFromFlags(const Flags &flags);
+
+/** Worker-thread count from --jobs (0 = all hardware threads). */
+size_t jobsFromFlags(const Flags &flags);
+
+/**
+ * Write the context's collected trace to the --trace-out path.
+ * No-op when --trace-out was not given.
+ */
+void writeTraceIfRequested(const Flags &flags,
+                           const sim::SimContext &ctx);
+
+} // namespace gopim::core
+
+#endif // GOPIM_CORE_OPTIONS_HH

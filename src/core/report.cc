@@ -68,6 +68,8 @@ writeRunJson(const RunResult &run, std::ostream &os, int indent)
        << "\",\n";
     os << q << "\"dataset\": \"" << jsonEscape(run.datasetName)
        << "\",\n";
+    os << q << "\"engine\": \"" << jsonEscape(run.engineName)
+       << "\",\n";
     os << q << "\"makespan_ns\": " << std::setprecision(12)
        << run.makespanNs << ",\n";
     os << q << "\"energy_pj\": " << run.energyPj << ",\n";

@@ -37,6 +37,13 @@ struct RunResult
     std::vector<double> idleFraction;
     double avgIdleFraction = 0.0;
 
+    /** Timing backend that produced the makespan ("closed-form"...). */
+    std::string engineName;
+    /** Per-stage backpressure time (event-driven engine only). */
+    std::vector<double> blockedNs;
+    /** Discrete events executed (0 for the closed form). */
+    uint64_t eventsProcessed = 0;
+
     /** Energy event totals. */
     uint64_t totalActivations = 0;
     uint64_t totalRowWrites = 0;

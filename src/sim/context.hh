@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-run simulation context threaded from the entry points
+ * (tools/benches) through core::SystemConfig into the scheduling
+ * engines: which timing backend to use, the seed driving stochastic
+ * service times, the event-engine knobs the closed form cannot
+ * express, and an optional trace sink for observability.
+ *
+ * A SimContext is a value: copying it into each run keeps the
+ * per-run path stateless, which is what lets the comparison harness
+ * execute grid cells on a thread pool.
+ */
+
+#ifndef GOPIM_SIM_CONTEXT_HH
+#define GOPIM_SIM_CONTEXT_HH
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "common/rng.hh"
+
+namespace gopim::sim {
+
+class ScheduleEngine;
+class TraceSink;
+
+/** Timing backend selector. */
+enum class EngineKind
+{
+    ClosedForm,  ///< Eq. 3-6 recurrence (pipeline/schedule)
+    EventDriven, ///< discrete-event flow shop (sim/pipeline_sim)
+};
+
+/** Parse "closed"/"event" (as in --engine); fatal() otherwise. */
+EngineKind engineKindFromString(const std::string &name);
+std::string toString(EngineKind kind);
+
+/**
+ * Behaviors only the event-driven engine models. Defaults reproduce
+ * the closed form exactly (unbounded buffers, one server per stage,
+ * deterministic service), which the parity tests rely on.
+ */
+struct EventKnobs
+{
+    /** Input-buffer slots in front of every stage. */
+    uint32_t inputBufferSlots = std::numeric_limits<uint32_t>::max();
+    /**
+     * Treat each stage's replica count as independent servers
+     * (replica groups working on distinct micro-batches) instead of
+     * folding replication into the per-micro-batch service time.
+     */
+    bool replicasAsServers = false;
+    /** Probability a write-verify attempt fails and repeats. */
+    double writeRetryProb = 0.0;
+    /** Fraction of a stage's service time attributable to writes. */
+    double writeFraction = 0.0;
+};
+
+/** Everything a run needs to pick and drive a timing backend. */
+struct SimContext
+{
+    EngineKind engine = EngineKind::ClosedForm;
+    /**
+     * Custom backend plugged in by the caller; when set it wins over
+     * `engine`. Must be immutable/thread-safe (shared across runs).
+     */
+    std::shared_ptr<const ScheduleEngine> engineOverride;
+    /** Seed for stochastic service-time sampling (event engine). */
+    uint64_t seed = 1;
+    EventKnobs event;
+    /** Record per-(stage, micro-batch) windows in the timeline. */
+    bool recordWindows = false;
+    /** Optional observer fed the timeline of every scheduled run. */
+    std::shared_ptr<TraceSink> traceSink;
+
+    /** Fresh deterministic generator for one run. */
+    Rng makeRng() const { return Rng(seed); }
+};
+
+} // namespace gopim::sim
+
+#endif // GOPIM_SIM_CONTEXT_HH

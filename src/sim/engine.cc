@@ -1,0 +1,227 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/math_utils.hh"
+#include "sim/pipeline_sim.hh"
+
+namespace gopim::sim {
+
+EngineKind
+engineKindFromString(const std::string &name)
+{
+    if (name == "closed" || name == "closed-form")
+        return EngineKind::ClosedForm;
+    if (name == "event" || name == "event-driven")
+        return EngineKind::EventDriven;
+    fatal("unknown engine '", name, "' (try closed, event)");
+}
+
+std::string
+toString(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::ClosedForm:
+        return "closed-form";
+      case EngineKind::EventDriven:
+        return "event-driven";
+    }
+    panic("unknown engine kind");
+}
+
+double
+StageTimeline::avgIdleFraction() const
+{
+    return mean(idleFraction);
+}
+
+pipeline::ScheduleResult
+StageTimeline::toScheduleResult() const
+{
+    pipeline::ScheduleResult result;
+    result.makespanNs = makespanNs;
+    result.busyNs = busyNs;
+    result.idleFraction = idleFraction;
+    result.windows = windows;
+    return result;
+}
+
+namespace {
+
+void
+validate(const ScheduleRequest &request)
+{
+    GOPIM_ASSERT(!request.stageTimesNs.empty(),
+                 "schedule request with no stages");
+    GOPIM_ASSERT(request.totalMicroBatches >= 1,
+                 "need at least one micro-batch");
+    GOPIM_ASSERT(request.replicas.empty() ||
+                     request.replicas.size() ==
+                         request.stageTimesNs.size(),
+                 "replica vector size mismatch");
+}
+
+/** Batch drain boundaries, mirroring core's IntraBatch chunking. */
+std::pair<uint32_t, uint32_t>
+batchStructure(const ScheduleRequest &request)
+{
+    const uint32_t perBatch =
+        std::min(std::max(1u, request.microBatchesPerBatch),
+                 request.totalMicroBatches);
+    const uint32_t batches =
+        std::max(1u, request.totalMicroBatches / perBatch);
+    return {perBatch, batches};
+}
+
+} // namespace
+
+StageTimeline
+ClosedFormEngine::schedule(const ScheduleRequest &request,
+                           const SimContext &) const
+{
+    validate(request);
+    pipeline::ScheduleResult closed;
+    switch (request.regime) {
+      case Regime::Serial:
+        closed = pipeline::scheduleSerial(request.stageTimesNs,
+                                          request.totalMicroBatches);
+        break;
+      case Regime::IntraBatch: {
+        const auto [perBatch, batches] = batchStructure(request);
+        closed = pipeline::scheduleIntraBatchOnly(
+            request.stageTimesNs, perBatch, batches);
+        break;
+      }
+      case Regime::IntraInterBatch:
+        closed = pipeline::schedulePipelined(
+            request.stageTimesNs, request.totalMicroBatches);
+        break;
+    }
+
+    StageTimeline timeline;
+    timeline.makespanNs = closed.makespanNs;
+    timeline.busyNs = std::move(closed.busyNs);
+    timeline.idleFraction = std::move(closed.idleFraction);
+    timeline.windows = std::move(closed.windows);
+    timeline.blockedNs.assign(request.stageTimesNs.size(), 0.0);
+    return timeline;
+}
+
+StageTimeline
+EventDrivenEngine::schedule(const ScheduleRequest &request,
+                            const SimContext &ctx) const
+{
+    validate(request);
+    const size_t numStages = request.stageTimesNs.size();
+
+    std::vector<StationConfig> stations(numStages);
+    for (size_t i = 0; i < numStages; ++i) {
+        stations[i].serviceTimeNs = request.stageTimesNs[i];
+        stations[i].inputBuffer = ctx.event.inputBufferSlots;
+        if (ctx.event.replicasAsServers && !request.replicas.empty())
+            stations[i].servers = std::max(1u, request.replicas[i]);
+    }
+
+    ServiceSampler sampler;
+    if (ctx.event.writeRetryProb > 0.0)
+        sampler = makeWriteRetrySampler(stations,
+                                        ctx.event.writeRetryProb,
+                                        ctx.event.writeFraction);
+
+    // The drain regimes decompose into independent chunks: serial
+    // execution is a one-micro-batch pipeline repeated, intra-batch
+    // pipelining drains at every weight update. Inter-batch
+    // pipelining is a single chunk.
+    uint32_t chunkSize = request.totalMicroBatches;
+    uint32_t numChunks = 1;
+    switch (request.regime) {
+      case Regime::Serial:
+        chunkSize = 1;
+        numChunks = request.totalMicroBatches;
+        break;
+      case Regime::IntraBatch: {
+        const auto [perBatch, batches] = batchStructure(request);
+        chunkSize = perBatch;
+        numChunks = batches;
+        break;
+      }
+      case Regime::IntraInterBatch:
+        break;
+    }
+
+    StageTimeline timeline;
+    timeline.busyNs.assign(numStages, 0.0);
+    timeline.blockedNs.assign(numStages, 0.0);
+    if (ctx.recordWindows)
+        timeline.windows.assign(
+            numStages, std::vector<pipeline::StageWindow>(
+                           static_cast<size_t>(chunkSize) * numChunks));
+
+    Rng seedRng = ctx.makeRng();
+    double offsetNs = 0.0;
+    for (uint32_t chunk = 0; chunk < numChunks; ++chunk) {
+        const uint32_t base = chunk * chunkSize;
+        ServiceSampler chunkSampler;
+        if (sampler)
+            chunkSampler = [&sampler, base](size_t stage, uint32_t mb,
+                                            Rng &rng) {
+                return sampler(stage, mb + base, rng);
+            };
+        const auto sim =
+            simulatePipeline(stations, chunkSize, chunkSampler,
+                             seedRng.next(), ctx.recordWindows);
+        for (size_t i = 0; i < numStages; ++i) {
+            timeline.busyNs[i] += sim.busyNs[i];
+            timeline.blockedNs[i] += sim.blockedNs[i];
+        }
+        if (ctx.recordWindows) {
+            for (size_t i = 0; i < numStages; ++i) {
+                for (uint32_t j = 0; j < chunkSize; ++j) {
+                    auto &dst = timeline.windows[i][base + j];
+                    dst.startNs =
+                        sim.windows[i][j].startNs + offsetNs;
+                    dst.endNs = sim.windows[i][j].endNs + offsetNs;
+                }
+            }
+        }
+        timeline.eventsProcessed += sim.eventsProcessed;
+        offsetNs += sim.makespanNs;
+    }
+    timeline.makespanNs = offsetNs;
+
+    timeline.idleFraction.resize(numStages);
+    for (size_t i = 0; i < numStages; ++i) {
+        timeline.idleFraction[i] =
+            timeline.makespanNs > 0.0
+                ? std::clamp(1.0 - timeline.busyNs[i] /
+                                       timeline.makespanNs,
+                             0.0, 1.0)
+                : 0.0;
+    }
+    return timeline;
+}
+
+const ScheduleEngine &
+engineFor(EngineKind kind)
+{
+    static const ClosedFormEngine closedForm;
+    static const EventDrivenEngine eventDriven;
+    switch (kind) {
+      case EngineKind::ClosedForm:
+        return closedForm;
+      case EngineKind::EventDriven:
+        return eventDriven;
+    }
+    panic("unknown engine kind");
+}
+
+const ScheduleEngine &
+resolveEngine(const SimContext &ctx)
+{
+    if (ctx.engineOverride)
+        return *ctx.engineOverride;
+    return engineFor(ctx.engine);
+}
+
+} // namespace gopim::sim

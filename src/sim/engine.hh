@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Pluggable scheduling engines: one interface, two timing backends.
+ *
+ * The engines separate "what to run" (a ScheduleRequest: post-
+ * replication stage times, micro-batch structure, pipelining regime)
+ * from "how to time it":
+ *
+ *  - ClosedFormEngine evaluates the paper's Eq. 3-6 recurrences
+ *    (pipeline/schedule.hh) — exact, deterministic, O(stages x
+ *    micro-batches);
+ *  - EventDrivenEngine executes the flow shop event by event
+ *    (sim/pipeline_sim.hh) and can additionally model bounded
+ *    inter-stage buffers, multi-server replica groups, and ReRAM
+ *    write-verify retry stochasticity via the SimContext knobs.
+ *
+ * Both return the same StageTimeline, so core::Accelerator, the
+ * comparison harness, every bench, and the trace sink are agnostic
+ * to the backend. With default knobs the two engines agree exactly
+ * (tests/test_engine.cc asserts parity across all systems).
+ */
+
+#ifndef GOPIM_SIM_ENGINE_HH
+#define GOPIM_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pipeline/schedule.hh"
+#include "sim/context.hh"
+
+namespace gopim::sim {
+
+/** Pipelining regime of a scheduling request. */
+enum class Regime
+{
+    Serial,         ///< no overlap at all
+    IntraBatch,     ///< pipeline within a batch, drain between
+    IntraInterBatch ///< pipeline across batch boundaries too
+};
+
+/** One scheduling problem, independent of the timing backend. */
+struct ScheduleRequest
+{
+    /** Post-replication service time of each stage (ns/micro-batch). */
+    std::vector<double> stageTimesNs;
+    /** Replica count per stage (multi-server event mode). */
+    std::vector<uint32_t> replicas;
+    Regime regime = Regime::IntraInterBatch;
+    /** Total micro-batches across all batches. */
+    uint32_t totalMicroBatches = 1;
+    /** Drain boundary for Regime::IntraBatch (micro-batches/batch). */
+    uint32_t microBatchesPerBatch = 0;
+};
+
+/** Backend-agnostic scheduling outcome. */
+struct StageTimeline
+{
+    double makespanNs = 0.0;
+    /** Per-stage total service time over the run. */
+    std::vector<double> busyNs;
+    /** Per-stage time finished work sat blocked by backpressure. */
+    std::vector<double> blockedNs;
+    /** Idle fraction of each stage: 1 - busy / makespan, in [0,1]. */
+    std::vector<double> idleFraction;
+    /**
+     * Start/end of every (stage, micro-batch) service window,
+     * stage-major. Populated by the closed form always and by the
+     * event engine when SimContext::recordWindows is set.
+     */
+    std::vector<std::vector<pipeline::StageWindow>> windows;
+    /** Discrete events executed (0 for the closed form). */
+    uint64_t eventsProcessed = 0;
+
+    double avgIdleFraction() const;
+    bool hasWindows() const { return !windows.empty(); }
+
+    /** View as a pipeline::ScheduleResult (Gantt rendering reuse). */
+    pipeline::ScheduleResult toScheduleResult() const;
+};
+
+/** A timing backend that turns requests into timelines. */
+class ScheduleEngine
+{
+  public:
+    virtual ~ScheduleEngine() = default;
+
+    /** Short identifier ("closed-form", "event-driven"). */
+    virtual std::string name() const = 0;
+
+    /** Schedule one run under `ctx`'s knobs and seed. */
+    virtual StageTimeline schedule(const ScheduleRequest &request,
+                                   const SimContext &ctx) const = 0;
+};
+
+/** Eq. 3-6 recurrence backend wrapping pipeline/schedule.hh. */
+class ClosedFormEngine final : public ScheduleEngine
+{
+  public:
+    std::string name() const override { return "closed-form"; }
+    StageTimeline schedule(const ScheduleRequest &request,
+                           const SimContext &ctx) const override;
+};
+
+/** Discrete-event flow-shop backend wrapping simulatePipeline(). */
+class EventDrivenEngine final : public ScheduleEngine
+{
+  public:
+    std::string name() const override { return "event-driven"; }
+    StageTimeline schedule(const ScheduleRequest &request,
+                           const SimContext &ctx) const override;
+};
+
+/** Shared immutable engine instance for a kind (never null). */
+const ScheduleEngine &engineFor(EngineKind kind);
+
+/** Context's backend: engineOverride when set, else engineFor(). */
+const ScheduleEngine &resolveEngine(const SimContext &ctx);
+
+} // namespace gopim::sim
+
+#endif // GOPIM_SIM_ENGINE_HH

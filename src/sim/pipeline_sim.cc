@@ -44,7 +44,7 @@ class Simulation
   public:
     Simulation(const std::vector<StationConfig> &configs,
                uint32_t microBatches, const ServiceSampler &sampler,
-               uint64_t seed)
+               uint64_t seed, bool recordWindows)
         : sampler_(sampler), rng_(seed)
     {
         stations_.reserve(configs.size());
@@ -54,6 +54,10 @@ class Simulation
             s.freeServers = cfg.servers;
             stations_.push_back(std::move(s));
         }
+        if (recordWindows)
+            windows_.assign(
+                configs.size(),
+                std::vector<pipeline::StageWindow>(microBatches));
         // All micro-batches are released to stage 0 at t = 0; stage
         // 0's input feed is the off-chip stream, unbounded.
         for (uint32_t j = 0; j < microBatches; ++j)
@@ -74,6 +78,7 @@ class Simulation
             result.busyNs.push_back(s.busyNs);
             result.blockedNs.push_back(s.blockedNs);
         }
+        result.windows = std::move(windows_);
         return result;
     }
 
@@ -104,6 +109,11 @@ class Simulation
             startedAny = true;
             const double service = serviceTime(stageIdx, mb);
             station.busyNs += service;
+            if (!windows_.empty()) {
+                auto &window = windows_[stageIdx][mb];
+                window.startNs = queue_.nowNs();
+                window.endNs = queue_.nowNs() + service;
+            }
             queue_.scheduleAfter(service, [this, stageIdx, mb] {
                 onFinish(stageIdx, mb);
             });
@@ -169,6 +179,7 @@ class Simulation
     ServiceSampler sampler_;
     Rng rng_;
     std::vector<Station> stations_;
+    std::vector<std::vector<pipeline::StageWindow>> windows_;
     EventQueue queue_;
     uint32_t completed_ = 0;
 };
@@ -178,13 +189,14 @@ class Simulation
 SimResult
 simulatePipeline(const std::vector<StationConfig> &stations,
                  uint32_t microBatches, const ServiceSampler &sampler,
-                 uint64_t seed)
+                 uint64_t seed, bool recordWindows)
 {
     GOPIM_ASSERT(!stations.empty(), "pipeline with no stations");
     GOPIM_ASSERT(microBatches >= 1, "need at least one micro-batch");
     for (const auto &s : stations)
         GOPIM_ASSERT(s.servers >= 1, "station needs >= 1 server");
-    Simulation sim(stations, microBatches, sampler, seed);
+    Simulation sim(stations, microBatches, sampler, seed,
+                   recordWindows);
     auto result = sim.run();
     GOPIM_ASSERT(result.completed == microBatches,
                  "pipeline deadlocked: ", result.completed, " of ",

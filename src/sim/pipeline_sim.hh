@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "pipeline/schedule.hh"
 
 namespace gopim::sim {
 
@@ -63,6 +64,12 @@ struct SimResult
     /** Completed micro-batches (== requested unless deadlocked). */
     uint32_t completed = 0;
     uint64_t eventsProcessed = 0;
+    /**
+     * Per-(stage, micro-batch) service windows, stage-major; only
+     * filled when recording was requested (observability costs
+     * memory on multi-epoch runs).
+     */
+    std::vector<std::vector<pipeline::StageWindow>> windows;
 
     /** Idle fraction of a stage's servers over the makespan. */
     double idleFraction(size_t stage) const;
@@ -71,12 +78,13 @@ struct SimResult
 /**
  * Simulate `microBatches` jobs flowing through the stations in order.
  * `sampler` (optional) overrides per-job service times; `seed` drives
- * the sampler's randomness.
+ * the sampler's randomness. `recordWindows` fills SimResult::windows.
  */
 SimResult simulatePipeline(const std::vector<StationConfig> &stations,
                            uint32_t microBatches,
                            const ServiceSampler &sampler = {},
-                           uint64_t seed = 1);
+                           uint64_t seed = 1,
+                           bool recordWindows = false);
 
 /**
  * ReRAM write-retry sampler factory: with probability `retryProb`

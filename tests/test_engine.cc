@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the pluggable scheduling-engine layer: closed-form vs
+ * event-driven parity across every Fig. 13 system on multiple
+ * catalog datasets, the event-only knobs (bounded buffers, retry
+ * stochasticity, replicas-as-servers), custom engine plug-in via
+ * SimContext::engineOverride, and the Chrome trace sink.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/accelerator.hh"
+#include "core/harness.hh"
+#include "core/options.hh"
+#include "core/systems.hh"
+#include "gcn/workload.hh"
+#include "sim/engine.hh"
+#include "sim/trace.hh"
+
+namespace gopim {
+namespace {
+
+core::RunResult
+runWith(core::SystemKind kind, const std::string &dataset,
+        const sim::SimContext &ctx)
+{
+    core::ComparisonHarness harness(
+        reram::AcceleratorConfig::paperDefault(), ctx);
+    return harness.runOne(kind, gcn::Workload::paperDefault(dataset));
+}
+
+// With default knobs (one server per stage, unbounded buffers,
+// deterministic times) the event-driven engine must reproduce the
+// closed form exactly — for every pipelining regime the Fig. 13
+// systems exercise (Serial, IntraBatch, IntraInterBatch).
+TEST(EngineParity, Figure13SystemsAgreeOnMakespanAndIdle)
+{
+    for (const std::string dataset : {"ddi", "Cora"}) {
+        for (core::SystemKind kind : core::figure13Systems()) {
+            sim::SimContext closed;
+            closed.engine = sim::EngineKind::ClosedForm;
+            sim::SimContext event;
+            event.engine = sim::EngineKind::EventDriven;
+
+            const auto a = runWith(kind, dataset, closed);
+            const auto b = runWith(kind, dataset, event);
+
+            EXPECT_EQ(a.engineName, "closed-form");
+            EXPECT_EQ(b.engineName, "event-driven");
+            EXPECT_NEAR(a.makespanNs, b.makespanNs,
+                        1e-9 * a.makespanNs)
+                << toString(kind) << " on " << dataset;
+            ASSERT_EQ(a.idleFraction.size(), b.idleFraction.size());
+            for (size_t i = 0; i < a.idleFraction.size(); ++i)
+                EXPECT_NEAR(a.idleFraction[i], b.idleFraction[i],
+                            1e-9)
+                    << toString(kind) << " on " << dataset
+                    << " stage " << i;
+            // Identical timing means identical energy (up to
+            // summation order: the serial regime accumulates chunk
+            // makespans in a different order than the closed form).
+            EXPECT_NEAR(a.energyPj, b.energyPj, 1e-9 * a.energyPj)
+                << toString(kind) << " on " << dataset;
+            EXPECT_GT(b.eventsProcessed, 0u);
+            EXPECT_EQ(a.eventsProcessed, 0u);
+        }
+    }
+}
+
+TEST(EngineParity, AblationSystemsAgreeToo)
+{
+    for (core::SystemKind kind :
+         {core::SystemKind::PlusPP, core::SystemKind::PlusISU,
+          core::SystemKind::Naive}) {
+        sim::SimContext event;
+        event.engine = sim::EngineKind::EventDriven;
+        const auto a = runWith(kind, "ddi", {});
+        const auto b = runWith(kind, "ddi", event);
+        EXPECT_NEAR(a.makespanNs, b.makespanNs, 1e-9 * a.makespanNs)
+            << toString(kind);
+    }
+}
+
+TEST(EventKnobs, BoundedBuffersNeverBeatUnbounded)
+{
+    sim::SimContext event;
+    event.engine = sim::EngineKind::EventDriven;
+    const auto unbounded =
+        runWith(core::SystemKind::GoPim, "ddi", event);
+
+    event.event.inputBufferSlots = 0;
+    const auto bounded =
+        runWith(core::SystemKind::GoPim, "ddi", event);
+    EXPECT_GE(bounded.makespanNs,
+              unbounded.makespanNs * (1.0 - 1e-9));
+}
+
+TEST(EventKnobs, WriteRetriesInflateAndAreSeedDeterministic)
+{
+    sim::SimContext event;
+    event.engine = sim::EngineKind::EventDriven;
+    event.seed = 42;
+    const auto clean = runWith(core::SystemKind::GoPim, "ddi", event);
+
+    event.event.writeRetryProb = 0.3;
+    event.event.writeFraction = 0.5;
+    const auto noisy = runWith(core::SystemKind::GoPim, "ddi", event);
+    const auto again = runWith(core::SystemKind::GoPim, "ddi", event);
+    EXPECT_GT(noisy.makespanNs, clean.makespanNs);
+    EXPECT_DOUBLE_EQ(noisy.makespanNs, again.makespanNs);
+
+    event.seed = 43;
+    const auto other = runWith(core::SystemKind::GoPim, "ddi", event);
+    EXPECT_NE(other.makespanNs, noisy.makespanNs);
+}
+
+TEST(EventKnobs, ReplicasAsServersRuns)
+{
+    // Alternative replication semantics: replica groups serve
+    // distinct micro-batches instead of splitting one. A different
+    // timing model, but still a valid deterministic end-to-end run,
+    // and never faster than every stage running at its ideal
+    // zero-latency split rate would allow (serial lower bound of the
+    // slowest stage).
+    sim::SimContext event;
+    event.engine = sim::EngineKind::EventDriven;
+    event.event.replicasAsServers = true;
+    const auto servers =
+        runWith(core::SystemKind::GoPim, "ddi", event);
+    const auto again =
+        runWith(core::SystemKind::GoPim, "ddi", event);
+    EXPECT_GT(servers.makespanNs, 0.0);
+    EXPECT_DOUBLE_EQ(servers.makespanNs, again.makespanNs);
+}
+
+// A caller-supplied backend plugs in through the same seam the two
+// built-ins use.
+class FixedMakespanEngine final : public sim::ScheduleEngine
+{
+  public:
+    std::string name() const override { return "fixed-stub"; }
+
+    sim::StageTimeline
+    schedule(const sim::ScheduleRequest &request,
+             const sim::SimContext &) const override
+    {
+        sim::StageTimeline timeline;
+        timeline.makespanNs = 1234.5;
+        const size_t n = request.stageTimesNs.size();
+        timeline.busyNs.assign(n, 0.0);
+        timeline.blockedNs.assign(n, 0.0);
+        timeline.idleFraction.assign(n, 0.5);
+        return timeline;
+    }
+};
+
+TEST(EnginePlugin, EngineOverrideWinsOverKind)
+{
+    sim::SimContext ctx;
+    ctx.engine = sim::EngineKind::EventDriven;
+    ctx.engineOverride = std::make_shared<FixedMakespanEngine>();
+    const auto run = runWith(core::SystemKind::GoPim, "ddi", ctx);
+    EXPECT_EQ(run.engineName, "fixed-stub");
+    EXPECT_DOUBLE_EQ(run.makespanNs, 1234.5);
+    EXPECT_DOUBLE_EQ(run.avgIdleFraction, 0.5);
+}
+
+TEST(TraceSink, CollectsRunsAndWritesBalancedJson)
+{
+    auto sink = std::make_shared<sim::ChromeTraceSink>();
+    sim::SimContext ctx;
+    ctx.engine = sim::EngineKind::EventDriven;
+    ctx.traceSink = sink;
+    runWith(core::SystemKind::GoPim, "Cora", ctx);
+    runWith(core::SystemKind::Serial, "Cora", ctx);
+    EXPECT_EQ(sink->runCount(), 2u);
+
+    std::ostringstream os;
+    sink->writeTo(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("GoPIM on Cora"), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TraceSink, ClosedFormWindowsTraceToo)
+{
+    auto sink = std::make_shared<sim::ChromeTraceSink>();
+    sim::SimContext ctx;
+    ctx.traceSink = sink;
+    runWith(core::SystemKind::GoPim, "Cora", ctx);
+    EXPECT_EQ(sink->runCount(), 1u);
+}
+
+TEST(SimFlags, UniformFlagsBuildTheContext)
+{
+    Flags flags("test", "test");
+    core::addSimFlags(flags);
+    const char *argv[] = {"test", "--engine=event", "--seed=7",
+                          "--jobs=3", "--buffer-slots=2",
+                          "--retry-prob=0.1"};
+    ASSERT_TRUE(flags.parse(6, argv));
+    const auto ctx = core::simContextFromFlags(flags);
+    EXPECT_EQ(ctx.engine, sim::EngineKind::EventDriven);
+    EXPECT_EQ(ctx.seed, 7u);
+    EXPECT_EQ(ctx.event.inputBufferSlots, 2u);
+    EXPECT_DOUBLE_EQ(ctx.event.writeRetryProb, 0.1);
+    EXPECT_EQ(core::jobsFromFlags(flags), 3u);
+    EXPECT_EQ(ctx.traceSink, nullptr);
+}
+
+TEST(SimFlags, EngineNamesRoundTrip)
+{
+    EXPECT_EQ(sim::engineKindFromString("closed"),
+              sim::EngineKind::ClosedForm);
+    EXPECT_EQ(sim::engineKindFromString("event-driven"),
+              sim::EngineKind::EventDriven);
+    EXPECT_EQ(toString(sim::EngineKind::ClosedForm), "closed-form");
+    EXPECT_EQ(toString(sim::EngineKind::EventDriven), "event-driven");
+}
+
+} // namespace
+} // namespace gopim

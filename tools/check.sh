@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite,
+# then repeat the build with ASan+UBSan (GOPIM_SANITIZE) and run the
+# suite again under the sanitizers. Exits non-zero on any failure.
+#
+# Usage: tools/check.sh [--no-sanitize]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+sanitize=1
+[[ "${1:-}" == "--no-sanitize" ]] && sanitize=0
+
+echo "== tier-1: plain build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$sanitize" == 1 ]]; then
+    echo "== tier-2: ASan+UBSan build + ctest =="
+    cmake -B build-asan -S . \
+        -DGOPIM_SANITIZE="address;undefined" >/dev/null
+    cmake --build build-asan -j "$jobs"
+    ctest --test-dir build-asan --output-on-failure -j "$jobs"
+fi
+
+echo "== all checks passed =="

@@ -3,23 +3,33 @@
  * gopim_sim: command-line driver for the simulator. Runs any of the
  * named systems on any catalog dataset (or a user edge-list file),
  * printing the makespan, energy, allocation, idle profile, and
- * optionally a Gantt chart or CSV row — the everyday entry point for
- * downstream users.
+ * optionally a Gantt chart, CSV row, or Chrome trace — the everyday
+ * entry point for downstream users.
+ *
+ * The timing backend is pluggable: --engine=closed evaluates the
+ * paper's Eq. 3-6 closed form, --engine=event runs the discrete-
+ * event flow shop (with --buffer-slots / --retry-prob knobs).
+ * --grid runs the full Fig. 13 system list over the dataset(s),
+ * spread over --jobs worker threads.
  */
 
+#include <algorithm>
 #include <iostream>
+#include <sstream>
 
 #include "common/flags.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "core/accelerator.hh"
 #include "core/harness.hh"
+#include "core/options.hh"
 #include "core/report.hh"
 #include "core/systems.hh"
 #include "gcn/workload.hh"
 #include "graph/datasets.hh"
 #include "graph/io.hh"
 #include "pipeline/gantt.hh"
+#include "sim/engine.hh"
 
 namespace {
 
@@ -42,6 +52,48 @@ systemByName(const std::string &name)
           "GoPIM-Vanilla)");
 }
 
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/** --grid: the Fig. 13 systems x the requested datasets. */
+int
+runGridMode(const core::ComparisonHarness &harness,
+            const std::string &datasetList, size_t jobs, bool csv,
+            bool json)
+{
+    const auto systems = core::figure13Systems();
+    const auto rows =
+        harness.runGrid(systems, splitCommas(datasetList), jobs);
+    if (json) {
+        core::writeGridJson(rows, std::cout);
+        return 0;
+    }
+    if (csv) {
+        core::writeGridCsv(rows, std::cout);
+        return 0;
+    }
+    harness
+        .speedupTable("speedup normalized to " +
+                          rows.front().results.front().systemName +
+                          " [" +
+                          rows.front().results.front().engineName +
+                          "]",
+                      rows)
+        .print(std::cout);
+    std::cout << '\n';
+    harness.energyTable("energy saving", rows).print(std::cout);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -50,7 +102,8 @@ main(int argc, char **argv)
     Flags flags("gopim_sim",
                 "run a GoPIM accelerator system on a GCN workload");
     flags.addString("dataset", "ddi",
-                    "catalog dataset name (Table III)");
+                    "catalog dataset name (Table III); --grid "
+                    "accepts a comma-separated list");
     flags.addString("graph", "",
                     "optional edge-list file overriding the catalog "
                     "graph statistics");
@@ -66,16 +119,31 @@ main(int argc, char **argv)
     flags.addBool("json", false,
                   "emit the full run result as JSON instead of "
                   "tables");
-    flags.addInt("seed", 1, "profile generation seed");
+    flags.addBool("grid", false,
+                  "run all Fig. 13 systems over the dataset list");
+    core::addSimFlags(flags);
     if (!flags.parse(argc, argv))
         return 0;
+
+    const sim::SimContext ctx = core::simContextFromFlags(flags);
+    core::ComparisonHarness harness(
+        reram::AcceleratorConfig::paperDefault(), ctx);
+
+    if (flags.getBool("grid")) {
+        const int rc = runGridMode(
+            harness, flags.getString("dataset"),
+            core::jobsFromFlags(flags), flags.getBool("csv"),
+            flags.getBool("json"));
+        core::writeTraceIfRequested(flags, ctx);
+        return rc;
+    }
 
     auto workload = gcn::Workload::paperDefault(
         flags.getString("dataset"));
     workload.microBatchSize =
         static_cast<uint32_t>(flags.getInt("micro-batch"));
     workload.epochs = static_cast<uint32_t>(flags.getInt("epochs"));
-    workload.seed = static_cast<uint64_t>(flags.getInt("seed"));
+    workload.seed = ctx.seed;
 
     if (!flags.getString("graph").empty()) {
         const auto g = graph::loadEdgeList(flags.getString("graph"));
@@ -85,9 +153,9 @@ main(int argc, char **argv)
         workload.dataset.avgDegree = g.averageDegree();
     }
 
-    core::ComparisonHarness harness;
     auto system = core::makeSystem(
         systemByName(flags.getString("system")));
+    system.sim = ctx;
     if (flags.getDouble("theta") > 0.0) {
         system.policy.selectiveUpdate = true;
         system.policy.theta = flags.getDouble("theta");
@@ -99,6 +167,7 @@ main(int argc, char **argv)
     const auto run = accel.run(workload, profile);
     const auto baseline = harness.runOne(
         systemByName(flags.getString("baseline")), workload);
+    core::writeTraceIfRequested(flags, ctx);
 
     if (flags.getBool("json")) {
         core::writeRunJson(run, std::cout);
@@ -107,10 +176,11 @@ main(int argc, char **argv)
     }
 
     if (flags.getBool("csv")) {
-        std::cout << "dataset,system,makespan_ns,energy_pj,speedup,"
-                     "energy_saving,crossbars,avg_idle\n"
+        std::cout << "dataset,system,engine,makespan_ns,energy_pj,"
+                     "speedup,energy_saving,crossbars,avg_idle\n"
                   << run.datasetName << ',' << run.systemName << ','
-                  << run.makespanNs << ',' << run.energyPj << ','
+                  << run.engineName << ',' << run.makespanNs << ','
+                  << run.energyPj << ','
                   << run.speedupOver(baseline) << ','
                   << run.energySavingOver(baseline) << ','
                   << run.totalCrossbars << ','
@@ -121,7 +191,8 @@ main(int argc, char **argv)
     std::cout << run.systemName << " on " << run.datasetName << " ("
               << workload.dataset.numVertices << " vertices, "
               << workload.model.numLayers << "-layer GCN, micro-batch "
-              << workload.microBatchSize << ")\n\n";
+              << workload.microBatchSize << ", " << run.engineName
+              << " engine)\n\n";
     std::cout << "makespan      : " << formatTimeNs(run.makespanNs)
               << "\n";
     std::cout << "energy        : " << formatEnergyPj(run.energyPj)
@@ -149,12 +220,23 @@ main(int argc, char **argv)
     stagesTable.print(std::cout);
 
     if (flags.getBool("gantt")) {
-        const auto schedule = pipeline::schedulePipelined(
-            run.stageTimesNs,
+        // Render through the selected engine so the chart reflects
+        // the same backend that produced the makespan.
+        sim::ScheduleRequest request;
+        request.stageTimesNs = run.stageTimesNs;
+        request.replicas = run.replicas;
+        request.regime = sim::Regime::IntraInterBatch;
+        request.totalMicroBatches =
             std::min(workload.microBatchesPerEpoch() * workload.epochs,
-                     16u));
+                     16u);
+        sim::SimContext ganttCtx = ctx;
+        ganttCtx.recordWindows = true;
+        ganttCtx.traceSink = nullptr;
+        const auto timeline =
+            sim::resolveEngine(ganttCtx).schedule(request, ganttCtx);
         std::cout << '\n'
-                  << pipeline::renderGantt(run.stages, schedule);
+                  << pipeline::renderGantt(
+                         run.stages, timeline.toScheduleResult());
     }
     return 0;
 }
