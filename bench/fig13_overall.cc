@@ -28,6 +28,7 @@ main(int argc, char **argv)
     Flags flags("fig13_overall",
                 "Fig. 13 end-to-end speedup and energy comparison");
     core::addSimFlags(flags);
+    core::addJsonOutFlag(flags, "BENCH_fig13.json");
     if (!flags.parse(argc, argv))
         return 0;
 
@@ -41,6 +42,7 @@ main(int argc, char **argv)
 
     const auto rows = harness.runGrid(systems, datasetNames,
                                       core::jobsFromFlags(flags));
+    core::writeGridJsonIfRequested(flags, rows);
 
     harness
         .speedupTable(

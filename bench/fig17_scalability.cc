@@ -24,12 +24,16 @@ main(int argc, char **argv)
     Flags flags("fig17_scalability",
                 "Fig. 17 feature-dimension and dataset scalability");
     core::addSimFlags(flags);
+    core::addJsonOutFlag(flags, "BENCH_fig17.json");
     if (!flags.parse(argc, argv))
         return 0;
 
     core::ComparisonHarness harness(
         reram::AcceleratorConfig::paperDefault(),
         core::simContextFromFlags(flags));
+
+    // Every run also lands in the machine-readable --json-out grid.
+    std::vector<core::ComparisonRow> jsonRows;
 
     // (a) Feature dimension sweep on ddi.
     {
@@ -49,6 +53,8 @@ main(int argc, char **argv)
                 core::SystemKind::Serial, workload, profile);
             const auto g = harness.runOne(
                 core::SystemKind::GoPim, workload, profile);
+            jsonRows.push_back({"ddi@dim" + std::to_string(dim),
+                                {s, g}});
             table.row()
                 .cell(static_cast<uint64_t>(dim))
                 .cell(g.speedupOver(s), 1)
@@ -66,6 +72,7 @@ main(int argc, char **argv)
             harness.runOne(core::SystemKind::Serial, workload);
         const auto gopim =
             harness.runOne(core::SystemKind::GoPim, workload);
+        jsonRows.push_back({"products", {serial, gopim}});
         Table table("Figure 17(b): scalability on products "
                     "(2,449,029 vertices)",
                     {"metric", "measured", "paper"});
@@ -90,6 +97,7 @@ main(int argc, char **argv)
             gcn::VertexProfile::build(workload.dataset, workload.seed);
         for (auto kind : systems)
             results.push_back(harness.runOne(kind, workload, profile));
+        jsonRows.push_back({"Cora", results});
         const auto &gopim = results.back();
 
         Table table("Section VII-F: sparse dataset Cora "
@@ -109,5 +117,6 @@ main(int argc, char **argv)
         std::cout << "\nPaper: GoPIM's margin shrinks on sparse "
                      "graphs but persists everywhere.\n";
     }
+    core::writeGridJsonIfRequested(flags, jsonRows);
     return 0;
 }

@@ -53,6 +53,31 @@ Flags::addBool(const std::string &name, bool def,
     order_.push_back(name);
 }
 
+void
+Flags::setIntRange(const std::string &name, int64_t min, int64_t max)
+{
+    auto it = entries_.find(name);
+    GOPIM_ASSERT(it != entries_.end() && it->second.type == Type::Int,
+                 "setIntRange on undeclared int flag ", name);
+    it->second.hasRange = true;
+    it->second.intMin = min;
+    it->second.intMax = max;
+}
+
+void
+Flags::setDoubleRange(const std::string &name, double min, double max,
+                      bool maxExclusive)
+{
+    auto it = entries_.find(name);
+    GOPIM_ASSERT(it != entries_.end() &&
+                     it->second.type == Type::Double,
+                 "setDoubleRange on undeclared double flag ", name);
+    it->second.hasRange = true;
+    it->second.doubleMin = min;
+    it->second.doubleMax = max;
+    it->second.maxExclusive = maxExclusive;
+}
+
 bool
 Flags::parse(int argc, const char *const *argv)
 {
@@ -91,22 +116,35 @@ Flags::parse(int argc, const char *const *argv)
             }
         }
 
-        // Validate by type.
+        // Validate by type (and declared range).
         switch (entry.type) {
           case Type::Int: {
             char *end = nullptr;
-            std::strtoll(value.c_str(), &end, 10);
+            const int64_t parsed =
+                std::strtoll(value.c_str(), &end, 10);
             if (end == value.c_str() || *end != '\0')
                 fatal("flag --", arg, " expects an integer, got '",
                       value, "'");
+            if (entry.hasRange &&
+                (parsed < entry.intMin || parsed > entry.intMax))
+                fatal("flag --", arg, " must be in [", entry.intMin,
+                      ", ", entry.intMax, "], got ", parsed);
             break;
           }
           case Type::Double: {
             char *end = nullptr;
-            std::strtod(value.c_str(), &end);
+            const double parsed = std::strtod(value.c_str(), &end);
             if (end == value.c_str() || *end != '\0')
                 fatal("flag --", arg, " expects a number, got '",
                       value, "'");
+            if (entry.hasRange &&
+                (parsed < entry.doubleMin ||
+                 parsed > entry.doubleMax ||
+                 (entry.maxExclusive && parsed == entry.doubleMax)))
+                fatal("flag --", arg, " must be in [", entry.doubleMin,
+                      ", ", entry.doubleMax,
+                      entry.maxExclusive ? ")" : "]", ", got ",
+                      parsed);
             break;
           }
           case Type::Bool:

@@ -33,8 +33,24 @@ class Flags
                  const std::string &help);
 
     /**
+     * Attach a [min, max] range to a declared int flag; parse()
+     * rejects out-of-range values. Declaring the constraint next to
+     * the flag keeps every binary's validation identical (the checks
+     * used to be re-implemented per tool).
+     */
+    void setIntRange(const std::string &name, int64_t min, int64_t max);
+
+    /**
+     * Attach a range to a declared double flag. `maxExclusive`
+     * selects [min, max) instead of [min, max].
+     */
+    void setDoubleRange(const std::string &name, double min, double max,
+                        bool maxExclusive = false);
+
+    /**
      * Parse argv. Returns false (after printing help) if --help was
-     * requested; fatal() on unknown flags or malformed values.
+     * requested; fatal() on unknown flags, malformed values, or
+     * values outside a declared range.
      */
     bool parse(int argc, const char *const *argv);
 
@@ -65,6 +81,10 @@ class Flags
         std::string def;
         std::string help;
         bool set = false;
+        bool hasRange = false;
+        int64_t intMin = 0, intMax = 0;
+        double doubleMin = 0.0, doubleMax = 0.0;
+        bool maxExclusive = false;
     };
 
     const Entry &lookup(const std::string &name, Type type) const;

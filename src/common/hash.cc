@@ -1,0 +1,28 @@
+#include "common/hash.hh"
+
+namespace gopim {
+
+uint64_t
+fnv1a64(std::string_view data, uint64_t seed)
+{
+    uint64_t h = seed;
+    for (const char ch : data) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= kFnv1aPrime;
+    }
+    return h;
+}
+
+std::string
+hexDigest64(uint64_t hash)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<size_t>(i)] = digits[hash & 0xf];
+        hash >>= 4;
+    }
+    return out;
+}
+
+} // namespace gopim

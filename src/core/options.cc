@@ -1,9 +1,11 @@
 #include "core/options.hh"
 
+#include <fstream>
 #include <limits>
 #include <memory>
 
 #include "common/logging.hh"
+#include "core/report.hh"
 #include "sim/trace.hh"
 
 namespace gopim::core {
@@ -17,17 +19,35 @@ addSimFlags(Flags &flags)
     flags.addInt("seed", 1, "simulation + profile generation seed");
     flags.addInt("jobs", 1,
                  "worker threads for grid runs (0 = all cores)");
+    flags.setIntRange("jobs", 0, std::numeric_limits<int64_t>::max());
     flags.addString("trace-out", "",
                     "write a Chrome trace_event JSON timeline here");
     flags.addInt("buffer-slots", -1,
                  "event engine: inter-stage input-buffer slots "
                  "(-1 = unbounded)");
+    flags.setIntRange("buffer-slots", -1,
+                      std::numeric_limits<uint32_t>::max());
     flags.addDouble("retry-prob", 0.0,
                     "event engine: ReRAM write-verify retry "
                     "probability");
+    flags.setDoubleRange("retry-prob", 0.0, 1.0,
+                         /*maxExclusive=*/true);
     flags.addDouble("write-fraction", 0.3,
                     "event engine: fraction of stage time spent "
                     "writing (with --retry-prob)");
+    flags.setDoubleRange("write-fraction", 0.0, 1.0);
+}
+
+std::string
+eventKnobRangeError(double retryProb, double writeFraction)
+{
+    if (retryProb < 0.0 || retryProb >= 1.0)
+        return "retry probability must be in [0, 1), got " +
+               std::to_string(retryProb);
+    if (writeFraction < 0.0 || writeFraction > 1.0)
+        return "write fraction must be in [0, 1], got " +
+               std::to_string(writeFraction);
+    return "";
 }
 
 sim::SimContext
@@ -42,14 +62,13 @@ simContextFromFlags(const Flags &flags)
         slots < 0 ? std::numeric_limits<uint32_t>::max()
                   : static_cast<uint32_t>(slots);
     ctx.event.writeRetryProb = flags.getDouble("retry-prob");
-    if (ctx.event.writeRetryProb < 0.0 ||
-        ctx.event.writeRetryProb >= 1.0)
-        fatal("--retry-prob must be in [0, 1), got ",
-              ctx.event.writeRetryProb);
     ctx.event.writeFraction = flags.getDouble("write-fraction");
-    if (ctx.event.writeFraction < 0.0 || ctx.event.writeFraction > 1.0)
-        fatal("--write-fraction must be in [0, 1], got ",
-              ctx.event.writeFraction);
+    // parse() already range-checked flag input; this guards callers
+    // that build Flags values programmatically.
+    const std::string rangeError = eventKnobRangeError(
+        ctx.event.writeRetryProb, ctx.event.writeFraction);
+    if (!rangeError.empty())
+        fatal(rangeError);
 
     if (!flags.getString("trace-out").empty())
         ctx.traceSink = std::make_shared<sim::ChromeTraceSink>();
@@ -59,10 +78,7 @@ simContextFromFlags(const Flags &flags)
 size_t
 jobsFromFlags(const Flags &flags)
 {
-    const int64_t jobs = flags.getInt("jobs");
-    if (jobs < 0)
-        fatal("--jobs must be >= 0 (0 = all cores), got ", jobs);
-    return static_cast<size_t>(jobs);
+    return static_cast<size_t>(flags.getInt("jobs"));
 }
 
 void
@@ -77,6 +93,28 @@ writeTraceIfRequested(const Flags &flags, const sim::SimContext &ctx)
     sink->writeFile(path);
     inform("wrote ", sink->runCount(), "-run Chrome trace to ", path,
            " (open in chrome://tracing or ui.perfetto.dev)");
+}
+
+void
+addJsonOutFlag(Flags &flags, const std::string &defaultPath)
+{
+    flags.addString("json-out", defaultPath,
+                    "write the result grid as JSON to this file "
+                    "(empty = disabled)");
+}
+
+void
+writeGridJsonIfRequested(const Flags &flags,
+                         const std::vector<ComparisonRow> &rows)
+{
+    const std::string path = flags.getString("json-out");
+    if (path.empty())
+        return;
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open --json-out file ", path);
+    out << gridToJson(rows).dumpIndented() << '\n';
+    inform("wrote ", rows.size(), "-row result grid to ", path);
 }
 
 } // namespace gopim::core

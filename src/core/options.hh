@@ -5,15 +5,21 @@
  * simulation flags (--engine, --seed, --jobs, --trace-out, and the
  * event-engine knobs) and turns them into a sim::SimContext the
  * same way, so flag spellings and semantics never drift between
- * entry points.
+ * entry points. Range constraints are declared here once and
+ * enforced by Flags::parse(), so every binary — including the
+ * serving daemon, which validates JSON requests against the same
+ * rules — rejects bad values identically.
  */
 
 #ifndef GOPIM_CORE_OPTIONS_HH
 #define GOPIM_CORE_OPTIONS_HH
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "common/flags.hh"
+#include "core/harness.hh"
 #include "sim/context.hh"
 
 namespace gopim::core {
@@ -27,8 +33,19 @@ namespace gopim::core {
  *   --buffer-slots=N        event engine: inter-stage buffer slots
  *   --retry-prob=P          event engine: write-verify retry prob
  *   --write-fraction=F      event engine: write share of stage time
+ * Ranges (jobs >= 0, buffer-slots >= -1, retry-prob in [0, 1),
+ * write-fraction in [0, 1]) are attached here and enforced at
+ * parse() time.
  */
 void addSimFlags(Flags &flags);
+
+/**
+ * Validate the event-engine knob ranges shared by the CLI flags and
+ * the serving layer's JSON requests: retryProb in [0, 1),
+ * writeFraction in [0, 1]. Returns an error message, or "" when the
+ * values are acceptable.
+ */
+std::string eventKnobRangeError(double retryProb, double writeFraction);
 
 /**
  * Build the SimContext the parsed flags describe. When --trace-out
@@ -46,6 +63,19 @@ size_t jobsFromFlags(const Flags &flags);
  */
 void writeTraceIfRequested(const Flags &flags,
                            const sim::SimContext &ctx);
+
+/**
+ * Declare --json-out on a harness-driven bench: when non-empty, the
+ * bench writes its result grid as machine-readable JSON (same writer
+ * as the serving layer) alongside its human tables. Benches pass
+ * their canonical artifact name (e.g. "BENCH_fig13.json") as the
+ * default; --json-out= (empty) disables the file.
+ */
+void addJsonOutFlag(Flags &flags, const std::string &defaultPath = "");
+
+/** Write `rows` to the --json-out path; no-op when empty/undeclared. */
+void writeGridJsonIfRequested(const Flags &flags,
+                              const std::vector<ComparisonRow> &rows);
 
 } // namespace gopim::core
 

@@ -1,7 +1,5 @@
 #include "core/report.hh"
 
-#include <iomanip>
-
 #include "common/logging.hh"
 
 namespace gopim::core {
@@ -9,94 +7,134 @@ namespace gopim::core {
 std::string
 jsonEscape(const std::string &s)
 {
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char ch : s) {
-        switch (ch) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(ch) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-                out += buf;
-            } else {
-                out += ch;
-            }
-        }
-    }
-    return out;
+    return json::escape(s);
 }
 
 namespace {
 
-std::string
-pad(int indent)
-{
-    return std::string(static_cast<size_t>(indent), ' ');
-}
-
 template <typename T>
-void
-writeArray(std::ostream &os, const std::vector<T> &values)
+json::Value
+toJsonArray(const std::vector<T> &values)
 {
-    os << '[';
-    for (size_t i = 0; i < values.size(); ++i)
-        os << (i ? "," : "") << values[i];
-    os << ']';
+    json::Value arr = json::Value::array();
+    for (const T &v : values)
+        arr.push(json::Value(v));
+    return arr;
 }
 
 } // namespace
 
+json::Value
+runResultToJson(const RunResult &run)
+{
+    json::Value v = json::Value::object();
+    v.set("system", run.systemName);
+    v.set("dataset", run.datasetName);
+    v.set("engine", run.engineName);
+    v.set("makespan_ns", run.makespanNs);
+    v.set("energy_pj", run.energyPj);
+    v.set("total_crossbars", run.totalCrossbars);
+    v.set("avg_idle_fraction", run.avgIdleFraction);
+    v.set("total_activations", run.totalActivations);
+    v.set("total_row_writes", run.totalRowWrites);
+
+    json::Value stages = json::Value::array();
+    for (const auto &stage : run.stages)
+        stages.push(stage.label());
+    v.set("stages", std::move(stages));
+
+    v.set("replicas", toJsonArray(run.replicas));
+    v.set("stage_crossbars", toJsonArray(run.stageCrossbars));
+    v.set("stage_times_ns", toJsonArray(run.stageTimesNs));
+    v.set("idle_fraction", toJsonArray(run.idleFraction));
+    return v;
+}
+
+json::Value
+gridToJson(const std::vector<ComparisonRow> &rows)
+{
+    json::Value arr = json::Value::array();
+    for (const auto &row : rows)
+        for (const auto &run : row.results)
+            arr.push(runResultToJson(run));
+    return arr;
+}
+
+json::Value
+canonicalRunConfig(const SystemConfig &system,
+                   const reram::AcceleratorConfig &hw,
+                   const gcn::Workload &workload)
+{
+    json::Value dataset = json::Value::object();
+    dataset.set("name", workload.dataset.name);
+    dataset.set("task", workload.dataset.task ==
+                                graph::TaskType::LinkPrediction
+                            ? "link"
+                            : "node");
+    dataset.set("vertices", workload.dataset.numVertices);
+    dataset.set("edges", workload.dataset.numEdges);
+    dataset.set("avg_degree", workload.dataset.avgDegree);
+    dataset.set("feature_dim", workload.dataset.featureDim);
+
+    json::Value model = json::Value::object();
+    model.set("layers", workload.model.numLayers);
+    model.set("input_channels", workload.model.inputChannels);
+    model.set("hidden_channels", workload.model.hiddenChannels);
+    model.set("output_channels", workload.model.outputChannels);
+
+    json::Value policy = json::Value::object();
+    policy.set("map_strategy",
+               static_cast<int64_t>(system.policy.mapStrategy));
+    policy.set("selective_update", system.policy.selectiveUpdate);
+    policy.set("theta", system.policy.theta);
+    policy.set("cold_period", system.policy.coldPeriod);
+    policy.set("intra_batch", system.policy.intraBatchPipeline);
+    policy.set("inter_batch", system.policy.interBatchPipeline);
+    policy.set("hybrid_reload", system.policy.hybridReload);
+    policy.set("edge_keep_fraction", system.policy.edgeKeepFraction);
+
+    json::Value simCtx = json::Value::object();
+    simCtx.set("engine", sim::toString(system.sim.engine));
+    simCtx.set("seed", system.sim.seed);
+    simCtx.set("buffer_slots", system.sim.event.inputBufferSlots);
+    simCtx.set("replicas_as_servers",
+               system.sim.event.replicasAsServers);
+    simCtx.set("retry_prob", system.sim.event.writeRetryProb);
+    simCtx.set("write_fraction", system.sim.event.writeFraction);
+
+    json::Value hardware = json::Value::object();
+    hardware.set("crossbar_rows", hw.crossbar.rows);
+    hardware.set("crossbar_cols", hw.crossbar.cols);
+    hardware.set("bits_per_cell", hw.crossbar.bitsPerCell);
+    hardware.set("value_bits", hw.crossbar.valueBits);
+    hardware.set("read_latency_ns", hw.crossbar.readLatencyNs);
+    hardware.set("write_latency_ns", hw.crossbar.writeLatencyNs);
+    hardware.set("crossbars_per_pe", hw.pe.crossbarsPerPe);
+    hardware.set("pes_per_tile", hw.tile.pesPerTile);
+    hardware.set("tiles_per_chip", hw.chip.tilesPerChip);
+
+    json::Value config = json::Value::object();
+    config.set("dataset", std::move(dataset));
+    config.set("model", std::move(model));
+    config.set("micro_batch", workload.microBatchSize);
+    config.set("epochs", workload.epochs);
+    config.set("workload_seed", workload.seed);
+    config.set("system", system.name);
+    config.set("pipeline_mode",
+               static_cast<int64_t>(system.pipelineMode));
+    config.set("allocator",
+               system.allocator ? system.allocator->name() : "none");
+    config.set("micro_batches_per_batch", system.microBatchesPerBatch);
+    config.set("policy", std::move(policy));
+    config.set("sim", std::move(simCtx));
+    config.set("hardware", std::move(hardware));
+    return config;
+}
+
 void
 writeRunJson(const RunResult &run, std::ostream &os, int indent)
 {
-    const std::string p = pad(indent);
-    const std::string q = pad(indent + 2);
-    os << p << "{\n";
-    os << q << "\"system\": \"" << jsonEscape(run.systemName)
-       << "\",\n";
-    os << q << "\"dataset\": \"" << jsonEscape(run.datasetName)
-       << "\",\n";
-    os << q << "\"engine\": \"" << jsonEscape(run.engineName)
-       << "\",\n";
-    os << q << "\"makespan_ns\": " << std::setprecision(12)
-       << run.makespanNs << ",\n";
-    os << q << "\"energy_pj\": " << run.energyPj << ",\n";
-    os << q << "\"total_crossbars\": " << run.totalCrossbars << ",\n";
-    os << q << "\"avg_idle_fraction\": " << run.avgIdleFraction
-       << ",\n";
-    os << q << "\"total_activations\": " << run.totalActivations
-       << ",\n";
-    os << q << "\"total_row_writes\": " << run.totalRowWrites << ",\n";
-
-    os << q << "\"stages\": [";
-    for (size_t i = 0; i < run.stages.size(); ++i)
-        os << (i ? "," : "") << '"' << run.stages[i].label() << '"';
-    os << "],\n";
-
-    os << q << "\"replicas\": ";
-    writeArray(os, run.replicas);
-    os << ",\n";
-    os << q << "\"stage_crossbars\": ";
-    writeArray(os, run.stageCrossbars);
-    os << ",\n";
-    os << q << "\"stage_times_ns\": ";
-    writeArray(os, run.stageTimesNs);
-    os << ",\n";
-    os << q << "\"idle_fraction\": ";
-    writeArray(os, run.idleFraction);
-    os << "\n" << p << "}";
+    os << runResultToJson(run).dumpIndented(indent);
 }
 
 void

@@ -2,7 +2,15 @@
  * @file
  * Result serialization: RunResult and comparison grids to JSON (for
  * downstream analysis scripts) and CSV (for spreadsheets), used by
- * the gopim_sim tool and the benchmark harnesses.
+ * the gopim_sim tool, the benchmark harnesses (--json-out), and the
+ * serving layer — all through the same common/json writer, so the
+ * byte format never drifts between entry points.
+ *
+ * Also home of run-config canonicalization: a canonical JSON
+ * description of everything that determines a run's result (dataset
+ * statistics, system configuration, simulation context, hardware
+ * geometry), which the serving layer hashes into content-addressed
+ * cache keys.
  */
 
 #ifndef GOPIM_CORE_REPORT_HH
@@ -12,10 +20,32 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
+#include "core/accelerator.hh"
 #include "core/harness.hh"
 #include "core/result.hh"
 
 namespace gopim::core {
+
+/** One run as a JSON object value. */
+json::Value runResultToJson(const RunResult &run);
+
+/** A comparison grid as a JSON array of run objects. */
+json::Value gridToJson(const std::vector<ComparisonRow> &rows);
+
+/**
+ * Canonical description of every input that determines a run's
+ * result: dataset statistics, model shape, batching, the system's
+ * policy/allocator/pipeline configuration, the simulation context
+ * (engine, seed, event knobs), and the hardware geometry. Two runs
+ * with equal canonical configs produce bit-identical results, which
+ * is the contract the serving layer's content-addressed cache keys
+ * rely on (serialize with Value::canonical() so member order never
+ * matters).
+ */
+json::Value canonicalRunConfig(const SystemConfig &system,
+                               const reram::AcceleratorConfig &hw,
+                               const gcn::Workload &workload);
 
 /** Serialize one run as a JSON object. */
 void writeRunJson(const RunResult &run, std::ostream &os,

@@ -32,6 +32,41 @@ toString(SystemKind kind)
     panic("unknown system kind");
 }
 
+const std::vector<SystemKind> &
+allSystemKinds()
+{
+    static const std::vector<SystemKind> kinds = {
+        SystemKind::Serial,    SystemKind::SlimGnnLike,
+        SystemKind::ReGraphX,  SystemKind::ReFlip,
+        SystemKind::GoPimVanilla, SystemKind::GoPim,
+        SystemKind::PlusPP,    SystemKind::PlusISU,
+        SystemKind::Naive};
+    return kinds;
+}
+
+bool
+systemFromString(const std::string &name, SystemKind *out)
+{
+    for (const SystemKind kind : allSystemKinds()) {
+        if (toString(kind) == name) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+SystemKind
+systemFromName(const std::string &name)
+{
+    SystemKind kind;
+    if (!systemFromString(name, &kind))
+        fatal("unknown system '", name,
+              "' (try GoPIM, Serial, SlimGNN-like, ReGraphX, ReFlip, "
+              "GoPIM-Vanilla)");
+    return kind;
+}
+
 SystemConfig
 makeSystem(SystemKind kind)
 {

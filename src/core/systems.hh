@@ -33,6 +33,19 @@ enum class SystemKind
 /** Display name matching the paper's figures. */
 std::string toString(SystemKind kind);
 
+/** All system kinds in paper order (Fig. 13 + ablations). */
+const std::vector<SystemKind> &allSystemKinds();
+
+/**
+ * Parse a display name back to its kind. Returns false on unknown
+ * names — the serving layer turns that into a request error instead
+ * of exiting.
+ */
+bool systemFromString(const std::string &name, SystemKind *out);
+
+/** Parse a display name or fatal() — the CLI entry-point form. */
+SystemKind systemFromName(const std::string &name);
+
 /** Build the SystemConfig for a named system. */
 SystemConfig makeSystem(SystemKind kind);
 

@@ -42,10 +42,19 @@ DatasetCatalog::all()
 const DatasetSpec &
 DatasetCatalog::byName(const std::string &name)
 {
+    const DatasetSpec *spec = findByName(name);
+    if (!spec)
+        fatal("unknown dataset '", name, "'");
+    return *spec;
+}
+
+const DatasetSpec *
+DatasetCatalog::findByName(const std::string &name)
+{
     for (const auto &spec : all())
         if (spec.name == name)
-            return spec;
-    fatal("unknown dataset '", name, "'");
+            return &spec;
+    return nullptr;
 }
 
 std::vector<DatasetSpec>

@@ -49,6 +49,9 @@ class DatasetCatalog
     /** Lookup by name; fatal() on unknown names. */
     static const DatasetSpec &byName(const std::string &name);
 
+    /** Non-fatal lookup; nullptr on unknown names. */
+    static const DatasetSpec *findByName(const std::string &name);
+
     /** The five datasets used in Fig. 13 (overall comparison). */
     static std::vector<DatasetSpec> figure13Set();
 

@@ -1,0 +1,46 @@
+#include "serve/cache.hh"
+
+namespace gopim::serve {
+
+ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
+
+std::optional<std::string>
+ResultCache::get(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end())
+        return std::nullopt;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return lru_.front().second;
+}
+
+void
+ResultCache::put(const std::string &key, std::string value)
+{
+    if (capacity_ == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->second = std::move(value);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_[key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {lru_.size(), capacity_, evictions_};
+}
+
+} // namespace gopim::serve

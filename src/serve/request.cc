@@ -1,0 +1,215 @@
+#include "serve/request.hh"
+
+#include <limits>
+
+#include "common/hash.hh"
+#include "core/options.hh"
+#include "core/report.hh"
+#include "graph/datasets.hh"
+
+namespace gopim::serve {
+
+namespace {
+
+bool
+getString(const json::Value &v, std::string *out, std::string *err,
+          const char *field)
+{
+    if (!v.isString()) {
+        *err = std::string("field '") + field + "' must be a string";
+        return false;
+    }
+    *out = v.asString();
+    return true;
+}
+
+bool
+getInt(const json::Value &v, int64_t min, int64_t max, int64_t *out,
+       std::string *err, const char *field)
+{
+    if (!v.isInt()) {
+        *err = std::string("field '") + field +
+               "' must be an integer";
+        return false;
+    }
+    const int64_t value = v.asInt();
+    if (value < min || value > max) {
+        *err = std::string("field '") + field + "' must be in [" +
+               std::to_string(min) + ", " + std::to_string(max) +
+               "], got " + std::to_string(value);
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
+bool
+getNumber(const json::Value &v, double *out, std::string *err,
+          const char *field)
+{
+    if (!v.isNumber()) {
+        *err = std::string("field '") + field + "' must be a number";
+        return false;
+    }
+    *out = v.asDouble();
+    return true;
+}
+
+} // namespace
+
+std::string
+parseRequest(const json::Value &body, const Request &defaults,
+             Request *out)
+{
+    if (!body.isObject())
+        return "request must be a JSON object";
+
+    Request req = defaults;
+    req.id.clear();
+    req.traceOut.clear();
+    std::string err;
+
+    for (const auto &[key, value] : body.members()) {
+        if (key == "id") {
+            if (!getString(value, &req.id, &err, "id"))
+                return err;
+        } else if (key == "dataset") {
+            if (!getString(value, &req.dataset, &err, "dataset"))
+                return err;
+        } else if (key == "system") {
+            if (!getString(value, &req.system, &err, "system"))
+                return err;
+        } else if (key == "baseline") {
+            if (!getString(value, &req.baseline, &err, "baseline"))
+                return err;
+        } else if (key == "engine") {
+            std::string name;
+            if (!getString(value, &name, &err, "engine"))
+                return err;
+            if (!sim::tryEngineKindFromString(name, &req.sim.engine))
+                return "unknown engine '" + name +
+                       "' (try closed, event)";
+        } else if (key == "seed") {
+            int64_t seed = 0;
+            if (!getInt(value, 0,
+                        std::numeric_limits<int64_t>::max(), &seed,
+                        &err, "seed"))
+                return err;
+            req.sim.seed = static_cast<uint64_t>(seed);
+        } else if (key == "micro_batch") {
+            int64_t mb = 0;
+            if (!getInt(value, 1,
+                        std::numeric_limits<uint32_t>::max(), &mb,
+                        &err, "micro_batch"))
+                return err;
+            req.microBatch = static_cast<uint32_t>(mb);
+        } else if (key == "epochs") {
+            int64_t epochs = 0;
+            if (!getInt(value, 1,
+                        std::numeric_limits<uint32_t>::max(), &epochs,
+                        &err, "epochs"))
+                return err;
+            req.epochs = static_cast<uint32_t>(epochs);
+        } else if (key == "theta") {
+            double theta = 0.0;
+            if (!getNumber(value, &theta, &err, "theta"))
+                return err;
+            if (theta < 0.0 || theta > 1.0)
+                return "field 'theta' must be in [0, 1], got " +
+                       std::to_string(theta);
+            req.theta = theta;
+        } else if (key == "buffer_slots") {
+            int64_t slots = 0;
+            if (!getInt(value, -1,
+                        std::numeric_limits<uint32_t>::max(), &slots,
+                        &err, "buffer_slots"))
+                return err;
+            req.sim.event.inputBufferSlots =
+                slots < 0 ? std::numeric_limits<uint32_t>::max()
+                          : static_cast<uint32_t>(slots);
+        } else if (key == "retry_prob") {
+            if (!getNumber(value, &req.sim.event.writeRetryProb, &err,
+                           "retry_prob"))
+                return err;
+        } else if (key == "write_fraction") {
+            if (!getNumber(value, &req.sim.event.writeFraction, &err,
+                           "write_fraction"))
+                return err;
+        } else if (key == "trace_out") {
+            if (!getString(value, &req.traceOut, &err, "trace_out"))
+                return err;
+        } else {
+            return "unknown field '" + key + "'";
+        }
+    }
+
+    // The same range semantics every CLI binary enforces via
+    // core::addSimFlags.
+    const std::string rangeError = core::eventKnobRangeError(
+        req.sim.event.writeRetryProb, req.sim.event.writeFraction);
+    if (!rangeError.empty())
+        return rangeError;
+
+    if (!graph::DatasetCatalog::findByName(req.dataset))
+        return "unknown dataset '" + req.dataset + "'";
+    core::SystemKind kind;
+    if (!core::systemFromString(req.system, &kind))
+        return "unknown system '" + req.system + "'";
+    if (!req.baseline.empty() &&
+        !core::systemFromString(req.baseline, &kind))
+        return "unknown baseline '" + req.baseline + "'";
+
+    *out = std::move(req);
+    return "";
+}
+
+std::string
+resolveRequest(const Request &request, ResolvedRequest *out)
+{
+    ResolvedRequest resolved;
+    resolved.request = request;
+    if (!graph::DatasetCatalog::findByName(request.dataset))
+        return "unknown dataset '" + request.dataset + "'";
+    if (!core::systemFromString(request.system, &resolved.system))
+        return "unknown system '" + request.system + "'";
+    resolved.hasBaseline = !request.baseline.empty();
+    if (resolved.hasBaseline &&
+        !core::systemFromString(request.baseline, &resolved.baseline))
+        return "unknown baseline '" + request.baseline + "'";
+
+    resolved.workload = gcn::Workload::paperDefault(request.dataset);
+    resolved.workload.microBatchSize = request.microBatch;
+    resolved.workload.epochs = request.epochs;
+    resolved.workload.seed = request.sim.seed;
+    *out = std::move(resolved);
+    return "";
+}
+
+core::SystemConfig
+configuredSystem(const ResolvedRequest &resolved)
+{
+    core::SystemConfig system = core::makeSystem(resolved.system);
+    system.sim = resolved.request.sim;
+    // Mirror gopim_sim's --theta semantics: a positive threshold
+    // forces selective updating on.
+    if (resolved.request.theta > 0.0) {
+        system.policy.selectiveUpdate = true;
+        system.policy.theta = resolved.request.theta;
+    }
+    return system;
+}
+
+std::string
+cacheKey(const ResolvedRequest &resolved,
+         const reram::AcceleratorConfig &hw)
+{
+    const core::SystemConfig system = configuredSystem(resolved);
+    json::Value config =
+        core::canonicalRunConfig(system, hw, resolved.workload);
+    config.set("baseline", resolved.hasBaseline
+                               ? core::toString(resolved.baseline)
+                               : "");
+    return hexDigest64(fnv1a64(config.canonical()));
+}
+
+} // namespace gopim::serve

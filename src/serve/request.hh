@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Request schema of the serving layer: one JSONL object per
+ * simulation, strictly validated (unknown fields and out-of-range
+ * values are rejected with the same semantics as the CLI flags
+ * declared by core::addSimFlags), resolved onto the existing
+ * workload/system machinery, and hashed into a content-addressed
+ * cache key.
+ */
+
+#ifndef GOPIM_SERVE_REQUEST_HH
+#define GOPIM_SERVE_REQUEST_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "core/systems.hh"
+#include "gcn/workload.hh"
+#include "reram/config.hh"
+#include "sim/context.hh"
+
+namespace gopim::serve {
+
+/**
+ * One decoded simulation request. Field spellings mirror the CLI:
+ *   id (string, echoed), dataset, system, baseline, engine,
+ *   seed, micro_batch, epochs, theta, buffer_slots, retry_prob,
+ *   write_fraction, trace_out.
+ * Unset fields inherit the server's defaults (its own --engine/
+ * --seed/... flags).
+ */
+struct Request
+{
+    std::string id;               ///< client correlation id ("" = none)
+    std::string dataset = "ddi";
+    std::string system = "GoPIM";
+    std::string baseline;         ///< "" = no speedup comparison
+    uint32_t microBatch = 64;
+    uint32_t epochs = 1;
+    double theta = 0.0;           ///< > 0 forces selective updating
+    sim::SimContext sim;          ///< engine, seed, event knobs
+    std::string traceOut;         ///< Chrome trace path ("" = none);
+                                  ///< excluded from the cache key
+};
+
+/** A request bound to concrete catalog/system/engine objects. */
+struct ResolvedRequest
+{
+    Request request;
+    core::SystemKind system = core::SystemKind::GoPim;
+    bool hasBaseline = false;
+    core::SystemKind baseline = core::SystemKind::Serial;
+    gcn::Workload workload;
+};
+
+/**
+ * Decode and validate one parsed JSONL object against `defaults`.
+ * Strict: unknown fields, wrong types, unknown dataset/system/engine
+ * names, and values outside the core::addSimFlags ranges are all
+ * rejected. Returns "" and fills `out` on success, else an error
+ * message (out untouched).
+ */
+std::string parseRequest(const json::Value &body,
+                         const Request &defaults, Request *out);
+
+/** Bind catalog entries; returns "" or an error message. */
+std::string resolveRequest(const Request &request,
+                           ResolvedRequest *out);
+
+/**
+ * The exact SystemConfig the service runs for a resolved request:
+ * makeSystem(kind) with the request's sim context and theta policy
+ * applied. Shared by the runner and the cache key so the key always
+ * describes what would actually execute.
+ */
+core::SystemConfig configuredSystem(const ResolvedRequest &resolved);
+
+/**
+ * Content-addressed cache key: hex FNV-1a digest of the canonical
+ * (sorted-key) JSON of core::canonicalRunConfig for this request on
+ * `hw`, plus the baseline system name. Stable across request field
+ * reordering and across processes.
+ */
+std::string cacheKey(const ResolvedRequest &resolved,
+                     const reram::AcceleratorConfig &hw);
+
+} // namespace gopim::serve
+
+#endif // GOPIM_SERVE_REQUEST_HH

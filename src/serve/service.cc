@@ -1,0 +1,306 @@
+#include "serve/service.hh"
+
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "core/accelerator.hh"
+#include "core/report.hh"
+#include "sim/trace.hh"
+
+namespace gopim::serve {
+
+namespace {
+
+/** Leading envelope of an error response. */
+std::string
+errorLine(const std::string &id, const std::string &message)
+{
+    std::string line = "{\"type\":\"error\"";
+    if (!id.empty())
+        line += ",\"id\":\"" + json::escape(id) + "\"";
+    line += ",\"error\":\"" + json::escape(message) + "\"}";
+    return line;
+}
+
+} // namespace
+
+Service::Service(ServiceConfig config)
+    : config_(std::move(config)),
+      maxQueue_(config_.maxQueue),
+      pool_(ThreadPool::resolveJobs(config_.jobs)),
+      cache_(config_.cacheCapacity)
+{
+    if (maxQueue_ == 0)
+        maxQueue_ = 2 * pool_.threadCount();
+}
+
+Service::~Service()
+{
+    drain();
+}
+
+void
+Service::acquireQueueSlot()
+{
+    std::unique_lock<std::mutex> lock(queueMutex_);
+    queueCv_.wait(lock, [this] { return pendingJobs_ < maxQueue_; });
+    ++pendingJobs_;
+}
+
+void
+Service::releaseQueueSlot()
+{
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        --pendingJobs_;
+    }
+    queueCv_.notify_all();
+}
+
+void
+Service::drain()
+{
+    std::unique_lock<std::mutex> lock(queueMutex_);
+    queueCv_.wait(lock, [this] { return pendingJobs_ == 0; });
+}
+
+uint64_t
+Service::hits() const
+{
+    std::lock_guard<std::mutex> lock(dispatchMutex_);
+    return hits_;
+}
+
+uint64_t
+Service::misses() const
+{
+    std::lock_guard<std::mutex> lock(dispatchMutex_);
+    return misses_;
+}
+
+std::string
+Service::simulate(const ResolvedRequest &resolved) const
+{
+    core::SystemConfig system = configuredSystem(resolved);
+
+    // A per-request trace_out gets its own sink so the file holds
+    // only this run; otherwise the server-wide sink (if any) records.
+    std::shared_ptr<sim::ChromeTraceSink> sink;
+    if (!resolved.request.traceOut.empty()) {
+        sink = std::make_shared<sim::ChromeTraceSink>();
+        system.sim.traceSink = sink;
+    }
+
+    const auto profile = gcn::VertexProfile::build(
+        resolved.workload.dataset, resolved.workload.seed);
+    core::Accelerator accel(config_.hw, system);
+    const core::RunResult run = accel.run(resolved.workload, profile);
+
+    json::Value result = core::runResultToJson(run);
+    if (resolved.hasBaseline) {
+        core::SystemConfig base = core::makeSystem(resolved.baseline);
+        base.sim = resolved.request.sim;
+        core::Accelerator baseAccel(config_.hw, base);
+        const core::RunResult baseRun =
+            baseAccel.run(resolved.workload, profile);
+        result.set("baseline", baseRun.systemName);
+        result.set("speedup", run.speedupOver(baseRun));
+        result.set("energy_saving", run.energySavingOver(baseRun));
+    }
+
+    if (sink)
+        sink->writeFile(resolved.request.traceOut);
+    return result.dump();
+}
+
+Service::Output
+Service::dispatch(const std::string &line)
+{
+    Output output;
+
+    json::Value body;
+    std::string parseError;
+    if (!json::Value::parse(line, &body, &parseError)) {
+        output.error = "invalid JSON: " + parseError;
+        return output;
+    }
+    if (body.isObject()) {
+        // Echo the id even on validation failures.
+        if (const json::Value *id = body.find("id");
+            id && id->isString())
+            output.id = id->asString();
+    }
+
+    Request request;
+    if (std::string err =
+            parseRequest(body, config_.defaults, &request);
+        !err.empty()) {
+        output.error = err;
+        return output;
+    }
+    output.id = request.id;
+
+    ResolvedRequest resolved;
+    if (std::string err = resolveRequest(request, &resolved);
+        !err.empty()) {
+        output.error = err;
+        return output;
+    }
+    const std::string key = cacheKey(resolved, config_.hw);
+
+    // The hit/miss decision is serial in input order: repeats of an
+    // in-flight request coalesce onto its future, so the decision —
+    // and therefore the response bytes — never depend on worker
+    // timing.
+    bool cached = false;
+    uint64_t hitsNow = 0, missesNow = 0;
+    {
+        std::lock_guard<std::mutex> lock(dispatchMutex_);
+        if (auto value = cache_.get(key)) {
+            cached = true;
+            output.immediate = true;
+            output.value = std::move(*value);
+            ++hits_;
+        } else if (const auto it = inflight_.find(key);
+                   it != inflight_.end() &&
+                   it->second.wait_for(std::chrono::seconds(0)) !=
+                       std::future_status::ready) {
+            // Workers cache_.put before their future turns ready, so
+            // a ready future here means the entry was evicted — drop
+            // it below and re-simulate.
+            cached = true;
+            output.pending = it->second;
+            ++hits_;
+        } else {
+            if (it != inflight_.end())
+                inflight_.erase(it);
+            ++misses_;
+            acquireQueueSlot();
+            auto future = pool_.submit(
+                [this, resolved = std::move(resolved), key] {
+                    struct SlotGuard
+                    {
+                        Service *service;
+                        ~SlotGuard() { service->releaseQueueSlot(); }
+                    } guard{this};
+                    std::string result = simulate(resolved);
+                    cache_.put(key, result);
+                    return result;
+                });
+            output.pending = future.share();
+            inflight_[key] = output.pending;
+        }
+        hitsNow = hits_;
+        missesNow = misses_;
+    }
+
+    output.prefix = "{\"type\":\"result\"";
+    if (!output.id.empty())
+        output.prefix += ",\"id\":\"" + json::escape(output.id) + "\"";
+    output.prefix += ",\"key\":\"" + key + "\"";
+    output.prefix += cached ? ",\"cached\":true" : ",\"cached\":false";
+    output.prefix += ",\"hits\":" + std::to_string(hitsNow);
+    output.prefix += ",\"misses\":" + std::to_string(missesNow);
+    if (!cached && !request.traceOut.empty())
+        output.prefix +=
+            ",\"trace\":\"" + json::escape(request.traceOut) + "\"";
+    output.prefix += ",\"result\":";
+    return output;
+}
+
+std::string
+Service::render(Output &output)
+{
+    if (!output.error.empty())
+        return errorLine(output.id, output.error);
+    std::string value;
+    if (output.immediate) {
+        value = std::move(output.value);
+    } else {
+        try {
+            value = output.pending.get();
+        } catch (const std::exception &e) {
+            output.error =
+                std::string("simulation failed: ") + e.what();
+            return errorLine(output.id, output.error);
+        }
+    }
+    return output.prefix + value + "}";
+}
+
+std::string
+Service::handleLine(const std::string &line)
+{
+    Output output = dispatch(line);
+    return render(output);
+}
+
+Service::StreamStats
+Service::processStream(std::istream &in, std::ostream &out,
+                       bool emitStats)
+{
+    {
+        // Coalescing is a per-stream notion; completed futures from
+        // an earlier stream are already represented in the cache.
+        std::lock_guard<std::mutex> lock(dispatchMutex_);
+        inflight_.clear();
+    }
+
+    StreamStats stats;
+    std::vector<Output> outputs;
+    size_t next = 0;
+
+    const auto ready = [](const Output &o) {
+        if (!o.error.empty() || o.immediate)
+            return true;
+        return o.pending.wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready;
+    };
+    const auto emit = [&](Output &o) {
+        const std::string line = render(o);
+        out << line << '\n';
+        if (!o.error.empty())
+            ++stats.errors;
+    };
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        ++stats.requests;
+        outputs.push_back(dispatch(line));
+        // Flush every response whose turn has come and whose result
+        // is ready, so output streams while the pool keeps working.
+        while (next < outputs.size() && ready(outputs[next]))
+            emit(outputs[next++]);
+    }
+    // Drain: emit the rest in order, blocking as needed.
+    while (next < outputs.size())
+        emit(outputs[next++]);
+
+    if (emitStats)
+        out << statsJson(stats).dump() << '\n';
+    out.flush();
+    return stats;
+}
+
+json::Value
+Service::statsJson(const StreamStats &stream) const
+{
+    const ResultCache::Stats cache = cache_.stats();
+    json::Value v = json::Value::object();
+    v.set("type", "stats");
+    v.set("requests", stream.requests);
+    v.set("errors", stream.errors);
+    v.set("hits", hits());
+    v.set("misses", misses());
+    v.set("cache_entries", cache.entries);
+    v.set("cache_capacity", cache.capacity);
+    v.set("cache_evictions", cache.evictions);
+    return v;
+}
+
+} // namespace gopim::serve

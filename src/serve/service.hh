@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Long-lived batch simulation service. Accepts JSONL requests (one
+ * object per line), dispatches fresh simulations onto a
+ * common::ThreadPool with bounded-queue backpressure, serves
+ * repeated requests from a content-addressed LRU result cache, and
+ * emits JSONL responses in request order.
+ *
+ * Determinism contract: request parsing and the hit/miss decision
+ * happen serially in input order on the dispatcher thread (repeats
+ * of an in-flight request coalesce onto its future), and responses
+ * are emitted strictly in input order. The response bytes for a
+ * given input stream are therefore identical for any worker count,
+ * and a cache hit replays the exact bytes a fresh simulation would
+ * have produced.
+ */
+
+#ifndef GOPIM_SERVE_SERVICE_HH
+#define GOPIM_SERVE_SERVICE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/thread_pool.hh"
+#include "reram/config.hh"
+#include "serve/cache.hh"
+#include "serve/request.hh"
+
+namespace gopim::serve {
+
+/** Everything a Service needs at construction. */
+struct ServiceConfig
+{
+    /** Simulation worker threads (0 = all hardware threads). */
+    size_t jobs = 1;
+    /** Resident entries in the result cache. */
+    size_t cacheCapacity = 256;
+    /**
+     * Backpressure bound: max simulations submitted but not yet
+     * finished. The dispatcher blocks (stops reading input) when the
+     * queue is full. 0 = twice the worker count.
+     */
+    size_t maxQueue = 0;
+    reram::AcceleratorConfig hw =
+        reram::AcceleratorConfig::paperDefault();
+    /** Per-request defaults (typically from core::addSimFlags). */
+    Request defaults;
+};
+
+/** The batch simulation service. */
+class Service
+{
+  public:
+    explicit Service(ServiceConfig config);
+
+    /** Drains in-flight simulations, then joins the workers. */
+    ~Service();
+
+    Service(const Service &) = delete;
+    Service &operator=(const Service &) = delete;
+
+    /**
+     * Handle one JSONL request line synchronously; returns the
+     * response line (no trailing newline).
+     */
+    std::string handleLine(const std::string &line);
+
+    struct StreamStats
+    {
+        uint64_t requests = 0;
+        uint64_t errors = 0;
+    };
+
+    /**
+     * Read JSONL requests from `in` until EOF, write one JSONL
+     * response per request to `out` in input order. When `emitStats`
+     * is set, a final {"type":"stats",...} line summarizes the
+     * stream. Completed responses are flushed as soon as order
+     * allows, so output streams while later requests still compute.
+     */
+    StreamStats processStream(std::istream &in, std::ostream &out,
+                              bool emitStats = false);
+
+    /** Block until every submitted simulation has finished. */
+    void drain();
+
+    /** Cache-hit / miss counters (dispatch-order deterministic). */
+    uint64_t hits() const;
+    uint64_t misses() const;
+    ResultCache::Stats cacheStats() const { return cache_.stats(); }
+
+    /** The stats line emitted by --stats, as a JSON object. */
+    json::Value statsJson(const StreamStats &stream) const;
+
+  private:
+    /** One dispatched request: everything emission needs. */
+    struct Output
+    {
+        std::string id;
+        std::string error;          ///< non-empty = error response
+        std::string prefix;         ///< envelope up to "result":
+        bool immediate = false;     ///< result already in `value`
+        std::string value;          ///< cached result bytes
+        std::shared_future<std::string> pending; ///< fresh result
+    };
+
+    /** Parse/validate/route one line; serial, in input order. */
+    Output dispatch(const std::string &line);
+    /** Render an Output to its final response line (may block). */
+    std::string render(Output &output);
+
+    /** Run one simulation and serialize its result object. */
+    std::string simulate(const ResolvedRequest &resolved) const;
+
+    void acquireQueueSlot();
+    void releaseQueueSlot();
+
+    ServiceConfig config_;
+    size_t maxQueue_;
+    ThreadPool pool_;
+    ResultCache cache_;
+
+    /** Serializes dispatch: counters + coalescing map. */
+    mutable std::mutex dispatchMutex_;
+    /** In-flight (and completed this stream) result futures. */
+    std::unordered_map<std::string, std::shared_future<std::string>>
+        inflight_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+
+    std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    size_t pendingJobs_ = 0;
+};
+
+} // namespace gopim::serve
+
+#endif // GOPIM_SERVE_SERVICE_HH

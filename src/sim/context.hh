@@ -35,6 +35,10 @@ enum class EngineKind
 
 /** Parse "closed"/"event" (as in --engine); fatal() otherwise. */
 EngineKind engineKindFromString(const std::string &name);
+
+/** Non-fatal parse; returns false on unknown names. */
+bool tryEngineKindFromString(const std::string &name, EngineKind *out);
+
 std::string toString(EngineKind kind);
 
 /**

@@ -11,11 +11,24 @@ namespace gopim::sim {
 EngineKind
 engineKindFromString(const std::string &name)
 {
-    if (name == "closed" || name == "closed-form")
-        return EngineKind::ClosedForm;
-    if (name == "event" || name == "event-driven")
-        return EngineKind::EventDriven;
-    fatal("unknown engine '", name, "' (try closed, event)");
+    EngineKind kind;
+    if (!tryEngineKindFromString(name, &kind))
+        fatal("unknown engine '", name, "' (try closed, event)");
+    return kind;
+}
+
+bool
+tryEngineKindFromString(const std::string &name, EngineKind *out)
+{
+    if (name == "closed" || name == "closed-form") {
+        *out = EngineKind::ClosedForm;
+        return true;
+    }
+    if (name == "event" || name == "event-driven") {
+        *out = EngineKind::EventDriven;
+        return true;
+    }
+    return false;
 }
 
 std::string

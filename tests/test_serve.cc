@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Serving-layer tests: the shared JSON value type, the
+ * content-addressed cache key (stable across request field
+ * reordering), the LRU result cache, strict request validation, and
+ * the Service determinism contract — a cached response carries the
+ * exact result bytes a fresh simulation produced, and a concurrent
+ * batch emits byte-identical output to a single-threaded run.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.hh"
+#include "common/json.hh"
+#include "serve/cache.hh"
+#include "serve/request.hh"
+#include "serve/service.hh"
+
+namespace gopim {
+namespace {
+
+// ---------------------------------------------------------------
+// JSON value type
+// ---------------------------------------------------------------
+
+TEST(JsonTest, DumpCompactAndTyped)
+{
+    json::Value v = json::Value::object();
+    v.set("b", true);
+    v.set("i", 42);
+    v.set("d", 1.5);
+    v.set("s", "hi\n");
+    json::Value arr = json::Value::array();
+    arr.push(1);
+    arr.push(json::Value());
+    v.set("a", std::move(arr));
+    EXPECT_EQ(v.dump(), "{\"b\":true,\"i\":42,\"d\":1.5,"
+                        "\"s\":\"hi\\n\",\"a\":[1,null]}");
+}
+
+TEST(JsonTest, CanonicalSortsKeysRecursively)
+{
+    json::Value inner = json::Value::object();
+    inner.set("z", 1);
+    inner.set("a", 2);
+    json::Value v = json::Value::object();
+    v.set("outer", std::move(inner));
+    v.set("alpha", 3);
+    EXPECT_EQ(v.canonical(),
+              "{\"alpha\":3,\"outer\":{\"a\":2,\"z\":1}}");
+}
+
+TEST(JsonTest, ParseRoundTrip)
+{
+    const std::string text =
+        "{\"a\":[1,2.5,\"x\"],\"b\":{\"c\":true,\"d\":null}}";
+    json::Value v;
+    std::string error;
+    ASSERT_TRUE(json::Value::parse(text, &v, &error)) << error;
+    EXPECT_EQ(v.dump(), text);
+    EXPECT_TRUE(v.find("a")->at(0).isInt());
+    EXPECT_FALSE(v.find("a")->at(1).isInt());
+    EXPECT_DOUBLE_EQ(v.find("a")->at(1).asDouble(), 2.5);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput)
+{
+    json::Value v;
+    EXPECT_FALSE(json::Value::parse("{\"a\":1} trailing", &v));
+    EXPECT_FALSE(json::Value::parse("{\"a\":}", &v));
+    EXPECT_FALSE(json::Value::parse("", &v));
+    EXPECT_FALSE(json::Value::parse("{'a':1}", &v));
+    EXPECT_FALSE(json::Value::parse("[1,2,]", &v));
+}
+
+TEST(JsonTest, ParseUnicodeEscapes)
+{
+    json::Value v;
+    ASSERT_TRUE(json::Value::parse("\"\\u0041\\u00e9\"", &v));
+    EXPECT_EQ(v.asString(), "A\xc3\xa9");
+}
+
+TEST(HashTest, Fnv1aIsStableAndDigestIsHex)
+{
+    const uint64_t h = fnv1a64("gopim");
+    EXPECT_EQ(h, fnv1a64("gopim"));
+    EXPECT_NE(h, fnv1a64("gopin"));
+    const std::string digest = hexDigest64(h);
+    EXPECT_EQ(digest.size(), 16u);
+    EXPECT_EQ(digest.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------
+
+TEST(ResultCacheTest, HitMissAndEviction)
+{
+    serve::ResultCache cache(2);
+    EXPECT_FALSE(cache.get("a").has_value());
+    cache.put("a", "1");
+    cache.put("b", "2");
+    EXPECT_EQ(cache.get("a").value(), "1");
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // "a" was just promoted, so inserting "c" evicts "b".
+    cache.put("c", "3");
+    EXPECT_EQ(cache.stats().entries, 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_FALSE(cache.get("b").has_value());
+    EXPECT_EQ(cache.get("a").value(), "1");
+    EXPECT_EQ(cache.get("c").value(), "3");
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching)
+{
+    serve::ResultCache cache(0);
+    cache.put("a", "1");
+    EXPECT_FALSE(cache.get("a").has_value());
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, PutRefreshesExistingEntry)
+{
+    serve::ResultCache cache(2);
+    cache.put("a", "1");
+    cache.put("a", "updated");
+    EXPECT_EQ(cache.get("a").value(), "updated");
+    EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+// ---------------------------------------------------------------
+// Request parsing and the cache key
+// ---------------------------------------------------------------
+
+std::string
+keyOf(const std::string &text)
+{
+    json::Value body;
+    std::string error;
+    EXPECT_TRUE(json::Value::parse(text, &body, &error)) << error;
+    serve::Request request;
+    std::string err =
+        serve::parseRequest(body, serve::Request{}, &request);
+    EXPECT_EQ(err, "");
+    serve::ResolvedRequest resolved;
+    err = serve::resolveRequest(request, &resolved);
+    EXPECT_EQ(err, "");
+    return serve::cacheKey(resolved,
+                           reram::AcceleratorConfig::paperDefault());
+}
+
+TEST(CacheKeyTest, StableAcrossFieldReordering)
+{
+    const std::string a = "{\"dataset\":\"Cora\",\"system\":\"GoPIM\","
+                          "\"engine\":\"event\",\"seed\":7}";
+    const std::string b = "{\"seed\":7,\"engine\":\"event\","
+                          "\"system\":\"GoPIM\",\"dataset\":\"Cora\"}";
+    EXPECT_EQ(keyOf(a), keyOf(b));
+}
+
+TEST(CacheKeyTest, SensitiveToEveryKnob)
+{
+    const std::string base = "{\"dataset\":\"Cora\"}";
+    EXPECT_NE(keyOf(base), keyOf("{\"dataset\":\"ddi\"}"));
+    EXPECT_NE(keyOf(base), keyOf("{\"dataset\":\"Cora\","
+                                 "\"engine\":\"event\"}"));
+    EXPECT_NE(keyOf(base), keyOf("{\"dataset\":\"Cora\",\"seed\":9}"));
+    EXPECT_NE(keyOf(base),
+              keyOf("{\"dataset\":\"Cora\",\"theta\":0.5}"));
+    EXPECT_NE(keyOf(base),
+              keyOf("{\"dataset\":\"Cora\",\"baseline\":\"Serial\"}"));
+}
+
+TEST(CacheKeyTest, IdAndTraceOutDoNotAffectTheKey)
+{
+    const std::string plain = "{\"dataset\":\"Cora\"}";
+    const std::string decorated =
+        "{\"dataset\":\"Cora\",\"id\":\"req-1\","
+        "\"trace_out\":\"/tmp/t.json\"}";
+    EXPECT_EQ(keyOf(plain), keyOf(decorated));
+}
+
+std::string
+parseErrorOf(const std::string &text)
+{
+    json::Value body;
+    std::string error;
+    EXPECT_TRUE(json::Value::parse(text, &body, &error)) << error;
+    serve::Request request;
+    return serve::parseRequest(body, serve::Request{}, &request);
+}
+
+TEST(RequestTest, RejectsUnknownAndMalformedFields)
+{
+    EXPECT_NE(parseErrorOf("{\"datset\":\"ddi\"}"), "");
+    EXPECT_NE(parseErrorOf("{\"dataset\":42}"), "");
+    EXPECT_NE(parseErrorOf("{\"dataset\":\"nope\"}"), "");
+    EXPECT_NE(parseErrorOf("{\"system\":\"nope\"}"), "");
+    EXPECT_NE(parseErrorOf("{\"engine\":\"nope\"}"), "");
+    EXPECT_NE(parseErrorOf("{\"retry_prob\":1.0}"), "");
+    EXPECT_NE(parseErrorOf("{\"write_fraction\":1.5}"), "");
+    EXPECT_NE(parseErrorOf("{\"micro_batch\":0}"), "");
+    EXPECT_EQ(parseErrorOf("{\"retry_prob\":0.5,"
+                           "\"write_fraction\":1.0}"),
+              "");
+}
+
+TEST(RequestTest, DefaultsInheritServerContext)
+{
+    serve::Request defaults;
+    defaults.sim.engine = sim::EngineKind::EventDriven;
+    defaults.sim.seed = 99;
+    json::Value body;
+    ASSERT_TRUE(json::Value::parse("{\"dataset\":\"Cora\"}", &body));
+    serve::Request request;
+    ASSERT_EQ(serve::parseRequest(body, defaults, &request), "");
+    EXPECT_EQ(request.sim.engine, sim::EngineKind::EventDriven);
+    EXPECT_EQ(request.sim.seed, 99u);
+    EXPECT_EQ(request.dataset, "Cora");
+}
+
+// ---------------------------------------------------------------
+// Service: determinism and caching
+// ---------------------------------------------------------------
+
+/** The serialized result object embedded in a response line. */
+std::string
+resultPayload(const std::string &line)
+{
+    const std::string marker = "\"result\":";
+    const size_t pos = line.find(marker);
+    EXPECT_NE(pos, std::string::npos) << line;
+    if (pos == std::string::npos)
+        return "";
+    // Strip the envelope's closing brace.
+    return line.substr(pos + marker.size(),
+                       line.size() - pos - marker.size() - 1);
+}
+
+bool
+lineSays(const std::string &line, const std::string &fragment)
+{
+    return line.find(fragment) != std::string::npos;
+}
+
+TEST(ServiceTest, CachedResponseMatchesFreshRunBothEngines)
+{
+    for (const char *engine : {"closed", "event"}) {
+        serve::ServiceConfig config;
+        config.jobs = 1;
+        serve::Service service(config);
+        const std::string line =
+            std::string("{\"dataset\":\"Cora\",\"engine\":\"") +
+            engine + "\",\"baseline\":\"Serial\"}";
+
+        const std::string fresh = service.handleLine(line);
+        const std::string cached = service.handleLine(line);
+        EXPECT_TRUE(lineSays(fresh, "\"cached\":false")) << fresh;
+        EXPECT_TRUE(lineSays(cached, "\"cached\":true")) << cached;
+        EXPECT_TRUE(lineSays(cached, "\"hits\":1")) << cached;
+        EXPECT_TRUE(lineSays(cached, "\"misses\":1")) << cached;
+        EXPECT_EQ(resultPayload(fresh), resultPayload(cached))
+            << "engine " << engine;
+        EXPECT_EQ(service.hits(), 1u);
+        EXPECT_EQ(service.misses(), 1u);
+
+        // The payload is itself valid JSON with a speedup field.
+        json::Value result;
+        std::string error;
+        ASSERT_TRUE(
+            json::Value::parse(resultPayload(fresh), &result, &error))
+            << error;
+        EXPECT_TRUE(result.find("speedup") != nullptr);
+        EXPECT_EQ(result.find("baseline")->asString(), "Serial");
+    }
+}
+
+TEST(ServiceTest, ErrorLineForBadRequests)
+{
+    serve::ServiceConfig config;
+    config.jobs = 1;
+    serve::Service service(config);
+    const std::string bad =
+        service.handleLine("{\"id\":\"r7\",\"dataset\":\"nope\"}");
+    EXPECT_TRUE(lineSays(bad, "\"type\":\"error\"")) << bad;
+    EXPECT_TRUE(lineSays(bad, "\"id\":\"r7\"")) << bad;
+    const std::string garbage = service.handleLine("not json");
+    EXPECT_TRUE(lineSays(garbage, "invalid JSON")) << garbage;
+}
+
+/** A mixed 100-request batch with heavy duplication. */
+std::string
+mixedBatch()
+{
+    const char *datasets[] = {"Cora", "ddi"};
+    const char *systems[] = {"GoPIM", "Serial"};
+    const char *engines[] = {"closed", "event"};
+    std::string batch;
+    for (int i = 0; i < 100; ++i) {
+        // 12 unique request shapes, each repeated ~8 times so the
+        // batch exercises both the cache and in-flight coalescing.
+        const int u = i % 12;
+        batch += "{\"id\":\"req-" + std::to_string(i) +
+                 "\",\"dataset\":\"" + datasets[u % 2] +
+                 "\",\"system\":\"" + systems[(u / 2) % 2] +
+                 "\",\"engine\":\"" + engines[(u / 4) % 2] +
+                 "\",\"seed\":" + std::to_string(1 + u / 8) + "}\n";
+    }
+    return batch;
+}
+
+/** Run the batch through a Service with `jobs` workers. */
+std::string
+runBatch(size_t jobs, serve::Service::StreamStats *stats = nullptr)
+{
+    serve::ServiceConfig config;
+    config.jobs = jobs;
+    serve::Service service(config);
+    std::istringstream in(mixedBatch());
+    std::ostringstream out;
+    const auto streamStats = service.processStream(in, out, true);
+    if (stats)
+        *stats = streamStats;
+    return out.str();
+}
+
+TEST(ServiceTest, ConcurrentBatchIsBitIdenticalToSerial)
+{
+    serve::Service::StreamStats serialStats;
+    const std::string serial = runBatch(1, &serialStats);
+    const std::string concurrent = runBatch(4);
+    EXPECT_EQ(serial, concurrent);
+    EXPECT_EQ(serialStats.requests, 100u);
+    EXPECT_EQ(serialStats.errors, 0u);
+
+    // 12 unique request shapes -> 12 misses, 88 hits, and the final
+    // stats line records them.
+    std::istringstream lines(serial);
+    std::string line, last;
+    size_t count = 0;
+    while (std::getline(lines, line)) {
+        ++count;
+        last = line;
+    }
+    EXPECT_EQ(count, 101u); // 100 responses + stats line
+    json::Value statsLine;
+    std::string error;
+    ASSERT_TRUE(json::Value::parse(last, &statsLine, &error)) << error;
+    EXPECT_EQ(statsLine.find("type")->asString(), "stats");
+    EXPECT_EQ(statsLine.find("misses")->asInt(), 12);
+    EXPECT_EQ(statsLine.find("hits")->asInt(), 88);
+    EXPECT_EQ(statsLine.find("cache_entries")->asInt(), 12);
+}
+
+TEST(ServiceTest, BackpressureBoundsInFlightWork)
+{
+    // A queue bound of 1 with 2 workers forces the dispatcher to
+    // block between submissions; the stream must still complete with
+    // responses in input order.
+    serve::ServiceConfig config;
+    config.jobs = 2;
+    config.maxQueue = 1;
+    serve::Service service(config);
+    std::string batch;
+    for (int seed = 1; seed <= 6; ++seed)
+        batch += "{\"id\":\"s" + std::to_string(seed) +
+                 "\",\"dataset\":\"Cora\",\"seed\":" +
+                 std::to_string(seed) + "}\n";
+    std::istringstream in(batch);
+    std::ostringstream out;
+    const auto stats = service.processStream(in, out);
+    EXPECT_EQ(stats.requests, 6u);
+    EXPECT_EQ(stats.errors, 0u);
+    std::istringstream lines(out.str());
+    std::string line;
+    for (int seed = 1; seed <= 6; ++seed) {
+        ASSERT_TRUE(std::getline(lines, line));
+        EXPECT_TRUE(
+            lineSays(line, "\"id\":\"s" + std::to_string(seed) + "\""))
+            << line;
+    }
+    EXPECT_EQ(service.misses(), 6u);
+}
+
+TEST(ServiceTest, EvictionsStayOutOfResponseEnvelopes)
+{
+    // Capacity 1 forces evictions; the per-response envelope must not
+    // leak them (they are timing-dependent under concurrency).
+    serve::ServiceConfig config;
+    config.jobs = 1;
+    config.cacheCapacity = 1;
+    serve::Service service(config);
+    const std::string a =
+        service.handleLine("{\"dataset\":\"Cora\"}");
+    const std::string b = service.handleLine("{\"dataset\":\"ddi\"}");
+    EXPECT_FALSE(lineSays(a, "eviction"));
+    EXPECT_FALSE(lineSays(b, "eviction"));
+    EXPECT_EQ(service.cacheStats().evictions, 1u);
+
+    // The evicted entry re-simulates to the same bytes.
+    const std::string again =
+        service.handleLine("{\"dataset\":\"Cora\"}");
+    EXPECT_TRUE(lineSays(again, "\"cached\":false"));
+    EXPECT_EQ(resultPayload(a), resultPayload(again));
+}
+
+} // namespace
+} // namespace gopim

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * gopim_serve: long-lived batch simulation service. Reads JSONL
+ * requests ({"dataset": ..., "system": ..., "engine": ..., knobs})
+ * from stdin — or accepts connections on a Unix-domain socket with
+ * --socket — dispatches them onto a worker pool with bounded-queue
+ * backpressure, answers repeated requests from a content-addressed
+ * LRU result cache, and writes one deterministic JSONL response per
+ * request in input order.
+ *
+ * The server's own --engine/--seed/--jobs/... flags (the uniform
+ * set from core::addSimFlags) provide the defaults a request
+ * inherits for any field it omits. Shutdown is graceful: EOF (or
+ * SIGINT/SIGTERM in socket mode) stops intake, in-flight
+ * simulations drain, and cache statistics are flushed.
+ */
+
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/flags.hh"
+#include "common/logging.hh"
+#include "core/options.hh"
+#include "serve/service.hh"
+
+namespace {
+
+using namespace gopim;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+handleSignal(int)
+{
+    g_stop = 1;
+}
+
+void
+flushStats(const serve::Service &service,
+           const serve::Service::StreamStats &stats)
+{
+    const auto cache = service.cacheStats();
+    inform("served ", stats.requests, " request(s), ", stats.errors,
+           " error(s); cache: ", service.hits(), " hit(s), ",
+           service.misses(), " miss(es), ", cache.entries, "/",
+           cache.capacity, " entries, ", cache.evictions,
+           " eviction(s)");
+}
+
+int
+listenUnix(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("socket(): ", std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        fatal("socket path too long: ", path);
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("bind(", path, "): ", std::strerror(errno));
+    if (::listen(fd, 16) != 0)
+        fatal("listen(", path, "): ", std::strerror(errno));
+    return fd;
+}
+
+/** Read everything the client sends (until half-close). */
+std::string
+readAll(int fd)
+{
+    std::string data;
+    char buf[4096];
+    while (true) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n <= 0)
+            break;
+        data.append(buf, static_cast<size_t>(n));
+    }
+    return data;
+}
+
+void
+writeAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n <= 0)
+            break;
+        off += static_cast<size_t>(n);
+    }
+}
+
+/**
+ * Socket server loop: each connection is one JSONL batch; the
+ * client half-closes its write side, we respond in request order
+ * and close. SIGINT/SIGTERM stop intake and drain.
+ */
+int
+serveSocket(serve::Service &service, const std::string &path,
+            bool emitStats)
+{
+    std::signal(SIGINT, handleSignal);
+    std::signal(SIGTERM, handleSignal);
+    const int listenFd = listenUnix(path);
+    inform("listening on unix socket ", path,
+           " (SIGINT/SIGTERM to drain and exit)");
+
+    serve::Service::StreamStats total;
+    while (!g_stop) {
+        pollfd pfd{listenFd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, 200);
+        if (rc <= 0 || !(pfd.revents & POLLIN))
+            continue;
+        const int conn = ::accept(listenFd, nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        std::istringstream in(readAll(conn));
+        std::ostringstream out;
+        const auto stats = service.processStream(in, out, emitStats);
+        total.requests += stats.requests;
+        total.errors += stats.errors;
+        writeAll(conn, out.str());
+        ::close(conn);
+    }
+
+    ::close(listenFd);
+    ::unlink(path.c_str());
+    service.drain();
+    flushStats(service, total);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags flags("gopim_serve",
+                "serve GoPIM simulation requests as JSONL "
+                "(stdin/stdout or a Unix socket)");
+    flags.addString("socket", "",
+                    "serve on this Unix-domain socket instead of "
+                    "stdin/stdout");
+    flags.addInt("cache-capacity", 256,
+                 "resident entries in the content-addressed result "
+                 "cache");
+    flags.setIntRange("cache-capacity", 0, 1 << 24);
+    flags.addInt("max-queue", 0,
+                 "backpressure bound: max in-flight simulations "
+                 "(0 = twice the worker count)");
+    flags.setIntRange("max-queue", 0, 1 << 20);
+    flags.addBool("stats", false,
+                  "append a {\"type\":\"stats\"} JSONL summary line "
+                  "per stream");
+    core::addSimFlags(flags);
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const sim::SimContext defaultCtx = core::simContextFromFlags(flags);
+    serve::ServiceConfig config;
+    config.jobs = core::jobsFromFlags(flags);
+    config.cacheCapacity =
+        static_cast<size_t>(flags.getInt("cache-capacity"));
+    config.maxQueue = static_cast<size_t>(flags.getInt("max-queue"));
+    config.defaults.sim = defaultCtx;
+    config.defaults.microBatch = 64;
+    config.defaults.epochs = 1;
+
+    serve::Service service(config);
+
+    int rc = 0;
+    if (const std::string path = flags.getString("socket");
+        !path.empty()) {
+        rc = serveSocket(service, path, flags.getBool("stats"));
+    } else {
+        const auto stats = service.processStream(
+            std::cin, std::cout, flags.getBool("stats"));
+        service.drain();
+        flushStats(service, stats);
+    }
+    core::writeTraceIfRequested(flags, defaultCtx);
+    return rc;
+}

@@ -35,23 +35,6 @@ namespace {
 
 using namespace gopim;
 
-core::SystemKind
-systemByName(const std::string &name)
-{
-    for (auto kind :
-         {core::SystemKind::Serial, core::SystemKind::SlimGnnLike,
-          core::SystemKind::ReGraphX, core::SystemKind::ReFlip,
-          core::SystemKind::GoPimVanilla, core::SystemKind::GoPim,
-          core::SystemKind::PlusPP, core::SystemKind::PlusISU,
-          core::SystemKind::Naive}) {
-        if (toString(kind) == name)
-            return kind;
-    }
-    fatal("unknown system '", name,
-          "' (try GoPIM, Serial, SlimGNN-like, ReGraphX, ReFlip, "
-          "GoPIM-Vanilla)");
-}
-
 std::vector<std::string>
 splitCommas(const std::string &list)
 {
@@ -154,7 +137,7 @@ main(int argc, char **argv)
     }
 
     auto system = core::makeSystem(
-        systemByName(flags.getString("system")));
+        core::systemFromName(flags.getString("system")));
     system.sim = ctx;
     if (flags.getDouble("theta") > 0.0) {
         system.policy.selectiveUpdate = true;
@@ -166,7 +149,7 @@ main(int argc, char **argv)
     core::Accelerator accel(harness.hardware(), system);
     const auto run = accel.run(workload, profile);
     const auto baseline = harness.runOne(
-        systemByName(flags.getString("baseline")), workload);
+        core::systemFromName(flags.getString("baseline")), workload);
     core::writeTraceIfRequested(flags, ctx);
 
     if (flags.getBool("json")) {
