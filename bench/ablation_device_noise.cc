@@ -21,29 +21,8 @@
 #include "tensor/init.hh"
 #include "tensor/ops.hh"
 
-namespace {
-
 using namespace gopim;
-
-/** Relative RMS error between ideal and noisy MVM outputs. */
-double
-mvmOutputError(const tensor::Matrix &x, const tensor::Matrix &wIdeal,
-               const tensor::Matrix &wNoisy)
-{
-    const auto ideal = tensor::matmul(x, wIdeal);
-    const auto noisy = tensor::matmul(x, wNoisy);
-    double num = 0.0, den = 0.0;
-    for (size_t i = 0; i < ideal.size(); ++i) {
-        const double d = static_cast<double>(ideal.data()[i]) -
-                         noisy.data()[i];
-        num += d * d;
-        den += static_cast<double>(ideal.data()[i]) *
-               ideal.data()[i];
-    }
-    return std::sqrt(num / den);
-}
-
-} // namespace
+using reram::mvmOutputError;
 
 int
 main(int argc, char **argv)

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Fault/repair ablation: how ReRAM stuck-cell rates and conductance
+ * drift bend the end-to-end story, and how much each repair policy
+ * buys back. Sweeps fault rate x repair policy over GoPIM and the
+ * Serial baseline (timing side, speedup vs Serial under the *same*
+ * device health) and over the functional trainer (accuracy side).
+ *
+ * --json-out (default BENCH_faults.json) writes every cell of the
+ * sweep as machine-readable JSON; the same sweep is reproducible
+ * through gopim_serve with the stuck_on_rate/repair request knobs.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/flags.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "core/harness.hh"
+#include "core/options.hh"
+#include "fault/model.hh"
+#include "gcn/trainer.hh"
+#include "gcn/workload.hh"
+#include "graph/generators.hh"
+
+using namespace gopim;
+
+namespace {
+
+/** The fault environment one sweep cell runs under. */
+fault::FaultConfig
+faultConfigFor(double rate, fault::RepairKind repair)
+{
+    fault::FaultConfig config;
+    // Split the swept rate across both stuck polarities and let it
+    // double as the drift rate, so every repair policy has the
+    // mechanism it targets present in the sweep.
+    config.params.stuckOnRate = rate / 2.0;
+    config.params.stuckOffRate = rate / 2.0;
+    config.params.driftPerEpoch = rate;
+    config.repair = repair;
+    return config;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags flags("ablation_faults",
+                "fault-rate x repair-policy ablation: speedup and "
+                "training accuracy under device faults");
+    flags.addString("dataset", "Cora",
+                    "catalog dataset for the timing sweep");
+    flags.addInt("train-epochs", 40,
+                 "functional-trainer epochs per accuracy cell");
+    core::addSimFlags(flags);
+    core::addJsonOutFlag(flags, "BENCH_faults.json");
+    if (!flags.parse(argc, argv))
+        return 0;
+
+    const std::vector<double> rates = {0.0, 0.001, 0.01};
+    const auto &repairs = fault::allRepairKinds();
+    const std::vector<std::string> systems = {"Serial", "GoPIM"};
+
+    const auto workload =
+        gcn::Workload::paperDefault(flags.getString("dataset"));
+
+    // Accuracy side: one functional-trainer run per (rate, repair)
+    // cell on a synthetic labeled graph — device health, not the
+    // pipeline, decides accuracy, so the cell is system-independent.
+    Rng rng(3);
+    const auto labeled =
+        graph::degreeCorrectedPartition(800, 4, 20.0, 2.1, 0.2, rng);
+    std::map<std::pair<double, int>, double> accuracy;
+    for (double rate : rates) {
+        for (fault::RepairKind repair : repairs) {
+            gcn::TrainerConfig tc;
+            tc.epochs =
+                static_cast<uint32_t>(flags.getInt("train-epochs"));
+            tc.featureDim = 16;
+            tc.hiddenChannels = 32;
+            tc.fault = faultConfigFor(rate, repair);
+            gcn::FunctionalTrainer trainer(labeled, tc);
+            accuracy[{rate, static_cast<int>(repair)}] =
+                trainer.train({}).bestTestAccuracy;
+        }
+    }
+
+    // Timing side: both systems under each fault environment; the
+    // speedup normalizes GoPIM against Serial at the *same* device
+    // health so it isolates the scheduler, not the fault rate.
+    json::Value jsonRows = json::Value::array();
+    Table table("fault-rate x repair ablation (" +
+                    workload.dataset.name + ")",
+                {"cell fault rate", "repair", "system", "makespan",
+                 "speedup vs Serial", "residual rate", "write amp",
+                 "best test acc %"});
+    for (double rate : rates) {
+        for (fault::RepairKind repair : repairs) {
+            core::ComparisonHarness harness(
+                reram::AcceleratorConfig::paperDefault(),
+                core::simContextFromFlags(flags));
+            harness.setFaultConfig(faultConfigFor(rate, repair));
+
+            std::vector<core::RunResult> runs;
+            for (const std::string &name : systems)
+                runs.push_back(harness.runOne(
+                    core::systemFromName(name), workload));
+            const double acc =
+                accuracy[{rate, static_cast<int>(repair)}];
+
+            for (const auto &run : runs) {
+                const double speedup = run.speedupOver(runs.front());
+                table.row()
+                    .cell(rate, 4)
+                    .cell(toString(repair))
+                    .cell(run.systemName)
+                    .cell(formatTimeNs(run.makespanNs))
+                    .cell(speedup, 2)
+                    .cell(run.residualFaultRate, 5)
+                    .cell(run.writeAmplification, 2)
+                    .cell(acc * 100.0, 2);
+
+                json::Value row = json::Value::object();
+                row.set("dataset", workload.dataset.name);
+                row.set("cell_fault_rate", rate);
+                row.set("drift_per_epoch", rate);
+                row.set("repair", toString(repair));
+                row.set("system", run.systemName);
+                row.set("engine", run.engineName);
+                row.set("makespan_ns", run.makespanNs);
+                row.set("energy_pj", run.energyPj);
+                row.set("speedup_vs_serial", speedup);
+                row.set("raw_fault_rate", run.rawFaultRate);
+                row.set("residual_fault_rate",
+                        run.residualFaultRate);
+                row.set("write_amplification",
+                        run.writeAmplification);
+                row.set("repair_stall_ns", run.repairStallNs);
+                row.set("wear_lifetime_fraction",
+                        run.wearLifetimeFraction);
+                row.set("write_exposure", run.writeExposure);
+                row.set("best_test_accuracy", acc);
+                jsonRows.push(std::move(row));
+            }
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nSpare rows cancel stuck cells at low rates, ECC "
+                 "squares the residual (strongest at high rates but "
+                 "doubles writes), refresh only helps drift — and "
+                 "none of them moves the zero-fault row, which stays "
+                 "bit-identical to the fault-free build.\n";
+
+    if (const std::string path = flags.getString("json-out");
+        !path.empty()) {
+        json::Value doc = json::Value::object();
+        doc.set("bench", "ablation_faults");
+        doc.set("rows", std::move(jsonRows));
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot open --json-out file ", path);
+        out << doc.dumpIndented() << '\n';
+        inform("wrote fault ablation grid to ", path);
+    }
+    return 0;
+}

@@ -1,8 +1,12 @@
 #include "core/accelerator.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
+#include "fault/repair.hh"
+#include "fault/wear.hh"
+#include "mapping/vertex_map.hh"
 #include "sim/engine.hh"
 #include "sim/trace.hh"
 
@@ -46,6 +50,64 @@ Accelerator::runWithEstimates(
     const uint32_t mbPerEpoch = workload.microBatchesPerEpoch();
     const uint32_t totalMicroBatches = mbPerEpoch * workload.epochs;
 
+    // Fault/wear/repair planning. Everything below is gated on the
+    // fault config so the disabled path is the exact fault-free code
+    // path (the zero-fault bit-identity tests depend on that).
+    const bool faultOn = system_.fault.enabled();
+    fault::WearState wear;
+    fault::RepairPlan plan;
+    double exposure = 0.0;
+    if (faultOn) {
+        // Endurance wear from the schedule's actual update traffic:
+        // ISU's selective updating directly reduces per-row wear.
+        if (!artifacts.assignment.groupOf.empty()) {
+            mapping::SelectiveUpdateParams sel;
+            sel.theta = system_.policy.theta;
+            sel.coldPeriod = system_.policy.coldPeriod;
+            wear = fault::computeWear(
+                artifacts.assignment, artifacts.important, sel,
+                workload.epochs, hw_.chip.writeEndurance);
+        } else {
+            wear = fault::approxWear(artifacts.updateFraction,
+                                     workload.epochs,
+                                     hw_.chip.writeEndurance);
+        }
+
+        // Per-group fault severity + fault-aware remap: steer the
+        // heavy write-load groups onto the healthiest hardware.
+        const double cellRate = system_.fault.params.stuckOnRate +
+                                system_.fault.params.stuckOffRate +
+                                wear.wornRowFraction;
+        const uint32_t numGroups =
+            artifacts.assignment.numGroups > 0
+                ? artifacts.assignment.numGroups
+                : 64u;
+        const auto scores = fault::groupFaultScores(
+            numGroups, cellRate, system_.fault.params.seed);
+        std::vector<double> load = wear.groupWritesPerEpoch;
+        if (load.empty())
+            load.assign(numGroups, 1.0);
+        const auto physicalOf =
+            mapping::remapGroupsByHealth(load, scores);
+        std::vector<double> seenScores(numGroups);
+        for (uint32_t g = 0; g < numGroups; ++g)
+            seenScores[g] = scores[physicalOf[g]];
+        exposure = fault::writeExposure(load, seenScores);
+
+        fault::RepairContext repairCtx;
+        repairCtx.params = system_.fault.params;
+        repairCtx.spareRowFraction = system_.fault.spareRowFraction;
+        repairCtx.refreshPeriodMb = system_.fault.refreshPeriodMb;
+        repairCtx.rows = hw_.crossbar.rows;
+        repairCtx.cols = hw_.crossbar.cols;
+        repairCtx.writeLatencyNs = hw_.crossbar.writeLatencyNs;
+        repairCtx.wornRowFraction = wear.wornRowFraction;
+        repairCtx.writeExposure = exposure;
+        repairCtx.totalMicroBatches = totalMicroBatches;
+        plan = fault::repairPolicyFor(system_.fault.repair)
+                   .plan(repairCtx);
+    }
+
     // Build the allocation problem. The allocator may be driven by
     // external time estimates (predictor study); scalable/fixed parts
     // keep their modeled proportions under the estimated totals.
@@ -59,8 +121,15 @@ Accelerator::runWithEstimates(
     for (const auto &cost : costs) {
         problem.scalableTimesNs.push_back(cost.scalableNs);
         problem.fixedTimesNs.push_back(cost.fixedNs);
-        problem.crossbarsPerReplica.push_back(cost.crossbarsPerReplica);
-        mandatory += cost.crossbarsPerReplica;
+        uint64_t xbars = cost.crossbarsPerReplica;
+        if (faultOn && plan.crossbarOverheadFactor > 1.0) {
+            // Spare rows / duplicate columns shrink usable capacity.
+            xbars = static_cast<uint64_t>(
+                std::ceil(static_cast<double>(xbars) *
+                          plan.crossbarOverheadFactor));
+        }
+        problem.crossbarsPerReplica.push_back(xbars);
+        mandatory += xbars;
     }
     if (!estimatedStageTimesNs.empty()) {
         GOPIM_ASSERT(estimatedStageTimesNs.size() == costs.size(),
@@ -99,7 +168,12 @@ Accelerator::runWithEstimates(
         const uint32_t effective = std::min(
             allocation.replicas[i], problem.maxUsefulReplicas);
         effectiveReplicas[i] = effective;
-        stageTimes[i] = costs[i].fixedNs +
+        // Write-verify retries on faulty cells stretch the
+        // write-bound (fixed) part of a stage.
+        const double fixedNs =
+            faultOn ? costs[i].fixedNs * plan.writeAmplification
+                    : costs[i].fixedNs;
+        stageTimes[i] = fixedNs +
                         costs[i].scalableNs /
                             static_cast<double>(effective);
     }
@@ -130,9 +204,19 @@ Accelerator::runWithEstimates(
         // Replica groups serve distinct micro-batches instead of
         // splitting one: the event engine gets single-replica times
         // and models the parallelism as servers.
-        for (size_t i = 0; i < stages.size(); ++i)
-            request.stageTimesNs[i] =
-                costs[i].fixedNs + costs[i].scalableNs;
+        for (size_t i = 0; i < stages.size(); ++i) {
+            const double fixedNs =
+                faultOn ? costs[i].fixedNs * plan.writeAmplification
+                        : costs[i].fixedNs;
+            request.stageTimesNs[i] = fixedNs + costs[i].scalableNs;
+        }
+    }
+    if (faultOn && plan.refreshEveryMicroBatches > 0) {
+        // Periodic re-program refresh steals pipeline cycles; both
+        // engines execute the knobs (sim/context.hh).
+        ctx.event.refreshEveryMicroBatches =
+            plan.refreshEveryMicroBatches;
+        ctx.event.refreshStallNs = plan.refreshStallNs;
     }
 
     const sim::ScheduleEngine &engine = sim::resolveEngine(ctx);
@@ -158,6 +242,20 @@ Accelerator::runWithEstimates(
         replicatedWrites += costs[i].rowWritesPerMb *
                             totalMicroBatches *
                             allocation.replicas[i];
+    if (faultOn) {
+        // Verify retries / duplication amplify every write; each
+        // refresh re-programs every allocated crossbar's rows.
+        replicatedWrites = static_cast<uint64_t>(
+            static_cast<double>(replicatedWrites) *
+            plan.writeAmplification);
+        if (plan.refreshEveryMicroBatches > 0) {
+            const uint64_t refreshes =
+                totalMicroBatches / plan.refreshEveryMicroBatches;
+            replicatedWrites += refreshes *
+                                plan.rowWritesPerRefresh *
+                                allocation.totalCrossbars;
+        }
+    }
 
     RunResult result;
     result.systemName = system_.name;
@@ -192,6 +290,18 @@ Accelerator::runWithEstimates(
     result.energyPj = energyModel_.totalEnergyPj(
         schedule.makespanNs, activations, replicatedWrites, bufferBytes,
         idleCrossbarNs);
+
+    if (faultOn) {
+        result.makespanNs += plan.remapStallNs;
+        result.repairPolicy = plan.policy;
+        result.rawFaultRate = plan.rawCellFaultRate;
+        result.residualFaultRate = plan.residualCellFaultRate;
+        result.wearLifetimeFraction = wear.lifetimeFraction;
+        result.wornRowFraction = wear.wornRowFraction;
+        result.writeAmplification = plan.writeAmplification;
+        result.repairStallNs = plan.remapStallNs;
+        result.writeExposure = exposure;
+    }
     return result;
 }
 

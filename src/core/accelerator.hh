@@ -14,6 +14,7 @@
 
 #include "alloc/allocator.hh"
 #include "core/result.hh"
+#include "fault/model.hh"
 #include "gcn/time_model.hh"
 #include "gcn/workload.hh"
 #include "reram/config.hh"
@@ -46,6 +47,12 @@ struct SystemConfig
      * and grid cells can execute on a thread pool.
      */
     sim::SimContext sim;
+    /**
+     * Fault injection / endurance wear / repair configuration.
+     * Disabled by default; when disabled the run takes the exact
+     * fault-free code path (bit-identical results).
+     */
+    fault::FaultConfig fault;
 };
 
 /** A configured accelerator ready to run workloads. */

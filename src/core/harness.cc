@@ -18,11 +18,18 @@ ComparisonHarness::setSimContext(sim::SimContext simContext)
     sim_ = std::move(simContext);
 }
 
+void
+ComparisonHarness::setFaultConfig(fault::FaultConfig faultConfig)
+{
+    fault_ = faultConfig;
+}
+
 SystemConfig
 ComparisonHarness::configureSystem(SystemKind kind) const
 {
     SystemConfig system = makeSystem(kind);
     system.sim = sim_;
+    system.fault = fault_;
     return system;
 }
 

@@ -14,6 +14,7 @@
 #include "common/table.hh"
 #include "core/result.hh"
 #include "core/systems.hh"
+#include "fault/model.hh"
 #include "gcn/workload.hh"
 #include "reram/config.hh"
 #include "sim/context.hh"
@@ -39,6 +40,10 @@ class ComparisonHarness
     /** Timing backend + knobs applied to every system run here. */
     void setSimContext(sim::SimContext simContext);
     const sim::SimContext &simContext() const { return sim_; }
+
+    /** Fault/repair configuration applied to every system run here. */
+    void setFaultConfig(fault::FaultConfig faultConfig);
+    const fault::FaultConfig &faultConfig() const { return fault_; }
 
     /** Run one system on one workload. */
     RunResult runOne(SystemKind kind, const gcn::Workload &workload) const;
@@ -77,6 +82,7 @@ class ComparisonHarness
 
     reram::AcceleratorConfig hw_;
     sim::SimContext sim_;
+    fault::FaultConfig fault_;
 };
 
 } // namespace gopim::core

@@ -36,6 +36,30 @@ addSimFlags(Flags &flags)
                     "event engine: fraction of stage time spent "
                     "writing (with --retry-prob)");
     flags.setDoubleRange("write-fraction", 0.0, 1.0);
+    flags.addDouble("stuck-on-rate", 0.0,
+                    "fault: stuck-at-ON cell rate");
+    flags.setDoubleRange("stuck-on-rate", 0.0, 1.0,
+                         /*maxExclusive=*/true);
+    flags.addDouble("stuck-off-rate", 0.0,
+                    "fault: stuck-at-OFF cell rate");
+    flags.setDoubleRange("stuck-off-rate", 0.0, 1.0,
+                         /*maxExclusive=*/true);
+    flags.addDouble("drift-rate", 0.0,
+                    "fault: relative conductance drift per epoch");
+    flags.setDoubleRange("drift-rate", 0.0, 1.0,
+                         /*maxExclusive=*/true);
+    flags.addString("repair", "none",
+                    "fault repair policy: none, spare, ecc, refresh");
+    flags.addDouble("spare-rows", 0.05,
+                    "fault: fraction of rows provisioned as spares "
+                    "(with --repair=spare)");
+    flags.setDoubleRange("spare-rows", 0.0, 1.0,
+                         /*maxExclusive=*/true);
+    flags.addInt("refresh-period", 512,
+                 "fault: micro-batches between re-program refreshes "
+                 "(with --repair=refresh)");
+    flags.setIntRange("refresh-period", 1,
+                      std::numeric_limits<uint32_t>::max());
 }
 
 std::string
@@ -73,6 +97,21 @@ simContextFromFlags(const Flags &flags)
     if (!flags.getString("trace-out").empty())
         ctx.traceSink = std::make_shared<sim::ChromeTraceSink>();
     return ctx;
+}
+
+fault::FaultConfig
+faultConfigFromFlags(const Flags &flags)
+{
+    fault::FaultConfig config;
+    config.params.stuckOnRate = flags.getDouble("stuck-on-rate");
+    config.params.stuckOffRate = flags.getDouble("stuck-off-rate");
+    config.params.driftPerEpoch = flags.getDouble("drift-rate");
+    config.repair =
+        fault::repairKindFromString(flags.getString("repair"));
+    config.spareRowFraction = flags.getDouble("spare-rows");
+    config.refreshPeriodMb =
+        static_cast<uint32_t>(flags.getInt("refresh-period"));
+    return config;
 }
 
 size_t

@@ -20,6 +20,7 @@
 
 #include "common/flags.hh"
 #include "core/harness.hh"
+#include "fault/model.hh"
 #include "sim/context.hh"
 
 namespace gopim::core {
@@ -33,8 +34,15 @@ namespace gopim::core {
  *   --buffer-slots=N        event engine: inter-stage buffer slots
  *   --retry-prob=P          event engine: write-verify retry prob
  *   --write-fraction=F      event engine: write share of stage time
+ *   --stuck-on-rate=P       fault: stuck-at-ON cell rate
+ *   --stuck-off-rate=P      fault: stuck-at-OFF cell rate
+ *   --drift-rate=P          fault: conductance drift per epoch
+ *   --repair=NAME           fault: none|spare|ecc|refresh
+ *   --spare-rows=F          fault: spare-row fraction (with spare)
+ *   --refresh-period=N      fault: micro-batches between refreshes
  * Ranges (jobs >= 0, buffer-slots >= -1, retry-prob in [0, 1),
- * write-fraction in [0, 1]) are attached here and enforced at
+ * write-fraction in [0, 1], fault rates in [0, 1), spare-rows in
+ * [0, 1), refresh-period >= 1) are attached here and enforced at
  * parse() time.
  */
 void addSimFlags(Flags &flags);
@@ -53,6 +61,13 @@ std::string eventKnobRangeError(double retryProb, double writeFraction);
  * after the runs to serialize it.
  */
 sim::SimContext simContextFromFlags(const Flags &flags);
+
+/**
+ * Build the fault/repair configuration the parsed fault flags
+ * describe. Defaults produce a disabled FaultConfig, which keeps
+ * every run bit-identical to the fault-free path.
+ */
+fault::FaultConfig faultConfigFromFlags(const Flags &flags);
 
 /** Worker-thread count from --jobs (0 = all hardware threads). */
 size_t jobsFromFlags(const Flags &flags);

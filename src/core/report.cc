@@ -47,6 +47,19 @@ runResultToJson(const RunResult &run)
     v.set("stage_crossbars", toJsonArray(run.stageCrossbars));
     v.set("stage_times_ns", toJsonArray(run.stageTimesNs));
     v.set("idle_fraction", toJsonArray(run.idleFraction));
+
+    // Emitted unconditionally (defaults when faults are disabled) so
+    // result bytes stay stable across configurations.
+    json::Value faults = json::Value::object();
+    faults.set("repair_policy", run.repairPolicy);
+    faults.set("raw_fault_rate", run.rawFaultRate);
+    faults.set("residual_fault_rate", run.residualFaultRate);
+    faults.set("wear_lifetime_fraction", run.wearLifetimeFraction);
+    faults.set("worn_row_fraction", run.wornRowFraction);
+    faults.set("write_amplification", run.writeAmplification);
+    faults.set("repair_stall_ns", run.repairStallNs);
+    faults.set("write_exposure", run.writeExposure);
+    v.set("fault", std::move(faults));
     return v;
 }
 
@@ -101,6 +114,18 @@ canonicalRunConfig(const SystemConfig &system,
                system.sim.event.replicasAsServers);
     simCtx.set("retry_prob", system.sim.event.writeRetryProb);
     simCtx.set("write_fraction", system.sim.event.writeFraction);
+    simCtx.set("refresh_every_mb",
+               system.sim.event.refreshEveryMicroBatches);
+    simCtx.set("refresh_stall_ns", system.sim.event.refreshStallNs);
+
+    json::Value faultCfg = json::Value::object();
+    faultCfg.set("stuck_on_rate", system.fault.params.stuckOnRate);
+    faultCfg.set("stuck_off_rate", system.fault.params.stuckOffRate);
+    faultCfg.set("drift_rate", system.fault.params.driftPerEpoch);
+    faultCfg.set("fault_seed", system.fault.params.seed);
+    faultCfg.set("repair", fault::toString(system.fault.repair));
+    faultCfg.set("spare_rows", system.fault.spareRowFraction);
+    faultCfg.set("refresh_period_mb", system.fault.refreshPeriodMb);
 
     json::Value hardware = json::Value::object();
     hardware.set("crossbar_rows", hw.crossbar.rows);
@@ -127,6 +152,7 @@ canonicalRunConfig(const SystemConfig &system,
     config.set("micro_batches_per_batch", system.microBatchesPerBatch);
     config.set("policy", std::move(policy));
     config.set("sim", std::move(simCtx));
+    config.set("fault", std::move(faultCfg));
     config.set("hardware", std::move(hardware));
     return config;
 }

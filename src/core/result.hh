@@ -52,6 +52,23 @@ struct RunResult
     /** Stage descriptors for labeling. */
     std::vector<pipeline::Stage> stages;
 
+    /** Fault/repair outcome (defaults = fault subsystem disabled). */
+    std::string repairPolicy = "none";
+    /** Cell fault rate before repair (stuck + endurance-worn). */
+    double rawFaultRate = 0.0;
+    /** Cell fault rate still visible after repair. */
+    double residualFaultRate = 0.0;
+    /** Endurance consumed by the hottest rows over the run. */
+    double wearLifetimeFraction = 0.0;
+    /** Fraction of rows driven past their endurance by run end. */
+    double wornRowFraction = 0.0;
+    /** Write-time amplification from verify retries / duplication. */
+    double writeAmplification = 1.0;
+    /** One-time repair reconfiguration stall added to the makespan. */
+    double repairStallNs = 0.0;
+    /** Fault severity the write traffic lands on after remapping. */
+    double writeExposure = 0.0;
+
     /** Speedup of this run relative to a reference makespan. */
     double speedupOver(const RunResult &reference) const;
 

@@ -1,0 +1,224 @@
+#include "fault/repair.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gopim::fault {
+
+namespace {
+
+/**
+ * Combined per-cell fault rate: stuck cells plus worn rows (a worn
+ * row reads back as stuck, so its whole width counts).
+ */
+double
+rawCellFaultRate(const RepairContext &ctx)
+{
+    return std::min(1.0, ctx.params.stuckOnRate +
+                             ctx.params.stuckOffRate +
+                             ctx.wornRowFraction);
+}
+
+/**
+ * Write-verify amplification: programming pulses are retried on
+ * cells that fail verification, so write time scales with the fault
+ * severity the write traffic actually lands on (up to four extra
+ * verify/retry pulses at full exposure before the writer gives up).
+ */
+double
+writeAmpFromExposure(double exposure)
+{
+    return 1.0 + 4.0 * std::clamp(exposure, 0.0, 1.0);
+}
+
+/** Fraction of rows containing >= 1 faulty cell at `cellRate`. */
+double
+rowFaultRate(double cellRate, uint32_t cols)
+{
+    return 1.0 - std::pow(1.0 - std::min(1.0, cellRate),
+                          static_cast<double>(cols));
+}
+
+class NoRepair : public RepairPolicy
+{
+  public:
+    std::string name() const override { return "none"; }
+
+    RepairPlan
+    plan(const RepairContext &ctx) const override
+    {
+        RepairPlan plan;
+        plan.policy = name();
+        plan.rawCellFaultRate = rawCellFaultRate(ctx);
+        plan.residualCellFaultRate = plan.rawCellFaultRate;
+        plan.residualDriftPerEpoch = ctx.params.driftPerEpoch;
+        plan.writeAmplification =
+            writeAmpFromExposure(ctx.writeExposure);
+        return plan;
+    }
+
+    AccuracyEffects
+    accuracyEffects(const FaultConfig &config) const override
+    {
+        AccuracyEffects effects;
+        effects.stuckOnRate = config.params.stuckOnRate;
+        effects.stuckOffRate = config.params.stuckOffRate;
+        effects.driftPerEpoch = config.params.driftPerEpoch;
+        return effects;
+    }
+};
+
+class SpareRowRepair : public RepairPolicy
+{
+  public:
+    std::string name() const override { return "spare-rows"; }
+
+    RepairPlan
+    plan(const RepairContext &ctx) const override
+    {
+        RepairPlan plan;
+        plan.policy = name();
+        plan.rawCellFaultRate = rawCellFaultRate(ctx);
+
+        // Spares cover the worst rows first; coverage is the share
+        // of faulty rows the spare budget can absorb.
+        const double faultyRows =
+            rowFaultRate(plan.rawCellFaultRate, ctx.cols);
+        const double coverage =
+            faultyRows > 0.0
+                ? std::min(1.0, ctx.spareRowFraction / faultyRows)
+                : 1.0;
+        plan.residualCellFaultRate =
+            plan.rawCellFaultRate * (1.0 - coverage);
+        // Spares cannot fix retention drift.
+        plan.residualDriftPerEpoch = ctx.params.driftPerEpoch;
+        plan.writeAmplification =
+            writeAmpFromExposure(ctx.writeExposure * (1.0 - coverage));
+        // Rows held back as spares shrink usable crossbar capacity.
+        plan.crossbarOverheadFactor =
+            1.0 / (1.0 - std::min(0.5, ctx.spareRowFraction));
+        // One-time reconfiguration: re-program every remapped row.
+        const double repairedRows =
+            coverage * faultyRows * static_cast<double>(ctx.rows);
+        plan.remapStallNs = repairedRows * ctx.writeLatencyNs;
+        return plan;
+    }
+
+    AccuracyEffects
+    accuracyEffects(const FaultConfig &config) const override
+    {
+        AccuracyEffects effects;
+        effects.stuckOnRate = config.params.stuckOnRate;
+        effects.stuckOffRate = config.params.stuckOffRate;
+        effects.driftPerEpoch = config.params.driftPerEpoch;
+        effects.spareRowFraction = config.spareRowFraction;
+        return effects;
+    }
+};
+
+class EccDuplicateRepair : public RepairPolicy
+{
+  public:
+    std::string name() const override { return "ecc-dup"; }
+
+    RepairPlan
+    plan(const RepairContext &ctx) const override
+    {
+        RepairPlan plan;
+        plan.policy = name();
+        plan.rawCellFaultRate = rawCellFaultRate(ctx);
+        // A fault survives only when both independent copies are
+        // corrupted in the same cell.
+        plan.residualCellFaultRate =
+            plan.rawCellFaultRate * plan.rawCellFaultRate;
+        plan.residualDriftPerEpoch = ctx.params.driftPerEpoch;
+        // Every weight is written twice; duplication also doubles
+        // the crossbars backing each replica.
+        plan.writeAmplification = 2.0;
+        plan.crossbarOverheadFactor = 2.0;
+        return plan;
+    }
+
+    AccuracyEffects
+    accuracyEffects(const FaultConfig &config) const override
+    {
+        AccuracyEffects effects;
+        effects.stuckOnRate = config.params.stuckOnRate;
+        effects.stuckOffRate = config.params.stuckOffRate;
+        effects.driftPerEpoch = config.params.driftPerEpoch;
+        effects.eccDuplicate = true;
+        return effects;
+    }
+};
+
+class RefreshRepair : public RepairPolicy
+{
+  public:
+    std::string name() const override { return "refresh"; }
+
+    RepairPlan
+    plan(const RepairContext &ctx) const override
+    {
+        GOPIM_ASSERT(ctx.refreshPeriodMb > 0,
+                     "refresh period must be >= 1 micro-batch");
+        RepairPlan plan;
+        plan.policy = name();
+        plan.rawCellFaultRate = rawCellFaultRate(ctx);
+        // Re-programming fixes drift, not stuck cells.
+        plan.residualCellFaultRate = plan.rawCellFaultRate;
+        plan.residualDriftPerEpoch = 0.0;
+        plan.writeAmplification =
+            writeAmpFromExposure(ctx.writeExposure);
+        plan.refreshEveryMicroBatches = ctx.refreshPeriodMb;
+        // A refresh re-programs every row of the crossbar, stalling
+        // the pipeline for the full array write.
+        plan.refreshStallNs =
+            static_cast<double>(ctx.rows) * ctx.writeLatencyNs;
+        plan.rowWritesPerRefresh = ctx.rows;
+        return plan;
+    }
+
+    AccuracyEffects
+    accuracyEffects(const FaultConfig &config) const override
+    {
+        AccuracyEffects effects;
+        effects.stuckOnRate = config.params.stuckOnRate;
+        effects.stuckOffRate = config.params.stuckOffRate;
+        effects.driftPerEpoch = config.params.driftPerEpoch;
+        effects.refreshPeriodEpochs =
+            std::max(1u, config.refreshPeriodEpochs);
+        return effects;
+    }
+};
+
+} // namespace
+
+const RepairPolicy &
+repairPolicyFor(RepairKind kind)
+{
+    static const NoRepair none;
+    static const SpareRowRepair spare;
+    static const EccDuplicateRepair ecc;
+    static const RefreshRepair refresh;
+    switch (kind) {
+      case RepairKind::None:
+        return none;
+      case RepairKind::SpareRows:
+        return spare;
+      case RepairKind::EccDuplicate:
+        return ecc;
+      case RepairKind::Refresh:
+        return refresh;
+    }
+    panic("unknown repair kind");
+}
+
+AccuracyEffects
+accuracyEffectsFor(const FaultConfig &config)
+{
+    return repairPolicyFor(config.repair).accuracyEffects(config);
+}
+
+} // namespace gopim::fault

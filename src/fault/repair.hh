@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Repair strategies behind a common RepairPolicy interface. Each
+ * policy turns a fault/wear situation into
+ *
+ *  - a timing plan (RepairPlan): write-time amplification from
+ *    re-write pulses on faulty cells, crossbar capacity overhead,
+ *    periodic refresh events that steal pipeline cycles (executed by
+ *    the scheduling engines via sim::EventKnobs), and one-time remap
+ *    reconfiguration stalls;
+ *  - accuracy effects (AccuracyEffects): the residual fault/drift
+ *    exposure the functional trainer's crossbar image still sees
+ *    after repair.
+ *
+ * All plans are closed-form and deterministic: the same context
+ * always produces the same plan, which the property tests assert.
+ */
+
+#ifndef GOPIM_FAULT_REPAIR_HH
+#define GOPIM_FAULT_REPAIR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "fault/model.hh"
+#include "fault/wear.hh"
+
+namespace gopim::fault {
+
+/** Everything a policy needs to cost a repair for one run. */
+struct RepairContext
+{
+    FaultParams params;
+    double spareRowFraction = 0.05;
+    uint32_t refreshPeriodMb = 512;
+    /** Crossbar geometry (rows/cols) and row-write latency. */
+    uint32_t rows = 64;
+    uint32_t cols = 64;
+    double writeLatencyNs = 50.88;
+    /** Endurance-worn rows behave like stuck cells (wear.hh). */
+    double wornRowFraction = 0.0;
+    /**
+     * Mapping-aware fault severity the write traffic actually lands
+     * on (fault::writeExposure after any fault-aware remap); equals
+     * the raw cell fault rate when no mapping information exists.
+     */
+    double writeExposure = 0.0;
+    uint32_t totalMicroBatches = 1;
+};
+
+/** Deterministic timing consequences of a repair decision. */
+struct RepairPlan
+{
+    std::string policy = "none";
+    /** Cell fault rate before repair (stuck + worn). */
+    double rawCellFaultRate = 0.0;
+    /** Cell fault rate still visible after repair. */
+    double residualCellFaultRate = 0.0;
+    /** Drift per epoch still visible after repair. */
+    double residualDriftPerEpoch = 0.0;
+    /** Multiplier on write-bound (fixed) stage time + write events. */
+    double writeAmplification = 1.0;
+    /** Multiplier on crossbars per replica (spares / duplication). */
+    double crossbarOverheadFactor = 1.0;
+    /** Refresh cadence in micro-batches (0 = no refresh events). */
+    uint32_t refreshEveryMicroBatches = 0;
+    /** Pipeline stall per refresh event (ns). */
+    double refreshStallNs = 0.0;
+    /** Row-write energy events each refresh adds. */
+    uint64_t rowWritesPerRefresh = 0;
+    /** One-time reconfiguration stall (spare-row programming). */
+    double remapStallNs = 0.0;
+};
+
+/** Residual non-idealities the accuracy path must emulate. */
+struct AccuracyEffects
+{
+    double stuckOnRate = 0.0;
+    double stuckOffRate = 0.0;
+    double driftPerEpoch = 0.0;
+    /** Trainer-side refresh cadence in epochs (0 = never). */
+    uint32_t refreshPeriodEpochs = 0;
+    /** Mask faults against an independent duplicate map (ECC). */
+    bool eccDuplicate = false;
+    /** Spare-row repair budget for CellFaultMap::repairRows. */
+    double spareRowFraction = 0.0;
+};
+
+/** A repair strategy: costing + residual-fault semantics. */
+class RepairPolicy
+{
+  public:
+    virtual ~RepairPolicy() = default;
+
+    /** Short identifier matching toString(RepairKind). */
+    virtual std::string name() const = 0;
+
+    /** Deterministic timing plan for one run. */
+    virtual RepairPlan plan(const RepairContext &ctx) const = 0;
+
+    /** What the trainer still sees after this repair. */
+    virtual AccuracyEffects
+    accuracyEffects(const FaultConfig &config) const = 0;
+};
+
+/** Shared immutable policy instance for a kind (never null). */
+const RepairPolicy &repairPolicyFor(RepairKind kind);
+
+/** Convenience: policy lookup + accuracyEffects in one call. */
+AccuracyEffects accuracyEffectsFor(const FaultConfig &config);
+
+} // namespace gopim::fault
+
+#endif // GOPIM_FAULT_REPAIR_HH

@@ -1,0 +1,83 @@
+#include "fault/wear.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gopim::fault {
+
+namespace {
+
+/**
+ * Fraction of a row population worn out when each row receives
+ * `writesPerEpoch * epochs` writes against `endurance`. Modeled as a
+ * deterministic ramp: rows reach their rating at 1.0x and the whole
+ * population is dead by 2.0x (cell-to-cell endurance spread).
+ */
+double
+wornShare(double writesPerEpoch, uint32_t epochs, double endurance)
+{
+    GOPIM_ASSERT(endurance > 0.0, "endurance must be positive");
+    const double consumed =
+        writesPerEpoch * static_cast<double>(epochs) / endurance;
+    return std::clamp(consumed - 1.0, 0.0, 1.0);
+}
+
+} // namespace
+
+WearState
+computeWear(const mapping::VertexAssignment &assignment,
+            const std::vector<bool> &important,
+            const mapping::SelectiveUpdateParams &params,
+            uint32_t epochs, double writeEndurance)
+{
+    GOPIM_ASSERT(assignment.groupOf.size() == important.size(),
+                 "assignment/importance size mismatch");
+    WearState wear;
+    wear.groupWritesPerEpoch =
+        mapping::expectedEpochWrites(assignment, important, params);
+
+    double total = 0.0;
+    for (const double writes : wear.groupWritesPerEpoch) {
+        total += writes;
+        wear.peakGroupWritesPerEpoch =
+            std::max(wear.peakGroupWritesPerEpoch, writes);
+    }
+    const auto numRows = static_cast<double>(important.size());
+    wear.meanWritesPerRowPerEpoch = total / numRows;
+
+    // Hot rows (important, or every row without selective updating)
+    // are rewritten once per epoch; cold rows once per cold period.
+    size_t hotRows = 0;
+    for (const bool hot : important)
+        hotRows += hot;
+    const double hotShare = static_cast<double>(hotRows) / numRows;
+    const double coldRate =
+        1.0 / static_cast<double>(std::max(1u, params.coldPeriod));
+
+    wear.lifetimeFraction = static_cast<double>(epochs) /
+                            writeEndurance *
+                            (hotRows > 0 ? 1.0 : coldRate);
+    wear.wornRowFraction =
+        hotShare * wornShare(1.0, epochs, writeEndurance) +
+        (1.0 - hotShare) * wornShare(coldRate, epochs, writeEndurance);
+    return wear;
+}
+
+WearState
+approxWear(double updateFraction, uint32_t epochs,
+           double writeEndurance)
+{
+    GOPIM_ASSERT(updateFraction >= 0.0 && updateFraction <= 1.0,
+                 "update fraction must be in [0, 1]");
+    WearState wear;
+    wear.meanWritesPerRowPerEpoch = updateFraction;
+    wear.peakGroupWritesPerEpoch = updateFraction;
+    wear.lifetimeFraction =
+        static_cast<double>(epochs) / writeEndurance;
+    wear.wornRowFraction =
+        wornShare(updateFraction, epochs, writeEndurance);
+    return wear;
+}
+
+} // namespace gopim::fault

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Endurance wear model driven by the training schedule's *actual*
+ * update traffic: per-row-group write counters derived from the
+ * selective-update policy (mapping/selective.hh), accumulated over
+ * the run's epochs against the chip's per-cell write endurance.
+ *
+ * This is where ISU pays a reliability dividend the paper never
+ * measures: theta < 1 means only the important fraction of rows is
+ * rewritten every epoch while cold rows are written once per cold
+ * period, so mean per-row wear drops to
+ * theta + (1 - theta) / coldPeriod — a directly measurable lifetime
+ * extension on top of the timing win.
+ */
+
+#ifndef GOPIM_FAULT_WEAR_HH
+#define GOPIM_FAULT_WEAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/selective.hh"
+#include "mapping/vertex_map.hh"
+
+namespace gopim::fault {
+
+/** Accumulated wear at the end of a run. */
+struct WearState
+{
+    /** Expected row writes per epoch, averaged over all rows. */
+    double meanWritesPerRowPerEpoch = 0.0;
+    /** Expected row writes per epoch in the most-written group. */
+    double peakGroupWritesPerEpoch = 0.0;
+    /**
+     * Endurance consumed by the hottest rows over the whole run
+     * (epochs x hottest per-row rate / endurance); > 1 means those
+     * rows outlived their rating before the run ended.
+     */
+    double lifetimeFraction = 0.0;
+    /** Fraction of rows driven past their endurance by run end. */
+    double wornRowFraction = 0.0;
+    /** Per-group expected row writes per epoch (remap weights). */
+    std::vector<double> groupWritesPerEpoch;
+};
+
+/**
+ * Wear from a concrete vertex assignment and importance selection:
+ * important rows are rewritten every epoch, cold rows once per cold
+ * period (mapping::expectedEpochWrites supplies the per-group
+ * totals). `writeEndurance` is the per-cell lifetime write rating.
+ */
+WearState computeWear(const mapping::VertexAssignment &assignment,
+                      const std::vector<bool> &important,
+                      const mapping::SelectiveUpdateParams &params,
+                      uint32_t epochs, double writeEndurance);
+
+/**
+ * Analytic fallback when no assignment was materialized (the large-
+ * graph full-update path): every row is written `updateFraction`
+ * times per epoch in expectation, uniformly across groups.
+ */
+WearState approxWear(double updateFraction, uint32_t epochs,
+                     double writeEndurance);
+
+} // namespace gopim::fault
+
+#endif // GOPIM_FAULT_WEAR_HH

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "fault/repair.hh"
 #include "mapping/selective.hh"
 #include "tensor/init.hh"
 #include "tensor/ops.hh"
@@ -108,6 +109,39 @@ FunctionalTrainer::train(const SelectivePolicy &policy) const
         important =
             mapping::selectImportant(g.degrees(), policy.theta);
 
+    // Fault injection: per-layer stuck-cell maps, mitigated by the
+    // configured repair policy's residual-accuracy effects. Entirely
+    // skipped when no fault mechanism is configured, so the default
+    // path is bit-identical to the fault-free trainer.
+    const bool faultsOn = config_.fault.params.any();
+    fault::AccuracyEffects faultFx;
+    std::vector<fault::CellFaultMap> faultMaps;
+    if (faultsOn) {
+        faultFx = fault::accuracyEffectsFor(config_.fault);
+        if (faultFx.stuckOnRate > 0.0 || faultFx.stuckOffRate > 0.0) {
+            fault::FaultParams cellParams;
+            cellParams.stuckOnRate = faultFx.stuckOnRate;
+            cellParams.stuckOffRate = faultFx.stuckOffRate;
+            for (uint32_t l = 0; l < layers; ++l) {
+                const uint64_t mapSeed =
+                    config_.fault.params.seed + l * 7919;
+                fault::CellFaultMap map(weights[l].rows(),
+                                        weights[l].cols(), cellParams,
+                                        mapSeed);
+                if (faultFx.eccDuplicate) {
+                    // Duplicate-and-compare: only coincident faults
+                    // in both copies survive.
+                    map = map.maskedWith(fault::CellFaultMap(
+                        weights[l].rows(), weights[l].cols(),
+                        cellParams, mapSeed + 1));
+                }
+                if (faultFx.spareRowFraction > 0.0)
+                    map.repairRows(faultFx.spareRowFraction);
+                faultMaps.push_back(std::move(map));
+            }
+        }
+    }
+
     // Stale crossbar image of each hidden layer's combined features.
     std::vector<tensor::Matrix> staleH(
         layers > 1 ? layers - 1 : 0,
@@ -131,22 +165,44 @@ FunctionalTrainer::train(const SelectivePolicy &policy) const
             !policy.enabled || !staleValid ||
             (epoch % policy.coldPeriod == 0);
 
-        // The crossbars hold a noisy image of the weights; both the
-        // forward pass and (approximately) the backward pass see it.
+        // The crossbars hold a corrupted image of the weights (noise,
+        // retention drift since the last refresh, stuck cells); both
+        // the forward pass and (approximately) the backward pass see
+        // it.
+        const bool imageNeeded =
+            config_.weightNoiseSigma > 0.0 || faultsOn;
         std::vector<tensor::Matrix> programmed;
-        if (config_.weightNoiseSigma > 0.0) {
-            for (const auto &w : weights) {
-                tensor::Matrix noisy = w;
+        if (imageNeeded) {
+            const uint32_t sinceRefresh =
+                faultFx.refreshPeriodEpochs > 0
+                    ? epoch % faultFx.refreshPeriodEpochs
+                    : epoch;
+            const float driftDecay =
+                faultFx.driftPerEpoch > 0.0
+                    ? static_cast<float>(
+                          std::pow(1.0 - faultFx.driftPerEpoch,
+                                   static_cast<double>(sinceRefresh)))
+                    : 1.0f;
+            for (size_t l = 0; l < weights.size(); ++l) {
+                tensor::Matrix noisy = weights[l];
                 float *p = noisy.data();
-                for (size_t i = 0; i < noisy.size(); ++i)
-                    p[i] *= static_cast<float>(
-                        1.0 + rng.normal(0.0,
-                                         config_.weightNoiseSigma));
+                if (config_.weightNoiseSigma > 0.0) {
+                    for (size_t i = 0; i < noisy.size(); ++i)
+                        p[i] *= static_cast<float>(
+                            1.0 +
+                            rng.normal(0.0,
+                                       config_.weightNoiseSigma));
+                }
+                if (driftDecay != 1.0f) {
+                    for (size_t i = 0; i < noisy.size(); ++i)
+                        p[i] *= driftDecay;
+                }
+                if (l < faultMaps.size())
+                    faultMaps[l].apply(noisy);
                 programmed.push_back(std::move(noisy));
             }
         }
-        const auto &activeWeights =
-            config_.weightNoiseSigma > 0.0 ? programmed : weights;
+        const auto &activeWeights = imageNeeded ? programmed : weights;
 
         // Forward pass: per layer, combine (matmul) then aggregate.
         // `layerInputs[l]` is the aggregated input feeding layer l.

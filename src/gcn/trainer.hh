@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/model.hh"
 #include "graph/generators.hh"
 #include "tensor/matrix.hh"
 
@@ -44,6 +45,14 @@ struct TrainerConfig
     /** Fraction of vertices used for training (rest is test). */
     double trainFraction = 0.6;
     uint64_t seed = 3;
+    /**
+     * Device fault injection: stuck cells corrupt the programmed
+     * weight image every epoch, drift decays it between refreshes,
+     * and the configured repair policy mitigates per its
+     * fault::AccuracyEffects. Disabled by default; disabled runs are
+     * bit-identical to the pre-fault trainer.
+     */
+    fault::FaultConfig fault;
 };
 
 /** Selective-update emulation policy. */

@@ -94,4 +94,36 @@ minMax(const std::vector<double> &values)
     return mm;
 }
 
+std::vector<uint32_t>
+remapGroupsByHealth(const std::vector<double> &groupLoad,
+                    const std::vector<double> &groupFaultScore)
+{
+    GOPIM_ASSERT(groupLoad.size() == groupFaultScore.size(),
+                 "load/fault score size mismatch");
+    GOPIM_ASSERT(!groupLoad.empty(), "cannot remap zero groups");
+
+    const auto n = static_cast<uint32_t>(groupLoad.size());
+    std::vector<uint32_t> byLoad(n), byHealth(n);
+    std::iota(byLoad.begin(), byLoad.end(), 0);
+    std::iota(byHealth.begin(), byHealth.end(), 0);
+    std::stable_sort(byLoad.begin(), byLoad.end(),
+                     [&groupLoad](uint32_t a, uint32_t b) {
+                         return groupLoad[a] != groupLoad[b]
+                                    ? groupLoad[a] > groupLoad[b]
+                                    : a < b;
+                     });
+    std::stable_sort(
+        byHealth.begin(), byHealth.end(),
+        [&groupFaultScore](uint32_t a, uint32_t b) {
+            return groupFaultScore[a] != groupFaultScore[b]
+                       ? groupFaultScore[a] < groupFaultScore[b]
+                       : a < b;
+        });
+
+    std::vector<uint32_t> physicalOf(n);
+    for (uint32_t rank = 0; rank < n; ++rank)
+        physicalOf[byLoad[rank]] = byHealth[rank];
+    return physicalOf;
+}
+
 } // namespace gopim::mapping

@@ -61,6 +61,22 @@ struct MinMax
 
 MinMax minMax(const std::vector<double> &values);
 
+/**
+ * Fault-aware group remap: choose which *physical* row group backs
+ * each logical group so that the heaviest write loads land on the
+ * healthiest hardware. Logical groups ranked by load (descending)
+ * are paired with physical groups ranked by fault score (ascending);
+ * ties break toward the lower index, so the permutation is a
+ * deterministic function of its inputs. Returns physicalOf[logical].
+ *
+ * The fault score a logical group then experiences is
+ * groupFaultScore[physicalOf[g]]; see fault::writeExposure for the
+ * aggregate metric this remap minimizes.
+ */
+std::vector<uint32_t>
+remapGroupsByHealth(const std::vector<double> &groupLoad,
+                    const std::vector<double> &groupFaultScore);
+
 } // namespace gopim::mapping
 
 #endif // GOPIM_MAPPING_VERTEX_MAP_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "tensor/ops.hh"
 
 namespace gopim::reram {
 
@@ -62,6 +63,23 @@ DeviceNoiseModel::programmingRmse(const tensor::Matrix &ideal)
         const double d = static_cast<double>(a[i]) - b[i];
         num += d * d;
         den += static_cast<double>(a[i]) * a[i];
+    }
+    return den > 0.0 ? std::sqrt(num / den) : 0.0;
+}
+
+double
+mvmOutputError(const tensor::Matrix &x, const tensor::Matrix &wIdeal,
+               const tensor::Matrix &wNoisy)
+{
+    const auto ideal = tensor::matmul(x, wIdeal);
+    const auto noisy = tensor::matmul(x, wNoisy);
+    double num = 0.0, den = 0.0;
+    for (size_t i = 0; i < ideal.size(); ++i) {
+        const double d = static_cast<double>(ideal.data()[i]) -
+                         noisy.data()[i];
+        num += d * d;
+        den += static_cast<double>(ideal.data()[i]) *
+               ideal.data()[i];
     }
     return den > 0.0 ? std::sqrt(num / den) : 0.0;
 }

@@ -60,6 +60,16 @@ class DeviceNoiseModel
     Rng rng_;
 };
 
+/**
+ * Relative RMS error between the MVM outputs x * wIdeal and
+ * x * wNoisy — the metric the device-noise and fault ablations use
+ * to judge how much a corrupted weight image distorts the analog
+ * compute the Combination/Aggregation stages run.
+ */
+double mvmOutputError(const tensor::Matrix &x,
+                      const tensor::Matrix &wIdeal,
+                      const tensor::Matrix &wNoisy);
+
 } // namespace gopim::reram
 
 #endif // GOPIM_RERAM_NOISE_HH

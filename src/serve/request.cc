@@ -11,12 +11,37 @@ namespace gopim::serve {
 
 namespace {
 
+RequestError
+badType(const char *field, const char *expected)
+{
+    return {"bad_type", field,
+            std::string("field '") + field + "' must be " + expected};
+}
+
+RequestError
+outOfRange(const char *field, const std::string &detail)
+{
+    return {"out_of_range", field,
+            std::string("field '") + field + "' " + detail};
+}
+
+RequestError
+unknownName(const char *field, const std::string &name,
+            const std::string &hint)
+{
+    std::string message = std::string("unknown ") + field + " '" +
+                          name + "'";
+    if (!hint.empty())
+        message += " (" + hint + ")";
+    return {"unknown_name", field, message};
+}
+
 bool
-getString(const json::Value &v, std::string *out, std::string *err,
+getString(const json::Value &v, std::string *out, RequestError *err,
           const char *field)
 {
     if (!v.isString()) {
-        *err = std::string("field '") + field + "' must be a string";
+        *err = badType(field, "a string");
         return false;
     }
     *out = v.asString();
@@ -25,18 +50,17 @@ getString(const json::Value &v, std::string *out, std::string *err,
 
 bool
 getInt(const json::Value &v, int64_t min, int64_t max, int64_t *out,
-       std::string *err, const char *field)
+       RequestError *err, const char *field)
 {
     if (!v.isInt()) {
-        *err = std::string("field '") + field +
-               "' must be an integer";
+        *err = badType(field, "an integer");
         return false;
     }
     const int64_t value = v.asInt();
     if (value < min || value > max) {
-        *err = std::string("field '") + field + "' must be in [" +
-               std::to_string(min) + ", " + std::to_string(max) +
-               "], got " + std::to_string(value);
+        *err = outOfRange(field, "must be in [" + std::to_string(min) +
+                                     ", " + std::to_string(max) +
+                                     "], got " + std::to_string(value));
         return false;
     }
     *out = value;
@@ -44,30 +68,47 @@ getInt(const json::Value &v, int64_t min, int64_t max, int64_t *out,
 }
 
 bool
-getNumber(const json::Value &v, double *out, std::string *err,
+getNumber(const json::Value &v, double *out, RequestError *err,
           const char *field)
 {
     if (!v.isNumber()) {
-        *err = std::string("field '") + field + "' must be a number";
+        *err = badType(field, "a number");
         return false;
     }
     *out = v.asDouble();
     return true;
 }
 
+/** A number constrained to [0, 1) — the fault-rate flag ranges. */
+bool
+getUnitRate(const json::Value &v, double *out, RequestError *err,
+            const char *field)
+{
+    double value = 0.0;
+    if (!getNumber(v, &value, err, field))
+        return false;
+    if (value < 0.0 || value >= 1.0) {
+        *err = outOfRange(field, "must be in [0, 1), got " +
+                                     std::to_string(value));
+        return false;
+    }
+    *out = value;
+    return true;
+}
+
 } // namespace
 
-std::string
+RequestError
 parseRequest(const json::Value &body, const Request &defaults,
              Request *out)
 {
     if (!body.isObject())
-        return "request must be a JSON object";
+        return {"bad_request", "", "request must be a JSON object"};
 
     Request req = defaults;
     req.id.clear();
     req.traceOut.clear();
-    std::string err;
+    RequestError err;
 
     for (const auto &[key, value] : body.members()) {
         if (key == "id") {
@@ -87,8 +128,8 @@ parseRequest(const json::Value &body, const Request &defaults,
             if (!getString(value, &name, &err, "engine"))
                 return err;
             if (!sim::tryEngineKindFromString(name, &req.sim.engine))
-                return "unknown engine '" + name +
-                       "' (try closed, event)";
+                return unknownName("engine", name,
+                                   "try closed, event");
         } else if (key == "seed") {
             int64_t seed = 0;
             if (!getInt(value, 0,
@@ -115,8 +156,9 @@ parseRequest(const json::Value &body, const Request &defaults,
             if (!getNumber(value, &theta, &err, "theta"))
                 return err;
             if (theta < 0.0 || theta > 1.0)
-                return "field 'theta' must be in [0, 1], got " +
-                       std::to_string(theta);
+                return outOfRange("theta",
+                                  "must be in [0, 1], got " +
+                                      std::to_string(theta));
             req.theta = theta;
         } else if (key == "buffer_slots") {
             int64_t slots = 0;
@@ -135,11 +177,44 @@ parseRequest(const json::Value &body, const Request &defaults,
             if (!getNumber(value, &req.sim.event.writeFraction, &err,
                            "write_fraction"))
                 return err;
+        } else if (key == "stuck_on_rate") {
+            if (!getUnitRate(value, &req.fault.params.stuckOnRate,
+                             &err, "stuck_on_rate"))
+                return err;
+        } else if (key == "stuck_off_rate") {
+            if (!getUnitRate(value, &req.fault.params.stuckOffRate,
+                             &err, "stuck_off_rate"))
+                return err;
+        } else if (key == "drift_rate") {
+            if (!getUnitRate(value, &req.fault.params.driftPerEpoch,
+                             &err, "drift_rate"))
+                return err;
+        } else if (key == "repair") {
+            std::string name;
+            if (!getString(value, &name, &err, "repair"))
+                return err;
+            if (!fault::tryRepairKindFromString(name,
+                                                &req.fault.repair))
+                return unknownName("repair", name,
+                                   "try none, spare, ecc, refresh");
+        } else if (key == "spare_rows") {
+            if (!getUnitRate(value, &req.fault.spareRowFraction, &err,
+                             "spare_rows"))
+                return err;
+        } else if (key == "refresh_period") {
+            int64_t period = 0;
+            if (!getInt(value, 1,
+                        std::numeric_limits<uint32_t>::max(), &period,
+                        &err, "refresh_period"))
+                return err;
+            req.fault.refreshPeriodMb =
+                static_cast<uint32_t>(period);
         } else if (key == "trace_out") {
             if (!getString(value, &req.traceOut, &err, "trace_out"))
                 return err;
         } else {
-            return "unknown field '" + key + "'";
+            return {"unknown_field", key,
+                    "unknown field '" + key + "'"};
         }
     }
 
@@ -148,41 +223,41 @@ parseRequest(const json::Value &body, const Request &defaults,
     const std::string rangeError = core::eventKnobRangeError(
         req.sim.event.writeRetryProb, req.sim.event.writeFraction);
     if (!rangeError.empty())
-        return rangeError;
+        return {"out_of_range", "", rangeError};
 
     if (!graph::DatasetCatalog::findByName(req.dataset))
-        return "unknown dataset '" + req.dataset + "'";
+        return unknownName("dataset", req.dataset, "");
     core::SystemKind kind;
     if (!core::systemFromString(req.system, &kind))
-        return "unknown system '" + req.system + "'";
+        return unknownName("system", req.system, "");
     if (!req.baseline.empty() &&
         !core::systemFromString(req.baseline, &kind))
-        return "unknown baseline '" + req.baseline + "'";
+        return unknownName("baseline", req.baseline, "");
 
     *out = std::move(req);
-    return "";
+    return RequestError::none();
 }
 
-std::string
+RequestError
 resolveRequest(const Request &request, ResolvedRequest *out)
 {
     ResolvedRequest resolved;
     resolved.request = request;
     if (!graph::DatasetCatalog::findByName(request.dataset))
-        return "unknown dataset '" + request.dataset + "'";
+        return unknownName("dataset", request.dataset, "");
     if (!core::systemFromString(request.system, &resolved.system))
-        return "unknown system '" + request.system + "'";
+        return unknownName("system", request.system, "");
     resolved.hasBaseline = !request.baseline.empty();
     if (resolved.hasBaseline &&
         !core::systemFromString(request.baseline, &resolved.baseline))
-        return "unknown baseline '" + request.baseline + "'";
+        return unknownName("baseline", request.baseline, "");
 
     resolved.workload = gcn::Workload::paperDefault(request.dataset);
     resolved.workload.microBatchSize = request.microBatch;
     resolved.workload.epochs = request.epochs;
     resolved.workload.seed = request.sim.seed;
     *out = std::move(resolved);
-    return "";
+    return RequestError::none();
 }
 
 core::SystemConfig
@@ -190,6 +265,7 @@ configuredSystem(const ResolvedRequest &resolved)
 {
     core::SystemConfig system = core::makeSystem(resolved.system);
     system.sim = resolved.request.sim;
+    system.fault = resolved.request.fault;
     // Mirror gopim_sim's --theta semantics: a positive threshold
     // forces selective updating on.
     if (resolved.request.theta > 0.0) {

@@ -15,6 +15,7 @@
 
 #include "common/json.hh"
 #include "core/systems.hh"
+#include "fault/model.hh"
 #include "gcn/workload.hh"
 #include "reram/config.hh"
 #include "sim/context.hh"
@@ -22,10 +23,34 @@
 namespace gopim::serve {
 
 /**
+ * Structured validation error. `code` is a stable machine-readable
+ * identifier ("" = success):
+ *   bad_json     the line is not parseable JSON (service layer)
+ *   bad_request  the body is not a JSON object
+ *   bad_type     a field holds the wrong JSON type
+ *   out_of_range a value violates its CLI-flag range
+ *   unknown_field an unrecognized top-level key
+ *   unknown_name an unknown dataset/system/engine/repair name
+ *   simulation_failed the run itself threw (service layer)
+ * `field` names the offending top-level key when one exists.
+ */
+struct RequestError
+{
+    std::string code;
+    std::string field;
+    std::string message;
+
+    bool ok() const { return code.empty(); }
+
+    static RequestError none() { return {}; }
+};
+
+/**
  * One decoded simulation request. Field spellings mirror the CLI:
  *   id (string, echoed), dataset, system, baseline, engine,
  *   seed, micro_batch, epochs, theta, buffer_slots, retry_prob,
- *   write_fraction, trace_out.
+ *   write_fraction, trace_out, stuck_on_rate, stuck_off_rate,
+ *   drift_rate, repair, spare_rows, refresh_period.
  * Unset fields inherit the server's defaults (its own --engine/
  * --seed/... flags).
  */
@@ -39,6 +64,7 @@ struct Request
     uint32_t epochs = 1;
     double theta = 0.0;           ///< > 0 forces selective updating
     sim::SimContext sim;          ///< engine, seed, event knobs
+    fault::FaultConfig fault;     ///< fault injection + repair knobs
     std::string traceOut;         ///< Chrome trace path ("" = none);
                                   ///< excluded from the cache key
 };
@@ -57,15 +83,15 @@ struct ResolvedRequest
  * Decode and validate one parsed JSONL object against `defaults`.
  * Strict: unknown fields, wrong types, unknown dataset/system/engine
  * names, and values outside the core::addSimFlags ranges are all
- * rejected. Returns "" and fills `out` on success, else an error
- * message (out untouched).
+ * rejected with a structured RequestError. Fills `out` only on
+ * success.
  */
-std::string parseRequest(const json::Value &body,
-                         const Request &defaults, Request *out);
+RequestError parseRequest(const json::Value &body,
+                          const Request &defaults, Request *out);
 
-/** Bind catalog entries; returns "" or an error message. */
-std::string resolveRequest(const Request &request,
-                           ResolvedRequest *out);
+/** Bind catalog entries; RequestError::ok() on success. */
+RequestError resolveRequest(const Request &request,
+                            ResolvedRequest *out);
 
 /**
  * The exact SystemConfig the service runs for a resolved request:

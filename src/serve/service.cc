@@ -14,14 +14,21 @@ namespace gopim::serve {
 
 namespace {
 
-/** Leading envelope of an error response. */
+/**
+ * Error response envelope. Machine-readable `code` (and the
+ * offending `field`, when one exists) precede the human-readable
+ * message so clients can branch without parsing prose.
+ */
 std::string
-errorLine(const std::string &id, const std::string &message)
+errorLine(const std::string &id, const RequestError &error)
 {
     std::string line = "{\"type\":\"error\"";
     if (!id.empty())
         line += ",\"id\":\"" + json::escape(id) + "\"";
-    line += ",\"error\":\"" + json::escape(message) + "\"}";
+    line += ",\"code\":\"" + json::escape(error.code) + "\"";
+    if (!error.field.empty())
+        line += ",\"field\":\"" + json::escape(error.field) + "\"";
+    line += ",\"error\":\"" + json::escape(error.message) + "\"}";
     return line;
 }
 
@@ -103,6 +110,9 @@ Service::simulate(const ResolvedRequest &resolved) const
     if (resolved.hasBaseline) {
         core::SystemConfig base = core::makeSystem(resolved.baseline);
         base.sim = resolved.request.sim;
+        // The baseline runs in the same fault environment, so the
+        // speedup isolates the system, not the device health.
+        base.fault = resolved.request.fault;
         core::Accelerator baseAccel(config_.hw, base);
         const core::RunResult baseRun =
             baseAccel.run(resolved.workload, profile);
@@ -124,7 +134,7 @@ Service::dispatch(const std::string &line)
     json::Value body;
     std::string parseError;
     if (!json::Value::parse(line, &body, &parseError)) {
-        output.error = "invalid JSON: " + parseError;
+        output.error = {"bad_json", "", "invalid JSON: " + parseError};
         return output;
     }
     if (body.isObject()) {
@@ -135,18 +145,18 @@ Service::dispatch(const std::string &line)
     }
 
     Request request;
-    if (std::string err =
+    if (RequestError err =
             parseRequest(body, config_.defaults, &request);
-        !err.empty()) {
-        output.error = err;
+        !err.ok()) {
+        output.error = std::move(err);
         return output;
     }
     output.id = request.id;
 
     ResolvedRequest resolved;
-    if (std::string err = resolveRequest(request, &resolved);
-        !err.empty()) {
-        output.error = err;
+    if (RequestError err = resolveRequest(request, &resolved);
+        !err.ok()) {
+        output.error = std::move(err);
         return output;
     }
     const std::string key = cacheKey(resolved, config_.hw);
@@ -214,7 +224,7 @@ Service::dispatch(const std::string &line)
 std::string
 Service::render(Output &output)
 {
-    if (!output.error.empty())
+    if (!output.error.ok())
         return errorLine(output.id, output.error);
     std::string value;
     if (output.immediate) {
@@ -223,8 +233,9 @@ Service::render(Output &output)
         try {
             value = output.pending.get();
         } catch (const std::exception &e) {
-            output.error =
-                std::string("simulation failed: ") + e.what();
+            output.error = {"simulation_failed", "",
+                            std::string("simulation failed: ") +
+                                e.what()};
             return errorLine(output.id, output.error);
         }
     }
@@ -254,7 +265,7 @@ Service::processStream(std::istream &in, std::ostream &out,
     size_t next = 0;
 
     const auto ready = [](const Output &o) {
-        if (!o.error.empty() || o.immediate)
+        if (!o.error.ok() || o.immediate)
             return true;
         return o.pending.wait_for(std::chrono::seconds(0)) ==
                std::future_status::ready;
@@ -262,7 +273,7 @@ Service::processStream(std::istream &in, std::ostream &out,
     const auto emit = [&](Output &o) {
         const std::string line = render(o);
         out << line << '\n';
-        if (!o.error.empty())
+        if (!o.error.ok())
             ++stats.errors;
     };
 

@@ -103,7 +103,7 @@ class Service
     struct Output
     {
         std::string id;
-        std::string error;          ///< non-empty = error response
+        RequestError error;         ///< !ok() = error response
         std::string prefix;         ///< envelope up to "result":
         bool immediate = false;     ///< result already in `value`
         std::string value;          ///< cached result bytes

@@ -60,6 +60,16 @@ struct EventKnobs
     double writeRetryProb = 0.0;
     /** Fraction of a stage's service time attributable to writes. */
     double writeFraction = 0.0;
+    /**
+     * Re-program refresh cadence in micro-batches (0 = never). Set
+     * by the fault subsystem's refresh repair policy; both engines
+     * honor it: the closed form adds the stalls to the makespan
+     * (serialized drain model), the event engine stretches the
+     * refreshing micro-batch's service at every stage.
+     */
+    uint32_t refreshEveryMicroBatches = 0;
+    /** Pipeline stall per refresh event (ns). */
+    double refreshStallNs = 0.0;
 };
 
 /** Everything a run needs to pick and drive a timing backend. */

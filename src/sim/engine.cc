@@ -91,7 +91,7 @@ batchStructure(const ScheduleRequest &request)
 
 StageTimeline
 ClosedFormEngine::schedule(const ScheduleRequest &request,
-                           const SimContext &) const
+                           const SimContext &ctx) const
 {
     validate(request);
     pipeline::ScheduleResult closed;
@@ -118,6 +118,23 @@ ClosedFormEngine::schedule(const ScheduleRequest &request,
     timeline.idleFraction = std::move(closed.idleFraction);
     timeline.windows = std::move(closed.windows);
     timeline.blockedNs.assign(request.stageTimesNs.size(), 0.0);
+
+    // Re-program refreshes drain the pipeline and stall every stage
+    // (serialized model); the recurrence itself is untouched, so the
+    // zero-refresh path stays bit-identical.
+    if (ctx.event.refreshEveryMicroBatches > 0 &&
+        ctx.event.refreshStallNs > 0.0) {
+        const uint32_t refreshes = request.totalMicroBatches /
+                                   ctx.event.refreshEveryMicroBatches;
+        if (refreshes > 0) {
+            timeline.makespanNs +=
+                refreshes * ctx.event.refreshStallNs;
+            for (size_t i = 0; i < timeline.idleFraction.size(); ++i)
+                timeline.idleFraction[i] = std::clamp(
+                    1.0 - timeline.busyNs[i] / timeline.makespanNs,
+                    0.0, 1.0);
+        }
+    }
     return timeline;
 }
 
@@ -141,6 +158,25 @@ EventDrivenEngine::schedule(const ScheduleRequest &request,
         sampler = makeWriteRetrySampler(stations,
                                         ctx.event.writeRetryProb,
                                         ctx.event.writeFraction);
+    if (ctx.event.refreshEveryMicroBatches > 0 &&
+        ctx.event.refreshStallNs > 0.0) {
+        // Stretch the refreshing micro-batch at every stage: the
+        // whole array is being re-programmed, so no stage can serve
+        // it until the refresh completes. Uses the global micro-batch
+        // index (chunk samplers add the chunk base below).
+        const ServiceSampler inner = sampler;
+        const double stall = ctx.event.refreshStallNs;
+        const uint32_t every = ctx.event.refreshEveryMicroBatches;
+        sampler = [inner, stations, stall, every](
+                      size_t stage, uint32_t mb, Rng &rng) {
+            double serviceNs =
+                inner ? inner(stage, mb, rng)
+                      : stations[stage].serviceTimeNs;
+            if ((mb + 1) % every == 0)
+                serviceNs += stall;
+            return serviceNs;
+        };
+    }
 
     // The drain regimes decompose into independent chunks: serial
     // execution is a one-micro-batch pipeline repeated, intra-batch

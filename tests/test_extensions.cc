@@ -71,6 +71,17 @@ TEST(DeviceNoise, RmseGrowsWithSigma)
     EXPECT_NEAR(rLow, 0.03, 0.01);
 }
 
+TEST(DeviceNoise, MvmOutputErrorIsZeroForIdenticalWeights)
+{
+    Rng rng(11);
+    const auto x = tensor::uniformInit(8, 16, -1.0f, 1.0f, rng);
+    const auto w = tensor::uniformInit(16, 16, -1.0f, 1.0f, rng);
+    EXPECT_DOUBLE_EQ(reram::mvmOutputError(x, w, w), 0.0);
+
+    reram::DeviceNoiseModel noisy({.conductanceSigma = 0.1});
+    EXPECT_GT(reram::mvmOutputError(x, w, noisy.program(w)), 0.0);
+}
+
 TEST(DeviceNoise, DeterministicPerSeed)
 {
     Rng rng(9);

@@ -145,12 +145,12 @@ keyOf(const std::string &text)
     std::string error;
     EXPECT_TRUE(json::Value::parse(text, &body, &error)) << error;
     serve::Request request;
-    std::string err =
+    serve::RequestError err =
         serve::parseRequest(body, serve::Request{}, &request);
-    EXPECT_EQ(err, "");
+    EXPECT_TRUE(err.ok()) << err.message;
     serve::ResolvedRequest resolved;
     err = serve::resolveRequest(request, &resolved);
-    EXPECT_EQ(err, "");
+    EXPECT_TRUE(err.ok()) << err.message;
     return serve::cacheKey(resolved,
                            reram::AcceleratorConfig::paperDefault());
 }
@@ -175,6 +175,18 @@ TEST(CacheKeyTest, SensitiveToEveryKnob)
               keyOf("{\"dataset\":\"Cora\",\"theta\":0.5}"));
     EXPECT_NE(keyOf(base),
               keyOf("{\"dataset\":\"Cora\",\"baseline\":\"Serial\"}"));
+    // Fault knobs are part of the key: a repaired run must never be
+    // served a healthy run's cached result.
+    EXPECT_NE(keyOf(base),
+              keyOf("{\"dataset\":\"Cora\","
+                    "\"stuck_on_rate\":0.01}"));
+    EXPECT_NE(keyOf("{\"dataset\":\"Cora\",\"stuck_on_rate\":0.01}"),
+              keyOf("{\"dataset\":\"Cora\",\"stuck_on_rate\":0.01,"
+                    "\"repair\":\"ecc\"}"));
+    EXPECT_NE(keyOf("{\"dataset\":\"Cora\",\"stuck_on_rate\":0.01,"
+                    "\"repair\":\"spare\",\"spare_rows\":0.05}"),
+              keyOf("{\"dataset\":\"Cora\",\"stuck_on_rate\":0.01,"
+                    "\"repair\":\"spare\",\"spare_rows\":0.1}"));
 }
 
 TEST(CacheKeyTest, IdAndTraceOutDoNotAffectTheKey)
@@ -186,7 +198,7 @@ TEST(CacheKeyTest, IdAndTraceOutDoNotAffectTheKey)
     EXPECT_EQ(keyOf(plain), keyOf(decorated));
 }
 
-std::string
+serve::RequestError
 parseErrorOf(const std::string &text)
 {
     json::Value body;
@@ -198,17 +210,54 @@ parseErrorOf(const std::string &text)
 
 TEST(RequestTest, RejectsUnknownAndMalformedFields)
 {
-    EXPECT_NE(parseErrorOf("{\"datset\":\"ddi\"}"), "");
-    EXPECT_NE(parseErrorOf("{\"dataset\":42}"), "");
-    EXPECT_NE(parseErrorOf("{\"dataset\":\"nope\"}"), "");
-    EXPECT_NE(parseErrorOf("{\"system\":\"nope\"}"), "");
-    EXPECT_NE(parseErrorOf("{\"engine\":\"nope\"}"), "");
-    EXPECT_NE(parseErrorOf("{\"retry_prob\":1.0}"), "");
-    EXPECT_NE(parseErrorOf("{\"write_fraction\":1.5}"), "");
-    EXPECT_NE(parseErrorOf("{\"micro_batch\":0}"), "");
-    EXPECT_EQ(parseErrorOf("{\"retry_prob\":0.5,"
-                           "\"write_fraction\":1.0}"),
-              "");
+    EXPECT_EQ(parseErrorOf("{\"datset\":\"ddi\"}").code,
+              "unknown_field");
+    EXPECT_EQ(parseErrorOf("{\"dataset\":42}").code, "bad_type");
+    EXPECT_EQ(parseErrorOf("{\"dataset\":\"nope\"}").code,
+              "unknown_name");
+    EXPECT_EQ(parseErrorOf("{\"system\":\"nope\"}").code,
+              "unknown_name");
+    EXPECT_EQ(parseErrorOf("{\"engine\":\"nope\"}").code,
+              "unknown_name");
+    EXPECT_EQ(parseErrorOf("{\"retry_prob\":1.0}").code,
+              "out_of_range");
+    EXPECT_EQ(parseErrorOf("{\"write_fraction\":1.5}").code,
+              "out_of_range");
+    EXPECT_EQ(parseErrorOf("{\"micro_batch\":0}").code,
+              "out_of_range");
+    EXPECT_TRUE(parseErrorOf("{\"retry_prob\":0.5,"
+                             "\"write_fraction\":1.0}")
+                    .ok());
+}
+
+TEST(RequestTest, UnknownFieldNamesTheOffendingKey)
+{
+    const serve::RequestError err =
+        parseErrorOf("{\"dataset\":\"Cora\",\"spare_rws\":0.1}");
+    EXPECT_EQ(err.code, "unknown_field");
+    EXPECT_EQ(err.field, "spare_rws");
+    EXPECT_NE(err.message.find("spare_rws"), std::string::npos);
+}
+
+TEST(RequestTest, FaultKnobsParseAndValidate)
+{
+    EXPECT_TRUE(parseErrorOf("{\"dataset\":\"Cora\","
+                             "\"stuck_on_rate\":0.01,"
+                             "\"stuck_off_rate\":0.02,"
+                             "\"drift_rate\":0.001,"
+                             "\"repair\":\"spare\","
+                             "\"spare_rows\":0.1,"
+                             "\"refresh_period\":128}")
+                    .ok());
+    EXPECT_EQ(parseErrorOf("{\"stuck_on_rate\":1.0}").code,
+              "out_of_range");
+    EXPECT_EQ(parseErrorOf("{\"stuck_off_rate\":-0.1}").code,
+              "out_of_range");
+    EXPECT_EQ(parseErrorOf("{\"repair\":\"nope\"}").code,
+              "unknown_name");
+    EXPECT_EQ(parseErrorOf("{\"repair\":42}").code, "bad_type");
+    EXPECT_EQ(parseErrorOf("{\"refresh_period\":0}").code,
+              "out_of_range");
 }
 
 TEST(RequestTest, DefaultsInheritServerContext)
@@ -219,7 +268,7 @@ TEST(RequestTest, DefaultsInheritServerContext)
     json::Value body;
     ASSERT_TRUE(json::Value::parse("{\"dataset\":\"Cora\"}", &body));
     serve::Request request;
-    ASSERT_EQ(serve::parseRequest(body, defaults, &request), "");
+    ASSERT_TRUE(serve::parseRequest(body, defaults, &request).ok());
     EXPECT_EQ(request.sim.engine, sim::EngineKind::EventDriven);
     EXPECT_EQ(request.sim.seed, 99u);
     EXPECT_EQ(request.dataset, "Cora");
@@ -290,8 +339,29 @@ TEST(ServiceTest, ErrorLineForBadRequests)
         service.handleLine("{\"id\":\"r7\",\"dataset\":\"nope\"}");
     EXPECT_TRUE(lineSays(bad, "\"type\":\"error\"")) << bad;
     EXPECT_TRUE(lineSays(bad, "\"id\":\"r7\"")) << bad;
+    EXPECT_TRUE(lineSays(bad, "\"code\":\"unknown_name\"")) << bad;
     const std::string garbage = service.handleLine("not json");
+    EXPECT_TRUE(lineSays(garbage, "\"code\":\"bad_json\"")) << garbage;
     EXPECT_TRUE(lineSays(garbage, "invalid JSON")) << garbage;
+}
+
+TEST(ServiceTest, ErrorLineCarriesStructuredCodeAndField)
+{
+    serve::ServiceConfig config;
+    config.jobs = 1;
+    serve::Service service(config);
+    const std::string line = service.handleLine(
+        "{\"id\":\"r9\",\"dataset\":\"Cora\",\"bogus_knob\":1}");
+    json::Value v;
+    std::string error;
+    ASSERT_TRUE(json::Value::parse(line, &v, &error)) << error;
+    EXPECT_EQ(v.find("type")->asString(), "error");
+    EXPECT_EQ(v.find("id")->asString(), "r9");
+    EXPECT_EQ(v.find("code")->asString(), "unknown_field");
+    EXPECT_EQ(v.find("field")->asString(), "bogus_knob");
+    ASSERT_TRUE(v.find("error") != nullptr);
+    EXPECT_NE(v.find("error")->asString().find("bogus_knob"),
+              std::string::npos);
 }
 
 /** A mixed 100-request batch with heavy duplication. */
@@ -386,6 +456,45 @@ TEST(ServiceTest, BackpressureBoundsInFlightWork)
             << line;
     }
     EXPECT_EQ(service.misses(), 6u);
+}
+
+/** A fault-enabled batch: rates x repair policies, duplicated. */
+std::string
+faultBatch()
+{
+    const char *repairs[] = {"none", "spare", "ecc", "refresh"};
+    const char *rates[] = {"0.001", "0.01"};
+    std::string batch;
+    int id = 0;
+    for (int pass = 0; pass < 2; ++pass)
+        for (const char *rate : rates)
+            for (const char *repair : repairs)
+                batch += "{\"id\":\"f" + std::to_string(id++) +
+                         "\",\"dataset\":\"Cora\",\"system\":"
+                         "\"GoPIM\",\"stuck_on_rate\":" +
+                         rate + ",\"repair\":\"" + repair + "\"}\n";
+    return batch;
+}
+
+TEST(ServiceTest, FaultBatchIsBitIdenticalAcrossWorkerCounts)
+{
+    std::string outputs[2];
+    size_t jobs[] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        serve::ServiceConfig config;
+        config.jobs = jobs[i];
+        serve::Service service(config);
+        std::istringstream in(faultBatch());
+        std::ostringstream out;
+        const auto stats = service.processStream(in, out, true);
+        EXPECT_EQ(stats.errors, 0u);
+        EXPECT_EQ(service.misses(), 8u); // 2 rates x 4 repairs
+        EXPECT_EQ(service.hits(), 8u);   // second pass all cached
+        outputs[i] = out.str();
+    }
+    EXPECT_EQ(outputs[0], outputs[1]);
+    EXPECT_TRUE(lineSays(outputs[0], "\"repair_policy\":\"ecc-dup\""))
+        << outputs[0];
 }
 
 TEST(ServiceTest, EvictionsStayOutOfResponseEnvelopes)

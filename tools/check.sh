@@ -11,14 +11,21 @@ jobs=$(nproc 2>/dev/null || echo 4)
 sanitize=1
 [[ "${1:-}" == "--no-sanitize" ]] && sanitize=0
 
+# Both builds share one compiler cache when ccache is installed, so
+# the sanitizer pass stops rebuilding the world on repeat runs.
+launcher=()
+if command -v ccache >/dev/null 2>&1; then
+    launcher=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 echo "== tier-1: plain build + ctest =="
-cmake -B build -S . >/dev/null
+cmake -B build -S . "${launcher[@]}" >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 if [[ "$sanitize" == 1 ]]; then
     echo "== tier-2: ASan+UBSan build + ctest =="
-    cmake -B build-asan -S . \
+    cmake -B build-asan -S . "${launcher[@]}" \
         -DGOPIM_SANITIZE="address;undefined" >/dev/null
     cmake --build build-asan -j "$jobs"
     ctest --test-dir build-asan --output-on-failure -j "$jobs"

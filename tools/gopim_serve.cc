@@ -176,6 +176,7 @@ main(int argc, char **argv)
         static_cast<size_t>(flags.getInt("cache-capacity"));
     config.maxQueue = static_cast<size_t>(flags.getInt("max-queue"));
     config.defaults.sim = defaultCtx;
+    config.defaults.fault = core::faultConfigFromFlags(flags);
     config.defaults.microBatch = 64;
     config.defaults.epochs = 1;
 

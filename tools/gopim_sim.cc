@@ -109,8 +109,11 @@ main(int argc, char **argv)
         return 0;
 
     const sim::SimContext ctx = core::simContextFromFlags(flags);
+    const fault::FaultConfig faultCfg =
+        core::faultConfigFromFlags(flags);
     core::ComparisonHarness harness(
         reram::AcceleratorConfig::paperDefault(), ctx);
+    harness.setFaultConfig(faultCfg);
 
     if (flags.getBool("grid")) {
         const int rc = runGridMode(
@@ -139,6 +142,7 @@ main(int argc, char **argv)
     auto system = core::makeSystem(
         core::systemFromName(flags.getString("system")));
     system.sim = ctx;
+    system.fault = faultCfg;
     if (flags.getDouble("theta") > 0.0) {
         system.policy.selectiveUpdate = true;
         system.policy.theta = flags.getDouble("theta");
