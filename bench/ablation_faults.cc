@@ -96,6 +96,9 @@ main(int argc, char **argv)
     // Timing side: both systems under each fault environment; the
     // speedup normalizes GoPIM against Serial at the *same* device
     // health so it isolates the scheduler, not the fault rate.
+    // One context for the whole sweep so every cell records into the
+    // same metrics registry (when --metrics-out is set).
+    const sim::SimContext ctx = core::simContextFromFlags(flags);
     json::Value jsonRows = json::Value::array();
     Table table("fault-rate x repair ablation (" +
                     workload.dataset.name + ")",
@@ -105,8 +108,7 @@ main(int argc, char **argv)
     for (double rate : rates) {
         for (fault::RepairKind repair : repairs) {
             core::ComparisonHarness harness(
-                reram::AcceleratorConfig::paperDefault(),
-                core::simContextFromFlags(flags));
+                reram::AcceleratorConfig::paperDefault(), ctx);
             harness.setFaultConfig(faultConfigFor(rate, repair));
 
             std::vector<core::RunResult> runs;
@@ -170,5 +172,6 @@ main(int argc, char **argv)
         out << doc.dumpIndented() << '\n';
         inform("wrote fault ablation grid to ", path);
     }
+    core::writeMetricsIfRequested(flags, ctx);
     return 0;
 }

@@ -32,9 +32,9 @@ main(int argc, char **argv)
     if (!flags.parse(argc, argv))
         return 0;
 
+    const sim::SimContext ctx = core::simContextFromFlags(flags);
     core::ComparisonHarness harness(
-        reram::AcceleratorConfig::paperDefault(),
-        core::simContextFromFlags(flags));
+        reram::AcceleratorConfig::paperDefault(), ctx);
     const auto systems = core::figure13Systems();
     std::vector<std::string> datasetNames;
     for (const auto &spec : graph::DatasetCatalog::figure13Set())
@@ -43,6 +43,7 @@ main(int argc, char **argv)
     const auto rows = harness.runGrid(systems, datasetNames,
                                       core::jobsFromFlags(flags));
     core::writeGridJsonIfRequested(flags, rows);
+    core::writeMetricsIfRequested(flags, ctx);
 
     harness
         .speedupTable(

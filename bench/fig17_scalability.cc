@@ -28,9 +28,9 @@ main(int argc, char **argv)
     if (!flags.parse(argc, argv))
         return 0;
 
+    const sim::SimContext ctx = core::simContextFromFlags(flags);
     core::ComparisonHarness harness(
-        reram::AcceleratorConfig::paperDefault(),
-        core::simContextFromFlags(flags));
+        reram::AcceleratorConfig::paperDefault(), ctx);
 
     // Every run also lands in the machine-readable --json-out grid.
     std::vector<core::ComparisonRow> jsonRows;
@@ -118,5 +118,6 @@ main(int argc, char **argv)
                      "graphs but persists everywhere.\n";
     }
     core::writeGridJsonIfRequested(flags, jsonRows);
+    core::writeMetricsIfRequested(flags, ctx);
     return 0;
 }

@@ -35,10 +35,18 @@ ThreadPool::resolveJobs(size_t jobs)
 void
 ThreadPool::enqueue(std::function<void()> job)
 {
+    size_t depth;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(std::move(job));
+        depth = queue_.size();
     }
+    tasksSubmitted_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t seen = maxQueueDepth_.load(std::memory_order_relaxed);
+    while (seen < depth &&
+           !maxQueueDepth_.compare_exchange_weak(
+               seen, depth, std::memory_order_relaxed))
+        ;
     cv_.notify_one();
 }
 
@@ -57,29 +65,77 @@ ThreadPool::workerLoop()
             queue_.pop_front();
         }
         job(); // packaged_task captures exceptions in the future
+        tasksCompleted_.fetch_add(1, std::memory_order_relaxed);
     }
 }
+
+ThreadPool &
+processPool()
+{
+    static ThreadPool pool(ThreadPool::resolveJobs(0));
+    return pool;
+}
+
+namespace {
+
+/** Set while executing a parallelFor chunk on a pool worker. */
+thread_local bool inParallelForWorker = false;
+
+} // namespace
 
 void
 parallelFor(size_t count, size_t jobs,
             const std::function<void(size_t)> &fn)
 {
     jobs = std::min(ThreadPool::resolveJobs(jobs), count);
-    if (jobs <= 1) {
+    // Inline fallbacks: trivial parallelism, or a nested call from
+    // inside a chunk (waiting on the shared pool from one of its own
+    // workers would deadlock once all workers did it).
+    if (jobs <= 1 || inParallelForWorker) {
         for (size_t i = 0; i < count; ++i)
             fn(i);
         return;
     }
 
-    ThreadPool pool(jobs);
+    // `jobs` contiguous chunks on the shared pool: the caller's
+    // concurrency bound survives even though the pool may be larger.
+    // Each chunk attempts every index and keeps its first exception;
+    // rethrowing from the lowest-indexed failing chunk preserves the
+    // "first failing index wins" contract of the per-task version.
+    struct Chunk
+    {
+        std::exception_ptr error;
+    };
+    std::vector<Chunk> chunks(jobs);
     std::vector<std::future<void>> futures;
-    futures.reserve(count);
-    for (size_t i = 0; i < count; ++i)
-        futures.push_back(pool.submit([&fn, i] { fn(i); }));
-    // Collect in index order so the first failing index's exception
-    // is the one rethrown, deterministically.
+    futures.reserve(jobs);
+    const size_t base = count / jobs;
+    const size_t extra = count % jobs;
+    size_t begin = 0;
+    for (size_t c = 0; c < jobs; ++c) {
+        const size_t size = base + (c < extra ? 1 : 0);
+        const size_t end = begin + size;
+        futures.push_back(processPool().submit(
+            [&fn, &chunk = chunks[c], begin, end] {
+                inParallelForWorker = true;
+                for (size_t i = begin; i < end; ++i) {
+                    try {
+                        fn(i);
+                    } catch (...) {
+                        if (!chunk.error)
+                            chunk.error = std::current_exception();
+                    }
+                }
+                inParallelForWorker = false;
+            }));
+        begin = end;
+    }
     for (auto &future : futures)
         future.get();
+    for (const Chunk &chunk : chunks) {
+        if (chunk.error)
+            std::rethrow_exception(chunk.error);
+    }
 }
 
 } // namespace gopim

@@ -12,8 +12,10 @@
 #ifndef GOPIM_COMMON_THREAD_POOL_HH
 #define GOPIM_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -55,6 +57,22 @@ class ThreadPool
 
     size_t threadCount() const { return workers_.size(); }
 
+    /** Tasks enqueued over the pool's lifetime. */
+    uint64_t tasksSubmitted() const
+    {
+        return tasksSubmitted_.load(std::memory_order_relaxed);
+    }
+    /** Tasks finished (including ones that threw). */
+    uint64_t tasksCompleted() const
+    {
+        return tasksCompleted_.load(std::memory_order_relaxed);
+    }
+    /** High-water mark of tasks waiting in the queue. */
+    uint64_t maxQueueDepth() const
+    {
+        return maxQueueDepth_.load(std::memory_order_relaxed);
+    }
+
     /**
      * Sensible worker count for `jobs`: 0 means "all hardware
      * threads", otherwise `jobs` itself.
@@ -70,12 +88,29 @@ class ThreadPool
     std::deque<std::function<void()>> queue_;
     bool stopping_ = false;
     std::vector<std::thread> workers_;
+    std::atomic<uint64_t> tasksSubmitted_{0};
+    std::atomic<uint64_t> tasksCompleted_{0};
+    std::atomic<uint64_t> maxQueueDepth_{0};
 };
 
 /**
- * Run fn(i) for i in [0, count) on `jobs` workers and block until
- * all complete; exceptions are rethrown (the first, by index). With
- * jobs <= 1 the loop runs inline on the caller's thread.
+ * Process-wide shared pool sized to the hardware thread count.
+ * Created on first use, lives for the process. parallelFor() runs on
+ * it instead of constructing a fresh pool per call, so repeated
+ * grid sweeps pay thread spawn/join cost once.
+ */
+ThreadPool &processPool();
+
+/**
+ * Run fn(i) for i in [0, count) with `jobs`-way parallelism and
+ * block until all complete; exceptions are rethrown (the first, by
+ * index; every index is still attempted). With jobs <= 1 the loop
+ * runs inline on the caller's thread.
+ *
+ * Work executes on the shared processPool() as `jobs` contiguous
+ * index chunks, so the effective concurrency is
+ * min(jobs, hardware threads). Nested parallelFor calls from inside
+ * a chunk run inline — the pool never deadlocks waiting on itself.
  */
 void parallelFor(size_t count, size_t jobs,
                  const std::function<void(size_t)> &fn);

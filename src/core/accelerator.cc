@@ -7,6 +7,7 @@
 #include "fault/repair.hh"
 #include "fault/wear.hh"
 #include "mapping/vertex_map.hh"
+#include "obs/metrics.hh"
 #include "sim/engine.hh"
 #include "sim/trace.hh"
 
@@ -225,6 +226,31 @@ Accelerator::runWithEstimates(
         ctx.traceSink->record(
             {system_.name, workload.dataset.name, engine.name()},
             stages, schedule);
+
+    // Allocation/fault observability. Everything recorded derives
+    // from the (deterministic) run inputs, so exported counters are
+    // identical for any harness worker count.
+    if (ctx.metrics) {
+        obs::MetricsRegistry &m = *ctx.metrics;
+        m.counter("core.run.count").add();
+        m.counter("alloc.crossbars_allocated")
+            .add(allocation.totalCrossbars);
+        auto &replicasHist = m.histogram(
+            "alloc.replicas_per_stage",
+            obs::Histogram::exponentialBounds(1.0, 2.0, 12));
+        for (uint32_t r : allocation.replicas)
+            replicasHist.observe(static_cast<double>(r));
+        if (faultOn) {
+            m.counter("fault.run.count").add();
+            m.histogram("fault.write_amplification",
+                        obs::Histogram::linearBounds(1.0, 0.25, 13))
+                .observe(plan.writeAmplification);
+            if (plan.refreshEveryMicroBatches > 0)
+                m.counter("fault.refreshes")
+                    .add(totalMicroBatches /
+                         plan.refreshEveryMicroBatches);
+        }
+    }
 
     // Accumulate energy events over all micro-batches.
     uint64_t activations = 0;

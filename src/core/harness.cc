@@ -2,6 +2,8 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/profile.hh"
 
 namespace gopim::core {
 
@@ -80,12 +82,27 @@ ComparisonHarness::runGrid(
         rows[d].datasetName = datasetNames[d];
         rows[d].results.resize(numSystems);
     }
-    parallelFor(numDatasets * numSystems, jobs, [&](size_t cell) {
-        const size_t d = cell / numSystems;
-        const size_t s = cell % numSystems;
-        Accelerator accel(hw_, configureSystem(systems[s]));
-        rows[d].results[s] = accel.run(workloads[d], profiles[d]);
-    });
+    {
+        obs::ProfileSpan span(sim_.metrics.get(), "harness.grid");
+        parallelFor(numDatasets * numSystems, jobs, [&](size_t cell) {
+            const size_t d = cell / numSystems;
+            const size_t s = cell % numSystems;
+            Accelerator accel(hw_, configureSystem(systems[s]));
+            rows[d].results[s] = accel.run(workloads[d], profiles[d]);
+        });
+    }
+    if (sim_.metrics) {
+        obs::MetricsRegistry &m = *sim_.metrics;
+        m.counter("harness.grid.count").add();
+        m.counter("harness.grid.cells")
+            .add(static_cast<uint64_t>(numDatasets) * numSystems);
+        const ThreadPool &pool = processPool();
+        obs::recordPoolUtilization(m, "harness.pool",
+                                   pool.threadCount(),
+                                   pool.tasksSubmitted(),
+                                   pool.tasksCompleted(),
+                                   pool.maxQueueDepth());
+    }
     return rows;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "core/report.hh"
+#include "obs/metrics.hh"
 #include "sim/trace.hh"
 
 namespace gopim::core {
@@ -22,6 +23,8 @@ addSimFlags(Flags &flags)
     flags.setIntRange("jobs", 0, std::numeric_limits<int64_t>::max());
     flags.addString("trace-out", "",
                     "write a Chrome trace_event JSON timeline here");
+    flags.addString("metrics-out", "",
+                    "write collected metrics as JSON here");
     flags.addInt("buffer-slots", -1,
                  "event engine: inter-stage input-buffer slots "
                  "(-1 = unbounded)");
@@ -96,6 +99,8 @@ simContextFromFlags(const Flags &flags)
 
     if (!flags.getString("trace-out").empty())
         ctx.traceSink = std::make_shared<sim::ChromeTraceSink>();
+    if (!flags.getString("metrics-out").empty())
+        ctx.metrics = std::make_shared<obs::MetricsRegistry>();
     return ctx;
 }
 
@@ -132,6 +137,19 @@ writeTraceIfRequested(const Flags &flags, const sim::SimContext &ctx)
     sink->writeFile(path);
     inform("wrote ", sink->runCount(), "-run Chrome trace to ", path,
            " (open in chrome://tracing or ui.perfetto.dev)");
+}
+
+void
+writeMetricsIfRequested(const Flags &flags,
+                        const sim::SimContext &ctx)
+{
+    const std::string path = flags.getString("metrics-out");
+    if (path.empty())
+        return;
+    GOPIM_ASSERT(ctx.metrics,
+                 "metrics-out set but no registry attached");
+    ctx.metrics->writeFile(path);
+    inform("wrote metrics to ", path);
 }
 
 void

@@ -31,6 +31,7 @@ namespace gopim::core {
  *   --seed=N                simulation + profile seed
  *   --jobs=N                grid worker threads (0 = all cores)
  *   --trace-out=FILE        Chrome trace_event JSON output
+ *   --metrics-out=FILE      metrics registry JSON export
  *   --buffer-slots=N        event engine: inter-stage buffer slots
  *   --retry-prob=P          event engine: write-verify retry prob
  *   --write-fraction=F      event engine: write share of stage time
@@ -58,7 +59,9 @@ std::string eventKnobRangeError(double retryProb, double writeFraction);
 /**
  * Build the SimContext the parsed flags describe. When --trace-out
  * is set, a ChromeTraceSink is attached; call writeTraceIfRequested
- * after the runs to serialize it.
+ * after the runs to serialize it. When --metrics-out is set, a
+ * MetricsRegistry is attached; call writeMetricsIfRequested after
+ * the runs to export it.
  */
 sim::SimContext simContextFromFlags(const Flags &flags);
 
@@ -78,6 +81,13 @@ size_t jobsFromFlags(const Flags &flags);
  */
 void writeTraceIfRequested(const Flags &flags,
                            const sim::SimContext &ctx);
+
+/**
+ * Write the context's metrics registry ("gopim.metrics.v1" JSON) to
+ * the --metrics-out path. No-op when --metrics-out was not given.
+ */
+void writeMetricsIfRequested(const Flags &flags,
+                             const sim::SimContext &ctx);
 
 /**
  * Declare --json-out on a harness-driven bench: when non-empty, the

@@ -1,0 +1,239 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace gopim::obs {
+
+namespace {
+
+/** Relaxed atomic double accumulation (CAS loop; C++20-portable). */
+void
+addDouble(std::atomic<double> &target, double delta)
+{
+    double current = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed))
+        ;
+}
+
+} // namespace
+
+void
+Gauge::recordMax(int64_t v)
+{
+    int64_t current = value_.load(std::memory_order_relaxed);
+    while (current < v &&
+           !value_.compare_exchange_weak(current, v,
+                                         std::memory_order_relaxed))
+        ;
+}
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds))
+{
+    GOPIM_ASSERT(!bounds_.empty(), "histogram needs >= 1 bound");
+    GOPIM_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                     std::adjacent_find(bounds_.begin(),
+                                        bounds_.end()) == bounds_.end(),
+                 "histogram bounds must be strictly increasing");
+    counts_ = std::make_unique<std::atomic<uint64_t>[]>(
+        bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double value)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const size_t bucket =
+        static_cast<size_t>(it - bounds_.begin()); // == size: overflow
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    addDouble(sum_, value);
+}
+
+uint64_t
+Histogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+std::vector<uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<uint64_t> out(bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        out[i] = counts_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    GOPIM_ASSERT(bounds_ == other.bounds_,
+                 "merging histograms with different bounds");
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        counts_[i].fetch_add(
+            other.counts_[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    addDouble(sum_, other.sum());
+}
+
+json::Value
+Histogram::toJson() const
+{
+    json::Value v = json::Value::object();
+    json::Value bounds = json::Value::array();
+    for (double b : bounds_)
+        bounds.push(b);
+    json::Value counts = json::Value::array();
+    for (uint64_t c : bucketCounts())
+        counts.push(c);
+    v.set("bounds", std::move(bounds));
+    v.set("counts", std::move(counts));
+    v.set("count", count());
+    v.set("sum", sum());
+    return v;
+}
+
+std::vector<double>
+Histogram::exponentialBounds(double start, double factor, size_t count)
+{
+    GOPIM_ASSERT(start > 0.0 && factor > 1.0 && count >= 1,
+                 "bad exponential bucket spec");
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    double bound = start;
+    for (size_t i = 0; i < count; ++i) {
+        bounds.push_back(bound);
+        bound *= factor;
+    }
+    return bounds;
+}
+
+std::vector<double>
+Histogram::linearBounds(double start, double width, size_t count)
+{
+    GOPIM_ASSERT(width > 0.0 && count >= 1, "bad linear bucket spec");
+    std::vector<double> bounds;
+    bounds.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        bounds.push_back(start + width * static_cast<double>(i));
+    return bounds;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> upperBounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(upperBounds));
+    return *slot;
+}
+
+const Counter *
+MetricsRegistry::findCounter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge *
+MetricsRegistry::findGauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+json::Value
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Value counters = json::Value::object();
+    for (const auto &[name, counter] : counters_)
+        counters.set(name, counter->value());
+    json::Value gauges = json::Value::object();
+    for (const auto &[name, gauge] : gauges_)
+        gauges.set(name, gauge->value());
+    json::Value histograms = json::Value::object();
+    for (const auto &[name, histogram] : histograms_)
+        histograms.set(name, histogram->toJson());
+
+    json::Value v = json::Value::object();
+    v.set("schema", "gopim.metrics.v1");
+    v.set("counters", std::move(counters));
+    v.set("gauges", std::move(gauges));
+    v.set("histograms", std::move(histograms));
+    return v;
+}
+
+void
+MetricsRegistry::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open metrics output file '", path, "'");
+    out << toJson().dumpIndented() << '\n';
+}
+
+void
+recordPoolUtilization(MetricsRegistry &registry,
+                      const std::string &prefix, uint64_t threads,
+                      uint64_t tasksSubmitted, uint64_t tasksCompleted,
+                      uint64_t maxQueueDepth)
+{
+    registry.gauge(prefix + ".threads")
+        .set(static_cast<int64_t>(threads));
+    registry.gauge(prefix + ".tasks_submitted")
+        .set(static_cast<int64_t>(tasksSubmitted));
+    registry.gauge(prefix + ".tasks_completed")
+        .set(static_cast<int64_t>(tasksCompleted));
+    registry.gauge(prefix + ".queue_max_depth")
+        .recordMax(static_cast<int64_t>(maxQueueDepth));
+}
+
+} // namespace gopim::obs

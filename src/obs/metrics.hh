@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Deterministic metrics subsystem: a MetricsRegistry of named
+ * counters, gauges, and fixed-bucket histograms.
+ *
+ * Design constraints (the observability contract):
+ *  - Metrics observe; they never perturb. Nothing in this file reads
+ *    a clock or touches simulation state, so a run with a registry
+ *    attached is bit-identical to one without (pinned by
+ *    tests/test_obs.cc).
+ *  - The hot path is sharded-atomic: every instrument is a bag of
+ *    std::atomic cells updated with relaxed fetch-adds, so worker
+ *    threads never contend on a lock while recording. The registry's
+ *    name->instrument map takes a mutex only on first lookup; callers
+ *    on hot paths hold the returned reference (stable for the
+ *    registry's lifetime) instead of re-resolving the name.
+ *  - Counter and histogram updates are commutative sums, so their
+ *    exported values are identical for any worker count or
+ *    interleaving — the property that lets --metrics-out JSON be
+ *    compared across --jobs values.
+ *
+ * Metric naming scheme: dot-separated lowercase path,
+ * `<subsystem>.<object>.<quantity>[_<unit>]`, e.g.
+ * `sim.schedule.count`, `serve.request.latency_us`,
+ * `alloc.replicas_per_stage`. Units are spelled in the trailing
+ * segment (`_ns`, `_us`, `_bytes`); unitless counts end in `.count`
+ * or a plural noun.
+ */
+
+#ifndef GOPIM_OBS_METRICS_HH
+#define GOPIM_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace gopim::obs {
+
+/** Monotonic sum; relaxed atomic adds, order-independent total. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/**
+ * Point-in-time value. `set` is last-write-wins (use for
+ * configuration-like values recorded once); `recordMax` keeps the
+ * high-water mark (order-independent, safe under concurrency).
+ */
+class Gauge
+{
+  public:
+    void
+    set(int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    /** Raise the gauge to `v` if above the current value. */
+    void recordMax(int64_t v);
+
+    int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/**
+ * Fixed-bucket histogram: bucket i counts samples with
+ * value <= bounds[i] (first matching bucket); one implicit overflow
+ * bucket catches everything above the last bound. Bucket counts,
+ * total count, and sum are all atomic relaxed adds.
+ */
+class Histogram
+{
+  public:
+    /** `upperBounds` must be non-empty and strictly increasing. */
+    explicit Histogram(std::vector<double> upperBounds);
+
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    void observe(double value);
+
+    uint64_t count() const;
+    double sum() const;
+    /** Per-bucket counts; size() == bounds().size() + 1 (overflow). */
+    std::vector<uint64_t> bucketCounts() const;
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** Add another histogram's contents; bounds must match exactly. */
+    void merge(const Histogram &other);
+
+    /** {"bounds":[...],"counts":[...],"count":N,"sum":S} */
+    json::Value toJson() const;
+
+    /** bounds = start, start*factor, ... (count values, factor > 1). */
+    static std::vector<double> exponentialBounds(double start,
+                                                 double factor,
+                                                 size_t count);
+    /** bounds = start, start+width, ... (count values, width > 0). */
+    static std::vector<double> linearBounds(double start, double width,
+                                            size_t count);
+
+  private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/**
+ * Named instrument registry. Thread-safe; instruments are created on
+ * first use and live as long as the registry, so references returned
+ * by counter()/gauge()/histogram() may be cached by hot paths.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /**
+     * `upperBounds` is consumed on first creation; later calls with
+     * the same name return the existing histogram regardless of
+     * bounds.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> upperBounds);
+
+    /** Lookup without creating; nullptr when absent. */
+    const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
+    const Histogram *findHistogram(const std::string &name) const;
+
+    /**
+     * Schema-stable export: {"schema":"gopim.metrics.v1",
+     * "counters":{...},"gauges":{...},"histograms":{...}} with names
+     * sorted within each section.
+     */
+    json::Value toJson() const;
+
+    /** Write toJson() (indented) to `path`; fatal() if unwritable. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/**
+ * Record a worker-pool utilization snapshot under `<prefix>.*`
+ * gauges (threads, tasks_submitted, tasks_completed) plus a
+ * `<prefix>.queue_max_depth` high-water mark. Gauges, not counters:
+ * snapshots are absolute and may be re-recorded idempotently.
+ */
+void recordPoolUtilization(MetricsRegistry &registry,
+                           const std::string &prefix, uint64_t threads,
+                           uint64_t tasksSubmitted,
+                           uint64_t tasksCompleted,
+                           uint64_t maxQueueDepth);
+
+} // namespace gopim::obs
+
+#endif // GOPIM_OBS_METRICS_HH

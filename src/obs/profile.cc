@@ -1,0 +1,63 @@
+#include "obs/profile.hh"
+
+namespace gopim::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point
+profileEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+} // namespace
+
+double
+profileNowUs()
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(now -
+                                                     profileEpoch())
+        .count();
+}
+
+ProfileSpan::ProfileSpan(MetricsRegistry *registry, std::string name,
+                         SpanSink *sink)
+    : registry_(registry), sink_(sink), name_(std::move(name))
+{
+    if (registry_ || sink_)
+        startUs_ = profileNowUs();
+}
+
+ProfileSpan::~ProfileSpan()
+{
+    if (!registry_ && !sink_)
+        return;
+    const double durationUs = profileNowUs() - startUs_;
+    if (registry_) {
+        registry_->counter("profile." + name_ + ".count").add();
+        registry_
+            ->histogram("profile." + name_ + ".us", latencyBoundsUs())
+            .observe(durationUs);
+    }
+    if (sink_)
+        sink_->profileSpan(name_, startUs_, durationUs);
+}
+
+double
+ProfileSpan::elapsedUs() const
+{
+    if (!registry_ && !sink_)
+        return 0.0;
+    return profileNowUs() - startUs_;
+}
+
+std::vector<double>
+ProfileSpan::latencyBoundsUs()
+{
+    // 1, 4, 16, ... 4^11 us (~16.8 s); 12 buckets + overflow.
+    return Histogram::exponentialBounds(1.0, 4.0, 12);
+}
+
+} // namespace gopim::obs

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Scoped wall-clock profiling spans. A ProfileSpan measures the host
+ * time between construction and destruction and feeds two consumers:
+ *
+ *  - a MetricsRegistry, as `profile.<name>.us` (latency histogram)
+ *    and `profile.<name>.count`;
+ *  - an optional SpanSink — sim::ChromeTraceSink implements it, so
+ *    spans land in the same Chrome trace as the simulated pipeline
+ *    windows (under a dedicated "host profiling" track).
+ *
+ * Spans measure the *simulator process* (how long a simulation, a
+ * grid cell, or a request took on the host), never the simulated
+ * clock: simulated timing comes exclusively from the engines and is
+ * unaffected by whether spans exist. With both consumers null a span
+ * is inert and never reads the clock.
+ */
+
+#ifndef GOPIM_OBS_PROFILE_HH
+#define GOPIM_OBS_PROFILE_HH
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.hh"
+
+namespace gopim::obs {
+
+/** Consumer of completed spans (Chrome trace sink implements this). */
+class SpanSink
+{
+  public:
+    virtual ~SpanSink() = default;
+
+    /**
+     * One completed span. `startUs` is microseconds since an
+     * arbitrary process-wide epoch; must be thread-safe.
+     */
+    virtual void profileSpan(const std::string &name, double startUs,
+                             double durationUs) = 0;
+};
+
+/** Microseconds since the process-wide profiling epoch. */
+double profileNowUs();
+
+/** RAII span: records on destruction. */
+class ProfileSpan
+{
+  public:
+    /** Either consumer may be null; with both null the span is free. */
+    ProfileSpan(MetricsRegistry *registry, std::string name,
+                SpanSink *sink = nullptr);
+    ~ProfileSpan();
+
+    ProfileSpan(const ProfileSpan &) = delete;
+    ProfileSpan &operator=(const ProfileSpan &) = delete;
+
+    /** Microseconds elapsed so far (0 when inert). */
+    double elapsedUs() const;
+
+    /** Default latency buckets: 1 us .. ~16 s, powers of 4. */
+    static std::vector<double> latencyBoundsUs();
+
+  private:
+    MetricsRegistry *registry_;
+    SpanSink *sink_;
+    std::string name_;
+    double startUs_ = 0.0;
+};
+
+} // namespace gopim::obs
+
+#endif // GOPIM_OBS_PROFILE_HH

@@ -5,9 +5,12 @@
 #include <ostream>
 #include <utility>
 
+#include <deque>
+
 #include "common/logging.hh"
 #include "core/accelerator.hh"
 #include "core/report.hh"
+#include "obs/profile.hh"
 #include "sim/trace.hh"
 
 namespace gopim::serve {
@@ -88,6 +91,13 @@ Service::misses() const
     return misses_;
 }
 
+size_t
+Service::inflightSize() const
+{
+    std::lock_guard<std::mutex> lock(dispatchMutex_);
+    return inflight_.size();
+}
+
 std::string
 Service::simulate(const ResolvedRequest &resolved) const
 {
@@ -130,11 +140,18 @@ Service::Output
 Service::dispatch(const std::string &line)
 {
     Output output;
+    const bool metricsOn = config_.metrics != nullptr;
+    if (metricsOn) {
+        output.dispatchedUs = obs::profileNowUs();
+        config_.metrics->counter("serve.request.count").add();
+    }
 
     json::Value body;
     std::string parseError;
     if (!json::Value::parse(line, &body, &parseError)) {
         output.error = {"bad_json", "", "invalid JSON: " + parseError};
+        std::lock_guard<std::mutex> lock(dispatchMutex_);
+        ++stream_.requests;
         return output;
     }
     if (body.isObject()) {
@@ -142,6 +159,22 @@ Service::dispatch(const std::string &line)
         if (const json::Value *id = body.find("id");
             id && id->isString())
             output.id = id->asString();
+        // {"type":"stats"} extension: a live stats snapshot, emitted
+        // in order like any response. Handled before parseRequest —
+        // it is a query, not a simulation request.
+        if (const json::Value *type = body.find("type");
+            type && type->isString() && type->asString() == "stats") {
+            StreamStats current;
+            {
+                std::lock_guard<std::mutex> lock(dispatchMutex_);
+                ++stream_.requests;
+                current = stream_;
+            }
+            output.immediate = true;
+            output.raw = true;
+            output.value = statsJson(current).dump();
+            return output;
+        }
     }
 
     Request request;
@@ -149,6 +182,8 @@ Service::dispatch(const std::string &line)
             parseRequest(body, config_.defaults, &request);
         !err.ok()) {
         output.error = std::move(err);
+        std::lock_guard<std::mutex> lock(dispatchMutex_);
+        ++stream_.requests;
         return output;
     }
     output.id = request.id;
@@ -157,18 +192,26 @@ Service::dispatch(const std::string &line)
     if (RequestError err = resolveRequest(request, &resolved);
         !err.ok()) {
         output.error = std::move(err);
+        std::lock_guard<std::mutex> lock(dispatchMutex_);
+        ++stream_.requests;
         return output;
     }
     const std::string key = cacheKey(resolved, config_.hw);
+    output.key = key;
 
     // The hit/miss decision is serial in input order: repeats of an
     // in-flight request coalesce onto its future, so the decision —
     // and therefore the response bytes — never depend on worker
-    // timing.
+    // timing. Only the decision happens under dispatchMutex_; the
+    // (potentially long) backpressure wait below does not, so
+    // hits()/misses()/statsJson() stay responsive while the
+    // dispatcher is blocked on a full queue.
     bool cached = false;
     uint64_t hitsNow = 0, missesNow = 0;
+    std::shared_ptr<std::promise<std::string>> promise;
     {
         std::lock_guard<std::mutex> lock(dispatchMutex_);
+        ++stream_.requests;
         if (auto value = cache_.get(key)) {
             cached = true;
             output.immediate = true;
@@ -187,24 +230,69 @@ Service::dispatch(const std::string &line)
         } else {
             if (it != inflight_.end())
                 inflight_.erase(it);
+            // Sweep completed futures: their results live in the
+            // cache, so the coalescing map only needs genuinely
+            // in-flight entries and stays bounded by the window even
+            // when responses are never re-looked-up.
+            for (auto sweep = inflight_.begin();
+                 sweep != inflight_.end();) {
+                if (sweep->second.wait_for(std::chrono::seconds(0)) ==
+                    std::future_status::ready)
+                    sweep = inflight_.erase(sweep);
+                else
+                    ++sweep;
+            }
             ++misses_;
-            acquireQueueSlot();
-            auto future = pool_.submit(
-                [this, resolved = std::move(resolved), key] {
-                    struct SlotGuard
-                    {
-                        Service *service;
-                        ~SlotGuard() { service->releaseQueueSlot(); }
-                    } guard{this};
-                    std::string result = simulate(resolved);
-                    cache_.put(key, result);
-                    return result;
-                });
-            output.pending = future.share();
+            // The simulation completes through this promise, not the
+            // pool task's own future, so the task can be submitted
+            // after the lock is released while coalescers already
+            // hold the shared future.
+            promise = std::make_shared<std::promise<std::string>>();
+            output.pending = promise->get_future().share();
             inflight_[key] = output.pending;
         }
         hitsNow = hits_;
         missesNow = misses_;
+        if (metricsOn) {
+            config_.metrics
+                ->counter(cached ? "serve.cache.hit.count"
+                                 : "serve.cache.miss.count")
+                .add();
+            config_.metrics->gauge("serve.inflight.max")
+                .recordMax(static_cast<int64_t>(inflight_.size()));
+        }
+    }
+
+    if (promise) {
+        // Backpressure wait happens outside dispatchMutex_.
+        if (metricsOn) {
+            const double waitStartUs = obs::profileNowUs();
+            acquireQueueSlot();
+            config_.metrics
+                ->histogram("serve.queue.wait_us",
+                            obs::ProfileSpan::latencyBoundsUs())
+                .observe(obs::profileNowUs() - waitStartUs);
+        } else {
+            acquireQueueSlot();
+        }
+        pool_.submit([this, resolved = std::move(resolved), key,
+                      promise] {
+            struct SlotGuard
+            {
+                Service *service;
+                ~SlotGuard() { service->releaseQueueSlot(); }
+            } guard{this};
+            try {
+                std::string result = simulate(resolved);
+                // Put before set_value: a ready future always means
+                // the result reached the cache (the coalescing logic
+                // above depends on this ordering).
+                cache_.put(key, result);
+                promise->set_value(std::move(result));
+            } catch (...) {
+                promise->set_exception(std::current_exception());
+            }
+        });
     }
 
     output.prefix = "{\"type\":\"result\"";
@@ -226,6 +314,8 @@ Service::render(Output &output)
 {
     if (!output.error.ok())
         return errorLine(output.id, output.error);
+    if (output.raw)
+        return output.value;
     std::string value;
     if (output.immediate) {
         value = std::move(output.value);
@@ -242,11 +332,47 @@ Service::render(Output &output)
     return output.prefix + value + "}";
 }
 
+void
+Service::retireInflight(const std::string &key)
+{
+    if (key.empty())
+        return;
+    std::lock_guard<std::mutex> lock(dispatchMutex_);
+    const auto it = inflight_.find(key);
+    // Only drop ready entries: a later miss on the same key may have
+    // replaced this output's future with a live one that in-flight
+    // repeats still need to find.
+    if (it != inflight_.end() &&
+        it->second.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready)
+        inflight_.erase(it);
+}
+
+void
+Service::observeEmitted(const Output &output)
+{
+    if (!config_.metrics || output.raw)
+        return;
+    if (!output.error.ok())
+        config_.metrics->counter("serve.request.error.count").add();
+    config_.metrics
+        ->histogram("serve.request.latency_us",
+                    obs::ProfileSpan::latencyBoundsUs())
+        .observe(obs::profileNowUs() - output.dispatchedUs);
+}
+
 std::string
 Service::handleLine(const std::string &line)
 {
     Output output = dispatch(line);
-    return render(output);
+    std::string response = render(output);
+    retireInflight(output.key);
+    observeEmitted(output);
+    if (!output.error.ok()) {
+        std::lock_guard<std::mutex> lock(dispatchMutex_);
+        ++stream_.errors;
+    }
+    return response;
 }
 
 Service::StreamStats
@@ -258,11 +384,13 @@ Service::processStream(std::istream &in, std::ostream &out,
         // an earlier stream are already represented in the cache.
         std::lock_guard<std::mutex> lock(dispatchMutex_);
         inflight_.clear();
+        stream_ = {};
     }
 
-    StreamStats stats;
-    std::vector<Output> outputs;
-    size_t next = 0;
+    // Responses wait in a deque window: entries are released as they
+    // are emitted, so memory tracks the in-flight window instead of
+    // the whole stream.
+    std::deque<Output> outputs;
 
     const auto ready = [](const Output &o) {
         if (!o.error.ok() || o.immediate)
@@ -273,25 +401,43 @@ Service::processStream(std::istream &in, std::ostream &out,
     const auto emit = [&](Output &o) {
         const std::string line = render(o);
         out << line << '\n';
-        if (!o.error.ok())
-            ++stats.errors;
+        retireInflight(o.key);
+        observeEmitted(o);
+        if (!o.error.ok()) {
+            std::lock_guard<std::mutex> lock(dispatchMutex_);
+            ++stream_.errors;
+        }
     };
 
     std::string line;
     while (std::getline(in, line)) {
         if (line.find_first_not_of(" \t\r") == std::string::npos)
             continue;
-        ++stats.requests;
         outputs.push_back(dispatch(line));
         // Flush every response whose turn has come and whose result
         // is ready, so output streams while the pool keeps working.
-        while (next < outputs.size() && ready(outputs[next]))
-            emit(outputs[next++]);
+        while (!outputs.empty() && ready(outputs.front())) {
+            emit(outputs.front());
+            outputs.pop_front();
+        }
     }
     // Drain: emit the rest in order, blocking as needed.
-    while (next < outputs.size())
-        emit(outputs[next++]);
+    while (!outputs.empty()) {
+        emit(outputs.front());
+        outputs.pop_front();
+    }
 
+    StreamStats stats;
+    {
+        std::lock_guard<std::mutex> lock(dispatchMutex_);
+        stats = stream_;
+    }
+    if (config_.metrics)
+        obs::recordPoolUtilization(*config_.metrics, "serve.pool",
+                                   pool_.threadCount(),
+                                   pool_.tasksSubmitted(),
+                                   pool_.tasksCompleted(),
+                                   pool_.maxQueueDepth());
     if (emitStats)
         out << statsJson(stats).dump() << '\n';
     out.flush();

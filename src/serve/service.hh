@@ -4,7 +4,9 @@
  * object per line), dispatches fresh simulations onto a
  * common::ThreadPool with bounded-queue backpressure, serves
  * repeated requests from a content-addressed LRU result cache, and
- * emits JSONL responses in request order.
+ * emits JSONL responses in request order. A {"type":"stats"} line
+ * is answered in place with a live stats snapshot (same shape as
+ * the --stats trailer) without touching the simulation path.
  *
  * Determinism contract: request parsing and the hit/miss decision
  * happen serially in input order on the dispatcher thread (repeats
@@ -28,6 +30,7 @@
 #include <unordered_map>
 
 #include "common/thread_pool.hh"
+#include "obs/metrics.hh"
 #include "reram/config.hh"
 #include "serve/cache.hh"
 #include "serve/request.hh"
@@ -51,6 +54,12 @@ struct ServiceConfig
         reram::AcceleratorConfig::paperDefault();
     /** Per-request defaults (typically from core::addSimFlags). */
     Request defaults;
+    /**
+     * Optional metrics registry (latency/queue-wait histograms,
+     * hit/miss counters, in-flight depth). Never alters response
+     * bytes; null disables all recording.
+     */
+    std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /** The batch simulation service. */
@@ -95,6 +104,14 @@ class Service
     uint64_t misses() const;
     ResultCache::Stats cacheStats() const { return cache_.stats(); }
 
+    /**
+     * Coalescing-map entries currently held. Completed entries are
+     * retired as their responses are emitted (plus a sweep on every
+     * miss), so this stays bounded by the in-flight window rather
+     * than growing with stream length.
+     */
+    size_t inflightSize() const;
+
     /** The stats line emitted by --stats, as a JSON object. */
     json::Value statsJson(const StreamStats &stream) const;
 
@@ -103,23 +120,31 @@ class Service
     struct Output
     {
         std::string id;
+        std::string key;            ///< cache key ("" for errors)
         RequestError error;         ///< !ok() = error response
         std::string prefix;         ///< envelope up to "result":
         bool immediate = false;     ///< result already in `value`
+        bool raw = false;           ///< `value` is the whole line
         std::string value;          ///< cached result bytes
         std::shared_future<std::string> pending; ///< fresh result
+        double dispatchedUs = 0.0;  ///< set only when metrics attached
     };
 
     /** Parse/validate/route one line; serial, in input order. */
     Output dispatch(const std::string &line);
     /** Render an Output to its final response line (may block). */
     std::string render(Output &output);
+    /** Drop `key`'s coalescing entry once its future is ready. */
+    void retireInflight(const std::string &key);
 
     /** Run one simulation and serialize its result object. */
     std::string simulate(const ResolvedRequest &resolved) const;
 
     void acquireQueueSlot();
     void releaseQueueSlot();
+
+    /** Record request latency/outcome (no-op without a registry). */
+    void observeEmitted(const Output &output);
 
     ServiceConfig config_;
     size_t maxQueue_;
@@ -128,11 +153,13 @@ class Service
 
     /** Serializes dispatch: counters + coalescing map. */
     mutable std::mutex dispatchMutex_;
-    /** In-flight (and completed this stream) result futures. */
+    /** In-flight result futures for request coalescing. */
     std::unordered_map<std::string, std::shared_future<std::string>>
         inflight_;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+    /** Per-stream request/error counts ({"type":"stats"} queries). */
+    StreamStats stream_;
 
     std::mutex queueMutex_;
     std::condition_variable queueCv_;

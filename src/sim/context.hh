@@ -21,6 +21,10 @@
 
 #include "common/rng.hh"
 
+namespace gopim::obs {
+class MetricsRegistry;
+} // namespace gopim::obs
+
 namespace gopim::sim {
 
 class ScheduleEngine;
@@ -88,6 +92,13 @@ struct SimContext
     bool recordWindows = false;
     /** Optional observer fed the timeline of every scheduled run. */
     std::shared_ptr<TraceSink> traceSink;
+    /**
+     * Optional metrics registry; when set, engines and the layers
+     * above record counters/histograms into it. Recording never
+     * alters simulated timing — outputs are bit-identical with or
+     * without a registry (pinned by tests/test_obs.cc).
+     */
+    std::shared_ptr<obs::MetricsRegistry> metrics;
 
     /** Fresh deterministic generator for one run. */
     Rng makeRng() const { return Rng(seed); }

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/math_utils.hh"
+#include "obs/metrics.hh"
 #include "sim/pipeline_sim.hh"
 
 namespace gopim::sim {
@@ -87,6 +88,50 @@ batchStructure(const ScheduleRequest &request)
     return {perBatch, batches};
 }
 
+/** Bucket boundaries for simulated durations: 1 us .. ~1000 s. */
+std::vector<double>
+durationBoundsNs()
+{
+    return obs::Histogram::exponentialBounds(1e3, 4.0, 15);
+}
+
+/**
+ * Record one scheduled run into the context's registry (no-op when
+ * none is attached). Every value recorded here derives from simulated
+ * timing, so counters and histogram contents are identical for any
+ * worker count or run interleaving.
+ */
+void
+recordScheduleMetrics(const SimContext &ctx,
+                      const ScheduleRequest &request,
+                      const StageTimeline &timeline,
+                      const std::string &engineTag)
+{
+    if (!ctx.metrics)
+        return;
+    obs::MetricsRegistry &m = *ctx.metrics;
+    m.counter("sim.schedule.count").add();
+    m.counter("sim.schedule." + engineTag + ".count").add();
+    m.counter("sim.micro_batches").add(request.totalMicroBatches);
+    if (timeline.eventsProcessed > 0)
+        m.counter("sim.events_processed")
+            .add(timeline.eventsProcessed);
+    m.histogram("sim.makespan_ns", durationBoundsNs())
+        .observe(timeline.makespanNs);
+    auto &busy = m.histogram("sim.stage.busy_ns", durationBoundsNs());
+    for (double b : timeline.busyNs)
+        busy.observe(b);
+    auto &idle =
+        m.histogram("sim.stage.idle_fraction",
+                    obs::Histogram::linearBounds(0.1, 0.1, 10));
+    for (double f : timeline.idleFraction)
+        idle.observe(f);
+    if (timeline.maxEventQueueDepth > 0)
+        m.gauge("sim.event_queue.max_depth")
+            .recordMax(
+                static_cast<int64_t>(timeline.maxEventQueueDepth));
+}
+
 } // namespace
 
 StageTimeline
@@ -135,6 +180,7 @@ ClosedFormEngine::schedule(const ScheduleRequest &request,
                     0.0, 1.0);
         }
     }
+    recordScheduleMetrics(ctx, request, timeline, "closed_form");
     return timeline;
 }
 
@@ -235,6 +281,8 @@ EventDrivenEngine::schedule(const ScheduleRequest &request,
             }
         }
         timeline.eventsProcessed += sim.eventsProcessed;
+        timeline.maxEventQueueDepth = std::max(
+            timeline.maxEventQueueDepth, sim.maxEventQueueDepth);
         offsetNs += sim.makespanNs;
     }
     timeline.makespanNs = offsetNs;
@@ -248,6 +296,7 @@ EventDrivenEngine::schedule(const ScheduleRequest &request,
                              0.0, 1.0)
                 : 0.0;
     }
+    recordScheduleMetrics(ctx, request, timeline, "event_driven");
     return timeline;
 }
 

@@ -72,6 +72,8 @@ struct StageTimeline
     std::vector<std::vector<pipeline::StageWindow>> windows;
     /** Discrete events executed (0 for the closed form). */
     uint64_t eventsProcessed = 0;
+    /** Event-queue depth high-water mark (0 for the closed form). */
+    uint64_t maxEventQueueDepth = 0;
 
     double avgIdleFraction() const;
     bool hasWindows() const { return !windows.empty(); }

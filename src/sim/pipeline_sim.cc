@@ -74,6 +74,7 @@ class Simulation
         result.makespanNs = queue_.nowNs();
         result.completed = completed_;
         result.eventsProcessed = queue_.processed();
+        result.maxEventQueueDepth = maxQueueDepth_;
         for (const auto &s : stations_) {
             result.busyNs.push_back(s.busyNs);
             result.blockedNs.push_back(s.blockedNs);
@@ -117,6 +118,8 @@ class Simulation
             queue_.scheduleAfter(service, [this, stageIdx, mb] {
                 onFinish(stageIdx, mb);
             });
+            maxQueueDepth_ = std::max<uint64_t>(maxQueueDepth_,
+                                                queue_.pending());
         }
         if (startedAny && stageIdx > 0)
             drainBlocked(stageIdx - 1);
@@ -182,6 +185,7 @@ class Simulation
     std::vector<std::vector<pipeline::StageWindow>> windows_;
     EventQueue queue_;
     uint32_t completed_ = 0;
+    uint64_t maxQueueDepth_ = 0;
 };
 
 } // namespace

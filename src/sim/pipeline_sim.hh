@@ -64,6 +64,8 @@ struct SimResult
     /** Completed micro-batches (== requested unless deadlocked). */
     uint32_t completed = 0;
     uint64_t eventsProcessed = 0;
+    /** High-water mark of pending events in the queue. */
+    uint64_t maxEventQueueDepth = 0;
     /**
      * Per-(stage, micro-batch) service windows, stage-major; only
      * filled when recording was requested (observability costs

@@ -59,11 +59,26 @@ ChromeTraceSink::record(const TraceRunInfo &info,
     runs_.push_back(std::move(run));
 }
 
+void
+ChromeTraceSink::profileSpan(const std::string &name, double startUs,
+                             double durationUs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back({name, startUs, durationUs});
+}
+
 size_t
 ChromeTraceSink::runCount() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return runs_.size();
+}
+
+size_t
+ChromeTraceSink::spanCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.size();
 }
 
 void
@@ -111,6 +126,22 @@ ChromeTraceSink::writeTo(std::ostream &os) const
                      std::to_string(dur) + "}");
             }
         }
+    }
+
+    // Host profiling spans as one extra process; simulated runs use
+    // simulated-ns timestamps and spans use host microseconds, so the
+    // tracks share a viewer but not a clock.
+    if (!spans_.empty()) {
+        const size_t pid = runs_.size();
+        emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+             ",\"name\":\"process_name\",\"args\":{\"name\":"
+             "\"host profiling\"}}");
+        for (const HostSpan &span : spans_)
+            emit("{\"ph\":\"X\",\"cat\":\"profile\",\"name\":\"" +
+                 escape(span.name) + "\",\"pid\":" +
+                 std::to_string(pid) + ",\"tid\":0,\"ts\":" +
+                 std::to_string(span.startUs) + ",\"dur\":" +
+                 std::to_string(span.durationUs) + "}");
     }
     os << "\n]\n}\n";
 }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.hh"
 #include "pipeline/stage.hh"
 #include "sim/engine.hh"
 
@@ -44,8 +45,13 @@ class TraceSink
                         const StageTimeline &timeline) = 0;
 };
 
-/** Collects runs and writes them as Chrome trace_event JSON. */
-class ChromeTraceSink final : public TraceSink
+/**
+ * Collects runs and writes them as Chrome trace_event JSON. Also an
+ * obs::SpanSink: host-side ProfileSpans land in the same trace under
+ * a dedicated "host profiling" process, so simulated pipeline windows
+ * and simulator wall-clock cost are inspectable side by side.
+ */
+class ChromeTraceSink final : public TraceSink, public obs::SpanSink
 {
   public:
     /**
@@ -59,8 +65,14 @@ class ChromeTraceSink final : public TraceSink
                 const std::vector<pipeline::Stage> &stages,
                 const StageTimeline &timeline) override;
 
+    void profileSpan(const std::string &name, double startUs,
+                     double durationUs) override;
+
     /** Runs recorded so far. */
     size_t runCount() const;
+
+    /** Host profiling spans recorded so far. */
+    size_t spanCount() const;
 
     /** Serialize everything collected as one JSON document. */
     void writeTo(std::ostream &os) const;
@@ -76,9 +88,17 @@ class ChromeTraceSink final : public TraceSink
         std::vector<std::vector<pipeline::StageWindow>> windows;
     };
 
+    struct HostSpan
+    {
+        std::string name;
+        double startUs;
+        double durationUs;
+    };
+
     uint32_t maxEventsPerStage_;
     mutable std::mutex mutex_;
     std::vector<Run> runs_;
+    std::vector<HostSpan> spans_;
 };
 
 } // namespace gopim::sim

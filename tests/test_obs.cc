@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Observability-layer tests: counter/gauge/histogram semantics, the
+ * registry's schema-stable JSON export, ProfileSpan recording, and
+ * the two contracts the subsystem is built on — a run with a metrics
+ * registry attached is bit-identical to one without (both engines),
+ * and counter/histogram counts are identical for any worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/accelerator.hh"
+#include "core/harness.hh"
+#include "core/report.hh"
+#include "core/systems.hh"
+#include "gcn/workload.hh"
+#include "obs/metrics.hh"
+#include "obs/profile.hh"
+#include "reram/config.hh"
+#include "sim/trace.hh"
+
+namespace gopim {
+namespace {
+
+// ---------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------
+
+TEST(Counter, AccumulatesDeltas)
+{
+    obs::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetIsLastWriteAndRecordMaxKeepsHighWater)
+{
+    obs::Gauge g;
+    g.set(7);
+    g.set(3);
+    EXPECT_EQ(g.value(), 3);
+    g.recordMax(10);
+    g.recordMax(5);
+    EXPECT_EQ(g.value(), 10);
+    g.recordMax(-1);
+    EXPECT_EQ(g.value(), 10);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds)
+{
+    // bucket i counts value <= bounds[i]; one overflow bucket above.
+    obs::Histogram h({1.0, 2.0, 4.0});
+    h.observe(0.5); // bucket 0
+    h.observe(1.0); // bucket 0 (inclusive)
+    h.observe(1.5); // bucket 1
+    h.observe(4.0); // bucket 2 (inclusive)
+    h.observe(9.0); // overflow
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 16.0);
+    const std::vector<uint64_t> expected = {2, 1, 1, 1};
+    EXPECT_EQ(h.bucketCounts(), expected);
+}
+
+TEST(Histogram, MergeAddsCountsBucketwise)
+{
+    obs::Histogram a({1.0, 10.0});
+    obs::Histogram b({1.0, 10.0});
+    a.observe(0.5);
+    a.observe(5.0);
+    b.observe(5.0);
+    b.observe(100.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.sum(), 110.5);
+    const std::vector<uint64_t> expected = {1, 2, 1};
+    EXPECT_EQ(a.bucketCounts(), expected);
+}
+
+TEST(Histogram, GeneratedBoundsAreStrictlyIncreasing)
+{
+    const auto exp = obs::Histogram::exponentialBounds(1.0, 4.0, 4);
+    ASSERT_EQ(exp.size(), 4u);
+    EXPECT_DOUBLE_EQ(exp[0], 1.0);
+    EXPECT_DOUBLE_EQ(exp[1], 4.0);
+    EXPECT_DOUBLE_EQ(exp[2], 16.0);
+    EXPECT_DOUBLE_EQ(exp[3], 64.0);
+
+    const auto lin = obs::Histogram::linearBounds(0.1, 0.1, 3);
+    ASSERT_EQ(lin.size(), 3u);
+    for (size_t i = 1; i < lin.size(); ++i)
+        EXPECT_GT(lin[i], lin[i - 1]);
+    EXPECT_DOUBLE_EQ(lin[0], 0.1);
+}
+
+TEST(Histogram, ObservationsAreThreadSafeSums)
+{
+    obs::Histogram h(obs::Histogram::linearBounds(1.0, 1.0, 8));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&h] {
+            for (int i = 0; i < 1000; ++i)
+                h.observe(static_cast<double>(i % 10));
+        });
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(h.count(), 4000u);
+    uint64_t total = 0;
+    for (uint64_t c : h.bucketCounts())
+        total += c;
+    EXPECT_EQ(total, 4000u);
+}
+
+// ---------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------
+
+TEST(MetricsRegistry, InstrumentsAreCreatedOnceAndStable)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter &c1 = reg.counter("a.b.count");
+    obs::Counter &c2 = reg.counter("a.b.count");
+    EXPECT_EQ(&c1, &c2);
+    c1.add(3);
+    EXPECT_EQ(c2.value(), 3u);
+
+    // Later histogram calls keep the first bounds.
+    obs::Histogram &h1 = reg.histogram("a.h", {1.0, 2.0});
+    obs::Histogram &h2 = reg.histogram("a.h", {9.0});
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistry, FindReturnsNullWhenAbsent)
+{
+    obs::MetricsRegistry reg;
+    EXPECT_EQ(reg.findCounter("nope"), nullptr);
+    EXPECT_EQ(reg.findGauge("nope"), nullptr);
+    EXPECT_EQ(reg.findHistogram("nope"), nullptr);
+    reg.counter("yes").add();
+    EXPECT_NE(reg.findCounter("yes"), nullptr);
+    EXPECT_EQ(reg.findCounter("yes")->value(), 1u);
+}
+
+TEST(MetricsRegistry, ToJsonIsSchemaStable)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("z.count").add(2);
+    reg.counter("a.count").add(1);
+    reg.gauge("g.depth").set(5);
+    reg.histogram("h.lat_us", {1.0, 2.0}).observe(1.5);
+
+    const json::Value doc = reg.toJson();
+    ASSERT_NE(doc.find("schema"), nullptr);
+    EXPECT_EQ(doc.find("schema")->asString(), "gopim.metrics.v1");
+    ASSERT_NE(doc.find("counters"), nullptr);
+    ASSERT_NE(doc.find("gauges"), nullptr);
+    ASSERT_NE(doc.find("histograms"), nullptr);
+
+    // Counter names are sorted within the section.
+    const std::string counters = doc.find("counters")->dump();
+    EXPECT_EQ(counters, "{\"a.count\":1,\"z.count\":2}");
+    EXPECT_EQ(doc.find("gauges")->dump(), "{\"g.depth\":5}");
+
+    const json::Value *hist = doc.find("histograms")->find("h.lat_us");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_NE(hist->find("bounds"), nullptr);
+    EXPECT_NE(hist->find("counts"), nullptr);
+    EXPECT_EQ(hist->find("count")->asInt(), 1);
+    // counts has one overflow bucket beyond bounds.
+    EXPECT_EQ(hist->find("counts")->size(),
+              hist->find("bounds")->size() + 1);
+}
+
+TEST(MetricsRegistry, RecordPoolUtilizationWritesGauges)
+{
+    obs::MetricsRegistry reg;
+    obs::recordPoolUtilization(reg, "test.pool", 4, 10, 10, 3);
+    EXPECT_EQ(reg.findGauge("test.pool.threads")->value(), 4);
+    EXPECT_EQ(reg.findGauge("test.pool.tasks_submitted")->value(), 10);
+    EXPECT_EQ(reg.findGauge("test.pool.tasks_completed")->value(), 10);
+    EXPECT_EQ(reg.findGauge("test.pool.queue_max_depth")->value(), 3);
+
+    // The depth is a high-water mark; a lower snapshot keeps it.
+    obs::recordPoolUtilization(reg, "test.pool", 4, 12, 12, 2);
+    EXPECT_EQ(reg.findGauge("test.pool.tasks_submitted")->value(), 12);
+    EXPECT_EQ(reg.findGauge("test.pool.queue_max_depth")->value(), 3);
+}
+
+// ---------------------------------------------------------------
+// Profiling spans
+// ---------------------------------------------------------------
+
+TEST(ProfileSpan, InertWithoutConsumers)
+{
+    obs::ProfileSpan span(nullptr, "noop");
+    EXPECT_DOUBLE_EQ(span.elapsedUs(), 0.0);
+}
+
+TEST(ProfileSpan, RecordsIntoRegistryAndSink)
+{
+    obs::MetricsRegistry reg;
+    sim::ChromeTraceSink sink;
+    {
+        obs::ProfileSpan span(&reg, "unit.work", &sink);
+        EXPECT_GE(span.elapsedUs(), 0.0);
+    }
+    ASSERT_NE(reg.findCounter("profile.unit.work.count"), nullptr);
+    EXPECT_EQ(reg.findCounter("profile.unit.work.count")->value(), 1u);
+    const obs::Histogram *hist =
+        reg.findHistogram("profile.unit.work.us");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count(), 1u);
+    EXPECT_EQ(sink.spanCount(), 1u);
+
+    // Host spans land in the Chrome trace under their own track.
+    std::ostringstream trace;
+    sink.writeTo(trace);
+    EXPECT_NE(trace.str().find("host profiling"), std::string::npos);
+    EXPECT_NE(trace.str().find("unit.work"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// The observability contract
+// ---------------------------------------------------------------
+
+/** One GoPIM run on Cora serialized to its JSON result bytes. */
+std::string
+runBytes(sim::EngineKind kind,
+         std::shared_ptr<obs::MetricsRegistry> metrics)
+{
+    auto workload = gcn::Workload::paperDefault("Cora");
+    const auto profile =
+        gcn::VertexProfile::build(workload.dataset, workload.seed);
+    core::SystemConfig system =
+        core::makeSystem(core::SystemKind::GoPim);
+    system.sim.engine = kind;
+    system.sim.metrics = std::move(metrics);
+    core::Accelerator accel(reram::AcceleratorConfig::paperDefault(),
+                            system);
+    return core::runResultToJson(accel.run(workload, profile)).dump();
+}
+
+TEST(ObservabilityContract, MetricsOffIsBitIdenticalBothEngines)
+{
+    for (auto kind : {sim::EngineKind::ClosedForm,
+                      sim::EngineKind::EventDriven}) {
+        auto metrics = std::make_shared<obs::MetricsRegistry>();
+        const std::string without = runBytes(kind, nullptr);
+        const std::string with = runBytes(kind, metrics);
+        EXPECT_EQ(without, with)
+            << "engine " << sim::toString(kind);
+
+        // The registry genuinely observed the run — the identity is
+        // not vacuous.
+        ASSERT_NE(metrics->findCounter("sim.schedule.count"), nullptr);
+        EXPECT_GE(metrics->findCounter("sim.schedule.count")->value(),
+                  1u);
+        EXPECT_EQ(metrics->findCounter("core.run.count")->value(), 1u);
+        EXPECT_NE(metrics->findHistogram("sim.makespan_ns"), nullptr);
+    }
+}
+
+TEST(ObservabilityContract, EventEngineRecordsQueueDepthAndEvents)
+{
+    auto metrics = std::make_shared<obs::MetricsRegistry>();
+    runBytes(sim::EngineKind::EventDriven, metrics);
+    ASSERT_NE(metrics->findCounter("sim.events_processed"), nullptr);
+    EXPECT_GT(metrics->findCounter("sim.events_processed")->value(),
+              0u);
+    ASSERT_NE(metrics->findGauge("sim.event_queue.max_depth"),
+              nullptr);
+    EXPECT_GT(metrics->findGauge("sim.event_queue.max_depth")->value(),
+              0);
+}
+
+/** Grid sweep with a registry attached; returns that registry. */
+std::shared_ptr<obs::MetricsRegistry>
+gridMetrics(size_t jobs)
+{
+    auto metrics = std::make_shared<obs::MetricsRegistry>();
+    sim::SimContext ctx;
+    ctx.metrics = metrics;
+    core::ComparisonHarness harness(
+        reram::AcceleratorConfig::paperDefault(), ctx);
+    harness.runGrid(core::figure13Systems(), {"ddi", "Cora"}, jobs);
+    return metrics;
+}
+
+TEST(ObservabilityContract, CountsIdenticalAcrossWorkerCounts)
+{
+    const auto serial = gridMetrics(1);
+    const auto parallel = gridMetrics(4);
+
+    // Counters are commutative sums: the whole section matches.
+    EXPECT_EQ(serial->toJson().find("counters")->dump(),
+              parallel->toJson().find("counters")->dump());
+
+    // Histogram bucket counts match too (sums are doubles whose
+    // accumulation order may differ, so only the counts are pinned).
+    for (const char *name :
+         {"sim.makespan_ns", "sim.stage.busy_ns",
+          "sim.stage.idle_fraction", "alloc.replicas_per_stage"}) {
+        const obs::Histogram *a = serial->findHistogram(name);
+        const obs::Histogram *b = parallel->findHistogram(name);
+        ASSERT_NE(a, nullptr) << name;
+        ASSERT_NE(b, nullptr) << name;
+        EXPECT_EQ(a->count(), b->count()) << name;
+        EXPECT_EQ(a->bucketCounts(), b->bucketCounts()) << name;
+    }
+
+    // And the harness recorded its own span + pool utilization.
+    EXPECT_EQ(serial->findCounter("harness.grid.count")->value(), 1u);
+    EXPECT_NE(parallel->findGauge("harness.pool.threads"), nullptr);
+}
+
+} // namespace
+} // namespace gopim

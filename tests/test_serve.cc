@@ -8,17 +8,26 @@
  * batch emits byte-identical output to a single-threaded run.
  */
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/hash.hh"
 #include "common/json.hh"
+#include "obs/metrics.hh"
 #include "serve/cache.hh"
 #include "serve/request.hh"
 #include "serve/service.hh"
+#include "sim/engine.hh"
 
 namespace gopim {
 namespace {
@@ -517,6 +526,269 @@ TEST(ServiceTest, EvictionsStayOutOfResponseEnvelopes)
         service.handleLine("{\"dataset\":\"Cora\"}");
     EXPECT_TRUE(lineSays(again, "\"cached\":false"));
     EXPECT_EQ(resultPayload(a), resultPayload(again));
+}
+
+// ---------------------------------------------------------------
+// Service: in-flight window, lock scope, and the stats extension
+// ---------------------------------------------------------------
+
+/**
+ * Deterministic constant-time timing backend: the timeline is a pure
+ * function of the request, so responses stay byte-identical across
+ * worker counts while a simulation costs microseconds instead of
+ * running a real engine — which is what lets the stress test push
+ * tens of thousands of unique requests through the service.
+ */
+class StubEngine final : public sim::ScheduleEngine
+{
+  public:
+    std::string name() const override { return "stub"; }
+
+    sim::StageTimeline
+    schedule(const sim::ScheduleRequest &request,
+             const sim::SimContext &) const override
+    {
+        sim::StageTimeline timeline;
+        double total = 0.0;
+        for (double t : request.stageTimesNs)
+            total += t;
+        timeline.makespanNs =
+            total * static_cast<double>(request.totalMicroBatches);
+        timeline.busyNs = request.stageTimesNs;
+        timeline.blockedNs.assign(request.stageTimesNs.size(), 0.0);
+        timeline.idleFraction.assign(request.stageTimesNs.size(), 0.0);
+        return timeline;
+    }
+};
+
+/** `count` unique requests (distinct seeds -> distinct cache keys). */
+std::string
+uniqueBatch(int count)
+{
+    std::string batch;
+    for (int seed = 1; seed <= count; ++seed)
+        batch += "{\"dataset\":\"Cora\",\"seed\":" +
+                 std::to_string(seed) + "}\n";
+    return batch;
+}
+
+TEST(ServiceStressTest, InflightStaysBoundedOverUniqueStream)
+{
+    // Regression: inflight_ used to keep one entry per unique request
+    // for the life of the stream, so a long stream of distinct
+    // requests grew the coalescing map without bound. Entries must be
+    // retired as responses are emitted.
+    constexpr int kRequests = 10000;
+    serve::ServiceConfig config;
+    config.jobs = 4;
+    config.maxQueue = 8;
+    config.cacheCapacity = 64; // far smaller than the stream
+    config.defaults.sim.engineOverride =
+        std::make_shared<StubEngine>();
+    config.metrics = std::make_shared<obs::MetricsRegistry>();
+    serve::Service service(config);
+
+    std::istringstream in(uniqueBatch(kRequests));
+    std::ostringstream out;
+    const auto stats = service.processStream(in, out, true);
+    EXPECT_EQ(stats.requests, static_cast<uint64_t>(kRequests));
+    EXPECT_EQ(stats.errors, 0u);
+    EXPECT_EQ(service.misses(), static_cast<uint64_t>(kRequests));
+    EXPECT_EQ(service.hits(), 0u);
+
+    // Bounded at the end and — via the recorded high-water mark — at
+    // every dispatch along the way: at most maxQueue in-flight
+    // simulations plus the entry just inserted and one whose slot
+    // acquisition is still pending.
+    const size_t bound = config.maxQueue + 2;
+    EXPECT_LE(service.inflightSize(), bound);
+    const obs::Gauge *highWater =
+        config.metrics->findGauge("serve.inflight.max");
+    ASSERT_NE(highWater, nullptr);
+    EXPECT_GT(highWater->value(), 0);
+    EXPECT_LE(highWater->value(), static_cast<int64_t>(bound));
+}
+
+TEST(ServiceStressTest, UniqueStreamIsBitIdenticalAcrossJobs)
+{
+    constexpr int kRequests = 10000;
+    std::string outputs[2];
+    const size_t jobs[] = {2, 8};
+    for (int i = 0; i < 2; ++i) {
+        serve::ServiceConfig config;
+        config.jobs = jobs[i];
+        config.defaults.sim.engineOverride =
+            std::make_shared<StubEngine>();
+        serve::Service service(config);
+        std::istringstream in(uniqueBatch(kRequests));
+        std::ostringstream out;
+        const auto stats = service.processStream(in, out, true);
+        EXPECT_EQ(stats.errors, 0u);
+        outputs[i] = out.str();
+    }
+    EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+/**
+ * A timing backend that blocks inside schedule() until released —
+ * pins a worker (and with maxQueue=1, the dispatcher) at a known
+ * place so tests can probe the service from outside.
+ */
+class GateEngine final : public sim::ScheduleEngine
+{
+  public:
+    std::string name() const override { return "gate"; }
+
+    sim::StageTimeline
+    schedule(const sim::ScheduleRequest &request,
+             const sim::SimContext &ctx) const override
+    {
+        entered_.fetch_add(1);
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return open_; });
+        }
+        return StubEngine().schedule(request, ctx);
+    }
+
+    void
+    release() const
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            open_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    int entered() const { return entered_.load(); }
+
+  private:
+    mutable std::mutex mutex_;
+    mutable std::condition_variable cv_;
+    mutable bool open_ = false;
+    mutable std::atomic<int> entered_{0};
+};
+
+TEST(ServiceTest, StatsStayResponsiveWhileDispatcherIsBlocked)
+{
+    // Regression: dispatch() used to hold dispatchMutex_ across the
+    // backpressure wait, so once the queue filled, hits()/misses()/
+    // statsJson() blocked until a worker finished. The wait now
+    // happens outside the lock; counters must answer immediately even
+    // with the dispatcher parked on a full queue.
+    auto gate = std::make_shared<GateEngine>();
+    serve::ServiceConfig config;
+    config.jobs = 1;
+    config.maxQueue = 1;
+    config.defaults.sim.engineOverride = gate;
+    serve::Service service(config);
+
+    std::istringstream in(uniqueBatch(3));
+    std::ostringstream out;
+    std::thread stream([&] { service.processStream(in, out); });
+
+    // Wait for the lone worker to block inside the gate, then give
+    // the dispatcher time to reach the queue wait for request 2.
+    while (gate->entered() == 0)
+        std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+    auto probe = std::async(std::launch::async, [&] {
+        return std::make_pair(service.misses(),
+                              service.statsJson({}).dump());
+    });
+    ASSERT_EQ(probe.wait_for(std::chrono::seconds(5)),
+              std::future_status::ready)
+        << "stats blocked behind the dispatcher's backpressure wait";
+    const auto [misses, statsLine] = probe.get();
+    EXPECT_EQ(misses, 2u); // request 2's decision landed pre-wait
+    EXPECT_NE(statsLine.find("\"misses\":2"), std::string::npos)
+        << statsLine;
+
+    gate->release();
+    stream.join();
+    EXPECT_EQ(service.misses(), 3u);
+
+    // All three responses were still emitted, in order.
+    std::istringstream lines(out.str());
+    std::string line;
+    for (int seed = 1; seed <= 3; ++seed) {
+        ASSERT_TRUE(std::getline(lines, line));
+        EXPECT_TRUE(lineSays(line, "\"type\":\"result\"")) << line;
+    }
+}
+
+TEST(ServiceTest, StatsQueryAnswersInStreamOrder)
+{
+    serve::ServiceConfig config;
+    config.jobs = 2;
+    config.defaults.sim.engineOverride =
+        std::make_shared<StubEngine>();
+    serve::Service service(config);
+
+    const std::string batch =
+        "{\"dataset\":\"Cora\",\"seed\":1}\n"
+        "{\"dataset\":\"Cora\",\"seed\":1}\n"
+        "{\"type\":\"stats\"}\n"
+        "{\"dataset\":\"Cora\",\"seed\":2}\n";
+    std::istringstream in(batch);
+    std::ostringstream out;
+    const auto stats = service.processStream(in, out);
+    EXPECT_EQ(stats.requests, 4u); // the query counts as a request
+    EXPECT_EQ(stats.errors, 0u);
+
+    std::vector<std::string> lines;
+    std::istringstream split(out.str());
+    std::string line;
+    while (std::getline(split, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_TRUE(lineSays(lines[0], "\"type\":\"result\""));
+    EXPECT_TRUE(lineSays(lines[1], "\"cached\":true"));
+
+    // The third line is the snapshot: dispatch-order deterministic
+    // counters (itself included in `requests`), live cache fields.
+    json::Value snapshot;
+    std::string error;
+    ASSERT_TRUE(json::Value::parse(lines[2], &snapshot, &error))
+        << error << ": " << lines[2];
+    EXPECT_EQ(snapshot.find("type")->asString(), "stats");
+    EXPECT_EQ(snapshot.find("requests")->asInt(), 3);
+    EXPECT_EQ(snapshot.find("hits")->asInt(), 1);
+    EXPECT_EQ(snapshot.find("misses")->asInt(), 1);
+    EXPECT_NE(snapshot.find("cache_entries"), nullptr);
+    EXPECT_TRUE(lineSays(lines[3], "\"type\":\"result\""));
+
+    // A stats query is not a simulation: no hit/miss movement.
+    EXPECT_EQ(service.hits(), 1u);
+    EXPECT_EQ(service.misses(), 2u);
+}
+
+TEST(ServiceTest, MetricsRecordLatenciesAndOutcomes)
+{
+    serve::ServiceConfig config;
+    config.jobs = 1;
+    config.defaults.sim.engineOverride =
+        std::make_shared<StubEngine>();
+    config.metrics = std::make_shared<obs::MetricsRegistry>();
+    serve::Service service(config);
+
+    service.handleLine("{\"dataset\":\"Cora\"}");
+    service.handleLine("{\"dataset\":\"Cora\"}");
+    service.handleLine("{\"dataset\":\"nope\"}");
+
+    const auto &m = *config.metrics;
+    EXPECT_EQ(m.findCounter("serve.request.count")->value(), 3u);
+    EXPECT_EQ(m.findCounter("serve.cache.miss.count")->value(), 1u);
+    EXPECT_EQ(m.findCounter("serve.cache.hit.count")->value(), 1u);
+    EXPECT_EQ(m.findCounter("serve.request.error.count")->value(), 1u);
+    const obs::Histogram *latency =
+        m.findHistogram("serve.request.latency_us");
+    ASSERT_NE(latency, nullptr);
+    EXPECT_EQ(latency->count(), 3u);
+    ASSERT_NE(m.findHistogram("serve.queue.wait_us"), nullptr);
+    EXPECT_EQ(m.findHistogram("serve.queue.wait_us")->count(), 1u);
 }
 
 } // namespace

@@ -93,6 +93,64 @@ TEST(ParallelFor, PropagatesExceptions)
                  std::runtime_error);
 }
 
+TEST(ParallelFor, RethrowsTheLowestFailingIndexFirst)
+{
+    // The exception contract parallel runs share with serial ones:
+    // when several indices throw, the surviving exception is the
+    // first by index, and every index is still attempted.
+    std::atomic<int> attempts{0};
+    try {
+        parallelFor(64, 8, [&](size_t i) {
+            ++attempts;
+            if (i == 5 || i == 60)
+                throw std::runtime_error(std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "5");
+    }
+    EXPECT_EQ(attempts.load(), 64);
+}
+
+TEST(ParallelFor, RunsOnTheSharedProcessPool)
+{
+    // parallelFor no longer spins up a pool per call: work lands on
+    // the process-wide pool, whose lifetime task counter advances.
+    ThreadPool &pool = processPool();
+    const size_t threads = pool.threadCount();
+    EXPECT_EQ(threads, ThreadPool::resolveJobs(0));
+
+    const uint64_t before = pool.tasksSubmitted();
+    parallelFor(32, 4, [](size_t) {});
+    EXPECT_GT(pool.tasksSubmitted(), before);
+    EXPECT_EQ(pool.threadCount(), threads);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock)
+{
+    // A chunk running on the shared pool must not wait on the pool
+    // for its own nested parallelFor; nesting runs inline instead.
+    std::atomic<int> inner{0};
+    parallelFor(4, 4, [&](size_t) {
+        parallelFor(8, 4, [&](size_t) { ++inner; });
+    });
+    EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(ThreadPool, TracksUtilizationCounters)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.tasksSubmitted(), 0u);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 20; ++i)
+        futures.push_back(pool.submit([] {}));
+    for (auto &future : futures)
+        future.get();
+    EXPECT_EQ(pool.tasksSubmitted(), 20u);
+    EXPECT_EQ(pool.tasksCompleted(), 20u);
+    EXPECT_LE(pool.maxQueueDepth(), 20u);
+}
+
 // The load-bearing property: a parallel grid is indistinguishable
 // from the serial one, bit for bit, down to the rendered tables.
 TEST(ParallelGrid, JobsOneEqualsJobsManyBitForBit)

@@ -179,6 +179,9 @@ main(int argc, char **argv)
     config.defaults.fault = core::faultConfigFromFlags(flags);
     config.defaults.microBatch = 64;
     config.defaults.epochs = 1;
+    // Per-request latency/queue/cache metrics share the registry the
+    // engines record into, so one --metrics-out file covers both.
+    config.metrics = defaultCtx.metrics;
 
     serve::Service service(config);
 
@@ -193,5 +196,6 @@ main(int argc, char **argv)
         flushStats(service, stats);
     }
     core::writeTraceIfRequested(flags, defaultCtx);
+    core::writeMetricsIfRequested(flags, defaultCtx);
     return rc;
 }

@@ -121,6 +121,7 @@ main(int argc, char **argv)
             core::jobsFromFlags(flags), flags.getBool("csv"),
             flags.getBool("json"));
         core::writeTraceIfRequested(flags, ctx);
+        core::writeMetricsIfRequested(flags, ctx);
         return rc;
     }
 
@@ -155,6 +156,7 @@ main(int argc, char **argv)
     const auto baseline = harness.runOne(
         core::systemFromName(flags.getString("baseline")), workload);
     core::writeTraceIfRequested(flags, ctx);
+    core::writeMetricsIfRequested(flags, ctx);
 
     if (flags.getBool("json")) {
         core::writeRunJson(run, std::cout);
