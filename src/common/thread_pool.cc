@@ -41,6 +41,10 @@ ThreadPool::enqueue(std::function<void()> job)
         queue_.push_back(std::move(job));
         depth = queue_.size();
     }
+    // Relaxed: both counters are advisory utilization metrics (see
+    // thread_pool.hh); the CAS-max loop is monotone and re-reads the
+    // observed value on failure, so it converges under any
+    // interleaving without ordering guarantees.
     tasksSubmitted_.fetch_add(1, std::memory_order_relaxed);
     uint64_t seen = maxQueueDepth_.load(std::memory_order_relaxed);
     while (seen < depth &&

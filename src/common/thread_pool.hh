@@ -88,6 +88,12 @@ class ThreadPool
     std::deque<std::function<void()>> queue_;
     bool stopping_ = false;
     std::vector<std::thread> workers_;
+    // Utilization counters are relaxed atomics: they are monotone
+    // sums/maxima with no payload, so no acquire/release pairing is
+    // required. Exact totals are only read after the pool quiesces —
+    // the destructor's join() (or a submit future's get()) supplies
+    // the happens-before that makes every relaxed update visible;
+    // mid-run reads are advisory snapshots and may lag.
     std::atomic<uint64_t> tasksSubmitted_{0};
     std::atomic<uint64_t> tasksCompleted_{0};
     std::atomic<uint64_t> maxQueueDepth_{0};

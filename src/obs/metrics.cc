@@ -9,7 +9,16 @@ namespace gopim::obs {
 
 namespace {
 
-/** Relaxed atomic double accumulation (CAS loop; C++20-portable). */
+/**
+ * Relaxed atomic double accumulation (CAS loop; C++20-portable).
+ * Relaxed on both the load and the CAS is correct here: the loop
+ * only needs atomicity of each individual read-modify-write, not
+ * ordering against other memory — sums are commutative and the
+ * final value is read after the writers are joined (see the
+ * ordering notes in metrics.hh). On CAS failure `current` is
+ * refreshed with the observed value, so progress never depends on
+ * ordering either.
+ */
 void
 addDouble(std::atomic<double> &target, double delta)
 {
@@ -24,6 +33,9 @@ addDouble(std::atomic<double> &target, double delta)
 void
 Gauge::recordMax(int64_t v)
 {
+    // Relaxed CAS max: the high-water mark is monotone, so any
+    // interleaving of concurrent recordMax calls converges to the
+    // same value; no surrounding memory is published through it.
     int64_t current = value_.load(std::memory_order_relaxed);
     while (current < v &&
            !value_.compare_exchange_weak(current, v,

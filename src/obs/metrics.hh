@@ -42,7 +42,19 @@
 
 namespace gopim::obs {
 
-/** Monotonic sum; relaxed atomic adds, order-independent total. */
+/**
+ * Monotonic sum; relaxed atomic adds, order-independent total.
+ *
+ * Memory ordering: relaxed is sufficient on every access because a
+ * counter carries no payload besides its own value — no other memory
+ * is published through it, so no acquire/release edge is needed.
+ * Readers that require the *final* total (the --metrics-out export)
+ * already synchronize with the writers through a stronger mechanism
+ * — future.get() / thread join in ThreadPool — which orders all
+ * prior relaxed adds before the read. A concurrent mid-run read is
+ * allowed to see a momentarily stale total; that is the documented
+ * contract of a live stats snapshot.
+ */
 class Counter
 {
   public:
@@ -94,6 +106,16 @@ class Gauge
  * value <= bounds[i] (first matching bucket); one implicit overflow
  * bucket catches everything above the last bound. Bucket counts,
  * total count, and sum are all atomic relaxed adds.
+ *
+ * Memory ordering: the three cells touched by observe() (bucket,
+ * count_, sum_) are updated as independent relaxed operations, not
+ * as one transaction. A concurrent reader may therefore see count()
+ * briefly ahead of sum() or of the bucket totals. That skew is
+ * deliberate: exported snapshots are taken after the recording
+ * threads quiesce (join/future.get() provides the happens-before),
+ * where every relaxed add is visible and the triple is consistent.
+ * Strengthening to acq_rel would serialize the hot path for a
+ * consistency level no reader relies on.
  */
 class Histogram
 {

@@ -50,6 +50,9 @@ class ResultCache
     size_t capacity_;
     /** Front = most recently used. */
     std::list<std::pair<std::string, std::string>> lru_;
+    // gopim-lint: allow(determinism-unordered) pure point lookups
+    // into the LRU list; recency order lives in lru_, and no output
+    // path iterates this index.
     std::unordered_map<
         std::string,
         std::list<std::pair<std::string, std::string>>::iterator>

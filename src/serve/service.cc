@@ -40,8 +40,8 @@ errorLine(const std::string &id, const RequestError &error)
 Service::Service(ServiceConfig config)
     : config_(std::move(config)),
       maxQueue_(config_.maxQueue),
-      pool_(ThreadPool::resolveJobs(config_.jobs)),
-      cache_(config_.cacheCapacity)
+      cache_(config_.cacheCapacity),
+      pool_(ThreadPool::resolveJobs(config_.jobs))
 {
     if (maxQueue_ == 0)
         maxQueue_ = 2 * pool_.threadCount();
@@ -63,10 +63,13 @@ Service::acquireQueueSlot()
 void
 Service::releaseQueueSlot()
 {
-    {
-        std::lock_guard<std::mutex> lock(queueMutex_);
-        --pendingJobs_;
-    }
+    // Notify while still holding the lock: drain() (called from
+    // ~Service) must not be able to observe pendingJobs_ == 0 and
+    // proceed to destruction while this broadcast is still touching
+    // queueCv_. Notify-after-unlock here was a TSan-reported race
+    // against pthread_cond_destroy.
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    --pendingJobs_;
     queueCv_.notify_all();
 }
 

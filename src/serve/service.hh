@@ -148,12 +148,14 @@ class Service
 
     ServiceConfig config_;
     size_t maxQueue_;
-    ThreadPool pool_;
     ResultCache cache_;
 
     /** Serializes dispatch: counters + coalescing map. */
     mutable std::mutex dispatchMutex_;
     /** In-flight result futures for request coalescing. */
+    // gopim-lint: allow(determinism-unordered) keyed lookups and a
+    // readiness sweep only; iteration order never reaches response
+    // bytes (responses are emitted in request order from the deque).
     std::unordered_map<std::string, std::shared_future<std::string>>
         inflight_;
     uint64_t hits_ = 0;
@@ -164,6 +166,14 @@ class Service
     std::mutex queueMutex_;
     std::condition_variable queueCv_;
     size_t pendingJobs_ = 0;
+
+    // Declared last on purpose: destruction runs in reverse order,
+    // so ~ThreadPool joins every worker before the cache, the
+    // dispatch state, and the backpressure cv/mutex above are torn
+    // down — workers may touch all of them right up to task exit
+    // (TSan pinned the ~Service vs releaseQueueSlot race this
+    // ordering removes).
+    ThreadPool pool_;
 };
 
 } // namespace gopim::serve

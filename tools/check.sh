@@ -1,21 +1,53 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, and run the full test suite,
-# then repeat the build with ASan+UBSan (GOPIM_SANITIZE) and run the
-# suite again under the sanitizers. Exits non-zero on any failure.
+# Repo verification, three tiers:
 #
-# Usage: tools/check.sh [--no-sanitize]
+#   tier 1 (always): plain build + full ctest, then static analysis —
+#          gopim_lint over src/ against tools/layering.toml and the
+#          header self-containment target (every .hh compiles
+#          standalone).
+#   tier 2 (default; skip with --no-sanitize): ASan+UBSan build
+#          (GOPIM_SANITIZE="address;undefined") + full ctest.
+#   tier 3 (--tsan only): ThreadSanitizer build
+#          (GOPIM_SANITIZE="thread") + the concurrency-labeled test
+#          set (thread pool, serve stress, parallel runGrid, metrics)
+#          — the suites that back the "bit-identical for any --jobs"
+#          guarantee.
+#
+# Usage: tools/check.sh [--no-sanitize | --tsan]
+#   (no flag)      tiers 1 + 2
+#   --no-sanitize  tier 1 only
+#   --tsan         tier 3 only (CI runs it as its own job)
+#
+# Exits non-zero on any failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
-sanitize=1
-[[ "${1:-}" == "--no-sanitize" ]] && sanitize=0
+mode="default"
+case "${1:-}" in
+    --no-sanitize) mode="plain" ;;
+    --tsan) mode="tsan" ;;
+    "") ;;
+    *) echo "usage: tools/check.sh [--no-sanitize | --tsan]" >&2
+       exit 2 ;;
+esac
 
-# Both builds share one compiler cache when ccache is installed, so
-# the sanitizer pass stops rebuilding the world on repeat runs.
+# All builds share one compiler cache when ccache is installed, so
+# the sanitizer passes stop rebuilding the world on repeat runs.
 launcher=()
 if command -v ccache >/dev/null 2>&1; then
     launcher=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+if [[ "$mode" == "tsan" ]]; then
+    echo "== tier-3: TSan build + concurrency ctest =="
+    cmake -B build-tsan -S . "${launcher[@]}" \
+        -DGOPIM_SANITIZE="thread" >/dev/null
+    cmake --build build-tsan -j "$jobs"
+    ctest --test-dir build-tsan -L concurrency \
+        --output-on-failure -j "$jobs"
+    echo "== tsan checks passed =="
+    exit 0
 fi
 
 echo "== tier-1: plain build + ctest =="
@@ -23,7 +55,11 @@ cmake -B build -S . "${launcher[@]}" >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
-if [[ "$sanitize" == 1 ]]; then
+echo "== tier-1: static analysis (gopim_lint + header check) =="
+./build/tools/gopim_lint src tools/layering.toml
+cmake --build build --target gopim_header_check -j "$jobs"
+
+if [[ "$mode" == "default" ]]; then
     echo "== tier-2: ASan+UBSan build + ctest =="
     cmake -B build-asan -S . "${launcher[@]}" \
         -DGOPIM_SANITIZE="address;undefined" >/dev/null

@@ -1,0 +1,139 @@
+#include "lint/lint.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "lint/rules.hh"
+
+namespace gopim::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool
+isCxxSource(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".hh" || ext == ".cc" || ext == ".hpp" ||
+           ext == ".cpp" || ext == ".h" || ext == ".cxx";
+}
+
+bool
+readFile(const fs::path &path, std::string *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    *out = buffer.str();
+    return true;
+}
+
+/** All lintable files under root, relative paths, sorted. */
+std::vector<std::string>
+collectFiles(const fs::path &root, std::string *error)
+{
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator
+             it(root, fs::directory_options::skip_permission_denied,
+                ec),
+         end;
+         it != end; it.increment(ec)) {
+        if (ec) {
+            *error = "walking " + root.string() + ": " + ec.message();
+            return {};
+        }
+        if (it->is_regular_file() && isCxxSource(it->path()))
+            files.push_back(
+                it->path().lexically_relative(root).generic_string());
+    }
+    if (ec)
+        *error = "walking " + root.string() + ": " + ec.message();
+    // Directory iteration order is unspecified; sort so diagnostics
+    // (and therefore CI logs and the report artifact) are stable.
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+} // namespace
+
+int
+runLint(const RunOptions &options, std::ostream &out,
+        std::ostream &err)
+{
+    std::string configText;
+    if (!readFile(options.configPath, &configText)) {
+        err << "gopim_lint: cannot read config '"
+            << options.configPath << "'\n";
+        return 2;
+    }
+    TomlDoc doc;
+    std::string error;
+    if (!TomlDoc::parse(configText, &doc, &error)) {
+        err << options.configPath << ": " << error << "\n";
+        return 2;
+    }
+    Config config;
+    if (!Config::load(doc, &config, &error)) {
+        err << options.configPath << ": " << error << "\n";
+        return 2;
+    }
+
+    const fs::path root(options.root);
+    if (!fs::is_directory(root)) {
+        err << "gopim_lint: '" << options.root
+            << "' is not a directory\n";
+        return 2;
+    }
+
+    Linter linter(std::move(config));
+    linter.checkConfig(options.configPath);
+
+    const std::vector<std::string> files = collectFiles(root, &error);
+    if (!error.empty()) {
+        err << "gopim_lint: " << error << "\n";
+        return 2;
+    }
+    for (const std::string &rel : files) {
+        std::string source;
+        const fs::path full = root / rel;
+        if (!readFile(full, &source)) {
+            err << "gopim_lint: cannot read '" << full.string()
+                << "'\n";
+            return 2;
+        }
+        linter.checkFile((root / rel).generic_string(), rel, source);
+    }
+
+    const std::vector<Diagnostic> &diagnostics =
+        linter.diagnostics();
+    for (const Diagnostic &diagnostic : diagnostics)
+        out << diagnostic.format() << "\n";
+
+    if (!options.reportPath.empty()) {
+        std::ofstream report(options.reportPath);
+        if (!report) {
+            err << "gopim_lint: cannot write report '"
+                << options.reportPath << "'\n";
+            return 2;
+        }
+        for (const Diagnostic &diagnostic : diagnostics)
+            report << diagnostic.format() << "\n";
+        report << "gopim_lint: " << files.size() << " files, "
+               << diagnostics.size() << " violation(s)\n";
+    }
+
+    if (!options.quiet)
+        err << "gopim_lint: " << files.size() << " files, "
+            << diagnostics.size() << " violation(s)\n";
+    return diagnostics.empty() ? 0 : 1;
+}
+
+} // namespace gopim::lint

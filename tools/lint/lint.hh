@@ -1,0 +1,33 @@
+/**
+ * @file
+ * gopim_lint driver: load the rule config, walk a source tree in
+ * deterministic (sorted-path) order, lint every C++ file, and print
+ * `file:line: rule: message` diagnostics.
+ */
+
+#ifndef GOPIM_TOOLS_LINT_LINT_HH
+#define GOPIM_TOOLS_LINT_LINT_HH
+
+#include <iosfwd>
+#include <string>
+
+namespace gopim::lint {
+
+struct RunOptions
+{
+    std::string root;       ///< directory tree to lint
+    std::string configPath; ///< layering/rule TOML file
+    std::string reportPath; ///< also write diagnostics here ("" = no)
+    bool quiet = false;     ///< suppress the summary line
+};
+
+/**
+ * Run the linter. Returns the process exit code: 0 clean, 1 when any
+ * diagnostic fired, 2 on usage/config/IO errors.
+ */
+int runLint(const RunOptions &options, std::ostream &out,
+            std::ostream &err);
+
+} // namespace gopim::lint
+
+#endif // GOPIM_TOOLS_LINT_LINT_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * gopim_lint entry point.
+ *
+ * Usage:
+ *   gopim_lint [--report=FILE] [--quiet] <src-root> <layering.toml>
+ *
+ * Exit codes: 0 clean, 1 violations found, 2 usage/config error.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    gopim::lint::RunOptions options;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--report=", 0) == 0)
+            options.reportPath = arg.substr(9);
+        else if (arg == "--quiet")
+            options.quiet = true;
+        else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: gopim_lint [--report=FILE] [--quiet] "
+                   "<src-root> <layering.toml>\n"
+                   "Static analysis for the GoPIM tree: layering "
+                   "DAG, determinism lint, header hygiene.\n"
+                   "Suppress a finding with '// gopim-lint: "
+                   "allow(<rule>) <reason>'.\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "gopim_lint: unknown option '" << arg
+                      << "'\n";
+            return 2;
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() != 2) {
+        std::cerr << "usage: gopim_lint [--report=FILE] [--quiet] "
+                     "<src-root> <layering.toml>\n";
+        return 2;
+    }
+    options.root = positional[0];
+    options.configPath = positional[1];
+    return gopim::lint::runLint(options, std::cout, std::cerr);
+}

@@ -1,0 +1,544 @@
+#include "lint/rules.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+
+namespace gopim::lint {
+
+namespace {
+
+bool
+contains(const std::vector<std::string> &values,
+         const std::string &value)
+{
+    return std::find(values.begin(), values.end(), value) !=
+           values.end();
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+/** First path component of a '/'-separated relative path, or "". */
+std::string
+moduleOf(const std::string &relPath)
+{
+    const size_t slash = relPath.find('/');
+    return slash == std::string::npos ? std::string()
+                                      : relPath.substr(0, slash);
+}
+
+bool
+isHeaderPath(const std::string &path)
+{
+    return path.ends_with(".hh") || path.ends_with(".hpp") ||
+           path.ends_with(".h");
+}
+
+/** Split a directive body into its keyword and the remainder. */
+void
+splitDirective(const std::string &text, std::string *keyword,
+               std::string *rest)
+{
+    size_t i = 0;
+    while (i < text.size() && !std::isspace(
+                                  static_cast<unsigned char>(text[i])))
+        ++i;
+    *keyword = text.substr(0, i);
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+        ++i;
+    *rest = text.substr(i);
+}
+
+/** Extract the path of a quoted `include "x"`; "" when angled. */
+std::string
+quotedIncludePath(const std::string &rest)
+{
+    if (rest.size() < 2 || rest.front() != '"')
+        return "";
+    const size_t close = rest.find('"', 1);
+    if (close == std::string::npos)
+        return "";
+    return rest.substr(1, close - 1);
+}
+
+/** Code tokens only (no comments/directives), for adjacency logic. */
+std::vector<const Token *>
+codeTokens(const std::vector<Token> &tokens)
+{
+    std::vector<const Token *> out;
+    out.reserve(tokens.size());
+    for (const Token &token : tokens) {
+        if (token.kind != TokKind::Comment &&
+            token.kind != TokKind::Directive)
+            out.push_back(&token);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+Diagnostic::format() const
+{
+    return file + ":" + std::to_string(line) + ": " + rule + ": " +
+           message;
+}
+
+bool
+Config::load(const TomlDoc &doc, Config *config, std::string *error)
+{
+    if (!doc.hasSection("layers")) {
+        *error = "config has no [layers] section";
+        return false;
+    }
+    for (const std::string &module : doc.keys("layers"))
+        config->layers[module] = *doc.find("layers", module);
+
+    if (const auto *v = doc.find("constraints", "no_incoming"))
+        config->noIncoming = *v;
+    if (doc.hasSection("interfaces")) {
+        for (const std::string &module : doc.keys("interfaces"))
+            config->interfaces[module] =
+                *doc.find("interfaces", module);
+    }
+    if (const auto *v = doc.find("determinism", "rng_helpers"))
+        config->rngHelpers = *v;
+    if (const auto *v = doc.find("determinism", "clock_modules"))
+        config->clockModules = *v;
+    if (const auto *v = doc.find("determinism", "output_modules"))
+        config->outputModules = *v;
+    if (const auto *v = doc.find("hygiene", "guard_prefix");
+        v && !v->empty())
+        config->guardPrefix = v->front();
+    return true;
+}
+
+Linter::Linter(Config config) : config_(std::move(config)) {}
+
+const std::set<std::string> &
+Linter::knownRules()
+{
+    static const std::set<std::string> rules = {
+        "layering-cycle",          "layering-unknown-module",
+        "layering-undeclared",     "layering-no-incoming",
+        "layering-interface",      "determinism-rand",
+        "determinism-random-device", "determinism-time",
+        "determinism-clock",       "determinism-unordered",
+        "hygiene-guard",           "hygiene-guard-name",
+        "hygiene-using-namespace", "allow-missing-reason",
+        "allow-unknown-rule",
+    };
+    return rules;
+}
+
+void
+Linter::checkConfig(const std::string &configPath)
+{
+    const auto diagnose = [&](const std::string &rule,
+                              const std::string &message) {
+        diagnostics_.push_back({configPath, 1, rule, message});
+    };
+
+    for (const auto &[module, deps] : config_.layers) {
+        for (const std::string &dep : deps) {
+            if (!config_.layers.count(dep))
+                diagnose("layering-unknown-module",
+                         "module '" + module +
+                             "' declares dependency on undeclared "
+                             "module '" +
+                             dep + "'");
+        }
+    }
+    for (const std::string &module : config_.noIncoming) {
+        if (!config_.layers.count(module))
+            diagnose("layering-unknown-module",
+                     "no_incoming names undeclared module '" +
+                         module + "'");
+    }
+    for (const auto &[module, headers] : config_.interfaces) {
+        (void)headers;
+        if (!config_.layers.count(module))
+            diagnose("layering-unknown-module",
+                     "[interfaces] names undeclared module '" +
+                         module + "'");
+    }
+
+    // Cycle detection: iterative DFS with colors over declared edges.
+    enum class Color { White, Grey, Black };
+    std::map<std::string, Color> color;
+    for (const auto &[module, deps] : config_.layers) {
+        (void)deps;
+        color[module] = Color::White;
+    }
+    std::vector<std::string> path;
+    const std::function<void(const std::string &)> visit =
+        [&](const std::string &module) {
+            color[module] = Color::Grey;
+            path.push_back(module);
+            for (const std::string &dep :
+                 config_.layers.at(module)) {
+                if (!config_.layers.count(dep))
+                    continue; // reported above
+                if (color[dep] == Color::Grey) {
+                    std::string cycle = dep;
+                    for (auto it = std::find(path.begin(), path.end(),
+                                             dep) + 1;
+                         it != path.end(); ++it)
+                        cycle += " -> " + *it;
+                    cycle += " -> " + dep;
+                    diagnose("layering-cycle",
+                             "dependency cycle: " + cycle);
+                } else if (color[dep] == Color::White) {
+                    visit(dep);
+                }
+            }
+            path.pop_back();
+            color[module] = Color::Black;
+        };
+    for (const auto &[module, deps] : config_.layers) {
+        (void)deps;
+        if (color[module] == Color::White)
+            visit(module);
+    }
+}
+
+void
+Linter::collectAllows(FileContext &ctx)
+{
+    // Lines that carry at least one non-comment token: a comment on
+    // such a line covers that line; a comment alone on its line
+    // covers the line below it.
+    std::set<int> codeLines;
+    for (const Token &token : ctx.tokens) {
+        if (token.kind != TokKind::Comment)
+            codeLines.insert(token.line);
+    }
+
+    for (const Token &token : ctx.tokens) {
+        if (token.kind != TokKind::Comment)
+            continue;
+        const size_t tag = token.text.find("gopim-lint:");
+        if (tag == std::string::npos)
+            continue;
+        const std::string body =
+            trim(token.text.substr(tag + std::string("gopim-lint:")
+                                             .size()));
+        const bool wellFormed =
+            body.rfind("allow(", 0) == 0 &&
+            body.find(')') != std::string::npos;
+        if (!wellFormed) {
+            diagnostics_.push_back(
+                {ctx.displayPath, token.line, "allow-unknown-rule",
+                 "malformed gopim-lint directive (expected "
+                 "'gopim-lint: allow(<rule>) <reason>')"});
+            continue;
+        }
+        const size_t close = body.find(')');
+        Allow allow;
+        allow.rule = trim(body.substr(6, close - 6));
+        allow.line = token.line;
+        const std::string reason = trim(body.substr(close + 1));
+        allow.hasReason = !reason.empty();
+
+        if (!knownRules().count(allow.rule)) {
+            diagnostics_.push_back(
+                {ctx.displayPath, token.line, "allow-unknown-rule",
+                 "allow() names unknown rule '" + allow.rule + "'"});
+            continue;
+        }
+        if (!allow.hasReason)
+            diagnostics_.push_back(
+                {ctx.displayPath, token.line, "allow-missing-reason",
+                 "allow(" + allow.rule +
+                     ") must carry a reason after the closing "
+                     "parenthesis"});
+
+        // A trailing allow covers its own line; a standalone comment
+        // covers the next line that carries code, so a directive may
+        // sit anywhere inside the comment block above its target.
+        if (codeLines.count(token.line)) {
+            ctx.allows[token.line].push_back(allow);
+        } else if (const auto next =
+                       codeLines.upper_bound(token.line);
+                   next != codeLines.end()) {
+            ctx.allows[*next].push_back(allow);
+        }
+    }
+}
+
+void
+Linter::report(FileContext &ctx, int line, const std::string &rule,
+               const std::string &message)
+{
+    const auto it = ctx.allows.find(line);
+    if (it != ctx.allows.end()) {
+        for (const Allow &allow : it->second) {
+            if (allow.rule == rule)
+                return; // suppressed
+        }
+    }
+    diagnostics_.push_back({ctx.displayPath, line, rule, message});
+}
+
+void
+Linter::checkFile(const std::string &displayPath,
+                  const std::string &relPath,
+                  const std::string &source)
+{
+    FileContext ctx;
+    ctx.displayPath = displayPath;
+    ctx.relPath = relPath;
+    ctx.module = moduleOf(relPath);
+    ctx.tokens = tokenize(source);
+    collectAllows(ctx);
+    checkLayering(ctx);
+    checkDeterminism(ctx);
+    if (isHeaderPath(relPath))
+        checkHygiene(ctx);
+}
+
+void
+Linter::checkLayering(FileContext &ctx)
+{
+    if (ctx.module.empty())
+        return;
+    if (!config_.layers.count(ctx.module)) {
+        report(ctx, 1, "layering-unknown-module",
+               "module '" + ctx.module +
+                   "' is not declared in [layers]");
+        return;
+    }
+    const std::vector<std::string> &allowed =
+        config_.layers.at(ctx.module);
+
+    for (const Token &token : ctx.tokens) {
+        if (token.kind != TokKind::Directive)
+            continue;
+        std::string keyword, rest;
+        splitDirective(token.text, &keyword, &rest);
+        if (keyword != "include")
+            continue;
+        const std::string path = quotedIncludePath(rest);
+        if (path.empty())
+            continue; // angled include: outside the layering DAG
+        const std::string dep = moduleOf(path);
+        if (dep.empty() || !config_.layers.count(dep))
+            continue; // relative or non-module include
+        if (dep == ctx.module)
+            continue;
+        if (contains(config_.noIncoming, dep)) {
+            report(ctx, token.line, "layering-no-incoming",
+                   "module '" + dep +
+                       "' must not be included by other modules "
+                       "(declared no_incoming)");
+            continue;
+        }
+        if (!contains(allowed, dep)) {
+            report(ctx, token.line, "layering-undeclared",
+                   "'" + ctx.module + "' -> '" + dep +
+                       "' is not a declared edge in the layering "
+                       "DAG");
+            continue;
+        }
+        if (const auto it = config_.interfaces.find(dep);
+            it != config_.interfaces.end() &&
+            !contains(it->second, path)) {
+            report(ctx, token.line, "layering-interface",
+                   "'" + path + "' is not a registered interface "
+                                "header of module '" +
+                       dep + "'");
+        }
+    }
+}
+
+void
+Linter::checkDeterminism(FileContext &ctx)
+{
+    if (contains(config_.rngHelpers, ctx.relPath))
+        return; // the sanctioned seeded-RNG implementation
+
+    const std::vector<const Token *> code = codeTokens(ctx.tokens);
+    const auto at = [&](size_t i) -> const Token * {
+        return i < code.size() ? code[i] : nullptr;
+    };
+
+    // True when the identifier at `i` is a free (or std::) use — not
+    // a member access and not qualified by a project namespace.
+    const auto freeOrStd = [&](size_t i) {
+        if (i == 0)
+            return true;
+        const std::string &prev = code[i - 1]->text;
+        if (prev == "." || prev == "->")
+            return false;
+        if (prev == "::")
+            return i >= 2 && code[i - 2]->text == "std";
+        return true;
+    };
+
+    const bool clockAllowed =
+        contains(config_.clockModules, ctx.module);
+    const bool outputModule =
+        contains(config_.outputModules, ctx.module);
+
+    for (size_t i = 0; i < code.size(); ++i) {
+        const Token &token = *code[i];
+        if (token.kind != TokKind::Identifier)
+            continue;
+        const Token *next = at(i + 1);
+        const bool call = next && next->text == "(";
+
+        if ((token.text == "rand" || token.text == "srand") && call &&
+            freeOrStd(i)) {
+            report(ctx, token.line, "determinism-rand",
+                   token.text +
+                       "() is banned; draw from a seeded "
+                       "common::Rng instead");
+        } else if (token.text == "random_device" && freeOrStd(i)) {
+            report(ctx, token.line, "determinism-random-device",
+                   "std::random_device seeds nondeterministically; "
+                   "thread an explicit seed through common::Rng");
+        } else if (token.text == "time" && call && freeOrStd(i)) {
+            report(ctx, token.line, "determinism-time",
+                   "time() reads the wall clock; simulator state "
+                   "must not depend on host time");
+        } else if (token.text == "system_clock" ||
+                   token.text == "high_resolution_clock") {
+            report(ctx, token.line, "determinism-clock",
+                   "std::chrono::" + token.text +
+                       " is banned in src/; host timing belongs in "
+                       "obs::ProfileSpan");
+        } else if (token.text == "steady_clock" && !clockAllowed) {
+            report(ctx, token.line, "determinism-clock",
+                   "steady_clock reads outside the sanctioned "
+                   "timing module; use obs::ProfileSpan / "
+                   "obs::profileNowUs");
+        } else if ((token.text == "unordered_map" ||
+                    token.text == "unordered_set") &&
+                   outputModule) {
+            report(ctx, token.line, "determinism-unordered",
+                   "std::" + token.text +
+                       " in an output-producing module; iteration "
+                       "order is unspecified — use std::map/std::set "
+                       "or justify with an allow()");
+        }
+    }
+}
+
+void
+Linter::checkHygiene(FileContext &ctx)
+{
+    // --- include guard ---------------------------------------------
+    std::string canonical = config_.guardPrefix;
+    for (char c : ctx.relPath) {
+        canonical += std::isalnum(static_cast<unsigned char>(c))
+                         ? static_cast<char>(std::toupper(
+                               static_cast<unsigned char>(c)))
+                         : '_';
+    }
+
+    std::vector<const Token *> directives;
+    for (const Token &token : ctx.tokens) {
+        if (token.kind == TokKind::Directive)
+            directives.push_back(&token);
+    }
+
+    if (directives.empty()) {
+        report(ctx, 1, "hygiene-guard",
+               "header has no include guard (expected #ifndef " +
+                   canonical + ")");
+    } else {
+        std::string keyword, rest;
+        splitDirective(directives.front()->text, &keyword, &rest);
+        const int guardLine = directives.front()->line;
+        if (keyword == "pragma" && trim(rest) == "once") {
+            report(ctx, guardLine, "hygiene-guard",
+                   "#pragma once; repo style is #ifndef guards "
+                   "(expected " +
+                       canonical + ")");
+        } else if (keyword != "ifndef") {
+            report(ctx, guardLine, "hygiene-guard",
+                   "first directive is #" + keyword +
+                       ", expected the include guard #ifndef " +
+                       canonical);
+        } else {
+            const std::string guard = trim(rest);
+            std::string defineKeyword, defineRest;
+            if (directives.size() < 2)
+                report(ctx, guardLine, "hygiene-guard",
+                       "include guard #ifndef without a matching "
+                       "#define");
+            else {
+                splitDirective(directives[1]->text, &defineKeyword,
+                               &defineRest);
+                if (defineKeyword != "define" ||
+                    trim(defineRest) != guard)
+                    report(ctx, directives[1]->line, "hygiene-guard",
+                           "include guard #define does not match "
+                           "#ifndef " +
+                               guard);
+            }
+            if (guard != canonical)
+                report(ctx, guardLine, "hygiene-guard-name",
+                       "guard '" + guard + "' should be '" +
+                           canonical + "'");
+            std::string lastKeyword, lastRest;
+            splitDirective(directives.back()->text, &lastKeyword,
+                           &lastRest);
+            if (lastKeyword != "endif")
+                report(ctx, directives.back()->line, "hygiene-guard",
+                       "header does not end with the guard's "
+                       "#endif");
+        }
+    }
+
+    // --- using namespace at header scope ---------------------------
+    // Track whether each open brace is a namespace body; `using
+    // namespace` is flagged only when every enclosing brace is one
+    // (i.e. namespace or global scope — not inside an inline
+    // function body).
+    const std::vector<const Token *> code = codeTokens(ctx.tokens);
+    std::vector<bool> braceIsNamespace;
+    for (size_t i = 0; i < code.size(); ++i) {
+        const std::string &text = code[i]->text;
+        if (text == "{") {
+            bool ns = false;
+            // namespace [A[::B]...] {  — scan back over the name.
+            size_t j = i;
+            while (j > 0 &&
+                   (code[j - 1]->kind == TokKind::Identifier ||
+                    code[j - 1]->text == "::"))
+                --j;
+            if (j > 0 && code[j - 1]->text == "namespace")
+                ns = true;
+            braceIsNamespace.push_back(ns);
+            continue;
+        }
+        if (text == "}") {
+            if (!braceIsNamespace.empty())
+                braceIsNamespace.pop_back();
+            continue;
+        }
+        if (text == "using" && i + 1 < code.size() &&
+            code[i + 1]->text == "namespace") {
+            const bool headerScope =
+                std::all_of(braceIsNamespace.begin(),
+                            braceIsNamespace.end(),
+                            [](bool ns) { return ns; });
+            if (headerScope)
+                report(ctx, code[i]->line, "hygiene-using-namespace",
+                       "'using namespace' at header scope leaks "
+                       "into every includer");
+        }
+    }
+}
+
+} // namespace gopim::lint

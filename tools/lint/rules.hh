@@ -1,0 +1,141 @@
+/**
+ * @file
+ * gopim_lint rule engine: the three rule families (layering DAG,
+ * determinism, header hygiene) over the token stream produced by
+ * lint/tokenizer.hh, configured from tools/layering.toml.
+ *
+ * Rule ids (used in diagnostics and `gopim-lint: allow(<rule>)`):
+ *   layering-cycle            declared module DAG contains a cycle
+ *   layering-unknown-module   file's module absent from [layers]
+ *   layering-undeclared       #include edge not declared in [layers]
+ *   layering-no-incoming      module listed in no_incoming is included
+ *   layering-interface        include bypasses a module's interface
+ *                             header allowlist ([interfaces])
+ *   determinism-rand          rand()/srand() call
+ *   determinism-random-device std::random_device outside rng helpers
+ *   determinism-time          time()/std::time() call
+ *   determinism-clock         system/high_resolution/steady clock
+ *                             outside the sanctioned timing module
+ *   determinism-unordered     unordered_{map,set} in a module that
+ *                             produces simulator output
+ *   hygiene-guard             missing/malformed include guard
+ *   hygiene-guard-name        guard name != canonical GOPIM_<PATH>_HH
+ *   hygiene-using-namespace   `using namespace` at header scope
+ *   allow-missing-reason      allow(...) without a justification
+ *   allow-unknown-rule        allow(...) naming no known rule
+ */
+
+#ifndef GOPIM_TOOLS_LINT_RULES_HH
+#define GOPIM_TOOLS_LINT_RULES_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/tokenizer.hh"
+#include "lint/toml.hh"
+
+namespace gopim::lint {
+
+struct Diagnostic
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+
+    /** Render as `file:line: rule: message`. */
+    std::string format() const;
+};
+
+/** Rule configuration, loaded from the layering TOML file. */
+struct Config
+{
+    /** Module -> modules it may include from ([layers]). */
+    std::map<std::string, std::vector<std::string>> layers;
+    /** Modules nothing may include ([constraints] no_incoming). */
+    std::vector<std::string> noIncoming;
+    /** Module -> its only includable headers ([interfaces]). */
+    std::map<std::string, std::vector<std::string>> interfaces;
+    /** Files exempt from RNG bans ([determinism] rng_helpers). */
+    std::vector<std::string> rngHelpers;
+    /** Modules where steady_clock is allowed ([determinism]
+     *  clock_modules). */
+    std::vector<std::string> clockModules;
+    /** Modules whose files produce simulator output ([determinism]
+     *  output_modules): unordered containers are flagged there. */
+    std::vector<std::string> outputModules;
+    /** Include-guard prefix ([hygiene] guard_prefix). */
+    std::string guardPrefix = "GOPIM_";
+
+    /** Load from parsed TOML; false + `error` on bad shape. */
+    static bool load(const TomlDoc &doc, Config *config,
+                     std::string *error);
+};
+
+/**
+ * Stateful linter: feed it files, collect diagnostics. Not
+ * thread-safe; the driver lints files sequentially so diagnostics
+ * stay in deterministic (sorted path) order.
+ */
+class Linter
+{
+  public:
+    explicit Linter(Config config);
+
+    /** All rule ids allow(...) may name. */
+    static const std::set<std::string> &knownRules();
+
+    /**
+     * Validate the declared DAG itself (cycles, deps on undeclared
+     * modules). Diagnostics are attributed to `configPath`.
+     */
+    void checkConfig(const std::string &configPath);
+
+    /**
+     * Lint one file. `displayPath` is printed in diagnostics;
+     * `relPath` is the path relative to the scan root (determines
+     * the module and the canonical guard name).
+     */
+    void checkFile(const std::string &displayPath,
+                   const std::string &relPath,
+                   const std::string &source);
+
+    const std::vector<Diagnostic> &
+    diagnostics() const
+    {
+        return diagnostics_;
+    }
+
+  private:
+    struct Allow
+    {
+        std::string rule;
+        bool hasReason = false;
+        int line = 0;
+    };
+    struct FileContext
+    {
+        std::string displayPath;
+        std::string relPath;
+        std::string module;
+        std::vector<Token> tokens;
+        /** line -> allow directives that cover it. */
+        std::map<int, std::vector<Allow>> allows;
+    };
+
+    void collectAllows(FileContext &ctx);
+    void report(FileContext &ctx, int line, const std::string &rule,
+                const std::string &message);
+    void checkLayering(FileContext &ctx);
+    void checkDeterminism(FileContext &ctx);
+    void checkHygiene(FileContext &ctx);
+
+    Config config_;
+    std::vector<Diagnostic> diagnostics_;
+};
+
+} // namespace gopim::lint
+
+#endif // GOPIM_TOOLS_LINT_RULES_HH

@@ -1,0 +1,377 @@
+#include "lint/tokenizer.hh"
+
+#include <cctype>
+
+namespace gopim::lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer
+{
+  public:
+    Lexer(const std::string &source, std::vector<std::string> *errors)
+        : src_(source), errors_(errors)
+    {
+    }
+
+    std::vector<Token>
+    run()
+    {
+        while (pos_ < src_.size())
+            next();
+        return std::move(tokens_);
+    }
+
+  private:
+    char
+    peek(size_t ahead = 0) const
+    {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = src_[pos_++];
+        if (c == '\n')
+            ++line_;
+        return c;
+    }
+
+    void
+    error(const std::string &message)
+    {
+        if (errors_)
+            errors_->push_back("line " + std::to_string(line_) +
+                               ": " + message);
+    }
+
+    void
+    emit(TokKind kind, std::string text, int startLine)
+    {
+        tokens_.push_back({kind, std::move(text), startLine});
+    }
+
+    /** At a newline boundary (only whitespace seen since)? */
+    bool
+    atLineStart() const
+    {
+        size_t i = pos_;
+        while (i > 0) {
+            char c = src_[i - 1];
+            if (c == '\n')
+                return true;
+            if (c != ' ' && c != '\t' && c != '\r')
+                return false;
+            --i;
+        }
+        return true; // start of file
+    }
+
+    void
+    lexLineComment()
+    {
+        const int start = line_;
+        pos_ += 2;
+        std::string text;
+        while (pos_ < src_.size() && peek() != '\n')
+            text += advance();
+        emit(TokKind::Comment, text, start);
+    }
+
+    void
+    lexBlockComment()
+    {
+        const int start = line_;
+        pos_ += 2;
+        std::string text;
+        while (pos_ < src_.size()) {
+            if (peek() == '*' && peek(1) == '/') {
+                pos_ += 2;
+                emit(TokKind::Comment, text, start);
+                return;
+            }
+            text += advance();
+        }
+        error("unterminated block comment");
+        emit(TokKind::Comment, text, start);
+    }
+
+    /** Quoted literal with backslash escapes; `quote` is ' or ". */
+    void
+    lexQuoted(char quote)
+    {
+        const int start = line_;
+        std::string text;
+        advance(); // opening quote
+        while (pos_ < src_.size()) {
+            char c = peek();
+            if (c == '\\' && pos_ + 1 < src_.size()) {
+                text += advance();
+                text += advance();
+                continue;
+            }
+            if (c == quote) {
+                advance();
+                emit(quote == '"' ? TokKind::String : TokKind::CharLit,
+                     text, start);
+                return;
+            }
+            if (c == '\n') {
+                error("unterminated literal");
+                break;
+            }
+            text += advance();
+        }
+        if (pos_ >= src_.size())
+            error("unterminated literal");
+        emit(quote == '"' ? TokKind::String : TokKind::CharLit, text,
+             start);
+    }
+
+    /** R"delim( ... )delim" — no escapes inside. */
+    void
+    lexRawString()
+    {
+        const int start = line_;
+        pos_ += 2; // R"
+        std::string delim;
+        while (pos_ < src_.size() && peek() != '(')
+            delim += advance();
+        if (pos_ < src_.size())
+            advance(); // (
+        const std::string close = ")" + delim + "\"";
+        std::string text;
+        while (pos_ < src_.size()) {
+            if (src_.compare(pos_, close.size(), close) == 0) {
+                for (size_t i = 0; i < close.size(); ++i)
+                    advance();
+                emit(TokKind::String, text, start);
+                return;
+            }
+            text += advance();
+        }
+        error("unterminated raw string");
+        emit(TokKind::String, text, start);
+    }
+
+    /**
+     * Whole preprocessor directive as one token. Line continuations
+     * are joined; comments inside the directive are dropped.
+     */
+    void
+    lexDirective()
+    {
+        const int start = line_;
+        advance(); // #
+        std::string text;
+        while (pos_ < src_.size()) {
+            char c = peek();
+            if (c == '\\' &&
+                (peek(1) == '\n' ||
+                 (peek(1) == '\r' && peek(2) == '\n'))) {
+                advance();
+                while (pos_ < src_.size() && peek() != '\n')
+                    advance();
+                if (pos_ < src_.size())
+                    advance();
+                text += ' ';
+                continue;
+            }
+            if (c == '\n')
+                break;
+            if (c == '/' && peek(1) == '/') {
+                // Trailing comment still belongs to lint (allow
+                // directives may sit after #include lines).
+                lexDirectiveTrailingComment(text, start);
+                return;
+            }
+            if (c == '/' && peek(1) == '*') {
+                lexBlockCommentInto(nullptr);
+                text += ' ';
+                continue;
+            }
+            if (c == '"') {
+                text += '"';
+                advance();
+                while (pos_ < src_.size() && peek() != '"' &&
+                       peek() != '\n') {
+                    if (peek() == '\\')
+                        text += advance();
+                    text += advance();
+                }
+                if (pos_ < src_.size() && peek() == '"') {
+                    text += advance();
+                }
+                continue;
+            }
+            text += advance();
+        }
+        emit(TokKind::Directive, trim(text), start);
+    }
+
+    void
+    lexDirectiveTrailingComment(std::string &text, int start)
+    {
+        emit(TokKind::Directive, trim(text), start);
+        lexLineComment();
+    }
+
+    void
+    lexBlockCommentInto(std::string *out)
+    {
+        pos_ += 2;
+        while (pos_ < src_.size()) {
+            if (peek() == '*' && peek(1) == '/') {
+                pos_ += 2;
+                return;
+            }
+            char c = advance();
+            if (out)
+                *out += c;
+        }
+        error("unterminated block comment");
+    }
+
+    static std::string
+    trim(const std::string &s)
+    {
+        size_t b = s.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            return "";
+        size_t e = s.find_last_not_of(" \t\r");
+        return s.substr(b, e - b + 1);
+    }
+
+    void
+    lexIdentifier()
+    {
+        const int start = line_;
+        std::string text;
+        while (pos_ < src_.size() && isIdentChar(peek()))
+            text += advance();
+        // Raw / prefixed string literal immediately after an
+        // identifier-like prefix (R"...", u8"...", L"...").
+        if (peek() == '"' &&
+            (text == "R" || text == "u8R" || text == "uR" ||
+             text == "UR" || text == "LR")) {
+            pos_ -= text.size();
+            lexRawString();
+            return;
+        }
+        if (peek() == '"' && (text == "u8" || text == "u" ||
+                              text == "U" || text == "L")) {
+            lexQuoted('"');
+            return;
+        }
+        emit(TokKind::Identifier, text, start);
+    }
+
+    void
+    lexNumber()
+    {
+        const int start = line_;
+        std::string text;
+        // pp-number: digits, letters, dots, and exponent signs.
+        while (pos_ < src_.size()) {
+            char c = peek();
+            if (isIdentChar(c) || c == '.') {
+                text += advance();
+                continue;
+            }
+            if ((c == '+' || c == '-') && !text.empty()) {
+                char last = text.back();
+                if (last == 'e' || last == 'E' || last == 'p' ||
+                    last == 'P') {
+                    text += advance();
+                    continue;
+                }
+            }
+            break;
+        }
+        emit(TokKind::Number, text, start);
+    }
+
+    void
+    next()
+    {
+        char c = peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+            return;
+        }
+        if (c == '/' && peek(1) == '/') {
+            lexLineComment();
+            return;
+        }
+        if (c == '/' && peek(1) == '*') {
+            lexBlockComment();
+            return;
+        }
+        if (c == '#' && atLineStart()) {
+            lexDirective();
+            return;
+        }
+        if (c == '"') {
+            lexQuoted('"');
+            return;
+        }
+        if (c == '\'') {
+            lexQuoted('\'');
+            return;
+        }
+        if (isIdentStart(c)) {
+            lexIdentifier();
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            lexNumber();
+            return;
+        }
+        // Punctuation; keep "::" and "->" whole so rules can check
+        // qualification without reassembling pairs.
+        const int start = line_;
+        if (c == ':' && peek(1) == ':') {
+            pos_ += 2;
+            emit(TokKind::Punct, "::", start);
+            return;
+        }
+        if (c == '-' && peek(1) == '>') {
+            pos_ += 2;
+            emit(TokKind::Punct, "->", start);
+            return;
+        }
+        advance();
+        emit(TokKind::Punct, std::string(1, c), start);
+    }
+
+    const std::string &src_;
+    std::vector<std::string> *errors_;
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+    int line_ = 1;
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &source, std::vector<std::string> *errors)
+{
+    return Lexer(source, errors).run();
+}
+
+} // namespace gopim::lint

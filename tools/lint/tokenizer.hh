@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal C++ tokenizer for gopim_lint. Not a full lexer — it
+ * distinguishes exactly the categories the lint rules need
+ * (identifiers, preprocessor directives, comments, literals,
+ * punctuation) while handling the constructs that break
+ * regex-on-lines approaches: block comments, line continuations,
+ * string escapes, and raw string literals.
+ */
+
+#ifndef GOPIM_TOOLS_LINT_TOKENIZER_HH
+#define GOPIM_TOOLS_LINT_TOKENIZER_HH
+
+#include <string>
+#include <vector>
+
+namespace gopim::lint {
+
+enum class TokKind
+{
+    Identifier, ///< [A-Za-z_][A-Za-z0-9_]*
+    Number,     ///< numeric literal (pp-number; enough to skip over)
+    Punct,      ///< operator/punctuation; "::" and "->" are single tokens
+    String,     ///< string literal, escapes and raw strings included
+    CharLit,    ///< character literal
+    Directive,  ///< whole preprocessor directive, continuations joined
+    Comment,    ///< // or block comment; text holds the comment body
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line = 0; ///< 1-based line the token starts on
+};
+
+/**
+ * Tokenize a source buffer. Never throws; malformed input (unclosed
+ * comment/string) produces a best-effort token stream plus a message
+ * appended to `errors` when non-null.
+ */
+std::vector<Token> tokenize(const std::string &source,
+                            std::vector<std::string> *errors = nullptr);
+
+} // namespace gopim::lint
+
+#endif // GOPIM_TOOLS_LINT_TOKENIZER_HH

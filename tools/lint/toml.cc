@@ -1,0 +1,285 @@
+#include "lint/toml.hh"
+
+#include <cctype>
+
+namespace gopim::lint {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+/** Drop a trailing `# comment` that is not inside a quoted string. */
+std::string
+stripComment(const std::string &line)
+{
+    bool inString = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (c == '"' && (i == 0 || line[i - 1] != '\\'))
+            inString = !inString;
+        else if (c == '#' && !inString)
+            return line.substr(0, i);
+    }
+    return line;
+}
+
+bool
+isBareKeyChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.';
+}
+
+struct Cursor
+{
+    const std::string &text;
+    size_t pos = 0;
+    int line = 1;
+
+    bool
+    done() const
+    {
+        return pos >= text.size();
+    }
+
+    char
+    peek() const
+    {
+        return done() ? '\0' : text[pos];
+    }
+
+    char
+    advance()
+    {
+        char c = text[pos++];
+        if (c == '\n')
+            ++line;
+        return c;
+    }
+};
+
+bool
+parseString(Cursor &cur, std::string *out, std::string *error)
+{
+    cur.advance(); // opening quote
+    std::string value;
+    while (!cur.done()) {
+        char c = cur.peek();
+        if (c == '\\') {
+            cur.advance();
+            char esc = cur.done() ? '\0' : cur.advance();
+            switch (esc) {
+            case 'n': value += '\n'; break;
+            case 't': value += '\t'; break;
+            case '"': value += '"'; break;
+            case '\\': value += '\\'; break;
+            default:
+                *error = "line " + std::to_string(cur.line) +
+                         ": unsupported escape \\" +
+                         std::string(1, esc);
+                return false;
+            }
+            continue;
+        }
+        if (c == '"') {
+            cur.advance();
+            *out = value;
+            return true;
+        }
+        if (c == '\n') {
+            *error = "line " + std::to_string(cur.line) +
+                     ": unterminated string";
+            return false;
+        }
+        value += cur.advance();
+    }
+    *error = "line " + std::to_string(cur.line) +
+             ": unterminated string";
+    return false;
+}
+
+void
+skipArrayFiller(Cursor &cur)
+{
+    while (!cur.done()) {
+        char c = cur.peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            cur.advance();
+            continue;
+        }
+        if (c == '#') {
+            while (!cur.done() && cur.peek() != '\n')
+                cur.advance();
+            continue;
+        }
+        break;
+    }
+}
+
+bool
+parseArray(Cursor &cur, std::vector<std::string> *out,
+           std::string *error)
+{
+    cur.advance(); // [
+    for (;;) {
+        skipArrayFiller(cur);
+        if (cur.done()) {
+            *error = "line " + std::to_string(cur.line) +
+                     ": unterminated array";
+            return false;
+        }
+        if (cur.peek() == ']') {
+            cur.advance();
+            return true;
+        }
+        if (cur.peek() == '"') {
+            std::string value;
+            if (!parseString(cur, &value, error))
+                return false;
+            out->push_back(value);
+        } else {
+            *error = "line " + std::to_string(cur.line) +
+                     ": arrays may hold only strings";
+            return false;
+        }
+        skipArrayFiller(cur);
+        if (cur.peek() == ',') {
+            cur.advance();
+            continue;
+        }
+        if (cur.peek() == ']') {
+            cur.advance();
+            return true;
+        }
+        *error = "line " + std::to_string(cur.line) +
+                 ": expected ',' or ']' in array";
+        return false;
+    }
+}
+
+} // namespace
+
+bool
+TomlDoc::parse(const std::string &text, TomlDoc *doc,
+               std::string *error)
+{
+    Cursor cur{text};
+    std::string section;
+    while (!cur.done()) {
+        // Collect one logical line (arrays may span lines).
+        char c = cur.peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            cur.advance();
+            continue;
+        }
+        if (c == '#') {
+            while (!cur.done() && cur.peek() != '\n')
+                cur.advance();
+            continue;
+        }
+        if (c == '[') {
+            // Section header: rest of the physical line.
+            const int line = cur.line;
+            std::string header;
+            while (!cur.done() && cur.peek() != '\n')
+                header += cur.advance();
+            header = trim(stripComment(header));
+            if (header.size() < 2 || header.back() != ']') {
+                *error = "line " + std::to_string(line) +
+                         ": malformed section header";
+                return false;
+            }
+            section = trim(header.substr(1, header.size() - 2));
+            if (section.empty()) {
+                *error = "line " + std::to_string(line) +
+                         ": empty section name";
+                return false;
+            }
+            continue;
+        }
+        // key = value
+        const int line = cur.line;
+        std::string key;
+        while (!cur.done() && isBareKeyChar(cur.peek()))
+            key += cur.advance();
+        while (!cur.done() &&
+               (cur.peek() == ' ' || cur.peek() == '\t'))
+            cur.advance();
+        if (key.empty() || cur.peek() != '=') {
+            *error = "line " + std::to_string(line) +
+                     ": expected key = value";
+            return false;
+        }
+        cur.advance(); // =
+        while (!cur.done() &&
+               (cur.peek() == ' ' || cur.peek() == '\t'))
+            cur.advance();
+
+        Entry entry;
+        entry.key = key;
+        if (cur.peek() == '[') {
+            if (!parseArray(cur, &entry.values, error))
+                return false;
+        } else if (cur.peek() == '"') {
+            std::string value;
+            if (!parseString(cur, &value, error))
+                return false;
+            entry.values.push_back(value);
+        } else {
+            // Bare scalar: true / false (or a bare word).
+            std::string value;
+            while (!cur.done() && isBareKeyChar(cur.peek()))
+                value += cur.advance();
+            if (value.empty()) {
+                *error = "line " + std::to_string(line) +
+                         ": missing value for key '" + key + "'";
+                return false;
+            }
+            entry.values.push_back(value);
+        }
+        doc->sections_[section].push_back(std::move(entry));
+    }
+    return true;
+}
+
+const std::vector<std::string> *
+TomlDoc::find(const std::string &section, const std::string &key) const
+{
+    const auto it = sections_.find(section);
+    if (it == sections_.end())
+        return nullptr;
+    for (const Entry &entry : it->second) {
+        if (entry.key == key)
+            return &entry.values;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+TomlDoc::keys(const std::string &section) const
+{
+    std::vector<std::string> out;
+    const auto it = sections_.find(section);
+    if (it == sections_.end())
+        return out;
+    out.reserve(it->second.size());
+    for (const Entry &entry : it->second)
+        out.push_back(entry.key);
+    return out;
+}
+
+bool
+TomlDoc::hasSection(const std::string &section) const
+{
+    return sections_.find(section) != sections_.end();
+}
+
+} // namespace gopim::lint

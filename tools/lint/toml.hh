@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal TOML subset reader for gopim_lint rule configuration
+ * (tools/layering.toml). Supports exactly what the config needs:
+ * `[section]` headers, `key = "string"`, `key = true|false`, and
+ * (possibly multi-line) `key = ["a", "b"]` string arrays, with `#`
+ * comments. Every value is stored as a vector of strings; scalars
+ * are single-element vectors.
+ */
+
+#ifndef GOPIM_TOOLS_LINT_TOML_HH
+#define GOPIM_TOOLS_LINT_TOML_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gopim::lint {
+
+/** Parsed TOML document: section -> key -> values (file order kept). */
+class TomlDoc
+{
+  public:
+    /**
+     * Parse `text`. Returns false and sets `error` (with a line
+     * number) on malformed input.
+     */
+    static bool parse(const std::string &text, TomlDoc *doc,
+                      std::string *error);
+
+    /** Values for section.key, or nullptr when absent. */
+    const std::vector<std::string> *find(const std::string &section,
+                                         const std::string &key) const;
+
+    /** Keys of `section` in file order (empty when absent). */
+    std::vector<std::string> keys(const std::string &section) const;
+
+    bool hasSection(const std::string &section) const;
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::vector<std::string> values;
+    };
+    std::map<std::string, std::vector<Entry>> sections_;
+};
+
+} // namespace gopim::lint
+
+#endif // GOPIM_TOOLS_LINT_TOML_HH

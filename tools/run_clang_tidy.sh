@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Run clang-tidy (profile: .clang-tidy) over the src/ files changed
+# since a base ref — or the whole tree when no base is given/found.
+# Headers are covered through HeaderFilterRegex when any .cc that
+# includes them is analyzed; a changed .hh additionally pulls in its
+# sibling .cc so header-only edits still get checked.
+#
+# Usage: tools/run_clang_tidy.sh [base-ref]
+#   BUILD_DIR=build (override with env) must be configured with
+#   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON.
+#
+# Exit: non-zero on clang-tidy errors (compile failures, bad config).
+# Warnings are reported but not fatal — promote individual checks via
+# WarningsAsErrors in .clang-tidy as they reach zero findings.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${BUILD_DIR:-build}"
+base="${1:-}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_clang_tidy: clang-tidy not installed" >&2
+    exit 2
+fi
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+    echo "run_clang_tidy: $build_dir/compile_commands.json missing;" \
+         "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    exit 2
+fi
+
+declare -a files=()
+if [[ -n "$base" ]] && git rev-parse -q --verify "$base^{commit}" \
+        >/dev/null 2>&1; then
+    while IFS= read -r f; do
+        case "$f" in
+        *.cc) files+=("$f") ;;
+        *.hh)
+            sibling="${f%.hh}.cc"
+            [[ -f "$sibling" ]] && files+=("$sibling")
+            ;;
+        esac
+    done < <(git diff --name-only --diff-filter=d "$base"...HEAD \
+                 -- 'src/')
+else
+    [[ -n "$base" ]] &&
+        echo "run_clang_tidy: base '$base' not found; full sweep" >&2
+    while IFS= read -r f; do
+        files+=("$f")
+    done < <(git ls-files 'src/*.cc' 'src/**/*.cc')
+fi
+
+# De-duplicate while preserving order.
+declare -A seen=()
+declare -a unique=()
+for f in "${files[@]:-}"; do
+    [[ -z "$f" || -n "${seen[$f]:-}" ]] && continue
+    seen[$f]=1
+    unique+=("$f")
+done
+
+if [[ ${#unique[@]} -eq 0 ]]; then
+    echo "run_clang_tidy: no changed src/ files; nothing to do"
+    exit 0
+fi
+
+echo "run_clang_tidy: checking ${#unique[@]} file(s)"
+status=0
+for f in "${unique[@]}"; do
+    echo "--- $f"
+    clang-tidy -p "$build_dir" --quiet "$f" || status=$?
+done
+exit "$status"
