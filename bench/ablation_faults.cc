@@ -173,5 +173,6 @@ main(int argc, char **argv)
         inform("wrote fault ablation grid to ", path);
     }
     core::writeMetricsIfRequested(flags, ctx);
+    core::writeIsaTraceIfRequested(flags, ctx);
     return 0;
 }

@@ -44,6 +44,7 @@ main(int argc, char **argv)
                                       core::jobsFromFlags(flags));
     core::writeGridJsonIfRequested(flags, rows);
     core::writeMetricsIfRequested(flags, ctx);
+    core::writeIsaTraceIfRequested(flags, ctx);
 
     harness
         .speedupTable(

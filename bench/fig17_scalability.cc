@@ -119,5 +119,6 @@ main(int argc, char **argv)
     }
     core::writeGridJsonIfRequested(flags, jsonRows);
     core::writeMetricsIfRequested(flags, ctx);
+    core::writeIsaTraceIfRequested(flags, ctx);
     return 0;
 }

@@ -184,6 +184,9 @@ Accelerator::runWithEstimates(
     // context is copied per run to keep this path stateless.
     sim::SimContext ctx = system_.sim;
     ctx.recordWindows = ctx.recordWindows || ctx.traceSink != nullptr;
+    if (ctx.isaRecorder)
+        ctx.isaStreamLabel =
+            system_.name + " on " + workload.dataset.name;
 
     sim::ScheduleRequest request;
     request.stageTimesNs = stageTimes;

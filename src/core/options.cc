@@ -6,7 +6,9 @@
 
 #include "common/logging.hh"
 #include "core/report.hh"
+#include "isa/trace_io.hh"
 #include "obs/metrics.hh"
+#include "sim/replay.hh"
 #include "sim/trace.hh"
 
 namespace gopim::core {
@@ -14,9 +16,9 @@ namespace gopim::core {
 void
 addSimFlags(Flags &flags)
 {
-    flags.addString("engine", "closed",
-                    "timing backend: closed (Eq. 3-6 recurrence) or "
-                    "event (discrete-event flow shop)");
+    // Derived from the engine registry so a newly registered engine
+    // shows up in every binary's --help without touching this file.
+    flags.addString("engine", "closed", sim::engineFlagHelp());
     flags.addInt("seed", 1, "simulation + profile generation seed");
     flags.addInt("jobs", 1,
                  "worker threads for grid runs (0 = all cores)");
@@ -25,6 +27,12 @@ addSimFlags(Flags &flags)
                     "write a Chrome trace_event JSON timeline here");
     flags.addString("metrics-out", "",
                     "write collected metrics as JSON here");
+    flags.addString("isa-trace-out", "",
+                    "record the lowered ISA command streams as a "
+                    "binary trace here");
+    flags.addString("isa-trace-in", "",
+                    "replay a recorded ISA trace instead of "
+                    "scheduling live (implies --engine=replay)");
     flags.addInt("buffer-slots", -1,
                  "event engine: inter-stage input-buffer slots "
                  "(-1 = unbounded)");
@@ -101,6 +109,27 @@ simContextFromFlags(const Flags &flags)
         ctx.traceSink = std::make_shared<sim::ChromeTraceSink>();
     if (!flags.getString("metrics-out").empty())
         ctx.metrics = std::make_shared<obs::MetricsRegistry>();
+    if (!flags.getString("isa-trace-out").empty())
+        ctx.isaRecorder = std::make_shared<isa::StreamRecorder>();
+
+    const std::string traceIn = flags.getString("isa-trace-in");
+    if (!traceIn.empty()) {
+        if (flags.isSet("engine") &&
+            ctx.engine != sim::EngineKind::Replay)
+            fatal("--isa-trace-in implies --engine=replay; drop the "
+                  "conflicting --engine=",
+                  flags.getString("engine"));
+        isa::TraceBundle bundle;
+        std::string error;
+        if (!isa::readTraceFile(traceIn, &bundle, &error))
+            fatal("cannot load --isa-trace-in ", traceIn, ": ",
+                  error);
+        inform("replaying ", bundle.streams.size(),
+               "-stream ISA trace from ", traceIn);
+        ctx.engine = sim::EngineKind::Replay;
+        ctx.engineOverride =
+            std::make_shared<sim::ReplayEngine>(std::move(bundle));
+    }
     return ctx;
 }
 
@@ -150,6 +179,24 @@ writeMetricsIfRequested(const Flags &flags,
                  "metrics-out set but no registry attached");
     ctx.metrics->writeFile(path);
     inform("wrote metrics to ", path);
+}
+
+void
+writeIsaTraceIfRequested(const Flags &flags,
+                         const sim::SimContext &ctx)
+{
+    const std::string path = flags.getString("isa-trace-out");
+    if (path.empty())
+        return;
+    GOPIM_ASSERT(ctx.isaRecorder,
+                 "isa-trace-out set but no stream recorder attached");
+    const isa::TraceBundle bundle = ctx.isaRecorder->bundle();
+    std::string error;
+    if (!isa::writeTraceFile(path, bundle, &error))
+        fatal("cannot write --isa-trace-out: ", error);
+    inform("wrote ", bundle.streams.size(),
+           "-stream ISA trace to ", path,
+           " (inspect with gopim_trace)");
 }
 
 void

@@ -27,11 +27,15 @@ namespace gopim::core {
 
 /**
  * Declare the uniform simulation flags on `flags`:
- *   --engine=closed|event   timing backend
+ *   --engine=NAME           timing backend (the engine registry's
+ *                           aliases: closed, event, replay, ...)
  *   --seed=N                simulation + profile seed
  *   --jobs=N                grid worker threads (0 = all cores)
  *   --trace-out=FILE        Chrome trace_event JSON output
  *   --metrics-out=FILE      metrics registry JSON export
+ *   --isa-trace-out=FILE    record lowered ISA command streams here
+ *   --isa-trace-in=FILE     replay a recorded ISA trace (implies
+ *                           --engine=replay)
  *   --buffer-slots=N        event engine: inter-stage buffer slots
  *   --retry-prob=P          event engine: write-verify retry prob
  *   --write-fraction=F      event engine: write share of stage time
@@ -88,6 +92,14 @@ void writeTraceIfRequested(const Flags &flags,
  */
 void writeMetricsIfRequested(const Flags &flags,
                              const sim::SimContext &ctx);
+
+/**
+ * Write the recorder's collected ISA command streams as a binary
+ * trace to the --isa-trace-out path (isa/trace_io.hh format). No-op
+ * when --isa-trace-out was not given.
+ */
+void writeIsaTraceIfRequested(const Flags &flags,
+                              const sim::SimContext &ctx);
 
 /**
  * Declare --json-out on a harness-driven bench: when non-empty, the

@@ -1,6 +1,7 @@
 #include "core/report.hh"
 
 #include "common/logging.hh"
+#include "sim/engine.hh"
 
 namespace gopim::core {
 
@@ -107,7 +108,13 @@ canonicalRunConfig(const SystemConfig &system,
     policy.set("edge_keep_fraction", system.policy.edgeKeepFraction);
 
     json::Value simCtx = json::Value::object();
-    simCtx.set("engine", sim::toString(system.sim.engine));
+    // The backend that will actually time the run: a plugged-in
+    // override wins over the registry kind (sim::resolveEngine), so
+    // the cache key must follow the same rule or two different
+    // backends could share a cached result.
+    simCtx.set("engine", system.sim.engineOverride
+                             ? system.sim.engineOverride->name()
+                             : sim::toString(system.sim.engine));
     simCtx.set("seed", system.sim.seed);
     simCtx.set("buffer_slots", system.sim.event.inputBufferSlots);
     simCtx.set("replicas_as_servers",

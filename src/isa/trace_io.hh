@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Versioned binary trace format for PIM command streams.
+ *
+ * File layout (all multi-byte integers little-endian):
+ *
+ *   magic   "GPIS"                       4 bytes
+ *   version u16                          currently 1
+ *   count   varint                       number of streams
+ *   streams repeated `count` times:
+ *     length   varint                    payload byte count
+ *     payload  `length` bytes            one encoded CommandStream
+ *     checksum u64                       FNV-1a over the payload
+ *
+ * A stream payload packs the label, the full ScheduleDesc (doubles
+ * as fixed 8-byte IEEE-754 bit patterns — the replay bit-identity
+ * contract), the desc fingerprint (re-verified on read), and the
+ * command records. Small integers use LEB128 varints; command
+ * durations ride as fixed 8-byte bit patterns only on the opcodes
+ * that carry time (CFG_STAGE, MVM, ROW_WRITE, REFRESH).
+ *
+ * The reader is total: magic/version mismatches, truncation at any
+ * byte, checksum or fingerprint corruption, unknown opcodes, and
+ * trailing garbage all surface as distinct error strings, never as
+ * crashes. Encoding is canonical — decode(encode(bundle)) is
+ * byte-exact, which the golden-fixture tests pin.
+ */
+
+#ifndef GOPIM_ISA_TRACE_IO_HH
+#define GOPIM_ISA_TRACE_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace gopim::isa {
+
+/** Current writer format version. */
+inline constexpr uint16_t kTraceFormatVersion = 1;
+
+/** The file magic ("GPIS"). */
+extern const char kTraceMagic[4];
+
+/** An ordered set of command streams, as stored in one trace file. */
+struct TraceBundle
+{
+    std::vector<CommandStream> streams;
+
+    /** Stream with this desc fingerprint, or nullptr. */
+    const CommandStream *find(uint64_t fingerprint) const;
+};
+
+/** Serialize the bundle into the canonical trace byte string. */
+std::string encodeBundle(const TraceBundle &bundle);
+
+/**
+ * Parse trace bytes. Returns false and sets `*error` (when non-null)
+ * on any malformed input; `*bundle` is left empty in that case.
+ */
+bool decodeBundle(const std::string &bytes, TraceBundle *bundle,
+                  std::string *error);
+
+/** Write the bundle to `path`; false + `*error` on I/O failure. */
+bool writeTraceFile(const std::string &path,
+                    const TraceBundle &bundle, std::string *error);
+
+/** Read and decode `path`; false + `*error` on I/O or format error. */
+bool readTraceFile(const std::string &path, TraceBundle *bundle,
+                   std::string *error);
+
+/**
+ * Thread-safe collector the engines record lowered streams into
+ * (attach via sim::SimContext::isaRecorder, drain with
+ * core::writeIsaTraceIfRequested). Streams are keyed by desc
+ * fingerprint: duplicates collapse to one entry whose label is the
+ * lexicographically smallest seen, so the drained bundle is
+ * byte-identical for any worker count or run interleaving.
+ */
+class StreamRecorder
+{
+  public:
+    /** Record one stream (deduplicated by fingerprint). */
+    void record(CommandStream stream);
+
+    /** Streams recorded so far, ordered by fingerprint. */
+    TraceBundle bundle() const;
+
+    size_t streamCount() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<uint64_t, CommandStream> streams_;
+};
+
+} // namespace gopim::isa
+
+#endif // GOPIM_ISA_TRACE_IO_HH

@@ -129,7 +129,7 @@ parseRequest(const json::Value &body, const Request &defaults,
                 return err;
             if (!sim::tryEngineKindFromString(name, &req.sim.engine))
                 return unknownName("engine", name,
-                                   "try closed, event");
+                                   "try " + sim::engineNameList());
         } else if (key == "seed") {
             int64_t seed = 0;
             if (!getInt(value, 0,

@@ -18,12 +18,17 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.hh"
 
 namespace gopim::obs {
 class MetricsRegistry;
 } // namespace gopim::obs
+
+namespace gopim::isa {
+class StreamRecorder;
+} // namespace gopim::isa
 
 namespace gopim::sim {
 
@@ -35,9 +40,36 @@ enum class EngineKind
 {
     ClosedForm,  ///< Eq. 3-6 recurrence (pipeline/schedule)
     EventDriven, ///< discrete-event flow shop (sim/pipeline_sim)
+    Replay,      ///< times an isa:: command stream (sim/replay)
 };
 
-/** Parse "closed"/"event" (as in --engine); fatal() otherwise. */
+/**
+ * One registered timing backend: the single source of truth for its
+ * spellings and one-line summary. Flag help, serve-layer hints, and
+ * parse errors all derive from this table so a new engine cannot
+ * drift out of any of them.
+ */
+struct EngineInfo
+{
+    EngineKind kind;
+    /** Canonical name, as ScheduleEngine::name() reports it. */
+    const char *canonical;
+    /** Short spelling accepted by --engine and serve requests. */
+    const char *alias;
+    /** One-line description for flag help. */
+    const char *summary;
+};
+
+/** All registered engines, in EngineKind declaration order. */
+const std::vector<EngineInfo> &engineRegistry();
+
+/** Comma-separated alias list ("closed, event, replay") for hints. */
+std::string engineNameList();
+
+/** Multi-line --engine help text derived from the registry. */
+std::string engineFlagHelp();
+
+/** Parse an alias or canonical name (--engine); fatal() otherwise. */
 EngineKind engineKindFromString(const std::string &name);
 
 /** Non-fatal parse; returns false on unknown names. */
@@ -99,6 +131,15 @@ struct SimContext
      * without a registry (pinned by tests/test_obs.cc).
      */
     std::shared_ptr<obs::MetricsRegistry> metrics;
+    /**
+     * Optional command-stream collector (--isa-trace-out): every
+     * engine lowers the requests it schedules into isa:: command
+     * streams and records them here. Recording never alters
+     * simulated timing.
+     */
+    std::shared_ptr<isa::StreamRecorder> isaRecorder;
+    /** Label recorded streams carry ("GoPIM on Cora"). */
+    std::string isaStreamLabel;
 
     /** Fresh deterministic generator for one run. */
     Rng makeRng() const { return Rng(seed); }

@@ -6,28 +6,69 @@
 #include "common/math_utils.hh"
 #include "obs/metrics.hh"
 #include "sim/pipeline_sim.hh"
+#include "sim/replay.hh"
 
 namespace gopim::sim {
+
+const std::vector<EngineInfo> &
+engineRegistry()
+{
+    static const std::vector<EngineInfo> registry = {
+        {EngineKind::ClosedForm, "closed-form", "closed",
+         "Eq. 3-6 recurrence"},
+        {EngineKind::EventDriven, "event-driven", "event",
+         "discrete-event flow shop"},
+        {EngineKind::Replay, "replay", "replay",
+         "lower to an ISA command stream and time it via the event "
+         "path"},
+    };
+    return registry;
+}
+
+std::string
+engineNameList()
+{
+    std::string out;
+    for (const EngineInfo &info : engineRegistry()) {
+        if (!out.empty())
+            out += ", ";
+        out += info.alias;
+    }
+    return out;
+}
+
+std::string
+engineFlagHelp()
+{
+    std::string out = "timing backend:";
+    for (const EngineInfo &info : engineRegistry()) {
+        out += " ";
+        out += info.alias;
+        out += " (";
+        out += info.summary;
+        out += ")";
+    }
+    return out;
+}
 
 EngineKind
 engineKindFromString(const std::string &name)
 {
     EngineKind kind;
     if (!tryEngineKindFromString(name, &kind))
-        fatal("unknown engine '", name, "' (try closed, event)");
+        fatal("unknown engine '", name, "' (try ", engineNameList(),
+              ")");
     return kind;
 }
 
 bool
 tryEngineKindFromString(const std::string &name, EngineKind *out)
 {
-    if (name == "closed" || name == "closed-form") {
-        *out = EngineKind::ClosedForm;
-        return true;
-    }
-    if (name == "event" || name == "event-driven") {
-        *out = EngineKind::EventDriven;
-        return true;
+    for (const EngineInfo &info : engineRegistry()) {
+        if (name == info.alias || name == info.canonical) {
+            *out = info.kind;
+            return true;
+        }
     }
     return false;
 }
@@ -35,12 +76,9 @@ tryEngineKindFromString(const std::string &name, EngineKind *out)
 std::string
 toString(EngineKind kind)
 {
-    switch (kind) {
-      case EngineKind::ClosedForm:
-        return "closed-form";
-      case EngineKind::EventDriven:
-        return "event-driven";
-    }
+    for (const EngineInfo &info : engineRegistry())
+        if (info.kind == kind)
+            return info.canonical;
     panic("unknown engine kind");
 }
 
@@ -139,6 +177,7 @@ ClosedFormEngine::schedule(const ScheduleRequest &request,
                            const SimContext &ctx) const
 {
     validate(request);
+    recordStreamIfRequested(request, ctx);
     pipeline::ScheduleResult closed;
     switch (request.regime) {
       case Regime::Serial:
@@ -187,6 +226,15 @@ ClosedFormEngine::schedule(const ScheduleRequest &request,
 StageTimeline
 EventDrivenEngine::schedule(const ScheduleRequest &request,
                             const SimContext &ctx) const
+{
+    recordStreamIfRequested(request, ctx);
+    return scheduleEventPath(request, ctx, "event_driven");
+}
+
+StageTimeline
+scheduleEventPath(const ScheduleRequest &request,
+                  const SimContext &ctx,
+                  const std::string &metricsTag)
 {
     validate(request);
     const size_t numStages = request.stageTimesNs.size();
@@ -296,7 +344,7 @@ EventDrivenEngine::schedule(const ScheduleRequest &request,
                              0.0, 1.0)
                 : 0.0;
     }
-    recordScheduleMetrics(ctx, request, timeline, "event_driven");
+    recordScheduleMetrics(ctx, request, timeline, metricsTag);
     return timeline;
 }
 
@@ -305,11 +353,14 @@ engineFor(EngineKind kind)
 {
     static const ClosedFormEngine closedForm;
     static const EventDrivenEngine eventDriven;
+    static const ReplayEngine replay;
     switch (kind) {
       case EngineKind::ClosedForm:
         return closedForm;
       case EngineKind::EventDriven:
         return eventDriven;
+      case EngineKind::Replay:
+        return replay;
     }
     panic("unknown engine kind");
 }

@@ -1,6 +1,6 @@
 /**
  * @file
- * Pluggable scheduling engines: one interface, two timing backends.
+ * Pluggable scheduling engines: one interface, three timing backends.
  *
  * The engines separate "what to run" (a ScheduleRequest: post-
  * replication stage times, micro-batch structure, pipelining regime)
@@ -12,12 +12,18 @@
  *  - EventDrivenEngine executes the flow shop event by event
  *    (sim/pipeline_sim.hh) and can additionally model bounded
  *    inter-stage buffers, multi-server replica groups, and ReRAM
- *    write-verify retry stochasticity via the SimContext knobs.
+ *    write-verify retry stochasticity via the SimContext knobs;
+ *  - sim::ReplayEngine (sim/replay.hh) times an isa:: command
+ *    stream — lowered on the fly or read back from a binary trace —
+ *    through the same event path, bit-identically.
  *
- * Both return the same StageTimeline, so core::Accelerator, the
+ * All return the same StageTimeline, so core::Accelerator, the
  * comparison harness, every bench, and the trace sink are agnostic
- * to the backend. With default knobs the two engines agree exactly
- * (tests/test_engine.cc asserts parity across all systems).
+ * to the backend. With default knobs the engines agree exactly
+ * (tests/test_engine.cc asserts parity across all systems). The
+ * registered backends and their spellings live in the engine
+ * registry (sim/context.hh) — flag help and serve hints derive from
+ * it rather than hard-coding names.
  */
 
 #ifndef GOPIM_SIM_ENGINE_HH
@@ -119,6 +125,25 @@ const ScheduleEngine &engineFor(EngineKind kind);
 
 /** Context's backend: engineOverride when set, else engineFor(). */
 const ScheduleEngine &resolveEngine(const SimContext &ctx);
+
+/**
+ * The discrete-event timing path shared by EventDrivenEngine and
+ * sim::ReplayEngine: chunk decomposition, retry/refresh samplers,
+ * seeded per-chunk simulation. `metricsTag` labels the per-engine
+ * counters; the timeline itself is independent of it — one code
+ * path is what makes replay bit-identical to a live event run.
+ */
+StageTimeline scheduleEventPath(const ScheduleRequest &request,
+                                const SimContext &ctx,
+                                const std::string &metricsTag);
+
+/**
+ * Lower `request` under `ctx`'s knobs and record the command stream
+ * into ctx.isaRecorder (no-op when none is attached). Every engine
+ * calls this on entry so --isa-trace-out captures any run.
+ */
+void recordStreamIfRequested(const ScheduleRequest &request,
+                             const SimContext &ctx);
 
 } // namespace gopim::sim
 

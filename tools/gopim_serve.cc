@@ -197,5 +197,6 @@ main(int argc, char **argv)
     }
     core::writeTraceIfRequested(flags, defaultCtx);
     core::writeMetricsIfRequested(flags, defaultCtx);
+    core::writeIsaTraceIfRequested(flags, defaultCtx);
     return rc;
 }

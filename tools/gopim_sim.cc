@@ -8,7 +8,10 @@
  *
  * The timing backend is pluggable: --engine=closed evaluates the
  * paper's Eq. 3-6 closed form, --engine=event runs the discrete-
- * event flow shop (with --buffer-slots / --retry-prob knobs).
+ * event flow shop (with --buffer-slots / --retry-prob knobs), and
+ * --engine=replay times lowered ISA command streams. Streams can be
+ * recorded with --isa-trace-out and replayed bit-identically from
+ * disk with --isa-trace-in (inspect them with gopim_trace).
  * --grid runs the full Fig. 13 system list over the dataset(s),
  * spread over --jobs worker threads.
  */
@@ -122,6 +125,7 @@ main(int argc, char **argv)
             flags.getBool("json"));
         core::writeTraceIfRequested(flags, ctx);
         core::writeMetricsIfRequested(flags, ctx);
+        core::writeIsaTraceIfRequested(flags, ctx);
         return rc;
     }
 
@@ -157,6 +161,7 @@ main(int argc, char **argv)
         core::systemFromName(flags.getString("baseline")), workload);
     core::writeTraceIfRequested(flags, ctx);
     core::writeMetricsIfRequested(flags, ctx);
+    core::writeIsaTraceIfRequested(flags, ctx);
 
     if (flags.getBool("json")) {
         core::writeRunJson(run, std::cout);
