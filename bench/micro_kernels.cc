@@ -4,11 +4,23 @@
  * the greedy heap allocator vs the bottleneck-sweep reference (the
  * paper's decision-time claim), pipeline scheduling, vertex mapping,
  * graph generation, and the MVM kernel of the tensor substrate.
+ *
+ * --json-out=PATH writes the timings through the repo's own JSON
+ * writer (common/json.hh, the same machine-readable surface the
+ * BENCH_*.json artifacts and core::runResultToJson use), so CI can
+ * archive kernel timings without parsing benchmark's console format.
  */
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "alloc/allocator.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
 #include "alloc/dp.hh"
 #include "alloc/greedy_heap.hh"
 #include "common/rng.hh"
@@ -151,4 +163,81 @@ BM_DenseMatmul(benchmark::State &state)
 }
 BENCHMARK(BM_DenseMatmul)->Arg(64)->Arg(256);
 
+/**
+ * Console reporter that additionally collects every run into a
+ * common/json document instead of benchmark's own JSON dialect, so
+ * the output matches the BENCH_*.json artifacts the ablation benches
+ * emit. Riding on the display reporter avoids the library's
+ * requirement that file reporters come with --benchmark_out.
+ */
+class JsonCollector : public benchmark::ConsoleReporter
+{
+  public:
+    void ReportRuns(const std::vector<Run> &runs) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(runs);
+        for (const auto &run : runs) {
+            if (run.error_occurred)
+                continue;
+            json::Value v = json::Value::object();
+            v.set("name", run.benchmark_name());
+            v.set("iterations",
+                  static_cast<double>(run.iterations));
+            v.set("real_time_ns", run.GetAdjustedRealTime());
+            v.set("cpu_time_ns", run.GetAdjustedCPUTime());
+            if (const auto it = run.counters.find("items_per_second");
+                it != run.counters.end())
+                v.set("items_per_second",
+                      static_cast<double>(it->second));
+            runs_.push(std::move(v));
+        }
+    }
+
+    json::Value document() &&
+    {
+        json::Value doc = json::Value::object();
+        doc.set("bench", "micro_kernels");
+        doc.set("runs", std::move(runs_));
+        return doc;
+    }
+
+  private:
+    json::Value runs_ = json::Value::array();
+};
+
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Peel off --json-out before benchmark sees the arguments; every
+    // other flag passes through to the library untouched.
+    std::string jsonOut;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        constexpr const char *kFlag = "--json-out=";
+        if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0)
+            jsonOut = argv[i] + std::strlen(kFlag);
+        else
+            args.push_back(argv[i]);
+    }
+    int filteredArgc = static_cast<int>(args.size());
+    benchmark::Initialize(&filteredArgc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filteredArgc,
+                                               args.data()))
+        return 1;
+
+    if (jsonOut.empty()) {
+        benchmark::RunSpecifiedBenchmarks();
+    } else {
+        JsonCollector collector;
+        benchmark::RunSpecifiedBenchmarks(&collector);
+        std::ofstream out(jsonOut);
+        if (!out)
+            fatal("cannot open --json-out file ", jsonOut);
+        out << std::move(collector).document().dumpIndented() << '\n';
+        inform("wrote kernel timings to ", jsonOut);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

@@ -7,8 +7,11 @@ namespace gopim::isa {
 CommandStream
 lowerSchedule(const ScheduleDesc &desc, std::string label)
 {
-    GOPIM_ASSERT(desc.validate().empty(),
-                 "lowering an invalid schedule desc");
+    // Surface the specific diagnostic: each misuse (no stages, no
+    // micro-batches, out-of-range retry probability, ...) dies with
+    // its own message, so callers and tests can tell them apart.
+    if (const std::string problem = desc.validate(); !problem.empty())
+        panic("cannot lower invalid schedule desc: ", problem);
     CommandStream stream;
     stream.label = std::move(label);
     stream.desc = desc;

@@ -6,6 +6,7 @@
 #include "core/options.hh"
 #include "core/report.hh"
 #include "graph/datasets.hh"
+#include "workload/cnn_infer.hh"
 
 namespace gopim::serve {
 
@@ -109,6 +110,11 @@ parseRequest(const json::Value &body, const Request &defaults,
     req.id.clear();
     req.traceOut.clear();
     RequestError err;
+    // Fault knobs model device wear across training epochs; the
+    // inference families have no notion of them, so remember whether
+    // one was spelled out to reject the combination after the loop
+    // (the `workload` key may come later in the object).
+    std::string faultField;
 
     for (const auto &[key, value] : body.members()) {
         if (key == "id") {
@@ -117,6 +123,24 @@ parseRequest(const json::Value &body, const Request &defaults,
         } else if (key == "dataset") {
             if (!getString(value, &req.dataset, &err, "dataset"))
                 return err;
+            req.datasetSet = true;
+        } else if (key == "workload") {
+            std::string name;
+            if (!getString(value, &name, &err, "workload"))
+                return err;
+            if (!workload::tryFamilyFromString(name, &req.family))
+                return unknownName("workload", name,
+                                   "try " +
+                                       workload::familyNameList());
+        } else if (key == "partition") {
+            std::string name;
+            if (!getString(value, &name, &err, "partition"))
+                return err;
+            if (!workload::tryPartitioningFromString(name,
+                                                     &req.partition))
+                return unknownName("partition", name,
+                                   "try " +
+                                       workload::partitionNameList());
         } else if (key == "system") {
             if (!getString(value, &req.system, &err, "system"))
                 return err;
@@ -181,14 +205,17 @@ parseRequest(const json::Value &body, const Request &defaults,
             if (!getUnitRate(value, &req.fault.params.stuckOnRate,
                              &err, "stuck_on_rate"))
                 return err;
+            faultField = key;
         } else if (key == "stuck_off_rate") {
             if (!getUnitRate(value, &req.fault.params.stuckOffRate,
                              &err, "stuck_off_rate"))
                 return err;
+            faultField = key;
         } else if (key == "drift_rate") {
             if (!getUnitRate(value, &req.fault.params.driftPerEpoch,
                              &err, "drift_rate"))
                 return err;
+            faultField = key;
         } else if (key == "repair") {
             std::string name;
             if (!getString(value, &name, &err, "repair"))
@@ -197,10 +224,12 @@ parseRequest(const json::Value &body, const Request &defaults,
                                                 &req.fault.repair))
                 return unknownName("repair", name,
                                    "try none, spare, ecc, refresh");
+            faultField = key;
         } else if (key == "spare_rows") {
             if (!getUnitRate(value, &req.fault.spareRowFraction, &err,
                              "spare_rows"))
                 return err;
+            faultField = key;
         } else if (key == "refresh_period") {
             int64_t period = 0;
             if (!getInt(value, 1,
@@ -209,6 +238,7 @@ parseRequest(const json::Value &body, const Request &defaults,
                 return err;
             req.fault.refreshPeriodMb =
                 static_cast<uint32_t>(period);
+            faultField = key;
         } else if (key == "trace_out") {
             if (!getString(value, &req.traceOut, &err, "trace_out"))
                 return err;
@@ -225,8 +255,25 @@ parseRequest(const json::Value &body, const Request &defaults,
     if (!rangeError.empty())
         return {"out_of_range", "", rangeError};
 
-    if (!graph::DatasetCatalog::findByName(req.dataset))
+    if (req.family != workload::FamilyKind::GcnTrain &&
+        !faultField.empty())
+        return {"bad_request", faultField,
+                "field '" + faultField +
+                    "' applies to the gcn-train family only"};
+
+    if (req.family == workload::FamilyKind::CnnInfer) {
+        // cnn-infer datasets are CNN presets, not graphs; an absent
+        // key means "the default preset", not the server's default
+        // graph.
+        if (!req.datasetSet)
+            req.dataset = workload::defaultCnnPreset();
+        if (!workload::findCnnPreset(req.dataset))
+            return unknownName("dataset", req.dataset,
+                               "cnn-infer presets: " +
+                                   workload::cnnPresetNameList());
+    } else if (!graph::DatasetCatalog::findByName(req.dataset)) {
         return unknownName("dataset", req.dataset, "");
+    }
     core::SystemKind kind;
     if (!core::systemFromString(req.system, &kind))
         return unknownName("system", req.system, "");
@@ -243,8 +290,16 @@ resolveRequest(const Request &request, ResolvedRequest *out)
 {
     ResolvedRequest resolved;
     resolved.request = request;
-    if (!graph::DatasetCatalog::findByName(request.dataset))
+    const bool cnn =
+        request.family == workload::FamilyKind::CnnInfer;
+    if (cnn) {
+        if (!workload::findCnnPreset(request.dataset))
+            return unknownName("dataset", request.dataset,
+                               "cnn-infer presets: " +
+                                   workload::cnnPresetNameList());
+    } else if (!graph::DatasetCatalog::findByName(request.dataset)) {
         return unknownName("dataset", request.dataset, "");
+    }
     if (!core::systemFromString(request.system, &resolved.system))
         return unknownName("system", request.system, "");
     resolved.hasBaseline = !request.baseline.empty();
@@ -252,10 +307,34 @@ resolveRequest(const Request &request, ResolvedRequest *out)
         !core::systemFromString(request.baseline, &resolved.baseline))
         return unknownName("baseline", request.baseline, "");
 
-    resolved.workload = gcn::Workload::paperDefault(request.dataset);
+    if (cnn) {
+        // No catalog graph behind a preset: the workload view is a
+        // stub that carries only the fields canonicalRunConfig
+        // serializes, so cache keys stay well defined.
+        resolved.workload = gcn::Workload{};
+        resolved.workload.dataset.name = request.dataset;
+    } else {
+        resolved.workload =
+            gcn::Workload::paperDefault(request.dataset);
+    }
     resolved.workload.microBatchSize = request.microBatch;
     resolved.workload.epochs = request.epochs;
     resolved.workload.seed = request.sim.seed;
+
+    resolved.spec.family = request.family;
+    resolved.spec.dataset = request.dataset;
+    resolved.spec.partition = request.partition;
+    resolved.spec.microBatchSize = request.microBatch;
+    resolved.spec.epochs = request.epochs;
+    resolved.spec.seed = request.sim.seed;
+    // Family-specific range checks (e.g. inference micro-batch
+    // ceilings) happen here so the worker never trips the runner's
+    // fatal() path on a served request.
+    if (const std::string problem =
+            workload::familyFor(request.family)
+                .validateSpec(resolved.spec);
+        !problem.empty())
+        return {"out_of_range", "", problem};
     *out = std::move(resolved);
     return RequestError::none();
 }
@@ -285,6 +364,15 @@ cacheKey(const ResolvedRequest &resolved,
     config.set("baseline", resolved.hasBaseline
                                ? core::toString(resolved.baseline)
                                : "");
+    // The family reshapes the whole run, so it always keys; the
+    // partitioning only matters where a SpMM split exists (keying it
+    // unconditionally would split cache entries on a field the other
+    // families ignore).
+    config.set("workload_family",
+               workload::toString(resolved.request.family));
+    if (resolved.request.family == workload::FamilyKind::GnnInfer)
+        config.set("partition",
+                   workload::toString(resolved.request.partition));
     return hexDigest64(fnv1a64(config.canonical()));
 }
 

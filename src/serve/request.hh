@@ -19,6 +19,7 @@
 #include "gcn/workload.hh"
 #include "reram/config.hh"
 #include "sim/context.hh"
+#include "workload/family.hh"
 
 namespace gopim::serve {
 
@@ -48,17 +49,25 @@ struct RequestError
 /**
  * One decoded simulation request. Field spellings mirror the CLI:
  *   id (string, echoed), dataset, system, baseline, engine,
- *   seed, micro_batch, epochs, theta, buffer_slots, retry_prob,
- *   write_fraction, trace_out, stuck_on_rate, stuck_off_rate,
- *   drift_rate, repair, spare_rows, refresh_period.
+ *   workload, partition, seed, micro_batch, epochs, theta,
+ *   buffer_slots, retry_prob, write_fraction, trace_out,
+ *   stuck_on_rate, stuck_off_rate, drift_rate, repair, spare_rows,
+ *   refresh_period.
  * Unset fields inherit the server's defaults (its own --engine/
- * --seed/... flags).
+ * --seed/... flags). `workload` selects the family (the registry's
+ * canonical names or aliases); for cnn-infer, `dataset` names a CNN
+ * preset and defaults to workload::defaultCnnPreset(). Fault fields
+ * are accepted for gcn-train only.
  */
 struct Request
 {
     std::string id;               ///< client correlation id ("" = none)
     std::string dataset = "ddi";
+    bool datasetSet = false;      ///< dataset given explicitly
     std::string system = "GoPIM";
+    workload::FamilyKind family = workload::FamilyKind::GcnTrain;
+    workload::Partitioning partition =
+        workload::Partitioning::RowSplit;
     std::string baseline;         ///< "" = no speedup comparison
     uint32_t microBatch = 64;
     uint32_t epochs = 1;
@@ -76,7 +85,14 @@ struct ResolvedRequest
     core::SystemKind system = core::SystemKind::GoPim;
     bool hasBaseline = false;
     core::SystemKind baseline = core::SystemKind::Serial;
+    /**
+     * GCN workload view. For cnn-infer (whose dataset is a preset,
+     * not a catalog graph) this is a stub carrying only the
+     * name/batching fields, used by the canonical cache-key config.
+     */
     gcn::Workload workload;
+    /** Family view of the same request (workload/runner.hh input). */
+    workload::WorkloadSpec spec;
 };
 
 /**

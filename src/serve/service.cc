@@ -12,6 +12,7 @@
 #include "core/report.hh"
 #include "obs/profile.hh"
 #include "sim/trace.hh"
+#include "workload/runner.hh"
 
 namespace gopim::serve {
 
@@ -114,10 +115,22 @@ Service::simulate(const ResolvedRequest &resolved) const
         system.sim.traceSink = sink;
     }
 
-    const auto profile = gcn::VertexProfile::build(
-        resolved.workload.dataset, resolved.workload.seed);
-    core::Accelerator accel(config_.hw, system);
-    const core::RunResult run = accel.run(resolved.workload, profile);
+    // The inference families compile to a StagePlan and run through
+    // the workload runner; gcn-train keeps the accelerator path with
+    // its fault machinery (parseRequest rejects fault knobs for the
+    // others).
+    const bool familyRun =
+        resolved.request.family != workload::FamilyKind::GcnTrain;
+    core::RunResult run;
+    gcn::VertexProfile profile;
+    if (familyRun) {
+        run = workload::runFamily(resolved.spec, system, config_.hw);
+    } else {
+        profile = gcn::VertexProfile::build(resolved.workload.dataset,
+                                            resolved.workload.seed);
+        core::Accelerator accel(config_.hw, system);
+        run = accel.run(resolved.workload, profile);
+    }
 
     json::Value result = core::runResultToJson(run);
     if (resolved.hasBaseline) {
@@ -126,9 +139,14 @@ Service::simulate(const ResolvedRequest &resolved) const
         // The baseline runs in the same fault environment, so the
         // speedup isolates the system, not the device health.
         base.fault = resolved.request.fault;
-        core::Accelerator baseAccel(config_.hw, base);
-        const core::RunResult baseRun =
-            baseAccel.run(resolved.workload, profile);
+        core::RunResult baseRun;
+        if (familyRun) {
+            baseRun = workload::runFamily(resolved.spec, base,
+                                          config_.hw);
+        } else {
+            core::Accelerator baseAccel(config_.hw, base);
+            baseRun = baseAccel.run(resolved.workload, profile);
+        }
         result.set("baseline", baseRun.systemName);
         result.set("speedup", run.speedupOver(baseRun));
         result.set("energy_saving", run.energySavingOver(baseRun));

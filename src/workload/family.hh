@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Workload families: the front-ends that turn a workload description
+ * into a scheduling problem on the PIM substrate (ROADMAP item 3).
+ *
+ * A WorkloadFamily compiles a WorkloadSpec into a StagePlan — stage
+ * descriptors, per-micro-batch scalable/fixed times, crossbar
+ * footprints, and energy event counts — the backend-independent
+ * contract the runner (workload/runner.hh) feeds through replica
+ * allocation, the scheduling engines, and ISA lowering. Three
+ * concrete families are registered:
+ *
+ *  - gcn-train   the paper's GCN-training pipeline, re-expressed as
+ *                a family (workload/gcn_train.hh);
+ *  - gnn-infer   PyGim-style GNN serving: sparse aggregation (SpMM)
+ *                + dense combination with selectable row-split /
+ *                col-split / nnz-balanced partitioning, driven by
+ *                the graph CSR structures (workload/gnn_infer.hh);
+ *  - cnn-infer   SMART-style CNN inference: conv-im2col layers
+ *                chained as pipeline stages of crossbar MVMs
+ *                (workload/cnn_infer.hh).
+ *
+ * The registry mirrors the engine registry (sim/context.hh): one
+ * table is the single source of truth for canonical names, aliases,
+ * and summaries, from which --workload flag help, parse hints, and
+ * serve-layer error messages all derive.
+ */
+
+#ifndef GOPIM_WORKLOAD_FAMILY_HH
+#define GOPIM_WORKLOAD_FAMILY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pipeline/stage.hh"
+#include "reram/config.hh"
+#include "sim/engine.hh"
+
+namespace gopim::workload {
+
+/** Workload family selector. */
+enum class FamilyKind : uint8_t
+{
+    GcnTrain, ///< GCN training pipeline (the paper's workload)
+    GnnInfer, ///< SpMM + dense combination GNN inference (PyGim)
+    CnnInfer, ///< conv-im2col CNN inference (SMART-style chaining)
+};
+
+/**
+ * One registered workload family: the single source of truth for its
+ * spellings and one-line summary (the engine-registry pattern).
+ */
+struct FamilyInfo
+{
+    FamilyKind kind;
+    /** Canonical name ("gcn-train"). */
+    const char *canonical;
+    /** Short spelling accepted by --workload and serve requests. */
+    const char *alias;
+    /** One-line description for flag help and --list-workloads. */
+    const char *summary;
+};
+
+/** All registered families, in FamilyKind declaration order. */
+const std::vector<FamilyInfo> &familyRegistry();
+
+/** Comma-separated canonical-name list for hints. */
+std::string familyNameList();
+
+/** Multi-line --workload help text derived from the registry. */
+std::string familyFlagHelp();
+
+/** Parse an alias or canonical name; fatal() otherwise. */
+FamilyKind familyFromString(const std::string &name);
+
+/** Non-fatal parse; returns false on unknown names. */
+bool tryFamilyFromString(const std::string &name, FamilyKind *out);
+
+std::string toString(FamilyKind kind);
+
+/** SpMM partitioning strategy of the GNN-inference family (PyGim). */
+enum class Partitioning : uint8_t
+{
+    RowSplit,    ///< contiguous vertex ranges; no merge, skew-bound
+    ColSplit,    ///< neighbor-id ranges; balanced-ish + merge step
+    NnzBalanced, ///< LPT over row nnz; balanced + bookkeeping cost
+};
+
+/** One registered partitioning strategy (same table pattern). */
+struct PartitionInfo
+{
+    Partitioning kind;
+    const char *canonical;
+    const char *alias;
+    const char *summary;
+};
+
+/** All partitioning strategies, in declaration order. */
+const std::vector<PartitionInfo> &partitionRegistry();
+
+/** Comma-separated canonical-name list for hints. */
+std::string partitionNameList();
+
+/** Multi-line --partition help text derived from the registry. */
+std::string partitionFlagHelp();
+
+/** Parse an alias or canonical name; fatal() otherwise. */
+Partitioning partitioningFromString(const std::string &name);
+
+/** Non-fatal parse; returns false on unknown names. */
+bool tryPartitioningFromString(const std::string &name,
+                               Partitioning *out);
+
+std::string toString(Partitioning strategy);
+
+/**
+ * One workload instance, independent of system/allocator choice.
+ * `dataset` names a graph-catalog entry for the GNN families and a
+ * CNN input preset (workload/cnn_infer.hh) for cnn-infer. `epochs`
+ * counts training epochs for gcn-train and full inference passes
+ * (request batches) for the inference families.
+ */
+struct WorkloadSpec
+{
+    FamilyKind family = FamilyKind::GcnTrain;
+    std::string dataset = "ddi";
+    /** SpMM partitioning (gnn-infer only; ignored elsewhere). */
+    Partitioning partition = Partitioning::RowSplit;
+    uint32_t microBatchSize = 64;
+    uint32_t epochs = 1;
+    uint64_t seed = 1;
+};
+
+/**
+ * A family's compiled scheduling problem: everything the runner
+ * needs to allocate replicas, time the pipeline on any engine, and
+ * account energy — per micro-batch, in pipeline-stage order.
+ */
+struct StagePlan
+{
+    /** Human label ("gnn-infer[nnz-balanced] on Cora"). */
+    std::string label;
+    std::vector<pipeline::Stage> stages;
+    /** Replica-divisible compute time per stage (ns/micro-batch). */
+    std::vector<double> scalableTimesNs;
+    /** Fixed time not reduced by replication (ns/micro-batch). */
+    std::vector<double> fixedTimesNs;
+    /** Crossbars one replica of each stage occupies. */
+    std::vector<uint64_t> crossbarsPerReplica;
+    /** Energy event counts per micro-batch, per stage. */
+    std::vector<uint64_t> activationsPerMb;
+    std::vector<uint64_t> rowWritesPerMb;
+    std::vector<uint64_t> bufferBytesPerMb;
+    uint32_t totalMicroBatches = 1;
+    /** Micro-batches covering the input once (allocator horizon). */
+    uint32_t microBatchesPerEpoch = 1;
+    uint32_t microBatchesPerBatch = 8;
+    sim::Regime regime = sim::Regime::IntraInterBatch;
+    /** Effective-parallelism ceiling fed to the allocator (0 = off). */
+    uint32_t maxUsefulReplicas = 0;
+
+    size_t numStages() const { return stages.size(); }
+
+    /** Panics on inconsistent array sizes or non-finite times. */
+    void validate() const;
+};
+
+/**
+ * A workload family: compiles specs into stage plans. Implementations
+ * are stateless and shared (familyFor), so plans can be built
+ * concurrently from grid workers.
+ */
+class WorkloadFamily
+{
+  public:
+    virtual ~WorkloadFamily() = default;
+
+    virtual FamilyKind kind() const = 0;
+
+    /** Canonical registry name ("gnn-infer"). */
+    std::string name() const { return toString(kind()); }
+
+    /**
+     * Check the spec against this family's catalog (dataset or CNN
+     * preset names, micro-batch bounds). "" when runnable, else a
+     * diagnostic suitable for a CLI fatal() or a serve request error.
+     */
+    virtual std::string validateSpec(const WorkloadSpec &spec) const = 0;
+
+    /**
+     * Compile the spec into a stage plan on `hw`. Deterministic:
+     * equal (spec, hw) pairs produce identical plans, which is what
+     * makes family runs cacheable and replayable. Panics on a spec
+     * that validateSpec rejects.
+     */
+    virtual StagePlan plan(const WorkloadSpec &spec,
+                           const reram::AcceleratorConfig &hw) const = 0;
+};
+
+/** Shared immutable family instance for a kind (never null). */
+const WorkloadFamily &familyFor(FamilyKind kind);
+
+} // namespace gopim::workload
+
+#endif // GOPIM_WORKLOAD_FAMILY_HH

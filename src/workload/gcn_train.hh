@@ -1,0 +1,36 @@
+/**
+ * @file
+ * GCN training re-expressed as a workload family: the paper's 4L-stage
+ * CO/AG/LC/GC pipeline under the GoPIM execution policy (interleaved
+ * vertex mapping + selective updating), compiled through the same
+ * StageTimeModel the accelerator core uses.
+ *
+ * The family view fixes the execution policy to the paper's GoPIM
+ * preset so the plan is a pure function of the spec — what varies
+ * across runs is the allocator and pipelining regime the runner
+ * applies on top. Fault injection and the non-GoPIM policy presets
+ * stay on the core::Accelerator path (core/systems.hh); the family's
+ * fault-free plan is asserted bit-identical to that path in
+ * tests/test_workload.cc.
+ */
+
+#ifndef GOPIM_WORKLOAD_GCN_TRAIN_HH
+#define GOPIM_WORKLOAD_GCN_TRAIN_HH
+
+#include "workload/family.hh"
+
+namespace gopim::workload {
+
+/** The gcn-train family (registered in familyRegistry). */
+class GcnTrainFamily final : public WorkloadFamily
+{
+  public:
+    FamilyKind kind() const override { return FamilyKind::GcnTrain; }
+    std::string validateSpec(const WorkloadSpec &spec) const override;
+    StagePlan plan(const WorkloadSpec &spec,
+                   const reram::AcceleratorConfig &hw) const override;
+};
+
+} // namespace gopim::workload
+
+#endif // GOPIM_WORKLOAD_GCN_TRAIN_HH

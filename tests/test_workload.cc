@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Workload-family subsystem tests: registry spellings, plan
+ * determinism, the PyGim partitioning properties, the gcn-train
+ * family's bit-identity with the accelerator path, per-family disk
+ * trace replay, the serve-layer request schema, and the StreamBuilder
+ * misuse diagnostics (each failure mode has a distinct message).
+ */
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hh"
+#include "core/systems.hh"
+#include "gcn/workload.hh"
+#include "graph/generators.hh"
+#include "isa/isa.hh"
+#include "isa/trace_io.hh"
+#include "serve/request.hh"
+#include "sim/replay.hh"
+#include "workload/cnn_infer.hh"
+#include "workload/gnn_infer.hh"
+#include "workload/runner.hh"
+
+using namespace gopim;
+
+namespace {
+
+json::Value
+parseJson(const std::string &text)
+{
+    json::Value v;
+    std::string error;
+    EXPECT_TRUE(json::Value::parse(text, &v, &error)) << error;
+    return v;
+}
+
+graph::Graph
+testGraph(uint64_t vertices, uint64_t seed)
+{
+    Rng rng(seed);
+    const auto degrees = graph::powerLawDegreeSequence(
+        vertices, 12.0, 2.1, 400, rng);
+    return graph::chungLu(degrees, rng);
+}
+
+} // namespace
+
+TEST(WorkloadRegistry, CanonicalAndAliasSpellingsRoundTrip)
+{
+    for (const auto &info : workload::familyRegistry()) {
+        workload::FamilyKind kind;
+        EXPECT_TRUE(workload::tryFamilyFromString(info.canonical,
+                                                  &kind));
+        EXPECT_EQ(kind, info.kind);
+        EXPECT_TRUE(workload::tryFamilyFromString(info.alias, &kind));
+        EXPECT_EQ(kind, info.kind);
+        EXPECT_EQ(workload::toString(info.kind), info.canonical);
+        EXPECT_EQ(workload::familyFor(info.kind).kind(), info.kind);
+        EXPECT_EQ(workload::familyFor(info.kind).name(),
+                  info.canonical);
+    }
+    workload::FamilyKind kind;
+    EXPECT_FALSE(workload::tryFamilyFromString("bogus", &kind));
+    EXPECT_NE(workload::familyNameList().find("gnn-infer"),
+              std::string::npos);
+    EXPECT_NE(workload::familyFlagHelp().find("cnn-infer"),
+              std::string::npos);
+}
+
+TEST(WorkloadRegistry, PartitioningSpellingsRoundTrip)
+{
+    for (const auto &info : workload::partitionRegistry()) {
+        workload::Partitioning strategy;
+        EXPECT_TRUE(workload::tryPartitioningFromString(
+            info.canonical, &strategy));
+        EXPECT_EQ(strategy, info.kind);
+        EXPECT_TRUE(
+            workload::tryPartitioningFromString(info.alias,
+                                                &strategy));
+        EXPECT_EQ(strategy, info.kind);
+        EXPECT_EQ(workload::toString(info.kind), info.canonical);
+    }
+    workload::Partitioning strategy;
+    EXPECT_FALSE(
+        workload::tryPartitioningFromString("diagonal", &strategy));
+    EXPECT_NE(workload::partitionNameList().find("nnz-balanced"),
+              std::string::npos);
+}
+
+TEST(WorkloadRegistry, UnknownNamesAreFatalInTheCliForm)
+{
+    EXPECT_DEATH(workload::familyFromString("bogus"),
+                 "unknown workload family");
+    EXPECT_DEATH(workload::partitioningFromString("diagonal"),
+                 "unknown partitioning");
+}
+
+TEST(Partitioning, ProfilesMeasureTheExpectedMergeAndBalance)
+{
+    const graph::Graph g = testGraph(4096, 7);
+    const uint32_t parts = 16;
+
+    const auto row = workload::profilePartitioning(
+        g, workload::Partitioning::RowSplit, parts);
+    const auto col = workload::profilePartitioning(
+        g, workload::Partitioning::ColSplit, parts);
+    const auto nnz = workload::profilePartitioning(
+        g, workload::Partitioning::NnzBalanced, parts);
+
+    for (const auto &p : {row, col, nnz}) {
+        EXPECT_EQ(p.parts, parts);
+        EXPECT_GE(p.imbalance, 1.0);
+    }
+    // Row split leaves no merge; col split pays a log-depth reduction
+    // tree; LPT pays one gather pass.
+    EXPECT_EQ(row.mergeWindows, 0u);
+    EXPECT_EQ(col.mergeWindows, 4u); // ceil(log2 16)
+    EXPECT_EQ(nnz.mergeWindows, 1u);
+    // LPT balances at least as well as contiguous ranges on a
+    // skewed-degree graph.
+    EXPECT_LE(nnz.imbalance, row.imbalance + 1e-12);
+}
+
+TEST(Partitioning, ProfilesAreDeterministic)
+{
+    const graph::Graph g = testGraph(2048, 11);
+    for (const auto &info : workload::partitionRegistry()) {
+        const auto a =
+            workload::profilePartitioning(g, info.kind, 8);
+        const auto b =
+            workload::profilePartitioning(g, info.kind, 8);
+        EXPECT_EQ(a.imbalance, b.imbalance);
+        EXPECT_EQ(a.mergeWindows, b.mergeWindows);
+    }
+}
+
+TEST(WorkloadPlans, AreDeterministicPerSpec)
+{
+    const auto hw = reram::AcceleratorConfig::paperDefault();
+    workload::WorkloadSpec spec;
+    spec.dataset = "Cora";
+    for (const auto &family : {workload::FamilyKind::GcnTrain,
+                               workload::FamilyKind::GnnInfer}) {
+        spec.family = family;
+        const auto a = workload::familyFor(family).plan(spec, hw);
+        const auto b = workload::familyFor(family).plan(spec, hw);
+        ASSERT_EQ(a.numStages(), b.numStages());
+        EXPECT_EQ(a.scalableTimesNs, b.scalableTimesNs);
+        EXPECT_EQ(a.fixedTimesNs, b.fixedTimesNs);
+        EXPECT_EQ(a.crossbarsPerReplica, b.crossbarsPerReplica);
+        EXPECT_EQ(a.totalMicroBatches, b.totalMicroBatches);
+    }
+}
+
+TEST(WorkloadPlans, CnnPresetsCompileToOneStagePerConvLayer)
+{
+    const auto hw = reram::AcceleratorConfig::paperDefault();
+    for (const auto &preset : workload::cnnPresetRegistry()) {
+        workload::WorkloadSpec spec;
+        spec.family = workload::FamilyKind::CnnInfer;
+        spec.dataset = preset.name;
+        const auto plan =
+            workload::familyFor(spec.family).plan(spec, hw);
+        EXPECT_EQ(plan.numStages(), preset.layers.size());
+        for (size_t i = 0; i < plan.numStages(); ++i) {
+            EXPECT_GT(plan.scalableTimesNs[i], 0.0);
+            EXPECT_GE(plan.fixedTimesNs[i], 0.0);
+            EXPECT_GT(plan.crossbarsPerReplica[i], 0u);
+        }
+    }
+    EXPECT_NE(workload::findCnnPreset(workload::defaultCnnPreset()),
+              nullptr);
+    EXPECT_EQ(workload::findCnnPreset("nope"), nullptr);
+}
+
+TEST(WorkloadPlans, FamiliesRejectBadSpecs)
+{
+    workload::WorkloadSpec spec;
+    spec.family = workload::FamilyKind::GnnInfer;
+    spec.dataset = "not-a-graph";
+    EXPECT_NE(workload::familyFor(spec.family).validateSpec(spec),
+              "");
+    spec.dataset = "Cora";
+    spec.microBatchSize = 0;
+    EXPECT_NE(workload::familyFor(spec.family).validateSpec(spec),
+              "");
+    spec.microBatchSize = 64;
+    EXPECT_EQ(workload::familyFor(spec.family).validateSpec(spec),
+              "");
+}
+
+TEST(WorkloadRunner, GcnTrainFamilyMatchesTheAcceleratorPath)
+{
+    const auto hw = reram::AcceleratorConfig::paperDefault();
+    const auto system = core::makeSystem(core::SystemKind::GoPim);
+
+    workload::WorkloadSpec spec;
+    spec.family = workload::FamilyKind::GcnTrain;
+    spec.dataset = "ddi";
+    const auto familyRun = workload::runFamily(spec, system, hw);
+
+    const auto w = gcn::Workload::paperDefault("ddi");
+    const auto profile =
+        gcn::VertexProfile::build(w.dataset, w.seed);
+    const core::Accelerator accel(hw, system);
+    const auto accelRun = accel.run(w, profile);
+
+    EXPECT_EQ(familyRun.makespanNs, accelRun.makespanNs);
+    EXPECT_EQ(familyRun.energyPj, accelRun.energyPj);
+    EXPECT_EQ(familyRun.idleFraction, accelRun.idleFraction);
+    EXPECT_EQ(familyRun.blockedNs, accelRun.blockedNs);
+}
+
+TEST(WorkloadRunner, PerturbedEstimatesAreSeededAndBounded)
+{
+    const auto hw = reram::AcceleratorConfig::paperDefault();
+    workload::WorkloadSpec spec;
+    spec.family = workload::FamilyKind::GnnInfer;
+    spec.dataset = "Cora";
+    const auto plan = workload::familyFor(spec.family).plan(spec, hw);
+
+    const auto a = workload::perturbedEstimates(plan, 0.2, 42);
+    const auto b = workload::perturbedEstimates(plan, 0.2, 42);
+    const auto c = workload::perturbedEstimates(plan, 0.2, 43);
+    ASSERT_EQ(a.size(), plan.numStages());
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double exact =
+            plan.scalableTimesNs[i] + plan.fixedTimesNs[i];
+        EXPECT_GE(a[i], exact * 0.8 - 1e-9);
+        EXPECT_LE(a[i], exact * 1.2 + 1e-9);
+    }
+
+    // Estimates steer allocation only; the run itself still reports
+    // exact model times, so a mildly-wrong predictor perturbs the
+    // makespan, not the accounting.
+    const auto system = core::makeSystem(core::SystemKind::GoPim);
+    const auto exactRun = workload::runPlan(plan, system, hw);
+    const auto estRun = workload::runPlan(plan, system, hw, a);
+    EXPECT_GT(estRun.makespanNs, 0.0);
+    EXPECT_GE(estRun.makespanNs, exactRun.makespanNs * 0.5);
+}
+
+TEST(WorkloadReplay, EveryFamilyReplaysBitIdenticallyFromDisk)
+{
+    const auto hw = reram::AcceleratorConfig::paperDefault();
+    std::vector<workload::WorkloadSpec> specs(3);
+    specs[0].family = workload::FamilyKind::GcnTrain;
+    specs[0].dataset = "ddi";
+    specs[1].family = workload::FamilyKind::GnnInfer;
+    specs[1].dataset = "Cora";
+    specs[1].partition = workload::Partitioning::NnzBalanced;
+    specs[2].family = workload::FamilyKind::CnnInfer;
+    specs[2].dataset = "mnist";
+
+    // Live event-driven pass with the recorder attached.
+    core::SystemConfig system =
+        core::makeSystem(core::SystemKind::GoPim);
+    system.sim.engine = sim::EngineKind::EventDriven;
+    system.sim.isaRecorder = std::make_shared<isa::StreamRecorder>();
+    std::vector<core::RunResult> live;
+    for (const auto &spec : specs)
+        live.push_back(workload::runFamily(spec, system, hw));
+
+    // Round-trip the bundle through an actual file.
+    const std::string path =
+        testing::TempDir() + "/workload_families.gpis";
+    {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good());
+        out << isa::encodeBundle(system.sim.isaRecorder->bundle());
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    isa::TraceBundle decoded;
+    std::string error;
+    ASSERT_TRUE(isa::decodeBundle(bytes, &decoded, &error)) << error;
+
+    core::SystemConfig replaying =
+        core::makeSystem(core::SystemKind::GoPim);
+    replaying.sim.engine = sim::EngineKind::Replay;
+    replaying.sim.engineOverride =
+        std::make_shared<sim::ReplayEngine>(std::move(decoded));
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const auto replayed =
+            workload::runFamily(specs[i], replaying, hw);
+        EXPECT_EQ(replayed.makespanNs, live[i].makespanNs)
+            << workload::toString(specs[i].family);
+        EXPECT_EQ(replayed.energyPj, live[i].energyPj);
+        EXPECT_EQ(replayed.eventsProcessed, live[i].eventsProcessed);
+        EXPECT_EQ(replayed.idleFraction, live[i].idleFraction);
+        EXPECT_EQ(replayed.blockedNs, live[i].blockedNs);
+    }
+}
+
+TEST(ServeWorkloads, RequestSchemaCoversFamiliesAndPartitions)
+{
+    const serve::Request defaults;
+    serve::Request out;
+
+    auto err = serve::parseRequest(
+        parseJson(R"({"workload":"gnn","dataset":"Cora",)"
+                  R"("partition":"nnz"})"),
+        defaults, &out);
+    ASSERT_TRUE(err.ok()) << err.message;
+    EXPECT_EQ(out.family, workload::FamilyKind::GnnInfer);
+    EXPECT_EQ(out.partition, workload::Partitioning::NnzBalanced);
+
+    // cnn-infer without a dataset key gets the default preset, not
+    // the server's default graph.
+    err = serve::parseRequest(parseJson(R"({"workload":"cnn"})"),
+                              defaults, &out);
+    ASSERT_TRUE(err.ok()) << err.message;
+    EXPECT_EQ(out.dataset, workload::defaultCnnPreset());
+
+    err = serve::parseRequest(
+        parseJson(R"({"workload":"cnn","dataset":"zzz"})"), defaults,
+        &out);
+    EXPECT_EQ(err.code, "unknown_name");
+    EXPECT_EQ(err.field, "dataset");
+    EXPECT_NE(err.message.find("preset"), std::string::npos);
+
+    err = serve::parseRequest(parseJson(R"({"workload":"bogus"})"),
+                              defaults, &out);
+    EXPECT_EQ(err.code, "unknown_name");
+    EXPECT_EQ(err.field, "workload");
+
+    err = serve::parseRequest(
+        parseJson(R"({"workload":"gnn","partition":"diagonal"})"),
+        defaults, &out);
+    EXPECT_EQ(err.code, "unknown_name");
+    EXPECT_EQ(err.field, "partition");
+
+    // Fault knobs only make sense while training — order of keys
+    // must not matter for the rejection.
+    err = serve::parseRequest(
+        parseJson(R"({"stuck_on_rate":0.01,"workload":"gnn"})"),
+        defaults, &out);
+    EXPECT_EQ(err.code, "bad_request");
+    EXPECT_EQ(err.field, "stuck_on_rate");
+
+    // Family-specific range validation surfaces as out_of_range at
+    // resolve time instead of a worker fatal().
+    err = serve::parseRequest(
+        parseJson(R"({"workload":"gnn","micro_batch":100000})"),
+        defaults, &out);
+    ASSERT_TRUE(err.ok()) << err.message;
+    serve::ResolvedRequest resolved;
+    err = serve::resolveRequest(out, &resolved);
+    EXPECT_EQ(err.code, "out_of_range");
+}
+
+TEST(ServeWorkloads, CacheKeysSeparateFamiliesAndPartitions)
+{
+    const serve::Request defaults;
+    const auto hw = reram::AcceleratorConfig::paperDefault();
+    const auto keyOf = [&](const std::string &body) {
+        serve::Request req;
+        auto err =
+            serve::parseRequest(parseJson(body), defaults, &req);
+        EXPECT_TRUE(err.ok()) << err.message;
+        serve::ResolvedRequest resolved;
+        err = serve::resolveRequest(req, &resolved);
+        EXPECT_TRUE(err.ok()) << err.message;
+        return serve::cacheKey(resolved, hw);
+    };
+
+    const auto train = keyOf(R"({"dataset":"Cora"})");
+    const auto gnnRow =
+        keyOf(R"({"workload":"gnn-infer","dataset":"Cora"})");
+    const auto gnnNnz = keyOf(
+        R"({"workload":"gnn","dataset":"Cora","partition":"nnz"})");
+    const auto gnnNnzAlias =
+        keyOf(R"({"partition":"nnz-balanced","dataset":"Cora",)"
+              R"("workload":"gnn-infer"})");
+    const auto cnn = keyOf(R"({"workload":"cnn"})");
+
+    // Family and partitioning both key; spellings and key order do
+    // not.
+    EXPECT_NE(train, gnnRow);
+    EXPECT_NE(gnnRow, gnnNnz);
+    EXPECT_EQ(gnnNnz, gnnNnzAlias);
+    EXPECT_NE(cnn, train);
+    // The partitioning field must not split cache entries for
+    // families that ignore it.
+    EXPECT_EQ(keyOf(R"({"dataset":"Cora","partition":"nnz"})"),
+              train);
+}
+
+TEST(StreamBuilder, MisuseFailsWithDistinctDiagnostics)
+{
+    // Three different mistakes must produce three different
+    // messages, so a failing generator pinpoints its bug.
+    EXPECT_DEATH(isa::StreamBuilder("empty").microBatches(4).build(),
+                 "desc has no stages");
+    EXPECT_DEATH(
+        isa::StreamBuilder("no-mb").stage(10.0).microBatches(0).build(),
+        "need at least one micro-batch");
+    EXPECT_DEATH(isa::StreamBuilder("bad-retry")
+                     .stage(10.0)
+                     .microBatches(4)
+                     .writeRetry(1.5, 0.1)
+                     .build(),
+                 "writeRetryProb must lie in");
+}

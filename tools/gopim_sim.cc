@@ -14,6 +14,10 @@
  * disk with --isa-trace-in (inspect them with gopim_trace).
  * --grid runs the full Fig. 13 system list over the dataset(s),
  * spread over --jobs worker threads.
+ *
+ * --workload selects the workload family (gcn-train, gnn-infer with
+ * --partition=row|col|nnz, cnn-infer on a named preset); --list-
+ * engines / --list-workloads print the registry tables and exit.
  */
 
 #include <algorithm>
@@ -33,6 +37,9 @@
 #include "graph/io.hh"
 #include "pipeline/gantt.hh"
 #include "sim/engine.hh"
+#include "workload/cnn_infer.hh"
+#include "workload/family.hh"
+#include "workload/runner.hh"
 
 namespace {
 
@@ -80,6 +87,165 @@ runGridMode(const core::ComparisonHarness &harness,
     return 0;
 }
 
+/** --list-engines: the timing-backend registry, aliases included. */
+int
+listEngines()
+{
+    Table table("registered engines (--engine)",
+                {"canonical", "alias", "summary"});
+    for (const auto &info : sim::engineRegistry())
+        table.row().cell(info.canonical).cell(info.alias).cell(
+            info.summary);
+    table.print(std::cout);
+    return 0;
+}
+
+/** --list-workloads: families, partitionings, and CNN presets. */
+int
+listWorkloads()
+{
+    Table families("registered workload families (--workload)",
+                   {"canonical", "alias", "summary"});
+    for (const auto &info : workload::familyRegistry())
+        families.row().cell(info.canonical).cell(info.alias).cell(
+            info.summary);
+    families.print(std::cout);
+
+    std::cout << '\n';
+    Table partitions("gnn-infer partitionings (--partition)",
+                     {"canonical", "alias", "summary"});
+    for (const auto &info : workload::partitionRegistry())
+        partitions.row().cell(info.canonical).cell(info.alias).cell(
+            info.summary);
+    partitions.print(std::cout);
+
+    std::cout << '\n';
+    Table presets("cnn-infer presets (--dataset)",
+                  {"name", "summary"});
+    for (const auto &preset : workload::cnnPresetRegistry())
+        presets.row().cell(preset.name).cell(preset.summary);
+    presets.print(std::cout);
+    return 0;
+}
+
+/**
+ * --workload=gnn-infer / cnn-infer: compile the family plan and run
+ * it under the selected system. Training keeps the legacy
+ * core::Accelerator path below, bit-identical to prior releases.
+ */
+int
+runWorkloadMode(const Flags &flags, workload::FamilyKind family,
+                const sim::SimContext &ctx)
+{
+    if (flags.getBool("grid"))
+        fatal("--grid supports --workload=gcn-train only (use "
+              "bench/ablation_workloads for inference grids)");
+    if (!flags.getString("graph").empty())
+        fatal("--graph is supported with --workload=gcn-train only");
+    if (core::faultConfigFromFlags(flags).enabled())
+        fatal("fault injection applies to --workload=gcn-train only");
+
+    workload::WorkloadSpec spec;
+    spec.family = family;
+    // cnn-infer reads presets, not the graph catalog: substitute its
+    // default preset unless the user explicitly picked a dataset.
+    spec.dataset = flags.isSet("dataset") || family !=
+                           workload::FamilyKind::CnnInfer
+                       ? flags.getString("dataset")
+                       : workload::defaultCnnPreset();
+    spec.partition =
+        workload::partitioningFromString(flags.getString("partition"));
+    spec.microBatchSize =
+        static_cast<uint32_t>(flags.getInt("micro-batch"));
+    spec.epochs = static_cast<uint32_t>(flags.getInt("epochs"));
+    spec.seed = ctx.seed;
+
+    auto system = core::makeSystem(
+        core::systemFromName(flags.getString("system")));
+    system.sim = ctx;
+    auto baselineSystem = core::makeSystem(
+        core::systemFromName(flags.getString("baseline")));
+    baselineSystem.sim = ctx;
+
+    const auto hw = reram::AcceleratorConfig::paperDefault();
+    const auto run = workload::runFamily(spec, system, hw);
+    const auto baseline =
+        workload::runFamily(spec, baselineSystem, hw);
+    core::writeTraceIfRequested(flags, ctx);
+    core::writeMetricsIfRequested(flags, ctx);
+    core::writeIsaTraceIfRequested(flags, ctx);
+
+    if (flags.getBool("json")) {
+        core::writeRunJson(run, std::cout);
+        std::cout << "\n";
+        return 0;
+    }
+    if (flags.getBool("csv")) {
+        std::cout << "dataset,system,engine,makespan_ns,energy_pj,"
+                     "speedup,energy_saving,crossbars,avg_idle\n"
+                  << run.datasetName << ',' << run.systemName << ','
+                  << run.engineName << ',' << run.makespanNs << ','
+                  << run.energyPj << ','
+                  << run.speedupOver(baseline) << ','
+                  << run.energySavingOver(baseline) << ','
+                  << run.totalCrossbars << ','
+                  << run.avgIdleFraction << "\n";
+        return 0;
+    }
+
+    const workload::StagePlan plan =
+        workload::familyFor(family).plan(spec, hw);
+    std::cout << run.systemName << " running " << plan.label << " ("
+              << plan.numStages() << " stages, micro-batch "
+              << spec.microBatchSize << ", "
+              << plan.totalMicroBatches << " micro-batches, "
+              << run.engineName << " engine)\n\n";
+    std::cout << "makespan      : " << formatTimeNs(run.makespanNs)
+              << "\n";
+    std::cout << "energy        : " << formatEnergyPj(run.energyPj)
+              << "\n";
+    std::cout << "vs " << baseline.systemName << "     : "
+              << formatRatio(run.speedupOver(baseline))
+              << " speedup, "
+              << formatRatio(run.energySavingOver(baseline))
+              << " energy saving\n";
+    std::cout << "crossbars     : " << run.totalCrossbars << " of "
+              << hw.totalCrossbars() << "\n";
+    std::cout << "avg idle      : " << run.avgIdleFraction * 100.0
+              << "%\n\n";
+
+    Table stagesTable("per-stage allocation",
+                      {"stage", "replicas", "crossbars", "time/mb",
+                       "idle %"});
+    for (size_t i = 0; i < run.stages.size(); ++i) {
+        stagesTable.row()
+            .cell(run.stages[i].label())
+            .cell(static_cast<uint64_t>(run.replicas[i]))
+            .cell(run.stageCrossbars[i])
+            .cell(formatTimeNs(run.stageTimesNs[i]))
+            .cell(run.idleFraction[i] * 100.0, 1);
+    }
+    stagesTable.print(std::cout);
+
+    if (flags.getBool("gantt")) {
+        sim::ScheduleRequest request;
+        request.stageTimesNs = run.stageTimesNs;
+        request.replicas = run.replicas;
+        request.regime = plan.regime;
+        request.totalMicroBatches =
+            std::min(plan.totalMicroBatches, 16u);
+        sim::SimContext ganttCtx = ctx;
+        ganttCtx.recordWindows = true;
+        ganttCtx.traceSink = nullptr;
+        const auto timeline =
+            sim::resolveEngine(ganttCtx).schedule(request, ganttCtx);
+        std::cout << '\n'
+                  << pipeline::renderGantt(
+                         run.stages, timeline.toScheduleResult());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -107,11 +273,29 @@ main(int argc, char **argv)
                   "tables");
     flags.addBool("grid", false,
                   "run all Fig. 13 systems over the dataset list");
+    flags.addString("workload", "gcn-train",
+                    workload::familyFlagHelp());
+    flags.addString("partition", "row-split",
+                    workload::partitionFlagHelp());
+    flags.addBool("list-engines", false,
+                  "print the engine registry table and exit");
+    flags.addBool("list-workloads", false,
+                  "print the workload family registry tables and "
+                  "exit");
     core::addSimFlags(flags);
     if (!flags.parse(argc, argv))
         return 0;
 
+    if (flags.getBool("list-engines"))
+        return listEngines();
+    if (flags.getBool("list-workloads"))
+        return listWorkloads();
+
     const sim::SimContext ctx = core::simContextFromFlags(flags);
+    const workload::FamilyKind family =
+        workload::familyFromString(flags.getString("workload"));
+    if (family != workload::FamilyKind::GcnTrain)
+        return runWorkloadMode(flags, family, ctx);
     const fault::FaultConfig faultCfg =
         core::faultConfigFromFlags(flags);
     core::ComparisonHarness harness(
