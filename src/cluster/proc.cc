@@ -1,0 +1,82 @@
+#include "cluster/proc.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace gopim::cluster {
+
+int64_t
+spawnProcess(const std::vector<std::string> &argv, std::string *error)
+{
+    if (argv.empty()) {
+        if (error)
+            *error = "empty command";
+        return -1;
+    }
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &arg : argv)
+        cargv.push_back(const_cast<char *>(arg.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        if (error)
+            *error = std::string("fork(): ") + std::strerror(errno);
+        return -1;
+    }
+    if (pid == 0) {
+        ::execvp(cargv[0], cargv.data());
+        // Exec failed; nothing sensible to do in the child but exit.
+        _exit(127);
+    }
+    return pid;
+}
+
+void
+killProcess(int64_t pid, int sig)
+{
+    if (pid > 0)
+        ::kill(static_cast<pid_t>(pid), sig);
+}
+
+bool
+reapProcess(int64_t pid, bool block)
+{
+    if (pid <= 0)
+        return true;
+    int status = 0;
+    const pid_t rc = ::waitpid(static_cast<pid_t>(pid), &status,
+                               block ? 0 : WNOHANG);
+    if (rc == static_cast<pid_t>(pid))
+        return true;
+    if (rc < 0 && errno == ECHILD)
+        return true; // not our child (or already reaped)
+    return false;
+}
+
+std::vector<std::string>
+splitCommand(const std::string &command)
+{
+    std::vector<std::string> argv;
+    std::string current;
+    for (const char c : command) {
+        if (c == ' ' || c == '\t') {
+            if (!current.empty()) {
+                argv.push_back(current);
+                current.clear();
+            }
+        } else {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        argv.push_back(current);
+    return argv;
+}
+
+} // namespace gopim::cluster

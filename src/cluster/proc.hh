@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal child-process management for the cluster layer: spawn a
+ * worker binary, kill it (the chaos harness uses SIGKILL to model a
+ * crash, shutdown uses SIGTERM), and reap its exit status. Kept
+ * deliberately tiny — the router only ever manages a handful of
+ * long-lived worker processes.
+ */
+
+#ifndef GOPIM_CLUSTER_PROC_HH
+#define GOPIM_CLUSTER_PROC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gopim::cluster {
+
+/**
+ * fork/execvp `argv` (argv[0] is the binary; PATH-resolved). The
+ * child inherits stderr so worker logs stay visible. Returns the
+ * pid, or -1 with `error` filled.
+ */
+int64_t spawnProcess(const std::vector<std::string> &argv,
+                     std::string *error);
+
+/** Send `sig` to `pid` (no-op for pid <= 0). */
+void killProcess(int64_t pid, int sig);
+
+/**
+ * waitpid wrapper. Non-blocking unless `block`; returns true once
+ * the child has been reaped (or never existed).
+ */
+bool reapProcess(int64_t pid, bool block);
+
+/**
+ * Whitespace-split a command line into argv (no quoting — worker
+ * commands are flag lists, which never need embedded spaces).
+ */
+std::vector<std::string> splitCommand(const std::string &command);
+
+} // namespace gopim::cluster
+
+#endif // GOPIM_CLUSTER_PROC_HH

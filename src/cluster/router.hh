@@ -1,0 +1,228 @@
+/**
+ * @file
+ * ShardRouter: scales the serving layer across worker processes
+ * while preserving the single-process byte contract.
+ *
+ * Determinism argument, in three parts:
+ *  1. Placement — every request is parsed/resolved exactly as a
+ *     worker would and rendezvous-hashed by its content-addressed
+ *     cache key (shards.hh), so repeats of a key always reach the
+ *     same shard and each shard's LRU cache behaves exactly like a
+ *     single-process cache over its key subset.
+ *  2. Envelope — workers speak the Stable envelope (service.hh), so
+ *     response bytes are a pure function of (id, key, result) and
+ *     never of a shard's private hit/miss history.
+ *  3. Ordering — responses come back in request order per shard
+ *     connection, and the router re-emits them in client input
+ *     order, so the concatenated stream matches a single-process
+ *     run line for line.
+ *
+ * Worker death is survived, not hidden: the router journals every
+ * in-flight request per shard, detects death (read/write failure),
+ * respawns or reconnects, re-issues the journal in order, and keeps
+ * going — the client stream is byte-identical to an undisturbed run
+ * because re-simulation of a deterministic request reproduces the
+ * same result bytes. A seeded chaos mode (kill a worker every N
+ * responses) makes that claim testable end to end.
+ */
+
+#ifndef GOPIM_CLUSTER_ROUTER_HH
+#define GOPIM_CLUSTER_ROUTER_HH
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/admission.hh"
+#include "cluster/shards.hh"
+#include "common/net.hh"
+#include "common/rng.hh"
+#include "obs/metrics.hh"
+#include "reram/config.hh"
+#include "serve/request.hh"
+
+namespace gopim::cluster {
+
+/** Everything a Router needs at construction. */
+struct RouterConfig
+{
+    std::vector<ShardSpec> shards;
+    /**
+     * Per-request defaults — MUST match the workers' (the hello
+     * fingerprint check enforces it; see wire.hh).
+     */
+    serve::Request defaults;
+    reram::AcceleratorConfig hw =
+        reram::AcceleratorConfig::paperDefault();
+    AdmissionConfig admission;
+
+    /** Connect retries per (re)connect round and their spacing. */
+    uint32_t connectAttempts = 50;
+    uint32_t connectDelayMs = 100;
+    /** Full respawn+reconnect rounds before a shard is given up. */
+    uint32_t restartAttempts = 3;
+
+    /**
+     * Chaos harness (spawned shards only): after every
+     * `chaosKillEvery` responses emitted, SIGKILL a seeded-random
+     * worker, up to `chaosKillCount` times. 0 disables.
+     */
+    uint32_t chaosKillEvery = 0;
+    uint32_t chaosKillCount = 0;
+    uint64_t chaosSeed = 1;
+
+    /**
+     * Optional export registry. Admission control always records
+     * into a registry — this one when given, a private one
+     * otherwise — because its decisions read the instruments back.
+     */
+    std::shared_ptr<obs::MetricsRegistry> metrics;
+};
+
+/** The shard router. */
+class Router
+{
+  public:
+    explicit Router(RouterConfig config);
+
+    /** Disconnects, SIGTERMs and reaps every spawned worker. */
+    ~Router();
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    /**
+     * Spawn/connect every shard and exchange hellos. Returns "" on
+     * success, else a one-line reason (strict: all shards must come
+     * up before traffic flows).
+     */
+    std::string start();
+
+    struct StreamStats
+    {
+        uint64_t requests = 0;
+        uint64_t errors = 0;
+        uint64_t shed = 0;
+        uint64_t restarts = 0;
+        uint64_t reissued = 0;
+        uint64_t chaosKills = 0;
+    };
+
+    /**
+     * Route JSONL requests from `in` until EOF; one response line
+     * per request to `out`, in input order. Responses stream as soon
+     * as order allows.
+     */
+    StreamStats processStream(std::istream &in, std::ostream &out);
+
+    /**
+     * Client-facing framed transport: hello exchange on `clientFd`,
+     * then one request per frame in, one response per frame out (in
+     * order). Returns when the client closes.
+     */
+    StreamStats processFramed(int clientFd);
+
+    /** Rendezvous placement of a content-addressed key. */
+    size_t shardFor(const std::string &key) const;
+
+    /** The registry admission control records into. */
+    obs::MetricsRegistry &metrics() { return *metrics_; }
+
+    /** Router stats snapshot ({"type":"stats"} answers). */
+    json::Value statsJson() const;
+
+  private:
+    /** One client request, in input order. */
+    struct Entry
+    {
+        bool done = false;
+        bool isError = false;
+        bool routed = false;     ///< reached a shard (latency counts)
+        std::string response;    ///< final line, no newline
+        std::string id;
+        double dispatchedUs = 0.0;
+    };
+    using EntryPtr = std::shared_ptr<Entry>;
+
+    /** An in-flight request journaled against a shard. */
+    struct Journaled
+    {
+        std::string line; ///< raw client line, re-issued verbatim
+        EntryPtr entry;
+    };
+
+    struct Shard
+    {
+        size_t index = 0; ///< position in shards_ / admission gauges
+        ShardSpec spec;
+        net::Fd fd;
+        int64_t pid = -1;
+        std::thread reader;
+        bool dead = true;  ///< no live connection
+        bool gone = false; ///< permanently failed
+        std::deque<Journaled> journal;
+        uint64_t restarts = 0;
+    };
+
+    /** One connect/spawn+hello round; "" on success. */
+    std::string connectShard(Shard &shard);
+    /** Reader thread: match response frames to journal fronts. */
+    void readerLoop(Shard &shard);
+    /** Join the reader and drop the connection (does not revive). */
+    void disconnectShard(Shard &shard);
+    /**
+     * Main-thread revival: respawn/reconnect a dead shard and
+     * re-issue its journal; marks it gone after restartAttempts
+     * failed rounds.
+     */
+    void reviveShard(Shard &shard, StreamStats *stats);
+    /** Fail a gone shard's journal with shard_unavailable errors. */
+    void failJournal(Shard &shard);
+    /** Revive every dead shard that still owes journal entries. */
+    void recoverDeadShards(StreamStats *stats);
+
+    /** Parse/route/admit one line; never blocks on results. */
+    EntryPtr dispatchLine(const std::string &line,
+                          StreamStats *stats);
+    EntryPtr immediateEntry(std::string response, bool isError);
+
+    /** The session pump shared by both client transports. */
+    StreamStats
+    runSession(const std::function<bool(std::string *)> &nextLine,
+               const std::function<void(const std::string &)> &emit);
+
+    RouterConfig config_;
+    std::shared_ptr<obs::MetricsRegistry> metrics_;
+    AdmissionController admission_;
+    std::vector<std::string> names_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::string defaultsFp_;
+    Rng chaosRng_;
+    uint64_t emitted_ = 0;
+    uint64_t chaosKills_ = 0;
+    uint64_t restarts_ = 0;
+    uint64_t reissued_ = 0;
+    uint64_t requests_ = 0;
+    uint64_t errors_ = 0;
+    bool started_ = false;
+
+    /**
+     * One mutex/cv pair guards all cross-thread state (journals,
+     * entry done flags, dead flags). Reader threads hold it only to
+     * match one frame; contention is negligible next to simulation
+     * cost, and a single lock keeps the invariants auditable.
+     */
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+};
+
+} // namespace gopim::cluster
+
+#endif // GOPIM_CLUSTER_ROUTER_HH

@@ -1,0 +1,71 @@
+#include "cluster/shards.hh"
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace gopim::cluster {
+
+uint64_t
+rendezvousScore(const std::string &name, const std::string &key)
+{
+    // Chained FNV-1a: hash the shard name, then continue over the
+    // key. One pass per (shard, key) pair, stable across platforms.
+    return fnv1a64(key, fnv1a64(name));
+}
+
+size_t
+rendezvousShard(const std::string &key,
+                const std::vector<std::string> &names)
+{
+    if (names.empty())
+        panic("rendezvousShard called with no shards");
+    size_t winner = 0;
+    uint64_t best = rendezvousScore(names[0], key);
+    for (size_t i = 1; i < names.size(); ++i) {
+        const uint64_t score = rendezvousScore(names[i], key);
+        if (score > best ||
+            (score == best && names[i] < names[winner])) {
+            best = score;
+            winner = i;
+        }
+    }
+    return winner;
+}
+
+bool
+parseEndpoint(const std::string &endpoint, ShardSpec *out,
+              std::string *error)
+{
+    const size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == endpoint.size()) {
+        if (error)
+            *error = "malformed endpoint '" + endpoint +
+                     "' (expected host:port)";
+        return false;
+    }
+    int port = 0;
+    for (size_t i = colon + 1; i < endpoint.size(); ++i) {
+        const char c = endpoint[i];
+        if (c < '0' || c > '9' || (port = port * 10 + (c - '0')) >
+                                      65535) {
+            if (error)
+                *error = "bad port in endpoint '" + endpoint + "'";
+            return false;
+        }
+    }
+    if (port == 0) {
+        if (error)
+            *error = "bad port in endpoint '" + endpoint +
+                     "' (0 is reserved for ephemeral binds)";
+        return false;
+    }
+    ShardSpec spec;
+    spec.name = endpoint;
+    spec.host = endpoint.substr(0, colon);
+    spec.port = static_cast<uint16_t>(port);
+    *out = std::move(spec);
+    return true;
+}
+
+} // namespace gopim::cluster

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shard identity and placement for the cluster layer. A shard is one
+ * gopim_serve worker process; placement uses rendezvous (highest-
+ * random-weight) hashing of the content-addressed request key over
+ * the set of shard *names*, so the mapping depends only on which
+ * shards exist — never on list order, join order, or transport
+ * addresses. That is the property that keeps every shard's LRU cache
+ * byte-identical to the single-process one: a repeated request key
+ * always lands on the same worker.
+ */
+
+#ifndef GOPIM_CLUSTER_SHARDS_HH
+#define GOPIM_CLUSTER_SHARDS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gopim::cluster {
+
+/** One worker shard the router manages. */
+struct ShardSpec
+{
+    /** Stable rendezvous-hash identity (must be unique). */
+    std::string name;
+    /** Endpoint of a pre-started worker ("" = spawned locally). */
+    std::string host;
+    uint16_t port = 0;
+    /**
+     * argv to spawn the worker ourselves (empty = connect-only).
+     * The router appends --tcp=0 and --port-file=<portFile>, reads
+     * the bound port back, and respawns with the same argv after a
+     * crash.
+     */
+    std::vector<std::string> command;
+    /** Where a spawned worker reports its ephemeral port. */
+    std::string portFile;
+};
+
+/**
+ * Rendezvous hash: the shard whose FNV-1a-chained (name, key) score
+ * is highest wins; ties break toward the lexicographically smaller
+ * name. Deterministic, order-independent, and minimally disruptive —
+ * adding a shard moves only the keys it now wins.
+ */
+size_t rendezvousShard(const std::string &key,
+                       const std::vector<std::string> &names);
+
+/** The per-(shard, key) rendezvous score (exposed for tests). */
+uint64_t rendezvousScore(const std::string &name,
+                         const std::string &key);
+
+/**
+ * "host:port" → ShardSpec named by the endpoint string itself.
+ * False with `error` filled on a malformed endpoint.
+ */
+bool parseEndpoint(const std::string &endpoint, ShardSpec *out,
+                   std::string *error);
+
+} // namespace gopim::cluster
+
+#endif // GOPIM_CLUSTER_SHARDS_HH

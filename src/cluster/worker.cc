@@ -1,0 +1,128 @@
+#include "cluster/worker.hh"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "cluster/wire.hh"
+#include "common/net.hh"
+#include "serve/request.hh"
+
+namespace gopim::cluster {
+
+WorkerStats
+pumpFramedConnection(serve::Service &service, int fd,
+                     const WorkerOptions &options)
+{
+    WorkerStats stats;
+
+    // --- hello exchange -------------------------------------------
+    std::string payload;
+    if (net::readFrame(fd, &payload) != net::IoStatus::Ok)
+        return stats;
+    Hello hello;
+    if (std::string problem = parseHello(payload, &hello);
+        !problem.empty()) {
+        net::writeFrame(
+            fd, serve::errorResponseLine(
+                    "", {"protocol_mismatch", "", problem}));
+        return stats;
+    }
+    if (!hello.defaultsFp.empty() &&
+        hello.defaultsFp != options.defaultsFp) {
+        net::writeFrame(
+            fd,
+            serve::errorResponseLine(
+                "", {"defaults_mismatch", "",
+                     "serving defaults mismatch: worker '" +
+                         options.defaultsFp + "' vs peer '" +
+                         hello.defaultsFp +
+                         "' (start both with identical --engine/"
+                         "--seed/fault flags)"}));
+        return stats;
+    }
+    const serve::Envelope envelope = hello.envelopeSet
+                                         ? hello.envelope
+                                         : options.defaultEnvelope;
+    if (!net::writeFrame(fd, helloOkLine(options.defaultsFp)))
+        return stats;
+
+    // --- pipelined request/response pump --------------------------
+    // This thread reads frames and submits them (submission order =
+    // frame order, which fixes the hit/miss decisions); the writer
+    // thread finishes fronts in that same order, so response frames
+    // are deterministic per connection for any worker pool size. The
+    // window needs no explicit bound: submit() itself blocks on the
+    // service's bounded queue.
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<serve::Service::Pending> window;
+    bool eof = false;
+    bool peerGone = false;
+
+    std::thread writer([&] {
+        std::unique_lock<std::mutex> lock(mutex);
+        while (true) {
+            cv.wait(lock, [&] { return eof || !window.empty(); });
+            if (window.empty())
+                return; // eof && drained
+            serve::Service::Pending pending =
+                std::move(window.front());
+            window.pop_front();
+            lock.unlock();
+            const std::string line = service.finish(pending);
+            lock.lock();
+            if (line.rfind("{\"type\":\"error\"", 0) == 0)
+                ++stats.errors;
+            // A vanished peer stops the writes but not the drain:
+            // every submitted request still completes through the
+            // service so its cache/metrics state stays coherent.
+            if (!peerGone && !net::writeFrame(fd, line))
+                peerGone = true;
+        }
+    });
+
+    while (true) {
+        std::string line;
+        if (net::readFrame(fd, &line) != net::IoStatus::Ok)
+            break;
+        ++stats.requests;
+        serve::Service::Pending pending =
+            service.submit(line, envelope);
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            window.push_back(std::move(pending));
+        }
+        cv.notify_all();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        eof = true;
+    }
+    cv.notify_all();
+    writer.join();
+    return stats;
+}
+
+WorkerStats
+serveFramed(serve::Service &service, int listenFd,
+            const WorkerOptions &options,
+            const volatile std::sig_atomic_t *stop)
+{
+    WorkerStats total;
+    while (!*stop) {
+        const int conn = net::acceptWithTimeout(listenFd, 200);
+        if (conn < 0)
+            continue;
+        net::Fd guard(conn);
+        const WorkerStats stats =
+            pumpFramedConnection(service, conn, options);
+        total.requests += stats.requests;
+        total.errors += stats.errors;
+    }
+    return total;
+}
+
+} // namespace gopim::cluster

@@ -77,7 +77,9 @@ class Counter
 /**
  * Point-in-time value. `set` is last-write-wins (use for
  * configuration-like values recorded once); `recordMax` keeps the
- * high-water mark (order-independent, safe under concurrency).
+ * high-water mark (order-independent, safe under concurrency);
+ * `add` supports live depth gauges (in-flight request counts) that
+ * rise and fall as work is dispatched and retired.
  */
 class Gauge
 {
@@ -86,6 +88,18 @@ class Gauge
     set(int64_t v)
     {
         value_.store(v, std::memory_order_relaxed);
+    }
+
+    /**
+     * Adjust the gauge by `delta` (negative to decrement). Relaxed,
+     * commutative — the resting value is interleaving-independent,
+     * which is what lets the cluster's admission control read its
+     * queue-depth decisions straight off the exported instrument.
+     */
+    void
+    add(int64_t delta)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
     }
 
     /** Raise the gauge to `v` if above the current value. */

@@ -1,8 +1,11 @@
 #include "serve/request.hh"
 
+#include <algorithm>
 #include <limits>
+#include <vector>
 
 #include "common/hash.hh"
+#include "common/logging.hh"
 #include "core/options.hh"
 #include "core/report.hh"
 #include "graph/datasets.hh"
@@ -95,6 +98,72 @@ getUnitRate(const json::Value &v, double *out, RequestError *err,
     }
     *out = value;
     return true;
+}
+
+/** Every top-level key parseRequest accepts, for typo hints. */
+constexpr const char *kKnownFields[] = {
+    "id",           "dataset",       "workload",    "partition",
+    "system",       "baseline",      "engine",      "seed",
+    "micro_batch",  "epochs",        "theta",       "buffer_slots",
+    "retry_prob",   "write_fraction", "stuck_on_rate",
+    "stuck_off_rate", "drift_rate",  "repair",      "spare_rows",
+    "refresh_period", "trace_out",
+};
+
+/** Classic Levenshtein distance; inputs are short field names. */
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<size_t> row(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        size_t diagonal = row[0];
+        row[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            const size_t previous = row[j];
+            const size_t substitute =
+                diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+            row[j] = std::min(
+                {substitute, row[j] + 1, row[j - 1] + 1});
+            diagonal = previous;
+        }
+    }
+    return row[b.size()];
+}
+
+/**
+ * Nearest-match hint for an unknown top-level key, the same registry
+ * hint pattern the workload/engine names use: a close misspelling
+ * names the intended field, anything else lists the schema.
+ */
+RequestError
+unknownField(const std::string &key)
+{
+    std::string message = "unknown field '" + key + "'";
+    const char *closest = nullptr;
+    size_t best = std::max<size_t>(2, key.size() / 3) + 1;
+    for (const char *known : kKnownFields) {
+        const size_t distance = editDistance(key, known);
+        if (distance < best) {
+            best = distance;
+            closest = known;
+        }
+    }
+    if (closest) {
+        message += std::string(" (did you mean '") + closest + "'?)";
+    } else {
+        message += " (known fields: ";
+        bool first = true;
+        for (const char *known : kKnownFields) {
+            if (!first)
+                message += ", ";
+            message += known;
+            first = false;
+        }
+        message += ")";
+    }
+    return {"unknown_field", key, message};
 }
 
 } // namespace
@@ -243,8 +312,7 @@ parseRequest(const json::Value &body, const Request &defaults,
             if (!getString(value, &req.traceOut, &err, "trace_out"))
                 return err;
         } else {
-            return {"unknown_field", key,
-                    "unknown field '" + key + "'"};
+            return unknownField(key);
         }
     }
 
@@ -352,6 +420,36 @@ configuredSystem(const ResolvedRequest &resolved)
         system.policy.theta = resolved.request.theta;
     }
     return system;
+}
+
+std::string
+errorResponseLine(const std::string &id, const RequestError &error)
+{
+    std::string line = "{\"type\":\"error\"";
+    if (!id.empty())
+        line += ",\"id\":\"" + json::escape(id) + "\"";
+    line += ",\"code\":\"" + json::escape(error.code) + "\"";
+    if (!error.field.empty())
+        line += ",\"field\":\"" + json::escape(error.field) + "\"";
+    line += ",\"error\":\"" + json::escape(error.message) + "\"}";
+    return line;
+}
+
+std::string
+defaultsFingerprint(const Request &defaults,
+                    const reram::AcceleratorConfig &hw)
+{
+    Request request;
+    if (RequestError err = parseRequest(json::Value::object(),
+                                        defaults, &request);
+        !err.ok())
+        fatal("serving defaults do not form a valid request: ",
+              err.message);
+    ResolvedRequest resolved;
+    if (RequestError err = resolveRequest(request, &resolved);
+        !err.ok())
+        fatal("serving defaults do not resolve: ", err.message);
+    return cacheKey(resolved, hw);
 }
 
 std::string

@@ -99,11 +99,31 @@ struct ResolvedRequest
  * Decode and validate one parsed JSONL object against `defaults`.
  * Strict: unknown fields, wrong types, unknown dataset/system/engine
  * names, and values outside the core::addSimFlags ranges are all
- * rejected with a structured RequestError. Fills `out` only on
- * success.
+ * rejected with a structured RequestError (unknown top-level keys
+ * get a nearest-match hint). Fills `out` only on success.
  */
 RequestError parseRequest(const json::Value &body,
                           const Request &defaults, Request *out);
+
+/**
+ * The error response envelope ({"type":"error",...}) as one JSONL
+ * line, machine-readable code/field first. Shared by the Service and
+ * the cluster router so a request rejected at either layer produces
+ * byte-identical bytes.
+ */
+std::string errorResponseLine(const std::string &id,
+                              const RequestError &error);
+
+/**
+ * Fingerprint of the execution-relevant serving defaults: the cache
+ * key the empty request {} resolves to under `defaults` + `hw`. Two
+ * processes agreeing on this digest return byte-identical result
+ * bytes for any request (every field a request may omit is covered
+ * by the canonical run config), so the cluster hello exchanges it to
+ * reject router/worker default mismatches up front.
+ */
+std::string defaultsFingerprint(const Request &defaults,
+                                const reram::AcceleratorConfig &hw);
 
 /** Bind catalog entries; RequestError::ok() on success. */
 RequestError resolveRequest(const Request &request,

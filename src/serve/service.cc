@@ -16,28 +16,6 @@
 
 namespace gopim::serve {
 
-namespace {
-
-/**
- * Error response envelope. Machine-readable `code` (and the
- * offending `field`, when one exists) precede the human-readable
- * message so clients can branch without parsing prose.
- */
-std::string
-errorLine(const std::string &id, const RequestError &error)
-{
-    std::string line = "{\"type\":\"error\"";
-    if (!id.empty())
-        line += ",\"id\":\"" + json::escape(id) + "\"";
-    line += ",\"code\":\"" + json::escape(error.code) + "\"";
-    if (!error.field.empty())
-        line += ",\"field\":\"" + json::escape(error.field) + "\"";
-    line += ",\"error\":\"" + json::escape(error.message) + "\"}";
-    return line;
-}
-
-} // namespace
-
 Service::Service(ServiceConfig config)
     : config_(std::move(config)),
       maxQueue_(config_.maxQueue),
@@ -158,7 +136,7 @@ Service::simulate(const ResolvedRequest &resolved) const
 }
 
 Service::Output
-Service::dispatch(const std::string &line)
+Service::dispatch(const std::string &line, Envelope envelope)
 {
     Output output;
     const bool metricsOn = config_.metrics != nullptr;
@@ -320,12 +298,18 @@ Service::dispatch(const std::string &line)
     if (!output.id.empty())
         output.prefix += ",\"id\":\"" + json::escape(output.id) + "\"";
     output.prefix += ",\"key\":\"" + key + "\"";
-    output.prefix += cached ? ",\"cached\":true" : ",\"cached\":false";
-    output.prefix += ",\"hits\":" + std::to_string(hitsNow);
-    output.prefix += ",\"misses\":" + std::to_string(missesNow);
-    if (!cached && !request.traceOut.empty())
+    if (envelope == Envelope::Full) {
+        // Live cache metadata: useful to a single-process client,
+        // but dependent on this process's history — the Stable
+        // envelope leaves it out so shards stay byte-comparable.
         output.prefix +=
-            ",\"trace\":\"" + json::escape(request.traceOut) + "\"";
+            cached ? ",\"cached\":true" : ",\"cached\":false";
+        output.prefix += ",\"hits\":" + std::to_string(hitsNow);
+        output.prefix += ",\"misses\":" + std::to_string(missesNow);
+        if (!cached && !request.traceOut.empty())
+            output.prefix += ",\"trace\":\"" +
+                             json::escape(request.traceOut) + "\"";
+    }
     output.prefix += ",\"result\":";
     return output;
 }
@@ -334,7 +318,7 @@ std::string
 Service::render(Output &output)
 {
     if (!output.error.ok())
-        return errorLine(output.id, output.error);
+        return errorResponseLine(output.id, output.error);
     if (output.raw)
         return output.value;
     std::string value;
@@ -347,7 +331,7 @@ Service::render(Output &output)
             output.error = {"simulation_failed", "",
                             std::string("simulation failed: ") +
                                 e.what()};
-            return errorLine(output.id, output.error);
+            return errorResponseLine(output.id, output.error);
         }
     }
     return output.prefix + value + "}";
@@ -382,10 +366,28 @@ Service::observeEmitted(const Output &output)
         .observe(obs::profileNowUs() - output.dispatchedUs);
 }
 
-std::string
-Service::handleLine(const std::string &line)
+Service::Pending
+Service::submit(const std::string &line, Envelope envelope)
 {
-    Output output = dispatch(line);
+    Pending pending;
+    pending.output_ = dispatch(line, envelope);
+    return pending;
+}
+
+bool
+Service::ready(const Pending &pending) const
+{
+    const Output &output = pending.output_;
+    if (!output.error.ok() || output.immediate)
+        return true;
+    return output.pending.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+}
+
+std::string
+Service::finish(Pending &pending)
+{
+    Output &output = pending.output_;
     std::string response = render(output);
     retireInflight(output.key);
     observeEmitted(output);
@@ -396,9 +398,16 @@ Service::handleLine(const std::string &line)
     return response;
 }
 
+std::string
+Service::handleLine(const std::string &line, Envelope envelope)
+{
+    Pending pending = submit(line, envelope);
+    return finish(pending);
+}
+
 Service::StreamStats
 Service::processStream(std::istream &in, std::ostream &out,
-                       bool emitStats)
+                       bool emitStats, Envelope envelope)
 {
     {
         // Coalescing is a per-stream notion; completed futures from
@@ -411,41 +420,24 @@ Service::processStream(std::istream &in, std::ostream &out,
     // Responses wait in a deque window: entries are released as they
     // are emitted, so memory tracks the in-flight window instead of
     // the whole stream.
-    std::deque<Output> outputs;
-
-    const auto ready = [](const Output &o) {
-        if (!o.error.ok() || o.immediate)
-            return true;
-        return o.pending.wait_for(std::chrono::seconds(0)) ==
-               std::future_status::ready;
-    };
-    const auto emit = [&](Output &o) {
-        const std::string line = render(o);
-        out << line << '\n';
-        retireInflight(o.key);
-        observeEmitted(o);
-        if (!o.error.ok()) {
-            std::lock_guard<std::mutex> lock(dispatchMutex_);
-            ++stream_.errors;
-        }
-    };
+    std::deque<Pending> window;
 
     std::string line;
     while (std::getline(in, line)) {
         if (line.find_first_not_of(" \t\r") == std::string::npos)
             continue;
-        outputs.push_back(dispatch(line));
+        window.push_back(submit(line, envelope));
         // Flush every response whose turn has come and whose result
         // is ready, so output streams while the pool keeps working.
-        while (!outputs.empty() && ready(outputs.front())) {
-            emit(outputs.front());
-            outputs.pop_front();
+        while (!window.empty() && ready(window.front())) {
+            out << finish(window.front()) << '\n';
+            window.pop_front();
         }
     }
     // Drain: emit the rest in order, blocking as needed.
-    while (!outputs.empty()) {
-        emit(outputs.front());
-        outputs.pop_front();
+    while (!window.empty()) {
+        out << finish(window.front()) << '\n';
+        window.pop_front();
     }
 
     StreamStats stats;

@@ -37,6 +37,23 @@
 
 namespace gopim::serve {
 
+/**
+ * Response envelope mode. Full is the historical single-process
+ * shape: result lines carry live cache metadata ("cached", running
+ * "hits"/"misses" counters, the trace path). Stable strips those —
+ * a Stable result line is a pure function of the request identity
+ * (id, cache key, result bytes), which is what lets a sharded
+ * cluster (whose per-shard caches see different subsets and whose
+ * workers may restart with cold caches) stay byte-identical to a
+ * single-process run. The cluster transport always negotiates
+ * Stable.
+ */
+enum class Envelope
+{
+    Full,
+    Stable,
+};
+
 /** Everything a Service needs at construction. */
 struct ServiceConfig
 {
@@ -65,6 +82,21 @@ struct ServiceConfig
 /** The batch simulation service. */
 class Service
 {
+  private:
+    /** One dispatched request: everything emission needs. */
+    struct Output
+    {
+        std::string id;
+        std::string key;            ///< cache key ("" for errors)
+        RequestError error;         ///< !ok() = error response
+        std::string prefix;         ///< envelope up to "result":
+        bool immediate = false;     ///< result already in `value`
+        bool raw = false;           ///< `value` is the whole line
+        std::string value;          ///< cached result bytes
+        std::shared_future<std::string> pending; ///< fresh result
+        double dispatchedUs = 0.0;  ///< set only when metrics attached
+    };
+
   public:
     explicit Service(ServiceConfig config);
 
@@ -75,10 +107,46 @@ class Service
     Service &operator=(const Service &) = delete;
 
     /**
+     * An accepted request whose response has not been rendered yet.
+     * Returned by submit(); hand it back to ready()/finish(). Move-
+     * only in spirit (cheap to move, holds a shared future).
+     */
+    class Pending
+    {
+      public:
+        Pending() = default;
+
+      private:
+        friend class Service;
+        Output output_;
+    };
+
+    /**
+     * Parse/validate/route one JSONL line and start its simulation
+     * (or resolve it against the cache). Serial per caller thread:
+     * the hit/miss decision happens in call order, so callers that
+     * submit in input order get deterministic bytes for any worker
+     * count. May block on the bounded-queue backpressure.
+     */
+    Pending submit(const std::string &line,
+                   Envelope envelope = Envelope::Full);
+
+    /** True once finish() would not block. */
+    bool ready(const Pending &pending) const;
+
+    /**
+     * Render the response line (no trailing newline), blocking until
+     * the simulation completes if needed. Also retires the request's
+     * coalescing entry and records its metrics; call exactly once.
+     */
+    std::string finish(Pending &pending);
+
+    /**
      * Handle one JSONL request line synchronously; returns the
      * response line (no trailing newline).
      */
-    std::string handleLine(const std::string &line);
+    std::string handleLine(const std::string &line,
+                           Envelope envelope = Envelope::Full);
 
     struct StreamStats
     {
@@ -94,7 +162,8 @@ class Service
      * allows, so output streams while later requests still compute.
      */
     StreamStats processStream(std::istream &in, std::ostream &out,
-                              bool emitStats = false);
+                              bool emitStats = false,
+                              Envelope envelope = Envelope::Full);
 
     /** Block until every submitted simulation has finished. */
     void drain();
@@ -116,22 +185,8 @@ class Service
     json::Value statsJson(const StreamStats &stream) const;
 
   private:
-    /** One dispatched request: everything emission needs. */
-    struct Output
-    {
-        std::string id;
-        std::string key;            ///< cache key ("" for errors)
-        RequestError error;         ///< !ok() = error response
-        std::string prefix;         ///< envelope up to "result":
-        bool immediate = false;     ///< result already in `value`
-        bool raw = false;           ///< `value` is the whole line
-        std::string value;          ///< cached result bytes
-        std::shared_future<std::string> pending; ///< fresh result
-        double dispatchedUs = 0.0;  ///< set only when metrics attached
-    };
-
     /** Parse/validate/route one line; serial, in input order. */
-    Output dispatch(const std::string &line);
+    Output dispatch(const std::string &line, Envelope envelope);
     /** Render an Output to its final response line (may block). */
     std::string render(Output &output);
     /** Drop `key`'s coalescing entry once its future is ready. */

@@ -1,0 +1,662 @@
+/**
+ * @file
+ * Cluster-layer tests: rendezvous placement (balanced, join-order
+ * independent, minimally disruptive), the length-prefixed frame
+ * codec, stale-Unix-socket reclamation, the worker-side framed pump
+ * (byte-equal to Service::handleLine), and the router end to end —
+ * including the headline chaos claim: a 3-shard cluster with workers
+ * SIGKILLed and respawned mid-load emits a response stream
+ * byte-identical to a single-process `gopim_serve --envelope=stable`
+ * run.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "cluster/admission.hh"
+#include "cluster/router.hh"
+#include "cluster/shards.hh"
+#include "cluster/wire.hh"
+#include "cluster/worker.hh"
+#include "common/flags.hh"
+#include "common/hash.hh"
+#include "common/net.hh"
+#include "core/options.hh"
+#include "obs/metrics.hh"
+#include "serve/request.hh"
+#include "serve/service.hh"
+#include "sim/engine.hh"
+
+namespace gopim {
+namespace {
+
+// ---------------------------------------------------------------
+// Rendezvous placement
+// ---------------------------------------------------------------
+
+std::vector<std::string>
+shardNames(size_t count)
+{
+    std::vector<std::string> names;
+    for (size_t i = 0; i < count; ++i)
+        names.push_back("shard" + std::to_string(i));
+    return names;
+}
+
+/** Synthetic cache-key-shaped inputs (16-char hex digests). */
+std::vector<std::string>
+syntheticKeys(size_t count)
+{
+    std::vector<std::string> keys;
+    for (size_t i = 0; i < count; ++i)
+        keys.push_back(
+            hexDigest64(fnv1a64("request-" + std::to_string(i))));
+    return keys;
+}
+
+TEST(RendezvousTest, BalancedWithinPinnedBoundAcrossShardCounts)
+{
+    const std::vector<std::string> keys = syntheticKeys(4096);
+    for (const size_t shardCount : {2u, 4u, 8u}) {
+        const std::vector<std::string> names =
+            shardNames(shardCount);
+        std::vector<size_t> perShard(shardCount, 0);
+        for (const std::string &key : keys)
+            ++perShard[cluster::rendezvousShard(key, names)];
+        const double avg = static_cast<double>(keys.size()) /
+                           static_cast<double>(shardCount);
+        const size_t hi =
+            *std::max_element(perShard.begin(), perShard.end());
+        const size_t lo =
+            *std::min_element(perShard.begin(), perShard.end());
+        // Pinned fairness bound: an FNV-chained rendezvous hash over
+        // 4096 keys stays within ±25% of a perfect split.
+        EXPECT_LE(static_cast<double>(hi), avg * 1.25)
+            << shardCount << " shards";
+        EXPECT_GE(static_cast<double>(lo), avg * 0.75)
+            << shardCount << " shards";
+    }
+}
+
+TEST(RendezvousTest, PlacementIgnoresJoinOrder)
+{
+    const std::vector<std::string> keys = syntheticKeys(256);
+    std::vector<std::string> names = shardNames(5);
+    std::vector<std::string> reversed(names.rbegin(), names.rend());
+    std::vector<std::string> rotated = names;
+    std::rotate(rotated.begin(), rotated.begin() + 2, rotated.end());
+    for (const std::string &key : keys) {
+        const std::string &winner =
+            names[cluster::rendezvousShard(key, names)];
+        EXPECT_EQ(winner,
+                  reversed[cluster::rendezvousShard(key, reversed)]);
+        EXPECT_EQ(winner,
+                  rotated[cluster::rendezvousShard(key, rotated)]);
+    }
+}
+
+TEST(RendezvousTest, AddingShardMovesOnlyKeysItWins)
+{
+    const std::vector<std::string> keys = syntheticKeys(2048);
+    const std::vector<std::string> names = shardNames(4);
+    std::vector<std::string> grown = names;
+    grown.push_back("shard4");
+    size_t moved = 0;
+    for (const std::string &key : keys) {
+        const std::string &before =
+            names[cluster::rendezvousShard(key, names)];
+        const std::string &after =
+            grown[cluster::rendezvousShard(key, grown)];
+        if (before != after) {
+            // A key only ever moves TO the new shard.
+            EXPECT_EQ(after, "shard4") << key;
+            ++moved;
+        }
+    }
+    // Roughly 1/5 of the keyspace belongs to the 5th shard.
+    EXPECT_GT(moved, keys.size() / 10);
+    EXPECT_LT(moved, keys.size() / 3);
+}
+
+TEST(RendezvousTest, EndpointParsing)
+{
+    cluster::ShardSpec spec;
+    std::string error;
+    ASSERT_TRUE(
+        cluster::parseEndpoint("127.0.0.1:9100", &spec, &error))
+        << error;
+    EXPECT_EQ(spec.name, "127.0.0.1:9100");
+    EXPECT_EQ(spec.host, "127.0.0.1");
+    EXPECT_EQ(spec.port, 9100);
+    EXPECT_FALSE(cluster::parseEndpoint("nohost", &spec, &error));
+    EXPECT_FALSE(
+        cluster::parseEndpoint("host:notaport", &spec, &error));
+    EXPECT_FALSE(cluster::parseEndpoint("host:0", &spec, &error));
+}
+
+// ---------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------
+
+struct SocketPair
+{
+    int a = -1;
+    int b = -1;
+    SocketPair()
+    {
+        int fds[2];
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0) {
+            a = fds[0];
+            b = fds[1];
+        }
+    }
+    ~SocketPair()
+    {
+        if (a >= 0)
+            ::close(a);
+        if (b >= 0)
+            ::close(b);
+    }
+    void
+    closeA()
+    {
+        ::close(a);
+        a = -1;
+    }
+};
+
+TEST(FrameTest, RoundTripIncludingEmptyPayload)
+{
+    SocketPair pair;
+    ASSERT_GE(pair.a, 0);
+    const std::vector<std::string> payloads = {
+        "{\"dataset\":\"ddi\"}", "", std::string(70000, 'x')};
+    for (const std::string &payload : payloads)
+        ASSERT_TRUE(net::writeFrame(pair.a, payload));
+    for (const std::string &payload : payloads) {
+        std::string got;
+        ASSERT_EQ(net::readFrame(pair.b, &got), net::IoStatus::Ok);
+        EXPECT_EQ(got, payload);
+    }
+}
+
+TEST(FrameTest, CleanCloseIsEofMidFrameCloseIsError)
+{
+    {
+        SocketPair pair;
+        pair.closeA();
+        std::string got;
+        EXPECT_EQ(net::readFrame(pair.b, &got), net::IoStatus::Eof);
+    }
+    {
+        SocketPair pair;
+        // Half a length header, then close: an error, not EOF.
+        const char partial[2] = {0x10, 0x00};
+        ASSERT_EQ(::write(pair.a, partial, 2), 2);
+        pair.closeA();
+        std::string got;
+        std::string error;
+        EXPECT_EQ(net::readFrame(pair.b, &got, &error),
+                  net::IoStatus::Error);
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(FrameTest, OversizedFrameRejected)
+{
+    SocketPair pair;
+    // A forged oversized length prefix must not allocate; the reader
+    // rejects it before reading the body.
+    const uint32_t huge = (1u << 26) + 1;
+    char header[4] = {static_cast<char>(huge & 0xff),
+                      static_cast<char>((huge >> 8) & 0xff),
+                      static_cast<char>((huge >> 16) & 0xff),
+                      static_cast<char>((huge >> 24) & 0xff)};
+    ASSERT_EQ(::write(pair.a, header, 4), 4);
+    std::string got;
+    std::string error;
+    EXPECT_EQ(net::readFrame(pair.b, &got, &error),
+              net::IoStatus::Error);
+    EXPECT_NE(error.find("frame"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Stale Unix sockets
+// ---------------------------------------------------------------
+
+TEST(UnixSocketTest, StaleSocketReclaimedLiveSocketRefused)
+{
+    const std::string path =
+        testing::TempDir() + "gopim_stale_test.sock";
+    ::unlink(path.c_str());
+
+    // A listener that dies without unlinking leaves a stale file.
+    std::string error;
+    int fd = net::listenUnix(path, &error);
+    ASSERT_GE(fd, 0) << error;
+
+    // While it lives, the path must be refused, not stolen.
+    std::string liveError;
+    EXPECT_LT(net::listenUnix(path, &liveError), 0);
+    EXPECT_NE(liveError.find("live"), std::string::npos)
+        << liveError;
+
+    ::close(fd); // dead server, socket file left behind
+
+    bool removedStale = false;
+    fd = net::listenUnix(path, &error, &removedStale);
+    EXPECT_GE(fd, 0) << error;
+    EXPECT_TRUE(removedStale);
+    ::close(fd);
+    ::unlink(path.c_str());
+}
+
+TEST(UnixSocketTest, RefusesNonSocketFile)
+{
+    const std::string path =
+        testing::TempDir() + "gopim_notasocket.txt";
+    {
+        std::ofstream out(path);
+        out << "hello\n";
+    }
+    std::string error;
+    EXPECT_LT(net::listenUnix(path, &error), 0);
+    EXPECT_NE(error.find("not a socket"), std::string::npos)
+        << error;
+    ::unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------
+// Worker-side framed pump
+// ---------------------------------------------------------------
+
+/** Constant-latency engine: keeps protocol tests instantaneous. */
+class StubEngine final : public sim::ScheduleEngine
+{
+  public:
+    std::string name() const override { return "stub"; }
+
+    sim::StageTimeline
+    schedule(const sim::ScheduleRequest &request,
+             const sim::SimContext &) const override
+    {
+        sim::StageTimeline timeline;
+        double total = 0.0;
+        for (double t : request.stageTimesNs)
+            total += t;
+        timeline.makespanNs =
+            total * static_cast<double>(request.totalMicroBatches);
+        timeline.busyNs = request.stageTimesNs;
+        timeline.blockedNs.assign(request.stageTimesNs.size(), 0.0);
+        timeline.idleFraction.assign(request.stageTimesNs.size(),
+                                     0.0);
+        return timeline;
+    }
+};
+
+serve::ServiceConfig
+stubConfig(size_t jobs)
+{
+    serve::ServiceConfig config;
+    config.jobs = jobs;
+    config.defaults.sim.engineOverride =
+        std::make_shared<StubEngine>();
+    return config;
+}
+
+TEST(WorkerPumpTest, ResponsesMatchHandleLineByteForByte)
+{
+    serve::Service service(stubConfig(2));
+    serve::Service reference(stubConfig(1));
+    const serve::ServiceConfig config = stubConfig(1);
+    const std::string fp = serve::defaultsFingerprint(
+        config.defaults, config.hw);
+
+    SocketPair pair;
+    ASSERT_GE(pair.a, 0);
+    cluster::WorkerOptions options;
+    options.defaultsFp = fp;
+    std::thread worker([&] {
+        cluster::pumpFramedConnection(service, pair.b, options);
+    });
+
+    ASSERT_TRUE(net::writeFrame(
+        pair.a, cluster::helloLine("test", serve::Envelope::Stable,
+                                   fp)));
+    std::string reply;
+    ASSERT_EQ(net::readFrame(pair.a, &reply), net::IoStatus::Ok);
+    ASSERT_EQ(cluster::checkHelloReply(reply, fp), "") << reply;
+
+    std::vector<std::string> lines;
+    for (int seed = 1; seed <= 24; ++seed)
+        lines.push_back("{\"id\":\"q" + std::to_string(seed) +
+                        "\",\"dataset\":\"ddi\",\"seed\":" +
+                        std::to_string(seed % 5 + 1) + "}");
+    lines.push_back("{\"unknown_key\":1}");
+    lines.push_back("not json");
+    for (const std::string &line : lines)
+        ASSERT_TRUE(net::writeFrame(pair.a, line));
+    for (const std::string &line : lines) {
+        std::string response;
+        ASSERT_EQ(net::readFrame(pair.a, &response),
+                  net::IoStatus::Ok);
+        EXPECT_EQ(response, reference.handleLine(
+                                line, serve::Envelope::Stable));
+    }
+    pair.closeA();
+    worker.join();
+}
+
+TEST(WorkerPumpTest, RejectsBadProtocolAndMismatchedDefaults)
+{
+    {
+        serve::Service service(stubConfig(1));
+        SocketPair pair;
+        cluster::WorkerOptions options;
+        options.defaultsFp = "0123456789abcdef";
+        std::thread worker([&] {
+            cluster::pumpFramedConnection(service, pair.b, options);
+        });
+        ASSERT_TRUE(
+            net::writeFrame(pair.a, "{\"proto\":\"bogus.v9\"}"));
+        std::string reply;
+        ASSERT_EQ(net::readFrame(pair.a, &reply), net::IoStatus::Ok);
+        EXPECT_NE(reply.find("protocol_mismatch"),
+                  std::string::npos)
+            << reply;
+        worker.join();
+    }
+    {
+        serve::Service service(stubConfig(1));
+        SocketPair pair;
+        cluster::WorkerOptions options;
+        options.defaultsFp = "0123456789abcdef";
+        std::thread worker([&] {
+            cluster::pumpFramedConnection(service, pair.b, options);
+        });
+        ASSERT_TRUE(net::writeFrame(
+            pair.a,
+            cluster::helloLine("test", serve::Envelope::Stable,
+                               "ffffffffffffffff")));
+        std::string reply;
+        ASSERT_EQ(net::readFrame(pair.a, &reply), net::IoStatus::Ok);
+        EXPECT_NE(reply.find("defaults_mismatch"), std::string::npos)
+            << reply;
+        worker.join();
+    }
+}
+
+// ---------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------
+
+TEST(AdmissionTest, DepthDrivenDecisionsAndMetrics)
+{
+    obs::MetricsRegistry registry;
+    cluster::AdmissionConfig config;
+    config.maxInflightPerShard = 2;
+    config.shedAbove = 4;
+    cluster::AdmissionController admission(config, registry, 1);
+
+    EXPECT_EQ(admission.decide(0), cluster::Admit::Accept);
+    admission.onDispatch(0);
+    admission.onDispatch(0);
+    EXPECT_EQ(admission.decide(0), cluster::Admit::Block);
+    admission.onDispatch(0);
+    admission.onDispatch(0);
+    EXPECT_EQ(admission.decide(0), cluster::Admit::Shed);
+    admission.onShed(0);
+    admission.onComplete(0);
+    admission.onComplete(0);
+    admission.onComplete(0);
+    EXPECT_EQ(admission.decide(0), cluster::Admit::Accept);
+
+    // The decisions above ARE the exported instruments.
+    EXPECT_EQ(registry.findGauge("cluster.shard0.inflight")->value(),
+              1);
+    EXPECT_EQ(
+        registry.findGauge("cluster.shard0.inflight.max")->value(),
+        4);
+    EXPECT_EQ(registry.findCounter("cluster.shed.count")->value(),
+              1u);
+}
+
+// ---------------------------------------------------------------
+// Router end to end (real worker processes)
+// ---------------------------------------------------------------
+
+#ifdef GOPIM_SERVE_BIN
+
+std::string
+tempDirFor(const std::string &tag)
+{
+    std::string tmpl = testing::TempDir() + tag + ".XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char *dir = ::mkdtemp(buf.data());
+    EXPECT_NE(dir, nullptr);
+    return dir ? std::string(dir) : std::string();
+}
+
+/** The ≥1k-request chaos stream: mixed datasets/systems/seeds. */
+std::string
+chaosRequestStream(int repetitions)
+{
+    std::string stream;
+    int id = 0;
+    for (int rep = 0; rep < repetitions; ++rep) {
+        for (const char *dataset : {"ddi", "Cora"}) {
+            for (const char *system :
+                 {"GoPIM", "Serial", "ReGraphX"}) {
+                for (int seed = 1; seed <= 3; ++seed) {
+                    for (int microBatch : {32, 64}) {
+                        stream +=
+                            "{\"id\":\"r" + std::to_string(id++) +
+                            "\",\"dataset\":\"" + dataset +
+                            "\",\"system\":\"" + system +
+                            "\",\"seed\":" + std::to_string(seed) +
+                            ",\"micro_batch\":" +
+                            std::to_string(microBatch) + "}\n";
+                    }
+                }
+            }
+        }
+        // Invalid lines exercise the router-side error path, which
+        // must also be byte-identical to the worker's.
+        stream += "{\"dataset\":\"no-such-graph\"}\n";
+        stream += "{\"bogus_field\":1}\n";
+        stream += "this is not json\n";
+    }
+    return stream;
+}
+
+/** Golden bytes: the single-process stable-envelope run. */
+std::string
+singleProcessGolden(const std::string &requests,
+                    const std::string &dir)
+{
+    const std::string inPath = dir + "/requests.jsonl";
+    const std::string outPath = dir + "/golden.jsonl";
+    {
+        std::ofstream out(inPath);
+        out << requests;
+    }
+    const std::string cmd = std::string(GOPIM_SERVE_BIN) +
+                            " --envelope=stable --jobs=4 < " +
+                            inPath + " > " + outPath +
+                            " 2>/dev/null";
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+    std::ifstream in(outPath);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/**
+ * The defaults a flag-less gopim_serve process serves with, derived
+ * through the same addSimFlags path — the hello fingerprint check
+ * requires the router side to match them exactly.
+ */
+serve::Request
+workerDefaults()
+{
+    Flags flags("test", "");
+    core::addSimFlags(flags);
+    const char *argv[] = {"test"};
+    flags.parse(1, const_cast<char **>(argv));
+    serve::Request defaults;
+    defaults.sim = core::simContextFromFlags(flags);
+    defaults.fault = core::faultConfigFromFlags(flags);
+    return defaults;
+}
+
+std::vector<cluster::ShardSpec>
+spawnedShards(size_t count, const std::string &dir)
+{
+    std::vector<cluster::ShardSpec> specs;
+    for (size_t i = 0; i < count; ++i) {
+        cluster::ShardSpec spec;
+        spec.name = "shard" + std::to_string(i);
+        spec.command = {GOPIM_SERVE_BIN, "--jobs=2"};
+        spec.portFile = dir + "/" + spec.name + ".port";
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+TEST(RouterChaosTest, ByteIdentityAcrossWorkerKillAndRestart)
+{
+    const std::string dir = tempDirFor("gopim_cluster_chaos");
+    ASSERT_FALSE(dir.empty());
+    // 12 reps x 36 valid + 3 invalid = 468 + ... => make it >= 1000.
+    const std::string requests = chaosRequestStream(26); // 1014 lines
+    const std::string golden = singleProcessGolden(requests, dir);
+    ASSERT_FALSE(golden.empty());
+
+    cluster::RouterConfig config;
+    config.shards = spawnedShards(3, dir);
+    config.defaults = workerDefaults();
+    config.chaosKillEvery = 150;
+    config.chaosKillCount = 2;
+    config.chaosSeed = 7;
+    config.metrics = std::make_shared<obs::MetricsRegistry>();
+    cluster::Router router(std::move(config));
+    ASSERT_EQ(router.start(), "");
+
+    std::istringstream in(requests);
+    std::ostringstream out;
+    const cluster::Router::StreamStats stats =
+        router.processStream(in, out);
+
+    EXPECT_EQ(stats.requests, 1014u);
+    EXPECT_EQ(stats.chaosKills, 2u);
+    EXPECT_GE(stats.restarts, 1u);
+    EXPECT_EQ(stats.shed, 0u);
+    // The headline claim: kill-and-restart under load changes
+    // nothing about the response bytes or their order.
+    EXPECT_EQ(out.str(), golden);
+    // ...and the recovery is visible in the metrics the operator
+    // exports.
+    EXPECT_GE(router.metrics()
+                  .findCounter("cluster.restart.count")
+                  ->value(),
+              1u);
+    EXPECT_EQ(router.metrics()
+                  .findCounter("cluster.chaos.kill.count")
+                  ->value(),
+              2u);
+    EXPECT_EQ(
+        router.metrics().findCounter("cluster.request.count")->value(),
+        1014u);
+}
+
+TEST(RouterShedTest, UndersizedShardShedsVisiblyInMetrics)
+{
+    const std::string dir = tempDirFor("gopim_cluster_shed");
+    ASSERT_FALSE(dir.empty());
+
+    cluster::RouterConfig config;
+    config.shards = spawnedShards(1, dir);
+    config.defaults = workerDefaults();
+    // Use a deliberately slow single worker thread.
+    config.shards[0].command = {GOPIM_SERVE_BIN, "--jobs=1"};
+    config.admission.maxInflightPerShard = 4;
+    config.admission.shedAbove = 4;
+    config.metrics = std::make_shared<obs::MetricsRegistry>();
+    cluster::Router router(std::move(config));
+    ASSERT_EQ(router.start(), "");
+
+    // Unique seeds defeat the cache; the event engine and extra
+    // epochs pad the per-request cost so the dispatcher outruns the
+    // undersized shard.
+    std::string requests;
+    for (int i = 0; i < 64; ++i)
+        requests += "{\"id\":\"s" + std::to_string(i) +
+                    "\",\"dataset\":\"Cora\",\"engine\":\"event\","
+                    "\"seed\":" +
+                    std::to_string(i + 1) + ",\"epochs\":4}\n";
+    std::istringstream in(requests);
+    std::ostringstream out;
+    const cluster::Router::StreamStats stats =
+        router.processStream(in, out);
+
+    EXPECT_EQ(stats.requests, 64u);
+    EXPECT_GE(stats.shed, 1u) << "undersized shard never shed";
+    // Every shed is a structured, machine-readable rejection...
+    size_t overloadedLines = 0;
+    std::istringstream lines(out.str());
+    std::string line;
+    size_t total = 0;
+    while (std::getline(lines, line)) {
+        ++total;
+        if (line.find("\"code\":\"overloaded\"") !=
+            std::string::npos)
+            ++overloadedLines;
+    }
+    EXPECT_EQ(total, 64u); // in-order, one response per request
+    EXPECT_EQ(overloadedLines, stats.shed);
+    // ...and the shed counter the decision used is the one exported.
+    EXPECT_EQ(router.metrics()
+                  .findCounter("cluster.shed.count")
+                  ->value(),
+              stats.shed);
+}
+
+TEST(RouterStartTest, FailsFastOnDeadEndpoint)
+{
+    // Grab an ephemeral port, then close the listener so nothing is
+    // behind it.
+    std::string error;
+    uint16_t port = 0;
+    const int fd = net::listenTcp("127.0.0.1", 0, &port, &error);
+    ASSERT_GE(fd, 0) << error;
+    ::close(fd);
+
+    cluster::ShardSpec spec;
+    ASSERT_TRUE(cluster::parseEndpoint(
+        "127.0.0.1:" + std::to_string(port), &spec, &error));
+    cluster::RouterConfig config;
+    config.shards = {spec};
+    config.connectAttempts = 2;
+    config.connectDelayMs = 10;
+    cluster::Router router(std::move(config));
+    const std::string problem = router.start();
+    EXPECT_NE(problem.find("connect"), std::string::npos) << problem;
+}
+
+#endif // GOPIM_SERVE_BIN
+
+} // namespace
+} // namespace gopim

@@ -248,6 +248,45 @@ TEST(RequestTest, UnknownFieldNamesTheOffendingKey)
     EXPECT_NE(err.message.find("spare_rws"), std::string::npos);
 }
 
+TEST(RequestTest, UnknownFieldSuggestsNearestKnownKey)
+{
+    // A near-miss spelling gets a did-you-mean pointing at the real
+    // field...
+    const serve::RequestError typo =
+        parseErrorOf("{\"datset\":\"ddi\"}");
+    EXPECT_EQ(typo.code, "unknown_field");
+    EXPECT_NE(typo.message.find("did you mean 'dataset'"),
+              std::string::npos)
+        << typo.message;
+    const serve::RequestError typo2 =
+        parseErrorOf("{\"micro_bath\":32}");
+    EXPECT_NE(typo2.message.find("did you mean 'micro_batch'"),
+              std::string::npos)
+        << typo2.message;
+    // ...while an unrelated key lists the schema instead of guessing.
+    const serve::RequestError far =
+        parseErrorOf("{\"zzzzzzzz\":1}");
+    EXPECT_EQ(far.code, "unknown_field");
+    EXPECT_EQ(far.message.find("did you mean"), std::string::npos)
+        << far.message;
+    EXPECT_NE(far.message.find("known fields"), std::string::npos)
+        << far.message;
+}
+
+TEST(RequestTest, DefaultsFingerprintTracksExecutionDefaults)
+{
+    const reram::AcceleratorConfig hw =
+        reram::AcceleratorConfig::paperDefault();
+    serve::Request a;
+    serve::Request b;
+    EXPECT_EQ(serve::defaultsFingerprint(a, hw),
+              serve::defaultsFingerprint(b, hw));
+    // Any default a request may inherit must move the fingerprint.
+    b.sim.seed = a.sim.seed + 1;
+    EXPECT_NE(serve::defaultsFingerprint(a, hw),
+              serve::defaultsFingerprint(b, hw));
+}
+
 TEST(RequestTest, FaultKnobsParseAndValidate)
 {
     EXPECT_TRUE(parseErrorOf("{\"dataset\":\"Cora\","
@@ -337,6 +376,37 @@ TEST(ServiceTest, CachedResponseMatchesFreshRunBothEngines)
         EXPECT_TRUE(result.find("speedup") != nullptr);
         EXPECT_EQ(result.find("baseline")->asString(), "Serial");
     }
+}
+
+TEST(ServiceTest, StableEnvelopeIsHistoryIndependent)
+{
+    serve::ServiceConfig config;
+    config.jobs = 1;
+    serve::Service service(config);
+    const std::string line =
+        "{\"id\":\"s1\",\"dataset\":\"Cora\"}";
+
+    const std::string fresh =
+        service.handleLine(line, serve::Envelope::Stable);
+    const std::string cached =
+        service.handleLine(line, serve::Envelope::Stable);
+    // A hit and a miss render identically: the stable envelope is a
+    // pure function of (id, key, result) — the property that keeps
+    // cluster shards byte-comparable to a single process.
+    EXPECT_EQ(fresh, cached);
+    for (const char *counter : {"\"cached\":", "\"hits\":",
+                                "\"misses\":", "\"trace\":"})
+        EXPECT_EQ(fresh.find(counter), std::string::npos)
+            << counter << " leaked into " << fresh;
+    EXPECT_TRUE(lineSays(fresh, "\"id\":\"s1\"")) << fresh;
+    EXPECT_TRUE(lineSays(fresh, "\"key\":\"")) << fresh;
+    EXPECT_TRUE(lineSays(fresh, "\"result\":")) << fresh;
+
+    // The Full envelope still carries the live cache metadata.
+    const std::string full = service.handleLine(line);
+    EXPECT_TRUE(lineSays(full, "\"cached\":true")) << full;
+    // Same result payload either way.
+    EXPECT_EQ(resultPayload(fresh), resultPayload(full));
 }
 
 TEST(ServiceTest, ErrorLineForBadRequests)

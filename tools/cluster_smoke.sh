@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Multi-process cluster smoke: route a fig13-style request stream
+# through gopim_router with 3 spawned gopim_serve shards, SIGKILL one
+# shard mid-stream (chaos), and byte-diff the responses against a
+# single-process gopim_serve run of the same stream. Asserts:
+#
+#   - the cluster output is bit-identical to the single process
+#     (stable envelope; placement + restart replay preserve caching),
+#   - at least one shard restart actually happened (from the
+#     {"type":"stats"} trailer, NOT stderr — inform() is suppressed
+#     at the default log level),
+#   - the router metrics export (METRICS_router.json) carries the
+#     restart/reissue counters.
+#
+# Usage: tools/cluster_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build=${1:-build}
+serve=$build/tools/gopim_serve
+router=$build/tools/gopim_router
+for bin in "$serve" "$router"; do
+    [ -x "$bin" ] || { echo "missing $bin (build first)" >&2; exit 1; }
+done
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/gopim_cluster_smoke.XXXXXX")
+trap 'rm -rf "$work"' EXIT
+
+# A fig13-style grid (datasets x systems x seeds x micro-batches),
+# repeated so the stream exceeds 1000 requests and re-hits the LRU
+# caches, plus one invalid line per repetition to pin error routing.
+requests=$work/requests.jsonl
+: > "$requests"
+for rep in $(seq 1 28); do
+    for dataset in ddi Cora; do
+        for system in GoPIM Serial ReGraphX; do
+            for seed in 1 2 3; do
+                for mb in 32 64; do
+                    printf '{"id":"%s-%s-%s-s%s-b%s","dataset":"%s","system":"%s","baseline":"Serial","seed":%s,"micro_batch":%s}\n' \
+                        "$rep" "$dataset" "$system" "$seed" "$mb" \
+                        "$dataset" "$system" "$seed" "$mb" \
+                        >> "$requests"
+                done
+            done
+        done
+    done
+    printf '{"dataset":"no-such-dataset","id":"bad-%s"}\n' "$rep" \
+        >> "$requests"
+done
+lines=$(wc -l < "$requests")
+[ "$lines" -ge 1000 ] || { echo "stream too short: $lines" >&2; exit 1; }
+echo "request stream: $lines lines"
+
+echo "single-process golden (gopim_serve --envelope=stable) ..."
+"$serve" --envelope=stable --jobs=4 \
+    < "$requests" > "$work/golden.jsonl"
+
+echo "3-shard cluster with one chaos kill mid-stream ..."
+"$router" --workers=3 --worker-cmd="$serve --jobs=2" \
+    --chaos-kill-every=400 --chaos-kill-count=1 --chaos-seed=7 \
+    --stats --metrics-out=METRICS_router.json \
+    < "$requests" > "$work/cluster_raw.jsonl"
+
+stats=$(tail -n 1 "$work/cluster_raw.jsonl")
+case $stats in
+    *'"type":"stats"'*) ;;
+    *) echo "missing stats trailer: $stats" >&2; exit 1 ;;
+esac
+head -n -1 "$work/cluster_raw.jsonl" > "$work/cluster.jsonl"
+
+diff "$work/golden.jsonl" "$work/cluster.jsonl" \
+    || { echo "cluster output differs from single process" >&2; exit 1; }
+echo "BYTE-IDENTICAL: $lines responses match the single process"
+
+kills=$(printf '%s' "$stats" | sed -n 's/.*"chaos_kills":\([0-9]*\).*/\1/p')
+restarts=$(printf '%s' "$stats" \
+    | sed -n 's/.*"restarts":\([0-9]*\),"reissued".*/\1/p')
+[ "${kills:-0}" -eq 1 ] \
+    || { echo "expected 1 chaos kill, stats: $stats" >&2; exit 1; }
+[ "${restarts:-0}" -ge 1 ] \
+    || { echo "no shard restart recorded, stats: $stats" >&2; exit 1; }
+echo "chaos: $kills kill(s), $restarts restart(s): $stats"
+
+grep -q '"schema": "gopim.metrics.v1"' METRICS_router.json
+grep -q 'cluster.restart.count' METRICS_router.json
+grep -q 'cluster.request.count' METRICS_router.json
+echo "METRICS_router.json carries the cluster counters"
+echo "cluster smoke OK"
