@@ -73,9 +73,18 @@ Histogram::Histogram(double lo, double hi, size_t buckets)
 void
 Histogram::add(double x)
 {
-    auto idx = static_cast<int64_t>((x - lo_) / width_);
-    idx = std::clamp<int64_t>(idx, 0,
-                              static_cast<int64_t>(counts_.size()) - 1);
+    const auto last = static_cast<int64_t>(counts_.size()) - 1;
+    auto idx = static_cast<int64_t>(std::floor((x - lo_) / width_));
+    idx = std::clamp<int64_t>(idx, 0, last);
+    // The division is only an estimate: (x - lo_) / width_ can round
+    // just below an integer for x exactly on a bucket edge. Settle
+    // against the canonical edges so bucket i holds exactly
+    // [bucketLo(i), bucketLo(i+1)) and an edge sample lands in one
+    // deterministic bucket.
+    while (idx > 0 && x < bucketLo(static_cast<size_t>(idx)))
+        --idx;
+    while (idx < last && x >= bucketLo(static_cast<size_t>(idx) + 1))
+        ++idx;
     ++counts_[static_cast<size_t>(idx)];
     ++total_;
 }

@@ -41,6 +41,15 @@ Accelerator::runWithEstimates(
     const gcn::Workload &workload, const gcn::VertexProfile &profile,
     const std::vector<double> &estimatedStageTimesNs) const
 {
+    return executePlan(
+        buildPlan(workload, profile, estimatedStageTimesNs), workload);
+}
+
+StagePlan
+Accelerator::buildPlan(
+    const gcn::Workload &workload, const gcn::VertexProfile &profile,
+    const std::vector<double> &estimatedStageTimesNs) const
+{
     const auto stages =
         pipeline::buildTrainingStages(workload.model.numLayers);
     const auto artifacts = gcn::MappingArtifacts::build(
@@ -163,21 +172,79 @@ Accelerator::runWithEstimates(
     // Final stage times always use the exact model (estimates only
     // influence the allocation decision). Replicas beyond the
     // effective-parallelism ceiling buy nothing.
-    std::vector<double> stageTimes(stages.size());
-    std::vector<uint32_t> effectiveReplicas(stages.size());
+    StagePlan out;
+    out.stageTimesNs.resize(stages.size());
+    out.serverStageTimesNs.resize(stages.size());
+    out.effectiveReplicas.resize(stages.size());
     for (size_t i = 0; i < stages.size(); ++i) {
         const uint32_t effective = std::min(
             allocation.replicas[i], problem.maxUsefulReplicas);
-        effectiveReplicas[i] = effective;
+        out.effectiveReplicas[i] = effective;
         // Write-verify retries on faulty cells stretch the
         // write-bound (fixed) part of a stage.
         const double fixedNs =
             faultOn ? costs[i].fixedNs * plan.writeAmplification
                     : costs[i].fixedNs;
-        stageTimes[i] = fixedNs +
-                        costs[i].scalableNs /
-                            static_cast<double>(effective);
+        out.stageTimesNs[i] = fixedNs +
+                              costs[i].scalableNs /
+                                  static_cast<double>(effective);
+        // Single-replica times for the replicas-as-servers event
+        // mode: replica groups serve distinct micro-batches instead
+        // of splitting one.
+        out.serverStageTimesNs[i] = fixedNs + costs[i].scalableNs;
     }
+
+    out.stageCrossbars.resize(stages.size());
+    for (size_t i = 0; i < stages.size(); ++i)
+        out.stageCrossbars[i] =
+            static_cast<uint64_t>(allocation.replicas[i]) *
+            costs[i].crossbarsPerReplica;
+
+    // Accumulate energy events over all micro-batches.
+    for (const auto &cost : costs) {
+        out.totalActivations +=
+            cost.activationsPerMb * totalMicroBatches;
+        out.totalBufferBytes +=
+            cost.bufferBytesPerMb * totalMicroBatches;
+    }
+    // Replicated regions receive every write in parallel: the wear and
+    // energy multiply, the latency does not.
+    for (size_t i = 0; i < stages.size(); ++i)
+        out.replicatedWrites += costs[i].rowWritesPerMb *
+                                totalMicroBatches *
+                                allocation.replicas[i];
+    if (faultOn) {
+        // Verify retries / duplication amplify every write; each
+        // refresh re-programs every allocated crossbar's rows.
+        out.replicatedWrites = static_cast<uint64_t>(
+            static_cast<double>(out.replicatedWrites) *
+            plan.writeAmplification);
+        if (plan.refreshEveryMicroBatches > 0) {
+            const uint64_t refreshes =
+                totalMicroBatches / plan.refreshEveryMicroBatches;
+            out.replicatedWrites += refreshes *
+                                    plan.rowWritesPerRefresh *
+                                    allocation.totalCrossbars;
+        }
+    }
+
+    out.stages = stages;
+    out.totalMicroBatches = totalMicroBatches;
+    out.faultOn = faultOn;
+    out.repairPlan = plan;
+    out.wearLifetimeFraction = wear.lifetimeFraction;
+    out.wornRowFraction = wear.wornRowFraction;
+    out.writeExposure = exposure;
+    out.replicas = std::move(allocation.replicas);
+    out.totalCrossbars = allocation.totalCrossbars;
+    return out;
+}
+
+RunResult
+Accelerator::executePlan(const StagePlan &plan,
+                         const gcn::Workload &workload) const
+{
+    const size_t numStages = plan.stages.size();
 
     // Schedule the pipelining regime on the context's timing backend
     // (closed-form Eq. 3-6 or the discrete-event flow shop). The
@@ -189,9 +256,11 @@ Accelerator::runWithEstimates(
             system_.name + " on " + workload.dataset.name;
 
     sim::ScheduleRequest request;
-    request.stageTimesNs = stageTimes;
-    request.replicas = effectiveReplicas;
-    request.totalMicroBatches = totalMicroBatches;
+    request.stageTimesNs = ctx.event.replicasAsServers
+                               ? plan.serverStageTimesNs
+                               : plan.stageTimesNs;
+    request.replicas = plan.effectiveReplicas;
+    request.totalMicroBatches = plan.totalMicroBatches;
     request.microBatchesPerBatch = system_.microBatchesPerBatch;
     switch (system_.pipelineMode) {
       case PipelineMode::Serial:
@@ -204,23 +273,12 @@ Accelerator::runWithEstimates(
         request.regime = sim::Regime::IntraInterBatch;
         break;
     }
-    if (ctx.event.replicasAsServers) {
-        // Replica groups serve distinct micro-batches instead of
-        // splitting one: the event engine gets single-replica times
-        // and models the parallelism as servers.
-        for (size_t i = 0; i < stages.size(); ++i) {
-            const double fixedNs =
-                faultOn ? costs[i].fixedNs * plan.writeAmplification
-                        : costs[i].fixedNs;
-            request.stageTimesNs[i] = fixedNs + costs[i].scalableNs;
-        }
-    }
-    if (faultOn && plan.refreshEveryMicroBatches > 0) {
+    if (plan.faultOn && plan.repairPlan.refreshEveryMicroBatches > 0) {
         // Periodic re-program refresh steals pipeline cycles; both
         // engines execute the knobs (sim/context.hh).
         ctx.event.refreshEveryMicroBatches =
-            plan.refreshEveryMicroBatches;
-        ctx.event.refreshStallNs = plan.refreshStallNs;
+            plan.repairPlan.refreshEveryMicroBatches;
+        ctx.event.refreshStallNs = plan.repairPlan.refreshStallNs;
     }
 
     const sim::ScheduleEngine &engine = sim::resolveEngine(ctx);
@@ -228,7 +286,7 @@ Accelerator::runWithEstimates(
     if (ctx.traceSink)
         ctx.traceSink->record(
             {system_.name, workload.dataset.name, engine.name()},
-            stages, schedule);
+            plan.stages, schedule);
 
     // Allocation/fault observability. Everything recorded derives
     // from the (deterministic) run inputs, so exported counters are
@@ -237,52 +295,21 @@ Accelerator::runWithEstimates(
         obs::MetricsRegistry &m = *ctx.metrics;
         m.counter("core.run.count").add();
         m.counter("alloc.crossbars_allocated")
-            .add(allocation.totalCrossbars);
+            .add(plan.totalCrossbars);
         auto &replicasHist = m.histogram(
             "alloc.replicas_per_stage",
             obs::Histogram::exponentialBounds(1.0, 2.0, 12));
-        for (uint32_t r : allocation.replicas)
+        for (uint32_t r : plan.replicas)
             replicasHist.observe(static_cast<double>(r));
-        if (faultOn) {
+        if (plan.faultOn) {
             m.counter("fault.run.count").add();
             m.histogram("fault.write_amplification",
                         obs::Histogram::linearBounds(1.0, 0.25, 13))
-                .observe(plan.writeAmplification);
-            if (plan.refreshEveryMicroBatches > 0)
+                .observe(plan.repairPlan.writeAmplification);
+            if (plan.repairPlan.refreshEveryMicroBatches > 0)
                 m.counter("fault.refreshes")
-                    .add(totalMicroBatches /
-                         plan.refreshEveryMicroBatches);
-        }
-    }
-
-    // Accumulate energy events over all micro-batches.
-    uint64_t activations = 0;
-    uint64_t rowWrites = 0;
-    uint64_t bufferBytes = 0;
-    for (const auto &cost : costs) {
-        activations += cost.activationsPerMb * totalMicroBatches;
-        rowWrites += cost.rowWritesPerMb * totalMicroBatches;
-        bufferBytes += cost.bufferBytesPerMb * totalMicroBatches;
-    }
-    // Replicated regions receive every write in parallel: the wear and
-    // energy multiply, the latency does not.
-    uint64_t replicatedWrites = 0;
-    for (size_t i = 0; i < stages.size(); ++i)
-        replicatedWrites += costs[i].rowWritesPerMb *
-                            totalMicroBatches *
-                            allocation.replicas[i];
-    if (faultOn) {
-        // Verify retries / duplication amplify every write; each
-        // refresh re-programs every allocated crossbar's rows.
-        replicatedWrites = static_cast<uint64_t>(
-            static_cast<double>(replicatedWrites) *
-            plan.writeAmplification);
-        if (plan.refreshEveryMicroBatches > 0) {
-            const uint64_t refreshes =
-                totalMicroBatches / plan.refreshEveryMicroBatches;
-            replicatedWrites += refreshes *
-                                plan.rowWritesPerRefresh *
-                                allocation.totalCrossbars;
+                    .add(plan.totalMicroBatches /
+                         plan.repairPlan.refreshEveryMicroBatches);
         }
     }
 
@@ -290,46 +317,44 @@ Accelerator::runWithEstimates(
     result.systemName = system_.name;
     result.datasetName = workload.dataset.name;
     result.makespanNs = schedule.makespanNs;
-    result.replicas = allocation.replicas;
-    result.totalCrossbars = allocation.totalCrossbars;
-    result.stageCrossbars.resize(stages.size());
-    for (size_t i = 0; i < stages.size(); ++i)
-        result.stageCrossbars[i] =
-            static_cast<uint64_t>(allocation.replicas[i]) *
-            costs[i].crossbarsPerReplica;
-    result.stageTimesNs = stageTimes;
+    result.replicas = plan.replicas;
+    result.totalCrossbars = plan.totalCrossbars;
+    result.stageCrossbars = plan.stageCrossbars;
+    result.stageTimesNs = plan.stageTimesNs;
     result.idleFraction = schedule.idleFraction;
     result.avgIdleFraction = schedule.avgIdleFraction();
     result.engineName = engine.name();
     result.blockedNs = schedule.blockedNs;
     result.eventsProcessed = schedule.eventsProcessed;
-    result.totalActivations = activations;
-    result.totalRowWrites = replicatedWrites;
-    result.totalBufferBytes = bufferBytes;
-    result.stages = stages;
+    result.totalActivations = plan.totalActivations;
+    result.totalRowWrites = plan.replicatedWrites;
+    result.totalBufferBytes = plan.totalBufferBytes;
+    result.stages = plan.stages;
 
     // Idle integral: allocated crossbars of each stage times the time
     // they spend waiting (makespan minus their busy time).
     double idleCrossbarNs = 0.0;
-    for (size_t i = 0; i < stages.size(); ++i) {
-        idleCrossbarNs += static_cast<double>(result.stageCrossbars[i]) *
+    for (size_t i = 0; i < numStages; ++i) {
+        idleCrossbarNs += static_cast<double>(plan.stageCrossbars[i]) *
                           schedule.idleFraction[i] *
                           schedule.makespanNs;
     }
     result.energyPj = energyModel_.totalEnergyPj(
-        schedule.makespanNs, activations, replicatedWrites, bufferBytes,
-        idleCrossbarNs);
+        schedule.makespanNs, plan.totalActivations,
+        plan.replicatedWrites, plan.totalBufferBytes, idleCrossbarNs);
 
-    if (faultOn) {
-        result.makespanNs += plan.remapStallNs;
-        result.repairPolicy = plan.policy;
-        result.rawFaultRate = plan.rawCellFaultRate;
-        result.residualFaultRate = plan.residualCellFaultRate;
-        result.wearLifetimeFraction = wear.lifetimeFraction;
-        result.wornRowFraction = wear.wornRowFraction;
-        result.writeAmplification = plan.writeAmplification;
-        result.repairStallNs = plan.remapStallNs;
-        result.writeExposure = exposure;
+    if (plan.faultOn) {
+        result.makespanNs += plan.repairPlan.remapStallNs;
+        result.repairPolicy = plan.repairPlan.policy;
+        result.rawFaultRate = plan.repairPlan.rawCellFaultRate;
+        result.residualFaultRate =
+            plan.repairPlan.residualCellFaultRate;
+        result.wearLifetimeFraction = plan.wearLifetimeFraction;
+        result.wornRowFraction = plan.wornRowFraction;
+        result.writeAmplification =
+            plan.repairPlan.writeAmplification;
+        result.repairStallNs = plan.repairPlan.remapStallNs;
+        result.writeExposure = plan.writeExposure;
     }
     return result;
 }

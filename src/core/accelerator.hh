@@ -12,11 +12,15 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "alloc/allocator.hh"
 #include "core/result.hh"
 #include "fault/model.hh"
+#include "fault/repair.hh"
 #include "gcn/time_model.hh"
 #include "gcn/workload.hh"
+#include "pipeline/stage.hh"
 #include "reram/config.hh"
 #include "reram/energy.hh"
 #include "sim/context.hh"
@@ -55,6 +59,46 @@ struct SystemConfig
     fault::FaultConfig fault;
 };
 
+/**
+ * The sim-independent half of a run, fully planned: stage chain,
+ * fault/wear/repair decisions, replica allocation, final stage
+ * times, and the energy event counts. Everything here is a pure
+ * function of (hardware, system-minus-sim, workload, profile) —
+ * exactly the inputs core::planConfigPrefix canonicalizes — so a
+ * plan built once can be re-executed under many sim contexts
+ * (different engines/seeds) with bit-identical results to planning
+ * from scratch each time. That is the contract the memoized
+ * runGrid path (core::PlanCache) relies on.
+ */
+struct StagePlan
+{
+    std::vector<pipeline::Stage> stages;
+    uint32_t totalMicroBatches = 0;
+
+    /** Fault planning outcome (defaults when faults are disabled). */
+    bool faultOn = false;
+    fault::RepairPlan repairPlan;
+    double wearLifetimeFraction = 0.0;
+    double wornRowFraction = 0.0;
+    double writeExposure = 0.0;
+
+    /** Replica allocation. */
+    std::vector<uint32_t> replicas;
+    std::vector<uint32_t> effectiveReplicas;
+    uint64_t totalCrossbars = 0;
+    std::vector<uint64_t> stageCrossbars;
+
+    /** Per-stage service times with replication folded in. */
+    std::vector<double> stageTimesNs;
+    /** Single-replica times for the replicas-as-servers event mode. */
+    std::vector<double> serverStageTimesNs;
+
+    /** Energy event totals over the whole run. */
+    uint64_t totalActivations = 0;
+    uint64_t totalBufferBytes = 0;
+    uint64_t replicatedWrites = 0;
+};
+
 /** A configured accelerator ready to run workloads. */
 class Accelerator
 {
@@ -82,6 +126,26 @@ class Accelerator
         const gcn::Workload &workload,
         const gcn::VertexProfile &profile,
         const std::vector<double> &estimatedStageTimesNs) const;
+
+    /**
+     * The planning half of a run: map, cost, plan repairs, allocate
+     * replicas. Depends on everything EXCEPT the sim context, so the
+     * result can be cached across engine/seed changes (StagePlan).
+     */
+    StagePlan buildPlan(
+        const gcn::Workload &workload,
+        const gcn::VertexProfile &profile,
+        const std::vector<double> &estimatedStageTimesNs = {}) const;
+
+    /**
+     * The scheduling half: time a prebuilt plan on this system's sim
+     * context and account energy. run(w, p) is exactly
+     * executePlan(buildPlan(w, p), w); callers may only pass plans
+     * built by an Accelerator with the same hardware, workload, and
+     * sim-independent system configuration.
+     */
+    RunResult executePlan(const StagePlan &plan,
+                          const gcn::Workload &workload) const;
 
     const SystemConfig &system() const { return system_; }
     const reram::AcceleratorConfig &hardware() const { return hw_; }

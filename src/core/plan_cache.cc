@@ -1,0 +1,71 @@
+#include "core/plan_cache.hh"
+
+#include <utility>
+
+namespace gopim::core {
+
+const StagePlan *
+PlanCache::find(uint64_t fingerprint, const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = buckets_.find(fingerprint);
+    if (it != buckets_.end()) {
+        for (const Entry &entry : it->second) {
+            if (entry.key == key) {
+                ++hits_;
+                return entry.plan.get();
+            }
+        }
+    }
+    ++misses_;
+    return nullptr;
+}
+
+const StagePlan *
+PlanCache::insert(uint64_t fingerprint, std::string key,
+                  StagePlan plan)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Entry> &bucket = buckets_[fingerprint];
+    for (const Entry &entry : bucket)
+        if (entry.key == key)
+            return entry.plan.get();
+    bucket.push_back(Entry{
+        std::move(key), std::make_unique<StagePlan>(std::move(plan))});
+    return bucket.back().plan.get();
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    buckets_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = 0;
+    for (const auto &[fp, bucket] : buckets_)
+        n += bucket.size();
+    return n;
+}
+
+uint64_t
+PlanCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+uint64_t
+PlanCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+} // namespace gopim::core

@@ -75,9 +75,9 @@ gridToJson(const std::vector<ComparisonRow> &rows)
 }
 
 json::Value
-canonicalRunConfig(const SystemConfig &system,
-                   const reram::AcceleratorConfig &hw,
-                   const gcn::Workload &workload)
+planConfigPrefix(const SystemConfig &system,
+                 const reram::AcceleratorConfig &hw,
+                 const gcn::Workload &workload)
 {
     json::Value dataset = json::Value::object();
     dataset.set("name", workload.dataset.name);
@@ -106,24 +106,6 @@ canonicalRunConfig(const SystemConfig &system,
     policy.set("inter_batch", system.policy.interBatchPipeline);
     policy.set("hybrid_reload", system.policy.hybridReload);
     policy.set("edge_keep_fraction", system.policy.edgeKeepFraction);
-
-    json::Value simCtx = json::Value::object();
-    // The backend that will actually time the run: a plugged-in
-    // override wins over the registry kind (sim::resolveEngine), so
-    // the cache key must follow the same rule or two different
-    // backends could share a cached result.
-    simCtx.set("engine", system.sim.engineOverride
-                             ? system.sim.engineOverride->name()
-                             : sim::toString(system.sim.engine));
-    simCtx.set("seed", system.sim.seed);
-    simCtx.set("buffer_slots", system.sim.event.inputBufferSlots);
-    simCtx.set("replicas_as_servers",
-               system.sim.event.replicasAsServers);
-    simCtx.set("retry_prob", system.sim.event.writeRetryProb);
-    simCtx.set("write_fraction", system.sim.event.writeFraction);
-    simCtx.set("refresh_every_mb",
-               system.sim.event.refreshEveryMicroBatches);
-    simCtx.set("refresh_stall_ns", system.sim.event.refreshStallNs);
 
     json::Value faultCfg = json::Value::object();
     faultCfg.set("stuck_on_rate", system.fault.params.stuckOnRate);
@@ -158,9 +140,36 @@ canonicalRunConfig(const SystemConfig &system,
                system.allocator ? system.allocator->name() : "none");
     config.set("micro_batches_per_batch", system.microBatchesPerBatch);
     config.set("policy", std::move(policy));
-    config.set("sim", std::move(simCtx));
     config.set("fault", std::move(faultCfg));
     config.set("hardware", std::move(hardware));
+    return config;
+}
+
+json::Value
+canonicalRunConfig(const SystemConfig &system,
+                   const reram::AcceleratorConfig &hw,
+                   const gcn::Workload &workload)
+{
+    json::Value config = planConfigPrefix(system, hw, workload);
+
+    json::Value simCtx = json::Value::object();
+    // The backend that will actually time the run: a plugged-in
+    // override wins over the registry kind (sim::resolveEngine), so
+    // the cache key must follow the same rule or two different
+    // backends could share a cached result.
+    simCtx.set("engine", system.sim.engineOverride
+                             ? system.sim.engineOverride->name()
+                             : sim::toString(system.sim.engine));
+    simCtx.set("seed", system.sim.seed);
+    simCtx.set("buffer_slots", system.sim.event.inputBufferSlots);
+    simCtx.set("replicas_as_servers",
+               system.sim.event.replicasAsServers);
+    simCtx.set("retry_prob", system.sim.event.writeRetryProb);
+    simCtx.set("write_fraction", system.sim.event.writeFraction);
+    simCtx.set("refresh_every_mb",
+               system.sim.event.refreshEveryMicroBatches);
+    simCtx.set("refresh_stall_ns", system.sim.event.refreshStallNs);
+    config.set("sim", std::move(simCtx));
     return config;
 }
 

@@ -47,6 +47,19 @@ json::Value canonicalRunConfig(const SystemConfig &system,
                                const reram::AcceleratorConfig &hw,
                                const gcn::Workload &workload);
 
+/**
+ * The sim-independent prefix of canonicalRunConfig: every input that
+ * determines the Accelerator's *plan* (mapping artifacts, stage
+ * costs, fault/repair planning, replica allocation) but not how the
+ * plan is timed. The sim section — engine, seed, event knobs — only
+ * affects scheduling, so two runs with equal prefixes can share one
+ * StagePlan (core::PlanCache keys on this). canonicalRunConfig is
+ * this prefix plus the "sim" section.
+ */
+json::Value planConfigPrefix(const SystemConfig &system,
+                             const reram::AcceleratorConfig &hw,
+                             const gcn::Workload &workload);
+
 /** Serialize one run as a JSON object. */
 void writeRunJson(const RunResult &run, std::ostream &os,
                   int indent = 0);

@@ -56,52 +56,107 @@ FunctionalTrainer::FunctionalTrainer(const graph::LabeledGraph &data,
                      order.end());
     GOPIM_ASSERT(!trainMask_.empty() && !testMask_.empty(),
                  "degenerate train/test split");
+
+    // SoA adjacency: one arena slab holding offsets, neighbor ids,
+    // and the prenormalized edge weights n_v * n_u. The weights are
+    // the exact per-edge products the original per-call loop
+    // computed, frozen once, so aggregation results are bit-equal.
+    const size_t nv = g.numVertices();
+    uint64_t nnz = 0;
+    for (graph::VertexId v = 0; v < nv; ++v)
+        nnz += g.degree(v);
+    auto *offsets = adjacency_.allocate<uint64_t>(nv + 1);
+    auto *neighbors = adjacency_.allocate<uint32_t>(nnz);
+    auto *weights = adjacency_.allocate<float>(nnz);
+    auto *self = adjacency_.allocate<float>(nv);
+    uint64_t slot = 0;
+    for (graph::VertexId v = 0; v < nv; ++v) {
+        offsets[v] = slot;
+        const float nvCoeff = normCoeff_[v];
+        self[v] = nvCoeff * nvCoeff;
+        for (graph::VertexId u : g.neighbors(v)) {
+            neighbors[slot] = u;
+            weights[slot] = nvCoeff * normCoeff_[u];
+            ++slot;
+        }
+    }
+    offsets[nv] = slot;
+    adjOffsets_ = offsets;
+    adjNeighbors_ = neighbors;
+    edgeWeights_ = weights;
+    selfWeights_ = self;
+
+    // Layer-1 input is static: aggregate the features once per
+    // trainer instead of once per train() call.
+    aggregateInto(features_, aggX_);
+}
+
+void
+FunctionalTrainer::aggregateInto(const tensor::Matrix &h,
+                                 tensor::Matrix &out) const
+{
+    const auto &g = data_.graph;
+    GOPIM_ASSERT(h.rows() == g.numVertices(),
+                 "aggregate: row count mismatch");
+    const size_t cols = h.cols();
+    // Accumulate over a zeroed buffer (never assign directly): the
+    // original summed from 0.0f, and 0.0f + x normalizes -0.0f in a
+    // way a plain store would not — keep the bits identical.
+    out.assignShape(h.rows(), cols, 0.0f);
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+        float *dst = out.rowPtr(v);
+        // Self loop.
+        {
+            const float w = selfWeights_[v];
+            const float *src = h.rowPtr(v);
+            for (size_t c = 0; c < cols; ++c)
+                dst[c] += w * src[c];
+        }
+        const uint64_t end = adjOffsets_[v + 1];
+        for (uint64_t e = adjOffsets_[v]; e < end; ++e) {
+            const float w = edgeWeights_[e];
+            const float *src = h.rowPtr(adjNeighbors_[e]);
+            for (size_t c = 0; c < cols; ++c)
+                dst[c] += w * src[c];
+        }
+    }
 }
 
 tensor::Matrix
 FunctionalTrainer::aggregate(const tensor::Matrix &h) const
 {
-    const auto &g = data_.graph;
-    GOPIM_ASSERT(h.rows() == g.numVertices(),
-                 "aggregate: row count mismatch");
-    tensor::Matrix out(h.rows(), h.cols(), 0.0f);
-    for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
-        float *dst = out.rowPtr(v);
-        const float nv = normCoeff_[v];
-        // Self loop.
-        {
-            const float w = nv * nv;
-            const float *src = h.rowPtr(v);
-            for (size_t c = 0; c < h.cols(); ++c)
-                dst[c] += w * src[c];
-        }
-        for (graph::VertexId u : g.neighbors(v)) {
-            const float w = nv * normCoeff_[u];
-            const float *src = h.rowPtr(u);
-            for (size_t c = 0; c < h.cols(); ++c)
-                dst[c] += w * src[c];
-        }
-    }
+    tensor::Matrix out;
+    aggregateInto(h, out);
     return out;
 }
 
 TrainResult
 FunctionalTrainer::train(const SelectivePolicy &policy) const
 {
+    TrainScratch scratch;
+    return train(policy, scratch);
+}
+
+TrainResult
+FunctionalTrainer::train(const SelectivePolicy &policy,
+                         TrainScratch &scratch) const
+{
     const auto &g = data_.graph;
     const size_t numClasses = static_cast<size_t>(data_.numClasses);
     const uint32_t layers = std::max(config_.numLayers, 1u);
+    const uint32_t hiddenLayers = layers - 1;
     Rng rng(config_.seed + 101);
 
     // Layer dims: featureDim -> hidden^(L-1) -> numClasses.
-    std::vector<tensor::Matrix> weights;
+    scratch.weights.resize(layers);
     for (uint32_t l = 0; l < layers; ++l) {
         const size_t in =
             l == 0 ? config_.featureDim : config_.hiddenChannels;
         const size_t out =
             l + 1 == layers ? numClasses : config_.hiddenChannels;
-        weights.push_back(tensor::xavierUniform(in, out, rng));
+        scratch.weights[l] = tensor::xavierUniform(in, out, rng);
     }
+    auto &weights = scratch.weights;
 
     // Importance selection mirrors the hardware policy.
     std::vector<bool> important(g.numVertices(), true);
@@ -143,21 +198,41 @@ FunctionalTrainer::train(const SelectivePolicy &policy) const
     }
 
     // Stale crossbar image of each hidden layer's combined features.
-    std::vector<tensor::Matrix> staleH(
-        layers > 1 ? layers - 1 : 0,
-        tensor::Matrix(g.numVertices(), config_.hiddenChannels, 0.0f));
+    scratch.staleH.resize(hiddenLayers);
+    for (auto &stale : scratch.staleH)
+        stale.assignShape(g.numVertices(), config_.hiddenChannels,
+                          0.0f);
     bool staleValid = false;
 
-    // Pre-aggregate the input features once (layer-1 input is static).
-    const tensor::Matrix aggX = aggregate(features_);
+    // Per-epoch buffers (reused across epochs and across runs).
+    scratch.preacts.resize(hiddenLayers);
+    scratch.hidden.resize(hiddenLayers);
+    scratch.aggregated.resize(hiddenLayers);
+    scratch.dropMasks.resize(hiddenLayers);
+    scratch.weightGrads.resize(layers);
 
     // Adam state, one pair per weight matrix.
-    std::vector<tensor::Matrix> mAdam, vAdam;
-    for (const auto &w : weights) {
-        mAdam.emplace_back(w.rows(), w.cols(), 0.0f);
-        vAdam.emplace_back(w.rows(), w.cols(), 0.0f);
+    scratch.mAdam.resize(layers);
+    scratch.vAdam.resize(layers);
+    for (uint32_t l = 0; l < layers; ++l) {
+        scratch.mAdam[l].assignShape(weights[l].rows(),
+                                     weights[l].cols(), 0.0f);
+        scratch.vAdam[l].assignShape(weights[l].rows(),
+                                     weights[l].cols(), 0.0f);
     }
     const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+
+    const bool imageNeeded =
+        config_.weightNoiseSigma > 0.0 || faultsOn;
+    if (imageNeeded)
+        scratch.programmed.resize(layers);
+
+    // The aggregated input feeding each layer: aggX_ for layer 0,
+    // then this epoch's aggregated hidden output for the rest. The
+    // original copied aggX into a per-run vector; pointing at the
+    // shared buffers carries identical values without the copies.
+    std::vector<const tensor::Matrix *> layerInputs(layers);
+    layerInputs[0] = &aggX_;
 
     TrainResult result;
     for (uint32_t epoch = 0; epoch < config_.epochs; ++epoch) {
@@ -169,9 +244,6 @@ FunctionalTrainer::train(const SelectivePolicy &policy) const
         // retention drift since the last refresh, stuck cells); both
         // the forward pass and (approximately) the backward pass see
         // it.
-        const bool imageNeeded =
-            config_.weightNoiseSigma > 0.0 || faultsOn;
-        std::vector<tensor::Matrix> programmed;
         if (imageNeeded) {
             const uint32_t sinceRefresh =
                 faultFx.refreshPeriodEpochs > 0
@@ -184,7 +256,8 @@ FunctionalTrainer::train(const SelectivePolicy &policy) const
                                    static_cast<double>(sinceRefresh)))
                     : 1.0f;
             for (size_t l = 0; l < weights.size(); ++l) {
-                tensor::Matrix noisy = weights[l];
+                tensor::Matrix &noisy = scratch.programmed[l];
+                noisy = weights[l];
                 float *p = noisy.data();
                 if (config_.weightNoiseSigma > 0.0) {
                     for (size_t i = 0; i < noisy.size(); ++i)
@@ -199,35 +272,29 @@ FunctionalTrainer::train(const SelectivePolicy &policy) const
                 }
                 if (l < faultMaps.size())
                     faultMaps[l].apply(noisy);
-                programmed.push_back(std::move(noisy));
             }
         }
-        const auto &activeWeights = imageNeeded ? programmed : weights;
+        const auto &activeWeights =
+            imageNeeded ? scratch.programmed : weights;
 
         // Forward pass: per layer, combine (matmul) then aggregate.
-        // `layerInputs[l]` is the aggregated input feeding layer l.
-        std::vector<tensor::Matrix> layerInputs;
-        std::vector<tensor::Matrix> preacts;
-        std::vector<tensor::Matrix> dropMasks(layers);
-        layerInputs.push_back(aggX);
-        tensor::Matrix logits;
         for (uint32_t l = 0; l < layers; ++l) {
-            tensor::Matrix z =
-                tensor::matmul(layerInputs[l], activeWeights[l]);
             if (l + 1 == layers) {
-                preacts.push_back(z);
-                logits = std::move(z);
+                tensor::matmulInto(*layerInputs[l], activeWeights[l],
+                                   scratch.logits);
                 break;
             }
-            preacts.push_back(z);
-            tensor::Matrix h = tensor::relu(z);
+            tensor::matmulInto(*layerInputs[l], activeWeights[l],
+                               scratch.preacts[l]);
+            tensor::Matrix &h = scratch.hidden[l];
+            tensor::reluInto(scratch.preacts[l], h);
 
             // Selective updating: non-important vertices keep the
             // stale crossbar image between cold refreshes, at every
             // hidden layer (each layer's feature map is a separate
             // crossbar region).
             if (policy.enabled) {
-                auto &stale = staleH[l];
+                auto &stale = scratch.staleH[l];
                 if (coldRefresh) {
                     stale = h;
                 } else {
@@ -251,8 +318,9 @@ FunctionalTrainer::train(const SelectivePolicy &policy) const
             if (config_.dropout > 0.0) {
                 const float keep =
                     1.0f - static_cast<float>(config_.dropout);
-                dropMasks[l] = tensor::Matrix(h.rows(), h.cols());
-                float *mp = dropMasks[l].data();
+                scratch.dropMasks[l].assignShape(h.rows(), h.cols(),
+                                                 0.0f);
+                float *mp = scratch.dropMasks[l].data();
                 float *hp = h.data();
                 for (size_t i = 0; i < h.size(); ++i) {
                     mp[i] =
@@ -260,37 +328,39 @@ FunctionalTrainer::train(const SelectivePolicy &policy) const
                     hp[i] *= mp[i];
                 }
             }
-            layerInputs.push_back(aggregate(h));
+            aggregateInto(h, scratch.aggregated[l]);
+            layerInputs[l + 1] = &scratch.aggregated[l];
         }
         if (policy.enabled && coldRefresh)
             staleValid = true;
 
-        tensor::Matrix grad;
         const float loss = tensor::softmaxCrossEntropy(
-            logits, data_.labels, trainMask_, &grad);
+            scratch.logits, data_.labels, trainMask_, &scratch.grad);
         result.lossHistory.push_back(loss);
         result.finalTrainLoss = loss;
 
         // Backward pass: mirror the forward loop.
-        std::vector<tensor::Matrix> weightGrads(layers);
         for (uint32_t li = layers; li > 0; --li) {
             const uint32_t l = li - 1;
-            weightGrads[l] =
-                tensor::matmulTransA(layerInputs[l], grad);
+            tensor::matmulTransAInto(*layerInputs[l], scratch.grad,
+                                     scratch.weightGrads[l]);
             if (l == 0)
                 break;
             // Upstream through the aggregation (A_hat symmetric),
             // the dropout mask, and the ReLU of layer l-1; the
             // backward MVMs run on the same programmed crossbars.
-            tensor::Matrix up = aggregate(
-                tensor::matmulTransB(grad, activeWeights[l]));
+            tensor::matmulTransBInto(scratch.grad, activeWeights[l],
+                                     scratch.gradTmp);
+            aggregateInto(scratch.gradTmp, scratch.upstream);
             if (config_.dropout > 0.0) {
-                float *dp = up.data();
-                const float *mp = dropMasks[l - 1].data();
-                for (size_t i = 0; i < up.size(); ++i)
+                float *dp = scratch.upstream.data();
+                const float *mp = scratch.dropMasks[l - 1].data();
+                for (size_t i = 0; i < scratch.upstream.size(); ++i)
                     dp[i] *= mp[i];
             }
-            grad = tensor::reluBackward(up, preacts[l - 1]);
+            tensor::reluBackwardInto(scratch.upstream,
+                                     scratch.preacts[l - 1],
+                                     scratch.grad);
         }
 
         // Adam step with decoupled weight decay.
@@ -300,9 +370,9 @@ FunctionalTrainer::train(const SelectivePolicy &policy) const
             1.0 - std::pow(beta2, static_cast<double>(epoch) + 1.0);
         for (uint32_t l = 0; l < layers; ++l) {
             float *wp = weights[l].data();
-            const float *gp = weightGrads[l].data();
-            float *mp = mAdam[l].data();
-            float *vp = vAdam[l].data();
+            const float *gp = scratch.weightGrads[l].data();
+            float *mp = scratch.mAdam[l].data();
+            float *vp = scratch.vAdam[l].data();
             for (size_t i = 0; i < weights[l].size(); ++i) {
                 const double gradW =
                     gp[i] + config_.weightDecay *
@@ -318,7 +388,7 @@ FunctionalTrainer::train(const SelectivePolicy &policy) const
         }
 
         const double acc =
-            tensor::accuracy(logits, data_.labels, testMask_);
+            tensor::accuracy(scratch.logits, data_.labels, testMask_);
         result.finalTestAccuracy = acc;
         result.bestTestAccuracy =
             std::max(result.bestTestAccuracy, acc);

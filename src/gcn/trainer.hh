@@ -20,6 +20,7 @@
 
 #include "fault/model.hh"
 #include "graph/generators.hh"
+#include "tensor/arena.hh"
 #include "tensor/matrix.hh"
 
 namespace gopim::gcn {
@@ -73,6 +74,32 @@ struct TrainResult
 };
 
 /**
+ * Reusable workspace for FunctionalTrainer::train. Every matrix a
+ * training run touches per epoch lives here and is reshaped in place
+ * (tensor::Matrix::assignShape), so a caller sweeping many runs —
+ * the table05/fig16 ablations — pays the layer-buffer allocations
+ * once instead of per epoch. Contents are overwritten by each run;
+ * results are bit-identical with or without reuse.
+ */
+struct TrainScratch
+{
+    std::vector<tensor::Matrix> weights;
+    std::vector<tensor::Matrix> mAdam;
+    std::vector<tensor::Matrix> vAdam;
+    std::vector<tensor::Matrix> weightGrads;
+    std::vector<tensor::Matrix> programmed;
+    std::vector<tensor::Matrix> preacts;
+    std::vector<tensor::Matrix> hidden;
+    std::vector<tensor::Matrix> aggregated;
+    std::vector<tensor::Matrix> dropMasks;
+    std::vector<tensor::Matrix> staleH;
+    tensor::Matrix logits;
+    tensor::Matrix grad;
+    tensor::Matrix gradTmp;
+    tensor::Matrix upstream;
+};
+
+/**
  * N-layer GCN trainer over a labeled graph with symmetric-normalized
  * aggregation (D^-1/2 (A + I) D^-1/2). Layer l computes
  * H_l = ReLU(A_hat H_{l-1} W_l) with the final layer linear into the
@@ -88,8 +115,19 @@ class FunctionalTrainer
     /** Train from fresh weights under the given selective policy. */
     TrainResult train(const SelectivePolicy &policy) const;
 
+    /**
+     * Same, reusing `scratch` across calls: repeated runs (ablation
+     * sweeps) skip the per-run/per-epoch buffer allocations.
+     */
+    TrainResult train(const SelectivePolicy &policy,
+                      TrainScratch &scratch) const;
+
     /** Normalized aggregation A_hat * H (exposed for testing). */
     tensor::Matrix aggregate(const tensor::Matrix &h) const;
+
+    /** Aggregation into a reusable buffer (out must not alias h). */
+    void aggregateInto(const tensor::Matrix &h,
+                       tensor::Matrix &out) const;
 
     const std::vector<uint32_t> &trainVertices() const
     {
@@ -108,6 +146,21 @@ class FunctionalTrainer
     std::vector<uint32_t> trainMask_;
     std::vector<uint32_t> testMask_;
     std::vector<bool> important_; ///< top-theta by degree (filled lazily)
+
+    /**
+     * SoA adjacency slab in one aligned arena: CSR offsets, neighbor
+     * ids, and the prenormalized edge weights n_v * n_u — so the
+     * aggregation inner loop streams two flat arrays instead of
+     * recomputing a weight per edge per epoch per layer.
+     */
+    tensor::Arena adjacency_;
+    const uint64_t *adjOffsets_ = nullptr;  ///< size V+1
+    const uint32_t *adjNeighbors_ = nullptr; ///< size nnz
+    const float *edgeWeights_ = nullptr;     ///< size nnz
+    const float *selfWeights_ = nullptr;     ///< n_v^2, size V
+
+    /** aggregate(features_), static across runs of this trainer. */
+    tensor::Matrix aggX_;
 };
 
 } // namespace gopim::gcn

@@ -38,51 +38,65 @@ finalize(ScheduleResult &result, const std::vector<double> &stageTimesNs,
 
 ScheduleResult
 schedulePipelined(const std::vector<double> &stageTimesNs,
-                  uint32_t numMicroBatches)
+                  uint32_t numMicroBatches, bool recordWindows)
 {
     GOPIM_ASSERT(!stageTimesNs.empty(), "schedule with no stages");
     GOPIM_ASSERT(numMicroBatches >= 1, "need at least one micro-batch");
 
     const size_t numStages = stageTimesNs.size();
     ScheduleResult result;
-    result.windows.assign(numStages,
-                          std::vector<StageWindow>(numMicroBatches));
+    if (recordWindows)
+        result.windows.assign(numStages,
+                              std::vector<StageWindow>(numMicroBatches));
 
+    // prevEnd[i] holds stage i's end time for the previous
+    // micro-batch, so the recurrence needs only O(stages) state when
+    // windows are not recorded. The arithmetic — operand values and
+    // order — is identical either way.
+    std::vector<double> prevEnd(numStages, 0.0);
     for (uint32_t j = 0; j < numMicroBatches; ++j) {
+        double prevStageEnd = 0.0;
         for (size_t i = 0; i < numStages; ++i) {
             // Eq. (3): wait for this stage's previous micro-batch.
-            double start =
-                j > 0 ? result.windows[i][j - 1].endNs : 0.0;
+            double start = j > 0 ? prevEnd[i] : 0.0;
             // Eq. (4): wait for the previous stage of this micro-batch.
             if (i > 0)
-                start = std::max(start, result.windows[i - 1][j].endNs);
-            result.windows[i][j].startNs = start;
-            result.windows[i][j].endNs = start + stageTimesNs[i];
+                start = std::max(start, prevStageEnd);
+            const double end = start + stageTimesNs[i];
+            if (recordWindows) {
+                result.windows[i][j].startNs = start;
+                result.windows[i][j].endNs = end;
+            }
+            prevEnd[i] = end;
+            prevStageEnd = end;
         }
     }
-    result.makespanNs = result.windows.back().back().endNs;
+    result.makespanNs = prevEnd.back();
     finalize(result, stageTimesNs, numMicroBatches);
     return result;
 }
 
 ScheduleResult
 scheduleSerial(const std::vector<double> &stageTimesNs,
-               uint32_t numMicroBatches)
+               uint32_t numMicroBatches, bool recordWindows)
 {
     GOPIM_ASSERT(!stageTimesNs.empty(), "schedule with no stages");
     GOPIM_ASSERT(numMicroBatches >= 1, "need at least one micro-batch");
 
     const size_t numStages = stageTimesNs.size();
     ScheduleResult result;
-    result.windows.assign(numStages,
-                          std::vector<StageWindow>(numMicroBatches));
+    if (recordWindows)
+        result.windows.assign(numStages,
+                              std::vector<StageWindow>(numMicroBatches));
 
     double clock = 0.0;
     for (uint32_t j = 0; j < numMicroBatches; ++j) {
         for (size_t i = 0; i < numStages; ++i) {
-            result.windows[i][j].startNs = clock;
+            if (recordWindows)
+                result.windows[i][j].startNs = clock;
             clock += stageTimesNs[i];
-            result.windows[i][j].endNs = clock;
+            if (recordWindows)
+                result.windows[i][j].endNs = clock;
         }
     }
     result.makespanNs = clock;
@@ -149,27 +163,33 @@ pipelinedMakespanNs(const std::vector<double> &stageTimesNs,
 
 ScheduleResult
 scheduleIntraBatchOnly(const std::vector<double> &stageTimesNs,
-                       uint32_t microBatchesPerBatch, uint32_t numBatches)
+                       uint32_t microBatchesPerBatch,
+                       uint32_t numBatches, bool recordWindows)
 {
     GOPIM_ASSERT(numBatches >= 1, "need at least one batch");
     // One batch pipelines internally, then the pipeline drains before
     // the next batch starts (weight update barrier).
-    ScheduleResult perBatch =
-        schedulePipelined(stageTimesNs, microBatchesPerBatch);
+    ScheduleResult perBatch = schedulePipelined(
+        stageTimesNs, microBatchesPerBatch, recordWindows);
 
     ScheduleResult result;
     const size_t numStages = stageTimesNs.size();
     const uint32_t totalMb = microBatchesPerBatch * numBatches;
-    result.windows.assign(numStages, std::vector<StageWindow>(totalMb));
-    for (uint32_t b = 0; b < numBatches; ++b) {
-        const double offset =
-            perBatch.makespanNs * static_cast<double>(b);
-        for (size_t i = 0; i < numStages; ++i) {
-            for (uint32_t j = 0; j < microBatchesPerBatch; ++j) {
-                auto &dst =
-                    result.windows[i][b * microBatchesPerBatch + j];
-                dst.startNs = perBatch.windows[i][j].startNs + offset;
-                dst.endNs = perBatch.windows[i][j].endNs + offset;
+    if (recordWindows) {
+        result.windows.assign(numStages,
+                              std::vector<StageWindow>(totalMb));
+        for (uint32_t b = 0; b < numBatches; ++b) {
+            const double offset =
+                perBatch.makespanNs * static_cast<double>(b);
+            for (size_t i = 0; i < numStages; ++i) {
+                for (uint32_t j = 0; j < microBatchesPerBatch; ++j) {
+                    auto &dst =
+                        result
+                            .windows[i][b * microBatchesPerBatch + j];
+                    dst.startNs =
+                        perBatch.windows[i][j].startNs + offset;
+                    dst.endNs = perBatch.windows[i][j].endNs + offset;
+                }
             }
         }
     }

@@ -44,16 +44,25 @@ struct ScheduleResult
  * Exact event-driven pipeline schedule (Eqs. 3-4) for per-stage,
  * per-micro-batch execution times. stageTimesNs[i] applies to every
  * micro-batch of stage i; B is the micro-batch count.
+ *
+ * `recordWindows` (here and below) controls whether the per-(stage,
+ * micro-batch) windows are materialized. false skips the O(stages x
+ * B) allocation — the recurrence runs on rolling state with the
+ * exact same arithmetic, so makespan/busy/idle are bit-identical —
+ * for callers that only consume the summaries (the closed-form
+ * engine outside traced runs).
  */
 ScheduleResult schedulePipelined(const std::vector<double> &stageTimesNs,
-                                 uint32_t numMicroBatches);
+                                 uint32_t numMicroBatches,
+                                 bool recordWindows = true);
 
 /**
  * Serial (non-pipelined) schedule: micro-batches and stages strictly
  * in sequence, as the paper's Serial baseline executes.
  */
 ScheduleResult scheduleSerial(const std::vector<double> &stageTimesNs,
-                              uint32_t numMicroBatches);
+                              uint32_t numMicroBatches,
+                              bool recordWindows = true);
 
 /** Closed-form pipelined makespan (Eq. 6). */
 double pipelinedMakespanNs(const std::vector<double> &stageTimesNs,
@@ -77,7 +86,8 @@ ScheduleResult schedulePipelinedVariable(
  */
 ScheduleResult scheduleIntraBatchOnly(
     const std::vector<double> &stageTimesNs,
-    uint32_t microBatchesPerBatch, uint32_t numBatches);
+    uint32_t microBatchesPerBatch, uint32_t numBatches,
+    bool recordWindows = true);
 
 } // namespace gopim::pipeline
 

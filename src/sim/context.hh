@@ -32,7 +32,9 @@ class StreamRecorder;
 
 namespace gopim::sim {
 
+class ReplayLowerCache;
 class ScheduleEngine;
+class TimelineCache;
 class TraceSink;
 
 /** Timing backend selector. */
@@ -140,6 +142,23 @@ struct SimContext
     std::shared_ptr<isa::StreamRecorder> isaRecorder;
     /** Label recorded streams carry ("GoPIM on Cora"). */
     std::string isaStreamLabel;
+    /**
+     * Optional memo the replay engine's self-replay mode uses to
+     * skip re-lowering/re-validating schedules it has already
+     * round-tripped (sim/replay.hh). Internally locked; sharing one
+     * cache across runs and threads is safe. Timing is unaffected —
+     * a cache hit replays the exact desc the lowered stream would
+     * have carried, so results stay bit-identical.
+     */
+    std::shared_ptr<ReplayLowerCache> lowerCache;
+    /**
+     * Optional memo for the event path (sim/timeline_cache.hh): when
+     * a schedule's timeline is seed-independent (no write-retry
+     * sampling) and carries no per-run windows, scheduleEventPath
+     * returns the cached timeline instead of re-simulating.
+     * Internally locked; hits are bit-identical by construction.
+     */
+    std::shared_ptr<TimelineCache> timelineCache;
 
     /** Fresh deterministic generator for one run. */
     Rng makeRng() const { return Rng(seed); }

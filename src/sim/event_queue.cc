@@ -1,8 +1,58 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <utility>
+
 #include "common/logging.hh"
 
 namespace gopim::sim {
+
+namespace {
+
+// Default calendar: modest footprint for ad-hoc queues that never
+// call reserveHorizon (unit tests, tiny schedules). Sized so typical
+// pipeline timescales (us-scale service times) land a handful of
+// events per bucket.
+constexpr size_t kDefaultBuckets = 64;
+constexpr double kDefaultWidthNs = 1024.0;
+
+// reserveHorizon bounds: enough buckets for ~1 event per bucket on
+// the biggest grids without letting one queue allocate unboundedly.
+constexpr size_t kMinBuckets = 16;
+constexpr size_t kMaxBuckets = 8192;
+
+} // namespace
+
+EventQueue::EventQueue()
+    : buckets_(kDefaultBuckets), widthNs_(kDefaultWidthNs),
+      invWidthNs_(1.0 / kDefaultWidthNs)
+{
+}
+
+void
+EventQueue::reserveHorizon(double horizonNs, uint64_t expectedEvents)
+{
+    if (live_ != 0 || horizonNs <= 0.0 || expectedEvents == 0)
+        return;
+    const size_t want = std::clamp<size_t>(
+        std::bit_ceil(static_cast<size_t>(expectedEvents)),
+        kMinBuckets, kMaxBuckets);
+    buckets_.assign(want, {});
+    widthNs_ = std::max(horizonNs / static_cast<double>(want), 1.0);
+    invWidthNs_ = 1.0 / widthNs_;
+    currentDay_ = dayOf(now_);
+}
+
+uint64_t
+EventQueue::dayOf(double timeNs) const
+{
+    const double clamped = std::max(timeNs, now_);
+    if (clamped <= 0.0)
+        return 0;
+    return static_cast<uint64_t>(clamped * invWidthNs_);
+}
 
 void
 EventQueue::schedule(double timeNs, Callback callback)
@@ -10,7 +60,10 @@ EventQueue::schedule(double timeNs, Callback callback)
     GOPIM_ASSERT(timeNs >= now_ - 1e-9,
                  "cannot schedule into the past (t=", timeNs,
                  ", now=", now_, ")");
-    events_.push({timeNs, nextSeq_++, std::move(callback)});
+    const uint64_t day = dayOf(timeNs);
+    buckets_[day & (buckets_.size() - 1)].push_back(
+        {timeNs, nextSeq_++, day, std::move(callback)});
+    ++live_;
 }
 
 void
@@ -21,17 +74,72 @@ EventQueue::scheduleAfter(double delayNs, Callback callback)
 }
 
 bool
-EventQueue::step()
+EventQueue::pop(std::vector<Event> &bucket, size_t index)
 {
-    if (events_.empty())
-        return false;
-    // Copy out before pop: the callback may schedule new events.
-    Event event = events_.top();
-    events_.pop();
+    // Detach before invoking: the callback may schedule new events
+    // into this same bucket and reallocate it.
+    Event event = std::move(bucket[index]);
+    if (index + 1 != bucket.size())
+        bucket[index] = std::move(bucket.back());
+    bucket.pop_back();
+    --live_;
     now_ = event.timeNs;
     ++processed_;
     event.callback();
     return true;
+}
+
+bool
+EventQueue::step()
+{
+    if (live_ == 0)
+        return false;
+
+    const size_t mask = buckets_.size() - 1;
+
+    // Invariant: every pending event has day >= currentDay_, and all
+    // of day d's events sit in bucket d & mask. Scanning one circle
+    // of days therefore visits each day's complete candidate set, and
+    // picking the minimum (timeNs, seq) within a day reproduces the
+    // total order exactly.
+    for (size_t circle = 0; circle <= mask; ++circle) {
+        std::vector<Event> &bucket = buckets_[currentDay_ & mask];
+        size_t best = bucket.size();
+        for (size_t i = 0; i < bucket.size(); ++i) {
+            if (bucket[i].day > currentDay_)
+                continue; // a later circle of this bucket
+            if (best == bucket.size() ||
+                bucket[i].timeNs < bucket[best].timeNs ||
+                (bucket[i].timeNs == bucket[best].timeNs &&
+                 bucket[i].seq < bucket[best].seq))
+                best = i;
+        }
+        if (best != bucket.size())
+            return pop(bucket, best);
+        ++currentDay_;
+    }
+
+    // A full circle of empty days: the next event is at least a whole
+    // calendar away. Find the global minimum directly and jump there
+    // — same (timeNs, seq) order, just without walking empty days.
+    std::vector<Event> *bestBucket = nullptr;
+    size_t bestIndex = 0;
+    for (std::vector<Event> &bucket : buckets_)
+        for (size_t i = 0; i < bucket.size(); ++i) {
+            if (bestBucket != nullptr) {
+                const Event &e = bucket[i];
+                const Event &b = (*bestBucket)[bestIndex];
+                if (e.timeNs > b.timeNs ||
+                    (e.timeNs == b.timeNs && e.seq > b.seq))
+                    continue;
+            }
+            bestBucket = &bucket;
+            bestIndex = i;
+        }
+    GOPIM_ASSERT(bestBucket != nullptr,
+                 "live events unreachable by calendar scan");
+    currentDay_ = (*bestBucket)[bestIndex].day;
+    return pop(*bestBucket, bestIndex);
 }
 
 void

@@ -3,6 +3,23 @@
  * Discrete-event simulation core: a time-ordered event queue with
  * deterministic tie-breaking (insertion order), the foundation of the
  * event-driven pipeline simulator in sim/pipeline_sim.hh.
+ *
+ * The implementation is a calendar (bucket) queue rather than a
+ * binary heap: simulated time is divided into fixed-width "days",
+ * day d's events live in bucket d mod N, and step() scans the
+ * current day's bucket for the earliest (timeNs, seq) pair. With the
+ * width sized from a schedule-horizon hint (reserveHorizon) so that
+ * buckets hold O(1) events, schedule() and step() are amortized O(1)
+ * against the heap's O(log n) — and the hot path is a linear scan of
+ * a small vector instead of a pointer-chasing sift.
+ *
+ * Ordering is part of the contract, not an accident of container
+ * internals: events execute in strictly increasing (timeNs, seq)
+ * order, where seq is the monotonic insertion index — equal
+ * timestamps run FIFO on every stdlib. A full circle of empty days
+ * falls back to a direct global-minimum scan, so correctness (and
+ * the exact execution order) never depends on the horizon hint;
+ * only speed does.
  */
 
 #ifndef GOPIM_SIM_EVENT_QUEUE_HH
@@ -10,16 +27,26 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace gopim::sim {
 
-/** Time-ordered callback queue. */
+/** Time-ordered callback queue (calendar queue, FIFO on ties). */
 class EventQueue
 {
   public:
     using Callback = std::function<void()>;
+
+    EventQueue();
+
+    /**
+     * Size the calendar for a schedule expected to span `horizonNs`
+     * of simulated time and carry roughly `expectedEvents` events,
+     * aiming for O(1) events per bucket. Only takes effect while the
+     * queue is empty; a hint is advisory and never affects the
+     * execution order, only the cost of maintaining it.
+     */
+    void reserveHorizon(double horizonNs, uint64_t expectedEvents);
 
     /** Schedule a callback at absolute time `timeNs` (>= now). */
     void schedule(double timeNs, Callback callback);
@@ -30,8 +57,8 @@ class EventQueue
     /** Current simulation time. */
     double nowNs() const { return now_; }
 
-    bool empty() const { return events_.empty(); }
-    size_t pending() const { return events_.size(); }
+    bool empty() const { return live_ == 0; }
+    size_t pending() const { return live_; }
     uint64_t processed() const { return processed_; }
 
     /** Pop and execute the earliest event; false if none remain. */
@@ -48,21 +75,22 @@ class EventQueue
     {
         double timeNs;
         uint64_t seq; ///< insertion order for deterministic ties
+        uint64_t day; ///< calendar day this event is filed under
         Callback callback;
     };
 
-    struct Later
-    {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.timeNs != b.timeNs)
-                return a.timeNs > b.timeNs;
-            return a.seq > b.seq;
-        }
-    };
+    /** floor(timeNs / width), clamped so epsilon-past times file
+     *  under the current day and stay findable. */
+    uint64_t dayOf(double timeNs) const;
 
-    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    /** Remove bucket[index], advance time, run the callback. */
+    bool pop(std::vector<Event> &bucket, size_t index);
+
+    std::vector<std::vector<Event>> buckets_;
+    double widthNs_;
+    double invWidthNs_;
+    uint64_t currentDay_ = 0;
+    size_t live_ = 0;
     double now_ = 0.0;
     uint64_t nextSeq_ = 0;
     uint64_t processed_ = 0;

@@ -62,6 +62,23 @@ class Simulation
         // 0's input feed is the off-chip stream, unbounded.
         for (uint32_t j = 0; j < microBatches; ++j)
             stations_.front().inputQueue.push_back(j);
+
+        // Calendar sizing: one traversal of the pipe plus the
+        // bottleneck stage's drain bounds the makespan from below,
+        // and each (stage, micro-batch) pair finishes exactly once.
+        // Advisory only — retries/sampling may stretch the horizon,
+        // which costs scan time, never correctness.
+        double traversalNs = 0.0;
+        double bottleneckNs = 0.0;
+        for (const auto &cfg : configs) {
+            traversalNs += cfg.serviceTimeNs;
+            bottleneckNs = std::max(
+                bottleneckNs, cfg.serviceTimeNs /
+                                  std::max<double>(cfg.servers, 1.0));
+        }
+        queue_.reserveHorizon(
+            traversalNs + bottleneckNs * (microBatches - 1),
+            static_cast<uint64_t>(configs.size()) * microBatches);
     }
 
     SimResult
@@ -115,8 +132,12 @@ class Simulation
                 window.startNs = queue_.nowNs();
                 window.endNs = queue_.nowNs() + service;
             }
-            queue_.scheduleAfter(service, [this, stageIdx, mb] {
-                onFinish(stageIdx, mb);
+            // Narrow the stage index so the capture fits libstdc++'s
+            // 16-byte std::function inline storage: no per-event heap
+            // allocation on the hottest path in the simulator.
+            const auto stage32 = static_cast<uint32_t>(stageIdx);
+            queue_.scheduleAfter(service, [this, stage32, mb] {
+                onFinish(stage32, mb);
             });
             maxQueueDepth_ = std::max<uint64_t>(maxQueueDepth_,
                                                 queue_.pending());

@@ -38,7 +38,70 @@ fromIsaRegime(isa::Regime regime)
     panic("unknown regime");
 }
 
+/** Field-wise equality; doubles compare by value (deterministic
+ *  producers emit identical bits for identical schedules). */
+bool
+sameDesc(const isa::ScheduleDesc &a, const isa::ScheduleDesc &b)
+{
+    return a.stageTimesNs == b.stageTimesNs &&
+           a.replicas == b.replicas && a.regime == b.regime &&
+           a.totalMicroBatches == b.totalMicroBatches &&
+           a.microBatchesPerBatch == b.microBatchesPerBatch &&
+           a.seed == b.seed && a.bufferSlots == b.bufferSlots &&
+           a.replicasAsServers == b.replicasAsServers &&
+           a.writeRetryProb == b.writeRetryProb &&
+           a.writeFraction == b.writeFraction &&
+           a.refreshEveryMicroBatches == b.refreshEveryMicroBatches &&
+           a.refreshStallNs == b.refreshStallNs;
+}
+
+isa::ScheduleDesc
+seedZeroed(const isa::ScheduleDesc &desc)
+{
+    isa::ScheduleDesc key = desc;
+    key.seed = 0;
+    return key;
+}
+
 } // namespace
+
+bool
+ReplayLowerCache::contains(const isa::ScheduleDesc &desc) const
+{
+    const isa::ScheduleDesc key = seedZeroed(desc);
+    const uint64_t fp = key.fingerprint();
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = buckets_.find(fp);
+    if (it == buckets_.end())
+        return false;
+    for (const isa::ScheduleDesc &known : it->second)
+        if (sameDesc(known, key))
+            return true;
+    return false;
+}
+
+void
+ReplayLowerCache::add(const isa::ScheduleDesc &desc)
+{
+    isa::ScheduleDesc key = seedZeroed(desc);
+    const uint64_t fp = key.fingerprint();
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<isa::ScheduleDesc> &bucket = buckets_[fp];
+    for (const isa::ScheduleDesc &known : bucket)
+        if (sameDesc(known, key))
+            return;
+    bucket.push_back(std::move(key));
+}
+
+size_t
+ReplayLowerCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = 0;
+    for (const auto &[fp, bucket] : buckets_)
+        n += bucket.size();
+    return n;
+}
 
 isa::ScheduleDesc
 descFromRequest(const ScheduleRequest &request, const SimContext &ctx)
@@ -115,9 +178,29 @@ ReplayEngine::schedule(const ScheduleRequest &request,
                        const SimContext &ctx) const
 {
     recordStreamIfRequested(request, ctx);
-    if (!fromTrace_)
+    if (!fromTrace_) {
+        if (ctx.lowerCache) {
+            const isa::ScheduleDesc desc =
+                descFromRequest(request, ctx);
+            if (ctx.lowerCache->contains(desc)) {
+                // This schedule (seed aside) already survived one
+                // lower + validate round-trip; replay straight from
+                // the desc. The stream would have carried this exact
+                // desc, so the timeline is bit-identical.
+                SimContext replayCtx = ctx;
+                applyDescKnobs(desc, &replayCtx);
+                return scheduleEventPath(requestFromDesc(desc),
+                                         replayCtx, "replay");
+            }
+            const isa::CommandStream stream =
+                lowerRequest(request, ctx, ctx.isaStreamLabel);
+            const StageTimeline timeline = replayStream(stream, ctx);
+            ctx.lowerCache->add(stream.desc);
+            return timeline;
+        }
         return replayStream(
             lowerRequest(request, ctx, ctx.isaStreamLabel), ctx);
+    }
 
     const uint64_t fingerprint =
         descFromRequest(request, ctx).fingerprint();

@@ -1,0 +1,70 @@
+#include "tensor/arena.hh"
+
+#include <algorithm>
+#include <new>
+
+namespace gopim::tensor {
+
+namespace {
+
+constexpr size_t kMinBlockBytes = 1u << 16; // 64 KiB
+
+size_t
+roundUp(size_t bytes)
+{
+    return (bytes + Arena::kAlignment - 1) & ~(Arena::kAlignment - 1);
+}
+
+} // namespace
+
+Arena::~Arena()
+{
+    for (Block &block : blocks_)
+        ::operator delete[](block.memory,
+                            std::align_val_t{kAlignment});
+}
+
+void
+Arena::reset()
+{
+    for (Block &block : blocks_)
+        block.used = 0;
+    activeBlock_ = 0;
+    usedBytes_ = 0;
+}
+
+void *
+Arena::allocateBytes(size_t bytes)
+{
+    const size_t need = roundUp(std::max<size_t>(bytes, 1));
+    while (activeBlock_ < blocks_.size()) {
+        Block &block = blocks_[activeBlock_];
+        if (block.capacity - block.used >= need) {
+            void *slice = block.memory + block.used;
+            block.used += need;
+            usedBytes_ += need;
+            return slice;
+        }
+        // A block is abandoned rather than fragmented: the next
+        // reset() reclaims its unused tail along with everything else.
+        ++activeBlock_;
+    }
+
+    // Geometric growth keeps the block count logarithmic in the
+    // total footprint, so reset() and the destructor stay cheap.
+    const size_t capacity = std::max(
+        {need, kMinBlockBytes,
+         blocks_.empty() ? size_t{0} : blocks_.back().capacity * 2});
+    Block block;
+    block.memory = static_cast<std::byte *>(::operator new[](
+        capacity, std::align_val_t{kAlignment}));
+    block.capacity = capacity;
+    block.used = need;
+    blocks_.push_back(block);
+    activeBlock_ = blocks_.size() - 1;
+    usedBytes_ += need;
+    capacityBytes_ += capacity;
+    return block.memory;
+}
+
+} // namespace gopim::tensor

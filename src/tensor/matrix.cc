@@ -45,6 +45,14 @@ Matrix::fill(float value)
     std::fill(data_.begin(), data_.end(), value);
 }
 
+void
+Matrix::assignShape(size_t rows, size_t cols, float fill)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+}
+
 Matrix
 Matrix::transposed() const
 {

@@ -49,6 +49,14 @@ class Matrix
     /** Set all elements to `value`. */
     void fill(float value);
 
+    /**
+     * Reshape to rows x cols with every element set to `fill`,
+     * reusing the existing allocation when capacity allows. The
+     * workhorse of scratch-buffer reuse: repeated kernels write into
+     * the same matrix without per-call heap traffic.
+     */
+    void assignShape(size_t rows, size_t cols, float fill = 0.0f);
+
     /** Return the transpose. */
     Matrix transposed() const;
 

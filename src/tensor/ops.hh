@@ -23,6 +23,21 @@ Matrix matmulTransA(const Matrix &a, const Matrix &b);
 /** C = A * B^T (without materializing the transpose). */
 Matrix matmulTransB(const Matrix &a, const Matrix &b);
 
+// Into-variants of the kernels above (plus relu): identical
+// arithmetic in identical order, writing into a caller-owned buffer
+// that is reshaped in place — so hot loops that run every epoch can
+// reuse one allocation instead of constructing a fresh Matrix per
+// call. The value-returning forms delegate to these.
+
+/** c = A * B, reusing c's allocation. c must not alias a or b. */
+void matmulInto(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** c = A^T * B, reusing c's allocation. No aliasing. */
+void matmulTransAInto(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** c = A * B^T, reusing c's allocation. No aliasing. */
+void matmulTransBInto(const Matrix &a, const Matrix &b, Matrix &c);
+
 /** y = A * x for a dense vector x (x.size() == A.cols()). */
 std::vector<float> mvm(const Matrix &a, const std::vector<float> &x);
 
@@ -44,11 +59,18 @@ void addRowBias(Matrix &a, const std::vector<float> &bias);
 /** ReLU applied element-wise (returns a copy). */
 Matrix relu(const Matrix &a);
 
+/** ReLU into a reusable buffer. out must not alias a. */
+void reluInto(const Matrix &a, Matrix &out);
+
 /**
  * Backward of ReLU: grad masked by the forward *input* sign
  * (out = grad where input > 0 else 0).
  */
 Matrix reluBackward(const Matrix &grad, const Matrix &input);
+
+/** ReLU backward into a reusable buffer. out must not alias inputs. */
+void reluBackwardInto(const Matrix &grad, const Matrix &input,
+                      Matrix &out);
 
 /** Row-wise softmax (numerically stabilized). */
 Matrix softmaxRows(const Matrix &logits);

@@ -177,6 +177,40 @@ TEST(Histogram, CountsAndClamping)
     EXPECT_EQ(h.bucketCount(9), 2u);
 }
 
+TEST(Histogram, ExactBucketEdgesLandDeterministically)
+{
+    // A sample exactly equal to a bucket's lower edge must land in
+    // that bucket — x in [bucketLo(i), bucketLo(i+1)) — for every
+    // edge, including edges like 0.3 that binary floating point
+    // cannot represent exactly. The naive (x - lo) / width division
+    // can round either side of the integer; add() settles the index
+    // against the canonical edges instead.
+    const double lo = 0.0;
+    const double hi = 1.0;
+    const size_t buckets = 10;
+    Histogram h(lo, hi, buckets);
+    for (size_t i = 0; i < buckets; ++i)
+        h.add(h.bucketLo(i));
+    EXPECT_EQ(h.total(), buckets);
+    for (size_t i = 0; i < buckets; ++i)
+        EXPECT_EQ(h.bucketCount(i), 1u) << "edge of bucket " << i;
+
+    // Awkward width (1/3) and non-zero origin: same invariant.
+    Histogram odd(2.0, 3.0, 3);
+    for (size_t i = 0; i < odd.buckets(); ++i)
+        odd.add(odd.bucketLo(i));
+    for (size_t i = 0; i < odd.buckets(); ++i)
+        EXPECT_EQ(odd.bucketCount(i), 1u) << "edge of bucket " << i;
+
+    // Values a hair below an edge belong to the bucket below it.
+    Histogram below(0.0, 1.0, 10);
+    below.add(std::nextafter(below.bucketLo(5), 0.0));
+    EXPECT_EQ(below.bucketCount(4), 1u);
+    // The upper bound of the whole range clamps into the last bucket.
+    below.add(1.0);
+    EXPECT_EQ(below.bucketCount(below.buckets() - 1), 1u);
+}
+
 TEST(Histogram, QuantileMonotone)
 {
     Histogram h(0.0, 100.0, 50);

@@ -8,11 +8,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "core/accelerator.hh"
 #include "core/harness.hh"
+#include "core/plan_cache.hh"
+#include "core/report.hh"
 #include "core/systems.hh"
 #include "gcn/workload.hh"
 #include "predictor/predictor.hh"
+#include "sim/context.hh"
 
 namespace gopim::core {
 namespace {
@@ -200,6 +208,128 @@ TEST(Harness, GridAndTables)
     EXPECT_EQ(speedups.cols(), 3u);
     const auto energy = harness.energyTable("e", rows);
     EXPECT_EQ(energy.rows(), 2u);
+}
+
+TEST(Harness, MemoizedGridIsByteIdenticalToUncached)
+{
+    // The memoized path (plan cache + dataset cache + replay lower
+    // cache, on by default) must be invisible in the results: the
+    // serialized grid — the exact bytes --json-out writes — has to
+    // match the uncached path, across engines and seeds.
+    const auto systems = figure13Systems();
+    const std::vector<std::string> datasets = {"ddi", "Cora"};
+
+    for (const auto kind :
+         {sim::EngineKind::ClosedForm, sim::EngineKind::EventDriven,
+          sim::EngineKind::Replay}) {
+        sim::SimContext ctx;
+        ctx.engine = kind;
+        ctx.seed = 11;
+
+        ComparisonHarness memoized(
+            reram::AcceleratorConfig::paperDefault(), ctx);
+        ASSERT_TRUE(memoized.memoize());
+        ComparisonHarness uncached(
+            reram::AcceleratorConfig::paperDefault(), ctx);
+        uncached.setMemoize(false);
+
+        // Two sweeps on the memoized harness: the second hits the
+        // caches (same prefix, sim context unchanged) and must still
+        // match the always-cold harness byte for byte.
+        const auto warmup = memoized.runGrid(systems, datasets, 2);
+        const auto hot = memoized.runGrid(systems, datasets, 2);
+        const auto cold = uncached.runGrid(systems, datasets, 2);
+        EXPECT_GT(memoized.planCache().hits(), 0u);
+
+        std::ostringstream hotJson, coldJson, warmupJson;
+        writeGridJson(hot, hotJson);
+        writeGridJson(cold, coldJson);
+        writeGridJson(warmup, warmupJson);
+        EXPECT_EQ(hotJson.str(), coldJson.str())
+            << "engine " << sim::toString(kind);
+        EXPECT_EQ(warmupJson.str(), coldJson.str())
+            << "engine " << sim::toString(kind);
+
+        // A seed change reuses the plans (the prefix excludes the
+        // sim context) and still matches a cold run bit for bit.
+        ctx.seed = 99;
+        memoized.setSimContext(ctx);
+        uncached.setSimContext(ctx);
+        const auto hotReseeded = memoized.runGrid(systems, datasets, 2);
+        const auto coldReseeded =
+            uncached.runGrid(systems, datasets, 2);
+        std::ostringstream hotJson2, coldJson2;
+        writeGridJson(hotReseeded, hotJson2);
+        writeGridJson(coldReseeded, coldJson2);
+        EXPECT_EQ(hotJson2.str(), coldJson2.str())
+            << "engine " << sim::toString(kind) << " reseeded";
+    }
+}
+
+TEST(PlanCache, FingerprintCollisionsCannotAliasPlans)
+{
+    // Cache poisoning: two different configurations whose prefix
+    // fingerprints collide (forced here by inserting under the same
+    // fingerprint) must keep separate state — the full prefix key
+    // is compared inside the bucket, so a lookup can only ever
+    // return the plan inserted under its own key.
+    PlanCache cache;
+    StagePlan a;
+    a.totalMicroBatches = 111;
+    a.stageTimesNs = {1.0, 2.0};
+    StagePlan b;
+    b.totalMicroBatches = 222;
+    b.stageTimesNs = {9.0};
+
+    const uint64_t fp = 0xdeadbeefcafef00dull;
+    cache.insert(fp, "config-a", a);
+    cache.insert(fp, "config-b", b);
+    EXPECT_EQ(cache.size(), 2u);
+
+    const StagePlan *gotA = cache.find(fp, "config-a");
+    const StagePlan *gotB = cache.find(fp, "config-b");
+    ASSERT_NE(gotA, nullptr);
+    ASSERT_NE(gotB, nullptr);
+    EXPECT_NE(gotA, gotB);
+    EXPECT_EQ(gotA->totalMicroBatches, 111u);
+    EXPECT_EQ(gotB->totalMicroBatches, 222u);
+    EXPECT_EQ(gotB->stageTimesNs, (std::vector<double>{9.0}));
+
+    // A third key in the same bucket misses rather than aliasing.
+    EXPECT_EQ(cache.find(fp, "config-c"), nullptr);
+
+    // Re-inserting an existing key keeps the first entry (planning
+    // is deterministic; racing builders produce identical plans).
+    StagePlan aAgain;
+    aAgain.totalMicroBatches = 333;
+    EXPECT_EQ(cache.insert(fp, "config-a", aAgain), gotA);
+    EXPECT_EQ(cache.find(fp, "config-a")->totalMicroBatches, 111u);
+}
+
+TEST(Harness, PlanSplitMatchesMonolithicRun)
+{
+    // buildPlan + executePlan is the same computation run(w, p)
+    // performs; the split exists so the memoized path can cache the
+    // first half. Pin the equivalence directly.
+    ComparisonHarness harness;
+    const auto workload = gcn::Workload::paperDefault("ddi");
+    const auto profile =
+        gcn::VertexProfile::build(workload.dataset, workload.seed);
+    Accelerator accel(harness.hardware(),
+                      makeSystem(SystemKind::GoPim));
+    const RunResult whole = accel.run(workload, profile);
+    const StagePlan plan = accel.buildPlan(workload, profile);
+    const RunResult split = accel.executePlan(plan, workload);
+    EXPECT_EQ(whole.makespanNs, split.makespanNs);
+    EXPECT_EQ(whole.energyPj, split.energyPj);
+    EXPECT_EQ(whole.replicas, split.replicas);
+    EXPECT_EQ(whole.stageTimesNs, split.stageTimesNs);
+    EXPECT_EQ(whole.idleFraction, split.idleFraction);
+    EXPECT_EQ(whole.totalRowWrites, split.totalRowWrites);
+    // Executing one plan twice is deterministic too.
+    const RunResult again = accel.executePlan(plan, workload);
+    EXPECT_EQ(split.makespanNs, again.makespanNs);
+    EXPECT_EQ(split.energyPj, again.energyPj);
 }
 
 TEST(Harness, SparseGraphStillWins)

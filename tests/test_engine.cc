@@ -17,6 +17,7 @@
 #include "core/systems.hh"
 #include "gcn/workload.hh"
 #include "sim/engine.hh"
+#include "sim/timeline_cache.hh"
 #include "sim/trace.hh"
 
 namespace gopim {
@@ -133,6 +134,55 @@ TEST(EventKnobs, ReplicasAsServersRuns)
         runWith(core::SystemKind::GoPim, "ddi", event);
     EXPECT_GT(servers.makespanNs, 0.0);
     EXPECT_DOUBLE_EQ(servers.makespanNs, again.makespanNs);
+}
+
+TEST(TimelineMemo, HitsAreBitIdenticalAcrossSeeds)
+{
+    // With no write-retry sampling the event timeline is
+    // seed-independent, so the memo may answer — and a hit must be
+    // the exact timeline a fresh simulation would produce.
+    auto cache = std::make_shared<sim::TimelineCache>();
+    sim::SimContext event;
+    event.engine = sim::EngineKind::EventDriven;
+    event.timelineCache = cache;
+    event.seed = 1;
+    const auto cold = runWith(core::SystemKind::GoPim, "ddi", event);
+    EXPECT_GT(cache->size(), 0u);
+
+    event.seed = 2;
+    const auto warm = runWith(core::SystemKind::GoPim, "ddi", event);
+    EXPECT_GT(cache->hits(), 0u);
+
+    sim::SimContext plain = event;
+    plain.timelineCache = nullptr;
+    const auto fresh = runWith(core::SystemKind::GoPim, "ddi", plain);
+
+    EXPECT_EQ(warm.makespanNs, cold.makespanNs);
+    EXPECT_EQ(warm.makespanNs, fresh.makespanNs);
+    EXPECT_EQ(warm.energyPj, fresh.energyPj);
+    EXPECT_EQ(warm.eventsProcessed, fresh.eventsProcessed);
+    EXPECT_EQ(warm.idleFraction, fresh.idleFraction);
+    EXPECT_EQ(warm.blockedNs, fresh.blockedNs);
+}
+
+TEST(TimelineMemo, SeedDependentRunsBypassTheCache)
+{
+    // writeRetryProb > 0 makes the timeline a function of the seed;
+    // the memo must refuse to serve (or record) those runs, so two
+    // seeds still diverge with a cache installed.
+    auto cache = std::make_shared<sim::TimelineCache>();
+    sim::SimContext event;
+    event.engine = sim::EngineKind::EventDriven;
+    event.timelineCache = cache;
+    event.event.writeRetryProb = 0.3;
+    event.event.writeFraction = 0.5;
+
+    event.seed = 42;
+    const auto a = runWith(core::SystemKind::GoPim, "ddi", event);
+    event.seed = 43;
+    const auto b = runWith(core::SystemKind::GoPim, "ddi", event);
+    EXPECT_NE(a.makespanNs, b.makespanNs);
+    EXPECT_EQ(cache->size(), 0u);
 }
 
 // A caller-supplied backend plugs in through the same seam the two

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -67,6 +69,36 @@ TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds)
     EXPECT_DOUBLE_EQ(h.sum(), 16.0);
     const std::vector<uint64_t> expected = {2, 1, 1, 1};
     EXPECT_EQ(h.bucketCounts(), expected);
+}
+
+TEST(Histogram, GeneratedBoundEdgesLandInOneDeterministicBucket)
+{
+    // A sample exactly equal to a generated upper bound — including
+    // bounds like 0.30000000000000004 that accumulate float error in
+    // linearBounds/exponentialBounds — must land in exactly the
+    // bucket that bound closes, every time, on every platform: the
+    // comparison is against the stored bound's bits, not against a
+    // recomputed edge. This is what keeps metric exports identical
+    // across worker counts (and stdlibs).
+    for (const auto &bounds :
+         {obs::Histogram::linearBounds(0.1, 0.1, 13),
+          obs::Histogram::exponentialBounds(1.0, 3.0, 10)}) {
+        obs::Histogram h(bounds);
+        for (double edge : bounds)
+            h.observe(edge);
+        EXPECT_EQ(h.count(), bounds.size());
+        const auto counts = h.bucketCounts();
+        ASSERT_EQ(counts.size(), bounds.size() + 1);
+        for (size_t i = 0; i < bounds.size(); ++i)
+            EXPECT_EQ(counts[i], 1u) << "edge " << bounds[i];
+        EXPECT_EQ(counts.back(), 0u); // no edge overflows
+
+        // Just past an edge falls into the next bucket up.
+        obs::Histogram above(bounds);
+        above.observe(std::nextafter(
+            bounds.front(), std::numeric_limits<double>::infinity()));
+        EXPECT_EQ(above.bucketCounts()[1], 1u);
+    }
 }
 
 TEST(Histogram, MergeAddsCountsBucketwise)

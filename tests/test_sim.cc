@@ -43,6 +43,80 @@ TEST(EventQueue, TiesBreakByInsertionOrder)
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
+TEST(EventQueue, CollidingTimestampsDrainFifoAtScale)
+{
+    // Many events per timestamp, scheduled in shuffled timestamp
+    // order: equal timestamps must drain in exact insertion order
+    // (the explicit sequence-number tie-break), not in whatever
+    // order the underlying container happens to keep.
+    EventQueue queue;
+    std::vector<int> order;
+    const double times[] = {2.0, 0.5, 3.5, 1.0};
+    for (int k = 0; k < 64; ++k) {
+        for (int t = 0; t < 4; ++t) {
+            const int id = k * 4 + t;
+            queue.schedule(times[t], [&, id] { order.push_back(id); });
+        }
+    }
+    queue.run();
+
+    std::vector<int> expected;
+    for (int t : {1, 3, 0, 2}) // timestamps ascending: .5, 1, 2, 3.5
+        for (int k = 0; k < 64; ++k)
+            expected.push_back(k * 4 + t);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, HorizonHintNeverChangesOrder)
+{
+    // The calendar sizing hint is a pure speed knob: wildly wrong
+    // horizons (too short, too long, bucket-width extremes) must
+    // leave the execution order — including equal-timestamp FIFO
+    // ties — untouched.
+    const auto runWithHint = [](double horizonNs, uint64_t events) {
+        EventQueue queue;
+        if (horizonNs > 0)
+            queue.reserveHorizon(horizonNs, events);
+        std::vector<int> order;
+        const double times[] = {7.0, 1.5, 1.5, 40.0, 0.25, 7.0};
+        for (int k = 0; k < 32; ++k) {
+            for (int t = 0; t < 6; ++t) {
+                const int id = k * 6 + t;
+                queue.schedule(times[t],
+                               [&, id] { order.push_back(id); });
+            }
+        }
+        queue.run();
+        return order;
+    };
+
+    const std::vector<int> reference = runWithHint(0.0, 0);
+    EXPECT_EQ(runWithHint(1.0, 1), reference);
+    EXPECT_EQ(runWithHint(1e9, 1u << 20), reference);
+    EXPECT_EQ(runWithHint(16.0, 8), reference);
+    EXPECT_EQ(runWithHint(0.001, 4096), reference);
+}
+
+TEST(EventQueue, EventsFarBeyondHorizonWrapSafely)
+{
+    // Timestamps thousands of bucket-widths apart alias to the same
+    // calendar slots; the day tag must keep them ordered.
+    EventQueue queue;
+    queue.reserveHorizon(16.0, 16);
+    std::vector<int> order;
+    for (int i = 9; i >= 0; --i)
+        queue.schedule(static_cast<double>(i) * 1000.0,
+                       [&, i] { order.push_back(i); });
+    // A colliding pair far out, scheduled before vs after the loop
+    // above reversed the times: FIFO must still hold.
+    queue.schedule(5000.0, [&] { order.push_back(100); });
+    queue.schedule(5000.0, [&] { order.push_back(101); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 100, 101, 6,
+                                       7, 8, 9}));
+    EXPECT_EQ(queue.processed(), 12u);
+}
+
 TEST(EventQueue, CallbacksMayScheduleMore)
 {
     EventQueue queue;

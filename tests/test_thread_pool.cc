@@ -186,5 +186,40 @@ TEST(ParallelGrid, JobsOneEqualsJobsManyBitForBit)
     EXPECT_EQ(csvSerial.str(), csvParallel.str());
 }
 
+// Same property under the event-driven engine, whose queue is full
+// of colliding timestamps (every stage of a drained chunk finishes
+// on the same boundary): the explicit sequence-number tie-break in
+// sim::EventQueue is what keeps --jobs=1 and --jobs=8 bit-identical
+// here, rather than unspecified container behavior.
+TEST(ParallelGrid, EventEngineCollidingTimestampsJobsInvariant)
+{
+    sim::SimContext ctx;
+    ctx.engine = sim::EngineKind::EventDriven;
+    ctx.seed = 7;
+    core::ComparisonHarness harness(
+        reram::AcceleratorConfig::paperDefault(), ctx);
+    const auto systems = core::figure13Systems();
+    const std::vector<std::string> datasets = {"ddi", "Cora"};
+
+    const auto serial = harness.runGrid(systems, datasets, 1);
+    const auto parallel = harness.runGrid(systems, datasets, 8);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t d = 0; d < serial.size(); ++d) {
+        ASSERT_EQ(serial[d].results.size(),
+                  parallel[d].results.size());
+        for (size_t s = 0; s < serial[d].results.size(); ++s) {
+            const auto &a = serial[d].results[s];
+            const auto &b = parallel[d].results[s];
+            EXPECT_EQ(a.makespanNs, b.makespanNs);
+            EXPECT_EQ(a.energyPj, b.energyPj);
+            EXPECT_EQ(a.eventsProcessed, b.eventsProcessed);
+            EXPECT_GT(a.eventsProcessed, 0u);
+            EXPECT_EQ(a.idleFraction, b.idleFraction);
+            EXPECT_EQ(a.blockedNs, b.blockedNs);
+        }
+    }
+}
+
 } // namespace
 } // namespace gopim
