@@ -164,11 +164,14 @@ class Router
         ShardSpec spec;
         net::Fd fd;
         int64_t pid = -1;
-        std::thread reader;
         bool dead = true;  ///< no live connection
         bool gone = false; ///< permanently failed
         std::deque<Journaled> journal;
         uint64_t restarts = 0;
+        // Last member on purpose: the reader thread touches journal
+        // and dead, which must outlive it under reverse-order
+        // destruction (the concurrency-join-order lint rule).
+        std::thread reader;
     };
 
     /** One connect/spawn+hello round; "" on success. */

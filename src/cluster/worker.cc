@@ -94,14 +94,14 @@ pumpFramedConnection(serve::Service &service, int fd,
         {
             std::lock_guard<std::mutex> lock(mutex);
             window.push_back(std::move(pending));
+            cv.notify_all(); // under the lock: no lost wake-up
         }
-        cv.notify_all();
     }
     {
         std::lock_guard<std::mutex> lock(mutex);
         eof = true;
+        cv.notify_all(); // under the lock: no lost wake-up
     }
-    cv.notify_all();
     writer.join();
     return stats;
 }

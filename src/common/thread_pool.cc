@@ -15,10 +15,13 @@ ThreadPool::ThreadPool(size_t threads)
 ThreadPool::~ThreadPool()
 {
     {
+        // Notify while holding the lock: a worker between its empty
+        // check and its wait cannot miss the wake-up (the repo-wide
+        // notify-under-lock convention gopim_lint enforces).
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
+        cv_.notify_all();
     }
-    cv_.notify_all();
     for (auto &worker : workers_)
         worker.join();
 }
@@ -40,6 +43,7 @@ ThreadPool::enqueue(std::function<void()> job)
         std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(std::move(job));
         depth = queue_.size();
+        cv_.notify_one(); // under the lock: no lost wake-up window
     }
     // Relaxed: both counters are advisory utilization metrics (see
     // thread_pool.hh); the CAS-max loop is monotone and re-reads the
@@ -51,7 +55,6 @@ ThreadPool::enqueue(std::function<void()> job)
            !maxQueueDepth_.compare_exchange_weak(
                seen, depth, std::memory_order_relaxed))
         ;
-    cv_.notify_one();
 }
 
 void

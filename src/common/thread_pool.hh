@@ -87,7 +87,6 @@ class ThreadPool
     std::condition_variable cv_;
     std::deque<std::function<void()>> queue_;
     bool stopping_ = false;
-    std::vector<std::thread> workers_;
     // Utilization counters are relaxed atomics: they are monotone
     // sums/maxima with no payload, so no acquire/release pairing is
     // required. Exact totals are only read after the pool quiesces —
@@ -97,6 +96,10 @@ class ThreadPool
     std::atomic<uint64_t> tasksSubmitted_{0};
     std::atomic<uint64_t> tasksCompleted_{0};
     std::atomic<uint64_t> maxQueueDepth_{0};
+    // Last member on purpose: members destroy in reverse declaration
+    // order, so everything the worker threads touch must outlive
+    // them (the concurrency-join-order lint rule).
+    std::vector<std::thread> workers_;
 };
 
 /**

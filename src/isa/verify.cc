@@ -1,0 +1,335 @@
+#include "isa/verify.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace gopim::isa {
+
+const char *
+toString(VerifyCode code)
+{
+    switch (code) {
+      case VerifyCode::DescInvalid:
+        return "desc-invalid";
+      case VerifyCode::CfgOrder:
+        return "cfg-order";
+      case VerifyCode::CfgMismatch:
+        return "cfg-mismatch";
+      case VerifyCode::OperandRange:
+        return "operand-range";
+      case VerifyCode::DurationInvalid:
+        return "duration-invalid";
+      case VerifyCode::NocUnmatched:
+        return "noc-unmatched";
+      case VerifyCode::NocDeadlock:
+        return "noc-deadlock";
+      case VerifyCode::BarrierOrder:
+        return "barrier-order";
+      case VerifyCode::RefreshInvariant:
+        return "refresh-invariant";
+      case VerifyCode::SyncMissing:
+        return "sync-missing";
+      case VerifyCode::SyncMisplaced:
+        return "sync-misplaced";
+      case VerifyCode::SyncOperand:
+        return "sync-operand";
+    }
+    return "unknown";
+}
+
+std::string
+VerifyIssue::format() const
+{
+    return "cmd " + std::to_string(commandIndex) + ": " +
+           toString(code) + ": " + message;
+}
+
+namespace {
+
+/** Does this opcode carry a service-time payload? */
+bool
+timedOp(Opcode op)
+{
+    return op == Opcode::CfgStage || op == Opcode::Mvm ||
+           op == Opcode::RowWrite || op == Opcode::Refresh;
+}
+
+/** Per-micro-batch work (everything between BARRIER and SYNC). */
+bool
+workOp(Opcode op)
+{
+    return op == Opcode::Mvm || op == Opcode::RowWrite ||
+           op == Opcode::NocSend || op == Opcode::NocRecv ||
+           op == Opcode::Refresh;
+}
+
+std::string
+describe(const Command &cmd)
+{
+    std::ostringstream out;
+    out << toString(cmd.op) << " stage " << cmd.stage << " mb "
+        << cmd.microBatch;
+    return out.str();
+}
+
+} // namespace
+
+std::vector<VerifyIssue>
+verifyStream(const CommandStream &stream)
+{
+    std::vector<VerifyIssue> issues;
+    const auto emit = [&](VerifyCode code, size_t index,
+                          std::string message) {
+        issues.push_back({code, index, std::move(message)});
+    };
+
+    // All flow checks are relative to the header's contract; with an
+    // invalid header there is nothing meaningful to check against.
+    if (std::string err = stream.desc.validate(); !err.empty()) {
+        emit(VerifyCode::DescInvalid, 0, err);
+        return issues;
+    }
+    ScheduleDesc desc = stream.desc;
+    desc.normalize();
+
+    const uint32_t numStages =
+        static_cast<uint32_t>(desc.stageTimesNs.size());
+    const auto [chunkSize, numChunks] = desc.chunkStructure();
+    const uint64_t executed =
+        static_cast<uint64_t>(chunkSize) * numChunks;
+
+    uint32_t cfgSeen = 0;      // contiguous prologue 0..cfgSeen-1
+    bool workStarted = false;  // any non-CFG_STAGE command seen
+    uint32_t barrierCount = 0; // chunks opened so far
+    // (boundary stage, micro-batch) -> indices of NOC_SENDs still
+    // waiting for their NOC_RECV, consumed FIFO.
+    std::map<std::pair<uint32_t, uint32_t>, std::vector<size_t>>
+        pendingSends;
+    std::vector<size_t> syncIndices;
+
+    const size_t n = stream.commands.size();
+    for (size_t i = 0; i < n; ++i) {
+        const Command &cmd = stream.commands[i];
+
+        // Duration bit patterns: timed ops must decode to a finite,
+        // non-negative ns payload; untimed ops must carry zero bits.
+        if (timedOp(cmd.op)) {
+            const double ns = cmd.durationNs();
+            if (!std::isfinite(ns) || ns < 0.0)
+                emit(VerifyCode::DurationInvalid, i,
+                     describe(cmd) +
+                         " duration bits decode to a non-finite or "
+                         "negative time");
+        } else if (cmd.durationBits != 0) {
+            emit(VerifyCode::DurationInvalid, i,
+                 describe(cmd) + " is untimed but carries nonzero "
+                                 "duration bits");
+        }
+
+        if (cmd.op == Opcode::CfgStage) {
+            if (workStarted)
+                emit(VerifyCode::CfgOrder, i,
+                     "CFG_STAGE after work began; the configuration "
+                     "prologue must precede all other commands");
+            if (cmd.stage >= numStages) {
+                emit(VerifyCode::OperandRange, i,
+                     describe(cmd) + " configures a stage beyond the "
+                                     "header's " +
+                         std::to_string(numStages) + " stage(s)");
+                continue;
+            }
+            if (cmd.stage != cfgSeen) {
+                emit(VerifyCode::CfgOrder, i,
+                     "CFG_STAGE for stage " +
+                         std::to_string(cmd.stage) +
+                         " out of order (expected stage " +
+                         std::to_string(cfgSeen) + ")");
+            } else {
+                ++cfgSeen;
+            }
+            if (cmd.operand != desc.replicas[cmd.stage])
+                emit(VerifyCode::CfgMismatch, i,
+                     "CFG_STAGE stage " + std::to_string(cmd.stage) +
+                         " declares " + std::to_string(cmd.operand) +
+                         " replica(s); the header says " +
+                         std::to_string(desc.replicas[cmd.stage]));
+            if (cmd.durationBits !=
+                Command::bitsOf(desc.stageTimesNs[cmd.stage]))
+                emit(VerifyCode::CfgMismatch, i,
+                     "CFG_STAGE stage " + std::to_string(cmd.stage) +
+                         " service-time bits differ from the "
+                         "header's stage time");
+            continue;
+        }
+        workStarted = true;
+
+        if (cmd.op == Opcode::Barrier) {
+            if (cmd.microBatch != barrierCount)
+                emit(VerifyCode::BarrierOrder, i,
+                     "BARRIER for chunk " +
+                         std::to_string(cmd.microBatch) +
+                         " out of order (expected chunk " +
+                         std::to_string(barrierCount) + ")");
+            if (cmd.operand != chunkSize)
+                emit(VerifyCode::BarrierOrder, i,
+                     "BARRIER drains " + std::to_string(cmd.operand) +
+                         " micro-batch(es); the header's chunk size "
+                         "is " +
+                         std::to_string(chunkSize));
+            if (barrierCount >= numChunks)
+                emit(VerifyCode::BarrierOrder, i,
+                     "BARRIER opens chunk " +
+                         std::to_string(barrierCount) +
+                         " but the header only executes " +
+                         std::to_string(numChunks) + " chunk(s)");
+            ++barrierCount;
+            continue;
+        }
+
+        if (workOp(cmd.op)) {
+            if (cmd.stage >= numStages) {
+                emit(VerifyCode::OperandRange, i,
+                     describe(cmd) + " targets a stage beyond the "
+                                     "header's " +
+                         std::to_string(numStages) + " stage(s)");
+                continue;
+            }
+            if (cmd.stage >= cfgSeen)
+                emit(VerifyCode::CfgOrder, i,
+                     describe(cmd) +
+                         " executes before its CFG_STAGE configured "
+                         "the stage");
+            if (cmd.microBatch >= executed) {
+                emit(VerifyCode::OperandRange, i,
+                     describe(cmd) +
+                         " targets a micro-batch beyond the " +
+                         std::to_string(executed) +
+                         " the header executes");
+                continue;
+            }
+            if (barrierCount == 0) {
+                emit(VerifyCode::BarrierOrder, i,
+                     describe(cmd) +
+                         " appears before the first BARRIER opened "
+                         "a chunk");
+            } else if (cmd.microBatch / chunkSize !=
+                       barrierCount - 1) {
+                emit(VerifyCode::BarrierOrder, i,
+                     describe(cmd) + " belongs to chunk " +
+                         std::to_string(cmd.microBatch / chunkSize) +
+                         " but appears inside chunk " +
+                         std::to_string(barrierCount - 1));
+            }
+        }
+
+        switch (cmd.op) {
+          case Opcode::NocSend:
+            if (cmd.stage + 1 >= numStages) {
+                emit(VerifyCode::NocUnmatched, i,
+                     describe(cmd) + " has no downstream stage to "
+                                     "receive it");
+            } else {
+                pendingSends[{cmd.stage, cmd.microBatch}]
+                    .push_back(i);
+            }
+            break;
+          case Opcode::NocRecv: {
+            if (cmd.stage == 0) {
+                emit(VerifyCode::NocUnmatched, i,
+                     describe(cmd) + " at stage 0 has no upstream "
+                                     "sender");
+                break;
+            }
+            auto it = pendingSends.find(
+                {cmd.stage - 1, cmd.microBatch});
+            if (it == pendingSends.end() || it->second.empty()) {
+                emit(VerifyCode::NocDeadlock, i,
+                     describe(cmd) +
+                         " precedes its matching NOC_SEND from "
+                         "stage " +
+                         std::to_string(cmd.stage - 1) +
+                         "; the receive would block forever");
+            } else {
+                it->second.erase(it->second.begin());
+            }
+            break;
+          }
+          case Opcode::Refresh:
+            if (!desc.refreshActive()) {
+                emit(VerifyCode::RefreshInvariant, i,
+                     describe(cmd) + " but the header declares no "
+                                     "active refresh cadence");
+            } else {
+                if ((cmd.microBatch + 1) %
+                        desc.refreshEveryMicroBatches !=
+                    0)
+                    emit(VerifyCode::RefreshInvariant, i,
+                         describe(cmd) +
+                             " off the header's every-" +
+                             std::to_string(
+                                 desc.refreshEveryMicroBatches) +
+                             "-micro-batch cadence");
+                if (cmd.durationBits !=
+                    Command::bitsOf(desc.refreshStallNs))
+                    emit(VerifyCode::RefreshInvariant, i,
+                         describe(cmd) +
+                             " stall bits differ from the header's "
+                             "refresh stall");
+            }
+            break;
+          case Opcode::Sync:
+            syncIndices.push_back(i);
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Stream-level bookkeeping after the walk.
+    for (const auto &[key, indices] : pendingSends) {
+        for (size_t i : indices)
+            emit(VerifyCode::NocUnmatched, i,
+                 describe(stream.commands[i]) +
+                     " is never received by stage " +
+                     std::to_string(key.first + 1));
+    }
+    if (syncIndices.empty()) {
+        emit(VerifyCode::SyncMissing, n,
+             "stream has no SYNC terminator");
+    } else {
+        for (size_t i : syncIndices) {
+            if (i != n - 1)
+                emit(VerifyCode::SyncMisplaced, i,
+                     "SYNC must be the single final command (" +
+                         std::to_string(n - 1 - i) +
+                         " command(s) follow)");
+        }
+        const Command &sync = stream.commands.back();
+        if (sync.op == Opcode::Sync && sync.operand != n - 1)
+            emit(VerifyCode::SyncOperand, n - 1,
+                 "SYNC operand " + std::to_string(sync.operand) +
+                     " != " + std::to_string(n - 1) +
+                     " preceding command(s)");
+    }
+
+    std::stable_sort(issues.begin(), issues.end(),
+                     [](const VerifyIssue &a, const VerifyIssue &b) {
+                         return a.commandIndex < b.commandIndex;
+                     });
+    return issues;
+}
+
+std::string
+verifySummary(const CommandStream &stream)
+{
+    const std::vector<VerifyIssue> issues = verifyStream(stream);
+    if (issues.empty())
+        return "";
+    return issues.front().format() + " (" +
+           std::to_string(issues.size()) + " issue(s))";
+}
+
+} // namespace gopim::isa

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Semantic verifier for PIM command streams: producer-agnostic flow
+ * checks over a decoded CommandStream, strictly weaker than
+ * validateStream()'s canonical-lowering equality. validateStream
+ * accepts exactly one instruction sequence per desc; verifyStream
+ * accepts any stream whose control flow is executable — CFG_STAGE
+ * prologue before work, NOC_SEND/NOC_RECV pairing with no
+ * recv-before-send deadlock, BARRIER/SYNC bracketing, finite
+ * non-negative duration bit patterns, and the refresh cadence the
+ * header promises. This is the PIMSIM-NN-style contract at the ISA
+ * boundary: a malformed trace is rejected before any timing model
+ * sees it (gopim_trace --verify-semantics, ReplayEngine trace mode).
+ */
+
+#ifndef GOPIM_ISA_VERIFY_HH
+#define GOPIM_ISA_VERIFY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace gopim::isa {
+
+/**
+ * Verifier error taxonomy. Each code names one violated stream
+ * invariant; DESIGN.md §3j documents the full contract per code.
+ */
+enum class VerifyCode : uint8_t
+{
+    DescInvalid,      ///< header fails ScheduleDesc::validate()
+    CfgOrder,         ///< CFG_STAGE prologue malformed or after work
+    CfgMismatch,      ///< CFG_STAGE operand/duration contradict desc
+    OperandRange,     ///< stage/micro-batch outside the executed range
+    DurationInvalid,  ///< duration bits not a finite ns >= 0 (or a
+                      ///< nonzero payload on an untimed op)
+    NocUnmatched,     ///< send/recv without a counterpart
+    NocDeadlock,      ///< NOC_RECV precedes its matching NOC_SEND
+    BarrierOrder,     ///< chunk barriers out of order / work outside
+                      ///< its chunk's bracket
+    RefreshInvariant, ///< refresh op contradicts the header cadence
+    SyncMissing,      ///< stream has no SYNC terminator
+    SyncMisplaced,    ///< SYNC not the single final command
+    SyncOperand,      ///< SYNC operand != preceding command count
+};
+
+/** Stable kebab-case rule id ("noc-deadlock", ...). */
+const char *toString(VerifyCode code);
+
+/** One semantic violation, anchored to a command index. */
+struct VerifyIssue
+{
+    VerifyCode code = VerifyCode::DescInvalid;
+    /** Index of the offending command (== commands.size() for
+     *  stream-level issues like a missing SYNC). */
+    size_t commandIndex = 0;
+    std::string message;
+
+    /** Render as `cmd <index>: <code>: <message>`. */
+    std::string format() const;
+};
+
+/**
+ * Run every semantic check over the stream. Returns all violations
+ * in command order (empty = semantically well-formed). A stream that
+ * passes validateStream() always passes verifyStream(); the converse
+ * does not hold.
+ */
+std::vector<VerifyIssue> verifyStream(const CommandStream &stream);
+
+/**
+ * Convenience for fatal paths: "" when clean, else the first issue
+ * plus a total count ("cmd 12: noc-deadlock: ... (3 issue(s))").
+ */
+std::string verifySummary(const CommandStream &stream);
+
+} // namespace gopim::isa
+
+#endif // GOPIM_ISA_VERIFY_HH

@@ -5,6 +5,7 @@
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "isa/lower.hh"
+#include "isa/verify.hh"
 
 namespace gopim::sim {
 
@@ -211,6 +212,15 @@ ReplayEngine::schedule(const ScheduleRequest &request,
               hexDigest64(fingerprint),
               "); record one with --isa-trace-out under the same "
               "engine knobs and seed");
+    // Loaded traces come from outside the process; reject malformed
+    // control flow with the semantic verifier's taxonomy before the
+    // (stricter) canonical-lowering check in replayStream, so a
+    // corrupted trace dies with a flow diagnostic, not an opaque
+    // canonical-mismatch one.
+    if (std::string err = isa::verifySummary(*stream); !err.empty())
+        fatal("loaded ISA trace stream fails semantic "
+              "verification: ",
+              err);
     return replayStream(*stream, ctx);
 }
 

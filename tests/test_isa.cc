@@ -28,6 +28,7 @@
 #include "isa/isa.hh"
 #include "isa/lower.hh"
 #include "isa/trace_io.hh"
+#include "isa/verify.hh"
 #include "serve/request.hh"
 #include "sim/engine.hh"
 #include "sim/replay.hh"
@@ -400,6 +401,334 @@ TEST(TraceIo, RecorderDeduplicatesByFingerprint)
 }
 
 // ---------------------------------------------------------------
+// Semantic verifier (isa::verifyStream)
+// ---------------------------------------------------------------
+
+bool
+hasCode(const std::vector<isa::VerifyIssue> &issues,
+        isa::VerifyCode code)
+{
+    for (const isa::VerifyIssue &issue : issues)
+        if (issue.code == code)
+            return true;
+    return false;
+}
+
+/** Index of the first command with opcode `op` (asserts existence). */
+size_t
+firstOp(const isa::CommandStream &stream, isa::Opcode op)
+{
+    for (size_t i = 0; i < stream.commands.size(); ++i)
+        if (stream.commands[i].op == op)
+            return i;
+    ADD_FAILURE() << "stream has no " << isa::toString(op);
+    return 0;
+}
+
+TEST(Verify, EveryLoweredScheduleVerifiesClean)
+{
+    // Anything the canonical lowering produces must pass the flow
+    // verifier — across regimes, refresh, retries and replicas.
+    for (const auto regime :
+         {isa::Regime::Serial, isa::Regime::IntraBatch,
+          isa::Regime::IntraInterBatch}) {
+        for (const uint32_t refreshEvery : {0u, 2u}) {
+            for (const double retryFraction : {0.0, 0.3}) {
+                isa::StreamBuilder builder("grid");
+                builder.regime(regime)
+                    .microBatches(6, 3)
+                    .seed(5)
+                    .stage(10.0)
+                    .stage(25.0, 2)
+                    .stage(40.0);
+                if (refreshEvery != 0)
+                    builder.refresh(refreshEvery, 75.0);
+                if (retryFraction != 0.0)
+                    builder.writeRetry(0.2, retryFraction);
+                const auto stream = builder.build();
+                EXPECT_TRUE(isa::verifyStream(stream).empty())
+                    << isa::verifySummary(stream);
+            }
+        }
+    }
+    for (const auto &stream : canonicalBundle().streams)
+        EXPECT_TRUE(isa::verifyStream(stream).empty())
+            << stream.label << ": " << isa::verifySummary(stream);
+}
+
+TEST(Verify, GoldenTraceVerifiesClean)
+{
+    std::ifstream in(std::string(GOPIM_TEST_DATA_DIR) +
+                         "/isa_golden_v1.trace",
+                     std::ios::binary);
+    ASSERT_TRUE(in) << "missing tests/data/isa_golden_v1.trace";
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    isa::TraceBundle decoded;
+    std::string error;
+    ASSERT_TRUE(isa::decodeBundle(buffer.str(), &decoded, &error))
+        << error;
+    for (const auto &stream : decoded.streams)
+        EXPECT_EQ(isa::verifySummary(stream), "") << stream.label;
+}
+
+TEST(Verify, InvalidDescShortCircuits)
+{
+    auto stream = isa::StreamBuilder("baddesc")
+                      .microBatches(2)
+                      .stage(10.0)
+                      .build();
+    stream.desc.stageTimesNs.clear();
+    const auto issues = isa::verifyStream(stream);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_EQ(issues[0].code, isa::VerifyCode::DescInvalid);
+}
+
+TEST(Verify, CfgPrologueOrderAndMismatch)
+{
+    const auto stream = isa::StreamBuilder("cfg")
+                            .microBatches(2)
+                            .stage(10.0)
+                            .stage(20.0)
+                            .build();
+    ASSERT_TRUE(isa::verifyStream(stream).empty());
+
+    // Prologue out of order: swap the two CFG_STAGEs.
+    auto mutated = stream;
+    std::swap(mutated.commands[0], mutated.commands[1]);
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::CfgOrder));
+
+    // Work with no CFG_STAGE for its stage.
+    mutated = stream;
+    mutated.commands.erase(mutated.commands.begin(),
+                           mutated.commands.begin() + 2);
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::CfgOrder));
+
+    // Replica count contradicting the header.
+    mutated = stream;
+    mutated.commands[0].operand += 1;
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::CfgMismatch));
+
+    // Stage service-time bits contradicting the header.
+    mutated = stream;
+    mutated.commands[1].durationBits ^= 1;
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::CfgMismatch));
+}
+
+TEST(Verify, OperandRangeAndDurationBits)
+{
+    const auto stream = isa::StreamBuilder("rng")
+                            .microBatches(2)
+                            .stage(10.0)
+                            .stage(20.0)
+                            .build();
+
+    auto mutated = stream;
+    const size_t mvm = firstOp(mutated, isa::Opcode::Mvm);
+    mutated.commands[mvm].stage = 99;
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::OperandRange));
+
+    mutated = stream;
+    mutated.commands[firstOp(mutated, isa::Opcode::Mvm)].microBatch =
+        99;
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::OperandRange));
+
+    // A timed op whose bits decode to a negative duration.
+    mutated = stream;
+    mutated.commands[firstOp(mutated, isa::Opcode::Mvm)]
+        .durationBits = isa::Command::bitsOf(-5.0);
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::DurationInvalid));
+
+    // An untimed op carrying a payload.
+    mutated = stream;
+    mutated.commands[firstOp(mutated, isa::Opcode::NocSend)]
+        .durationBits = 1;
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::DurationInvalid));
+}
+
+TEST(Verify, NocPairingAndDeadlock)
+{
+    const auto stream = isa::StreamBuilder("noc")
+                            .microBatches(2)
+                            .stage(10.0)
+                            .stage(20.0)
+                            .build();
+
+    // Receive moved ahead of its matching send: would block forever.
+    auto mutated = stream;
+    const size_t send = firstOp(mutated, isa::Opcode::NocSend);
+    const size_t recv = firstOp(mutated, isa::Opcode::NocRecv);
+    ASSERT_LT(send, recv);
+    std::swap(mutated.commands[send], mutated.commands[recv]);
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::NocDeadlock));
+
+    // Send that nothing ever receives.
+    mutated = stream;
+    mutated.commands.erase(mutated.commands.begin() +
+                           firstOp(mutated, isa::Opcode::NocRecv));
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::NocUnmatched));
+
+    // Send from the last stage: no downstream consumer exists.
+    mutated = stream;
+    mutated.commands[firstOp(mutated, isa::Opcode::NocSend)].stage =
+        1;
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::NocUnmatched));
+}
+
+TEST(Verify, BarrierBracketing)
+{
+    const auto stream = isa::StreamBuilder("barrier")
+                            .microBatches(3)
+                            .stage(10.0)
+                            .build();
+
+    auto mutated = stream;
+    const size_t barrier = firstOp(mutated, isa::Opcode::Barrier);
+    mutated.commands[barrier].microBatch += 1; // chunk out of order
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::BarrierOrder));
+
+    mutated = stream;
+    mutated.commands[firstOp(mutated, isa::Opcode::Barrier)]
+        .operand += 1; // chunk size contradicts the header
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::BarrierOrder));
+
+    // Work before any chunk opened.
+    mutated = stream;
+    mutated.commands.erase(mutated.commands.begin() +
+                           firstOp(mutated, isa::Opcode::Barrier));
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::BarrierOrder));
+}
+
+TEST(Verify, RefreshInvariants)
+{
+    const auto stream = isa::StreamBuilder("refresh")
+                            .regime(isa::Regime::IntraBatch)
+                            .microBatches(8, 4)
+                            .refresh(2, 500.0)
+                            .stage(64.0)
+                            .stage(128.0)
+                            .build();
+    ASSERT_TRUE(isa::verifyStream(stream).empty());
+
+    // Off-cadence refresh (mb 1 -> 2 breaks the every-2 rhythm but
+    // stays inside the same chunk).
+    auto mutated = stream;
+    const size_t refresh = firstOp(mutated, isa::Opcode::Refresh);
+    ASSERT_EQ(mutated.commands[refresh].microBatch, 1u);
+    mutated.commands[refresh].microBatch = 2;
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::RefreshInvariant));
+
+    // Stall bits contradicting the header.
+    mutated = stream;
+    mutated.commands[firstOp(mutated, isa::Opcode::Refresh)]
+        .durationBits ^= 1;
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::RefreshInvariant));
+
+    // Refresh ops in a stream whose header declares no cadence.
+    mutated = stream;
+    mutated.desc.refreshEveryMicroBatches = 0;
+    mutated.desc.refreshStallNs = 0.0;
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::RefreshInvariant));
+}
+
+TEST(Verify, SyncTermination)
+{
+    const auto stream = isa::StreamBuilder("sync")
+                            .microBatches(2)
+                            .stage(10.0)
+                            .build();
+
+    auto mutated = stream;
+    mutated.commands.pop_back();
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::SyncMissing));
+
+    mutated = stream;
+    mutated.commands.insert(mutated.commands.end() - 1,
+                            mutated.commands.back());
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::SyncMisplaced));
+
+    mutated = stream;
+    mutated.commands.back().operand += 1;
+    EXPECT_TRUE(hasCode(isa::verifyStream(mutated),
+                        isa::VerifyCode::SyncOperand));
+}
+
+TEST(Verify, SummaryReportsFirstIssueAndCount)
+{
+    auto stream = isa::StreamBuilder("summary")
+                      .microBatches(2)
+                      .stage(10.0)
+                      .build();
+    EXPECT_EQ(isa::verifySummary(stream), "");
+    stream.commands.pop_back(); // drop SYNC
+    const std::string summary = isa::verifySummary(stream);
+    EXPECT_NE(summary.find("sync-missing"), std::string::npos)
+        << summary;
+    EXPECT_NE(summary.find("issue(s)"), std::string::npos) << summary;
+}
+
+TEST(Verify, EveryGoldenByteFlipIsRejected)
+{
+    // Corruption sweep: flip each byte of the pinned golden trace in
+    // turn. The decoder (magic/version/varint/checksum layers) must
+    // reject the mutation with a structured error — and if a
+    // mutation ever slips through decoding, the semantic verifier or
+    // the canonical validator must catch it. No single-byte
+    // corruption may produce a silently-accepted trace.
+    std::ifstream in(std::string(GOPIM_TEST_DATA_DIR) +
+                         "/isa_golden_v1.trace",
+                     std::ios::binary);
+    ASSERT_TRUE(in) << "missing tests/data/isa_golden_v1.trace";
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string golden = buffer.str();
+    ASSERT_FALSE(golden.empty());
+
+    size_t decodeRejected = 0;
+    for (size_t i = 0; i < golden.size(); ++i) {
+        std::string corrupted = golden;
+        corrupted[i] = static_cast<char>(corrupted[i] ^ 0xFF);
+        isa::TraceBundle decoded;
+        std::string error;
+        if (!isa::decodeBundle(corrupted, &decoded, &error)) {
+            EXPECT_FALSE(error.empty()) << "byte " << i;
+            ++decodeRejected;
+            continue;
+        }
+        bool caught = false;
+        for (const auto &stream : decoded.streams) {
+            if (!isa::verifyStream(stream).empty() ||
+                !isa::validateStream(stream).empty())
+                caught = true;
+        }
+        EXPECT_TRUE(caught)
+            << "byte " << i << " flipped and nothing rejected it";
+    }
+    // The format checksums every payload byte, so the decoder alone
+    // should reject the overwhelming majority outright.
+    EXPECT_GT(decodeRejected, golden.size() * 9 / 10);
+}
+
+// ---------------------------------------------------------------
 // Replay bit-identity (the acceptance criterion)
 // ---------------------------------------------------------------
 
@@ -569,6 +898,30 @@ TEST(ReplayDeath, InvalidStreamIsFatal)
                                                  sim::SimContext{}),
                 ::testing::ExitedWithCode(1),
                 "invalid command stream");
+}
+
+TEST(ReplayDeath, SemanticallyBrokenTraceIsFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // Record a real run, then strip every SYNC terminator: the
+    // loaded trace decodes fine but fails flow verification, and
+    // trace-mode replay must refuse it before any timing happens.
+    sim::SimContext record;
+    record.engine = sim::EngineKind::EventDriven;
+    record.isaRecorder = std::make_shared<isa::StreamRecorder>();
+    runWith(core::SystemKind::GoPim, "ddi", record, {});
+    isa::TraceBundle bundle = record.isaRecorder->bundle();
+    ASSERT_FALSE(bundle.streams.empty());
+    for (auto &stream : bundle.streams)
+        stream.commands.pop_back();
+
+    sim::SimContext replayCtx;
+    replayCtx.engine = sim::EngineKind::Replay;
+    replayCtx.engineOverride =
+        std::make_shared<sim::ReplayEngine>(std::move(bundle));
+    EXPECT_EXIT(runWith(core::SystemKind::GoPim, "ddi", replayCtx, {}),
+                ::testing::ExitedWithCode(1),
+                "fails semantic verification");
 }
 
 TEST(Replay, GridRecorderBundleIsIdenticalForAnyJobs)

@@ -133,6 +133,8 @@ lintTree(const FixtureTree &tree, const std::string &toml)
                            std::istreambuf_iterator<char>());
         linter.checkFile(rel, rel, source);
     }
+    // The concurrency family reports from the cross-file phase.
+    linter.finish();
     return linter.diagnostics();
 }
 
@@ -427,6 +429,296 @@ TEST(Allows, MissingReasonAndUnknownRuleAreViolations)
 }
 
 // ---------------------------------------------------------------
+// Concurrency rule family (cross-file pass)
+
+/** First diagnostic with `rule`, or nullptr. */
+const Diagnostic *
+findRule(const std::vector<Diagnostic> &diagnostics,
+         const std::string &rule)
+{
+    for (const Diagnostic &d : diagnostics) {
+        if (d.rule == rule)
+            return &d;
+    }
+    return nullptr;
+}
+
+TEST(Concurrency, NotifyOutsideLockIsFlaggedAtItsLine)
+{
+    FixtureTree tree("lint_notify");
+    tree.write("b/q.hh",
+               "#ifndef GOPIM_B_Q_HH\n"
+               "#define GOPIM_B_Q_HH\n"
+               "#include <condition_variable>\n"
+               "#include <mutex>\n"
+               "class Q\n"
+               "{\n"
+               "  public:\n"
+               "    void push()\n"
+               "    {\n"
+               "        {\n"
+               "            std::lock_guard<std::mutex> lock(mutex_);\n"
+               "            count_ = count_ + 1;\n"
+               "        }\n"
+               "        cv_.notify_one();\n"
+               "    }\n"
+               "\n"
+               "  private:\n"
+               "    std::mutex mutex_;\n"
+               "    std::condition_variable cv_;\n"
+               "    int count_ = 0;\n"
+               "};\n"
+               "#endif // GOPIM_B_Q_HH\n");
+    const auto diagnostics = lintTree(tree, kBasicToml);
+    const Diagnostic *d =
+        findRule(diagnostics, "concurrency-notify-outside-lock");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->file, "b/q.hh");
+    EXPECT_EQ(d->line, 14);
+}
+
+TEST(Concurrency, NotifyUnderLockIsClean)
+{
+    FixtureTree tree("lint_notify_ok");
+    tree.write("b/q.cc",
+               "#include <condition_variable>\n"
+               "#include <mutex>\n"
+               "class Q\n"
+               "{\n"
+               "  public:\n"
+               "    void push()\n"
+               "    {\n"
+               "        std::lock_guard<std::mutex> lock(mutex_);\n"
+               "        cv_.notify_all();\n"
+               "    }\n"
+               "\n"
+               "  private:\n"
+               "    std::mutex mutex_;\n"
+               "    std::condition_variable cv_;\n"
+               "};\n");
+    EXPECT_FALSE(hasRule(lintTree(tree, kBasicToml),
+                         "concurrency-notify-outside-lock"));
+}
+
+TEST(Concurrency, WaitWithoutPredicateFlaggedButFutureWaitIsNot)
+{
+    FixtureTree tree("lint_wait");
+    tree.write("b/w.cc",
+               "#include <condition_variable>\n"
+               "#include <mutex>\n"
+               "class W\n"
+               "{\n"
+               "  public:\n"
+               "    void bad()\n"
+               "    {\n"
+               "        std::unique_lock<std::mutex> lock(mutex_);\n"
+               "        cv_.wait(lock);\n"
+               "    }\n"
+               "    void good()\n"
+               "    {\n"
+               "        std::unique_lock<std::mutex> lock(mutex_);\n"
+               "        cv_.wait(lock, [&] { return ready_; });\n"
+               "    }\n"
+               "    void futureStyle(std::future<int> &f)"
+               " { f.wait(); }\n"
+               "\n"
+               "  private:\n"
+               "    std::mutex mutex_;\n"
+               "    std::condition_variable cv_;\n"
+               "    bool ready_ = false;\n"
+               "};\n");
+    const auto diagnostics = lintTree(tree, kBasicToml);
+    const Diagnostic *d =
+        findRule(diagnostics, "concurrency-wait-no-predicate");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->line, 9); // only the predicate-less cv wait
+    int count = 0;
+    for (const Diagnostic &diag : diagnostics)
+        if (diag.rule == "concurrency-wait-no-predicate")
+            ++count;
+    EXPECT_EQ(count, 1);
+}
+
+TEST(Concurrency, MixedLockedAndLockFreeWritesAreFlagged)
+{
+    // Declarations in the header, bodies in the .cc — the rule has
+    // to join them across files.
+    FixtureTree tree("lint_mixed");
+    tree.write("b/c.hh",
+               "#ifndef GOPIM_B_C_HH\n"
+               "#define GOPIM_B_C_HH\n"
+               "#include <mutex>\n"
+               "class C\n"
+               "{\n"
+               "  public:\n"
+               "    void locked();\n"
+               "    void unlocked();\n"
+               "\n"
+               "  private:\n"
+               "    std::mutex mutex_;\n"
+               "    long total_ = 0;\n"
+               "};\n"
+               "#endif // GOPIM_B_C_HH\n");
+    tree.write("b/c.cc",
+               "#include \"b/c.hh\"\n"
+               "void C::locked()\n"
+               "{\n"
+               "    std::lock_guard<std::mutex> lock(mutex_);\n"
+               "    total_ += 1;\n"
+               "}\n"
+               "void C::unlocked() { total_ = 7; }\n");
+    const auto diagnostics = lintTree(tree, kBasicToml);
+    const Diagnostic *d =
+        findRule(diagnostics, "concurrency-mixed-access");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->file, "b/c.cc");
+    EXPECT_EQ(d->line, 7); // reported at the lock-free write
+}
+
+TEST(Concurrency, CtorWritesAndConsistentLockingAreClean)
+{
+    FixtureTree tree("lint_mixed_ok");
+    tree.write("b/c.cc",
+               "#include <mutex>\n"
+               "class C\n"
+               "{\n"
+               "  public:\n"
+               "    C() { total_ = 1; }\n" // ctor: single-threaded
+               "    void bump()\n"
+               "    {\n"
+               "        std::lock_guard<std::mutex> lock(mutex_);\n"
+               "        total_ += 1;\n"
+               "    }\n"
+               "\n"
+               "  private:\n"
+               "    std::mutex mutex_;\n"
+               "    long total_ = 0;\n"
+               "};\n");
+    EXPECT_FALSE(hasRule(lintTree(tree, kBasicToml),
+                         "concurrency-mixed-access"));
+}
+
+TEST(Concurrency, AbbaLockOrderCycleIsFlagged)
+{
+    FixtureTree tree("lint_abba");
+    tree.write("b/l.cc",
+               "#include <mutex>\n"
+               "class L\n"
+               "{\n"
+               "  public:\n"
+               "    void ab()\n"
+               "    {\n"
+               "        std::lock_guard<std::mutex> a(first_);\n"
+               "        std::lock_guard<std::mutex> b(second_);\n"
+               "    }\n"
+               "    void ba()\n"
+               "    {\n"
+               "        std::lock_guard<std::mutex> b(second_);\n"
+               "        std::lock_guard<std::mutex> a(first_);\n"
+               "    }\n"
+               "\n"
+               "  private:\n"
+               "    std::mutex first_;\n"
+               "    std::mutex second_;\n"
+               "};\n");
+    const auto diagnostics = lintTree(tree, kBasicToml);
+    const Diagnostic *d =
+        findRule(diagnostics, "concurrency-lock-order");
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("first_"), std::string::npos);
+    EXPECT_NE(d->message.find("second_"), std::string::npos);
+}
+
+TEST(Concurrency, ConsistentLockOrderIsClean)
+{
+    FixtureTree tree("lint_order_ok");
+    tree.write("b/l.cc",
+               "#include <mutex>\n"
+               "class L\n"
+               "{\n"
+               "  public:\n"
+               "    void ab()\n"
+               "    {\n"
+               "        std::lock_guard<std::mutex> a(first_);\n"
+               "        std::lock_guard<std::mutex> b(second_);\n"
+               "    }\n"
+               "    void abAgain()\n"
+               "    {\n"
+               "        std::lock_guard<std::mutex> a(first_);\n"
+               "        std::lock_guard<std::mutex> b(second_);\n"
+               "    }\n"
+               "\n"
+               "  private:\n"
+               "    std::mutex first_;\n"
+               "    std::mutex second_;\n"
+               "};\n");
+    EXPECT_FALSE(hasRule(lintTree(tree, kBasicToml),
+                         "concurrency-lock-order"));
+}
+
+TEST(Concurrency, JoinableDeclaredBeforeStateIsFlagged)
+{
+    FixtureTree tree("lint_join");
+    tree.write("b/t.hh",
+               "#ifndef GOPIM_B_T_HH\n"
+               "#define GOPIM_B_T_HH\n"
+               "#include <thread>\n"
+               "#include <vector>\n"
+               "class T\n"
+               "{\n"
+               "  private:\n"
+               "    std::thread worker_;\n"
+               "    std::vector<int> queue_;\n"
+               "};\n"
+               "#endif // GOPIM_B_T_HH\n");
+    const auto diagnostics = lintTree(tree, kBasicToml);
+    const Diagnostic *d =
+        findRule(diagnostics, "concurrency-join-order");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->line, 8); // the joinable member's declaration
+}
+
+TEST(Concurrency, JoinableDeclaredLastIsClean)
+{
+    FixtureTree tree("lint_join_ok");
+    tree.write("b/t.hh",
+               "#ifndef GOPIM_B_T_HH\n"
+               "#define GOPIM_B_T_HH\n"
+               "#include <thread>\n"
+               "#include <vector>\n"
+               "class T\n"
+               "{\n"
+               "  private:\n"
+               "    std::vector<int> queue_;\n"
+               "    std::thread worker_;\n"
+               "};\n"
+               "#endif // GOPIM_B_T_HH\n");
+    EXPECT_FALSE(hasRule(lintTree(tree, kBasicToml),
+                         "concurrency-join-order"));
+}
+
+TEST(Concurrency, AllowWaiverSuppressesConcurrencyFinding)
+{
+    FixtureTree tree("lint_conc_allow");
+    tree.write(
+        "b/t.hh",
+        "#ifndef GOPIM_B_T_HH\n"
+        "#define GOPIM_B_T_HH\n"
+        "#include <thread>\n"
+        "class T\n"
+        "{\n"
+        "  private:\n"
+        "    // gopim-lint: allow(concurrency-join-order) the thread"
+        " never touches members\n"
+        "    std::thread worker_;\n"
+        "    int tag_ = 0;\n"
+        "};\n"
+        "#endif // GOPIM_B_T_HH\n");
+    EXPECT_FALSE(hasRule(lintTree(tree, kBasicToml),
+                         "concurrency-join-order"));
+}
+
+// ---------------------------------------------------------------
 // End-to-end: the real binary over fixture trees
 
 TEST(Binary, CleanTreeExitsZero)
@@ -536,9 +828,10 @@ TEST(Binary, RepoTreeIsClean)
     if (root.empty())
         GTEST_SKIP() << "repo root not found from "
                      << fs::current_path();
-    const auto result =
-        runBinary((root / "src").string() + " " +
-                  (root / "tools" / "layering.toml").string());
+    const auto result = runBinary(
+        (root / "src").string() + " " + (root / "tools").string() +
+        " " + (root / "bench").string() + " " +
+        (root / "tools" / "layering.toml").string());
     EXPECT_EQ(result.exitCode, 0) << result.output;
 }
 

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Repo verification, three tiers:
+# Repo verification, four tiers:
 #
 #   tier 1 (always): plain build + full ctest, then static analysis —
-#          gopim_lint over src/ against tools/layering.toml and the
-#          header self-containment target (every .hh compiles
-#          standalone).
+#          gopim_lint over src/, tools/ and bench/ against
+#          tools/layering.toml and the header self-containment target
+#          (every .hh compiles standalone).
 #   tier 2 (default; skip with --no-sanitize): ASan+UBSan build
 #          (GOPIM_SANITIZE="address;undefined") + full ctest.
 #   tier 3 (--tsan only): ThreadSanitizer build
@@ -12,11 +12,17 @@
 #          set (thread pool, serve stress, parallel runGrid, metrics)
 #          — the suites that back the "bit-identical for any --jobs"
 #          guarantee.
+#   tier 4 (--ubsan only): UBSan-only build
+#          (GOPIM_SANITIZE="undefined") + full ctest. ASan shifts
+#          layouts and slows the run; the standalone UBSan pass
+#          catches what that perturbation can mask (CI runs it as its
+#          own job).
 #
-# Usage: tools/check.sh [--no-sanitize | --tsan]
+# Usage: tools/check.sh [--no-sanitize | --tsan | --ubsan]
 #   (no flag)      tiers 1 + 2
 #   --no-sanitize  tier 1 only
 #   --tsan         tier 3 only (CI runs it as its own job)
+#   --ubsan        tier 4 only (CI runs it as its own job)
 #
 # Exits non-zero on any failure.
 set -euo pipefail
@@ -27,8 +33,9 @@ mode="default"
 case "${1:-}" in
     --no-sanitize) mode="plain" ;;
     --tsan) mode="tsan" ;;
+    --ubsan) mode="ubsan" ;;
     "") ;;
-    *) echo "usage: tools/check.sh [--no-sanitize | --tsan]" >&2
+    *) echo "usage: tools/check.sh [--no-sanitize | --tsan | --ubsan]" >&2
        exit 2 ;;
 esac
 
@@ -50,13 +57,23 @@ if [[ "$mode" == "tsan" ]]; then
     exit 0
 fi
 
+if [[ "$mode" == "ubsan" ]]; then
+    echo "== tier-4: UBSan build + ctest =="
+    cmake -B build-ubsan -S . "${launcher[@]}" \
+        -DGOPIM_SANITIZE="undefined" >/dev/null
+    cmake --build build-ubsan -j "$jobs"
+    ctest --test-dir build-ubsan --output-on-failure -j "$jobs"
+    echo "== ubsan checks passed =="
+    exit 0
+fi
+
 echo "== tier-1: plain build + ctest =="
 cmake -B build -S . "${launcher[@]}" >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo "== tier-1: static analysis (gopim_lint + header check) =="
-./build/tools/gopim_lint src tools/layering.toml
+./build/tools/gopim_lint src tools bench tools/layering.toml
 cmake --build build --target gopim_header_check -j "$jobs"
 
 if [[ "$mode" == "default" ]]; then

@@ -9,6 +9,12 @@
  *                (the command sequence must be the canonical
  *                lowering of its header); exits non-zero on any
  *                invalid stream — the CI round-trip job gates on it
+ *   --verify-semantics
+ *                run the flow-level semantic verifier
+ *                (isa::verifyStream: CFG prologue, NOC pairing and
+ *                deadlocks, BARRIER/SYNC bracketing, duration bit
+ *                patterns, refresh cadence) on every stream; exits
+ *                non-zero and prints each issue on failure
  *   --dump       disassembly listing (--limit bounds the commands
  *                printed per stream)
  *
@@ -26,6 +32,7 @@
 #include "common/logging.hh"
 #include "isa/isa.hh"
 #include "isa/trace_io.hh"
+#include "isa/verify.hh"
 
 namespace {
 
@@ -154,6 +161,9 @@ main(int argc, char **argv)
     flags.addBool("validate", false,
                   "check every stream against the canonical "
                   "lowering of its header; non-zero exit on failure");
+    flags.addBool("verify-semantics", false,
+                  "run the flow-level semantic verifier on every "
+                  "stream; non-zero exit on any issue");
     flags.addBool("dump", false, "disassemble the command streams");
     flags.addInt("limit", 64,
                  "max commands printed per stream with --dump");
@@ -187,9 +197,10 @@ main(int argc, char **argv)
     }
 
     const bool validate = flags.getBool("validate");
+    const bool verify = flags.getBool("verify-semantics");
     const bool dump = flags.getBool("dump");
     const bool summary = flags.getBool("summary") ||
-                         (!validate && !dump);
+                         (!validate && !verify && !dump);
 
     std::cout << path << ": format v" << isa::kTraceFormatVersion
               << ", " << bundle.streams.size() << " stream(s)\n";
@@ -215,6 +226,20 @@ main(int argc, char **argv)
             } else {
                 std::cout << "stream " << i << ": INVALID — "
                           << streamError << "\n";
+                rc = 1;
+            }
+        }
+        if (verify) {
+            const std::vector<isa::VerifyIssue> issues =
+                isa::verifyStream(stream);
+            if (issues.empty()) {
+                std::cout << "stream " << i << ": SEMANTICS OK ("
+                          << stream.commands.size()
+                          << " commands)\n";
+            } else {
+                for (const isa::VerifyIssue &issue : issues)
+                    std::cout << "stream " << i << " "
+                              << issue.format() << "\n";
                 rc = 1;
             }
         }

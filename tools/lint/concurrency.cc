@@ -1,0 +1,817 @@
+/**
+ * @file
+ * The concurrency-discipline rule family of gopim_lint — a
+ * cross-file pass over the token streams Linter::checkFile()
+ * deferred.
+ *
+ * Phase 1 builds a per-class symbol model: every class/struct with
+ * its data members classified as mutex / condition_variable /
+ * atomic / joinable (std::thread, std::jthread, ThreadPool, and
+ * containers thereof) / plain, plus every function body (in-class
+ * and out-of-class `Class::method` definitions) as a token range.
+ *
+ * Phase 2 walks each body with a lock-scope stack
+ * (lock_guard/unique_lock/scoped_lock/shared_lock declarations,
+ * honoring defer_lock and explicit .lock()/.unlock() toggles) and
+ * checks:
+ *   - notify_one/notify_all with no lock scope live
+ *     (concurrency-notify-outside-lock)
+ *   - cv.wait(lock) with exactly one argument — no predicate, so a
+ *     spurious wake-up falls through (concurrency-wait-no-predicate)
+ *   - assignment-writes to the same non-atomic member both under and
+ *     outside a lock (concurrency-mixed-access; constructors and
+ *     destructors are exempt — they run single-threaded)
+ *   - nested lock acquisitions feed a global mutex-order graph that
+ *     is cycle-checked like the layering DAG
+ *     (concurrency-lock-order)
+ *   - a joinable member declared before other state — reverse
+ *     destruction order would free that state while its threads can
+ *     still touch it (concurrency-join-order; the generalized
+ *     `pool_`-declared-last fix)
+ *
+ * Deliberate limits (token-level, not a compiler): lambda bodies
+ * inherit the enclosing lock context, constructors with member-init
+ * lists degrade to anonymous bodies, and writes are assignment /
+ * compound-assignment / ++ / -- only — mutating method calls are
+ * out of scope. That keeps false positives near zero on real code;
+ * the escape hatch for the rest is an allow(<rule>) waiver.
+ */
+
+#include <algorithm>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/rules.hh"
+
+namespace gopim::lint {
+
+namespace {
+
+bool
+oneOf(const std::string &text,
+      std::initializer_list<const char *> values)
+{
+    for (const char *value : values)
+        if (text == value)
+            return true;
+    return false;
+}
+
+bool
+isMutexType(const std::string &text)
+{
+    return oneOf(text, {"mutex", "shared_mutex", "recursive_mutex",
+                        "timed_mutex", "recursive_timed_mutex"});
+}
+
+bool
+isLockType(const std::string &text)
+{
+    return oneOf(text, {"lock_guard", "unique_lock", "scoped_lock",
+                        "shared_lock"});
+}
+
+bool
+isJoinableType(const std::string &text)
+{
+    return oneOf(text, {"thread", "jthread", "ThreadPool"});
+}
+
+enum class MemberKind
+{
+    Mutex,
+    Cv,
+    Atomic,
+    Joinable,
+    Plain,
+};
+
+struct Member
+{
+    std::string name;
+    MemberKind kind = MemberKind::Plain;
+    size_t fileIndex = 0;
+    int line = 0;
+};
+
+struct ClassModel
+{
+    std::vector<Member> members; // declaration order
+    std::map<std::string, size_t> byName;
+    bool hasMutex = false;
+};
+
+/** (module, class name) — the class-identity key. Bodies defined in
+ *  a different module than the class declaration simply analyze
+ *  without a model (notify/wait checks still apply). */
+using ClassKey = std::pair<std::string, std::string>;
+
+struct Body
+{
+    size_t fileIndex = 0;
+    std::string module;
+    std::string className; // "" for free functions
+    std::string funcName;
+    bool ctorDtor = false;
+    size_t begin = 0; // first code token inside the braces
+    size_t end = 0;   // index of the closing brace
+};
+
+struct Site
+{
+    size_t fileIndex = 0;
+    int line = 0;
+};
+
+struct WriteSites
+{
+    std::vector<Site> underLock;
+    std::vector<Site> lockFree;
+};
+
+/** Code tokens only, mirroring rules.cc's adjacency filter. */
+std::vector<const Token *>
+codeOnly(const std::vector<Token> &tokens)
+{
+    std::vector<const Token *> out;
+    out.reserve(tokens.size());
+    for (const Token &token : tokens) {
+        if (token.kind != TokKind::Comment &&
+            token.kind != TokKind::Directive)
+            out.push_back(&token);
+    }
+    return out;
+}
+
+/** What does this `{` open? Classified by the tokens before it. */
+struct BraceInfo
+{
+    enum Kind { Namespace, Class, Other } kind = Other;
+    std::string className;
+};
+
+BraceInfo
+classifyBrace(const std::vector<const Token *> &code, size_t i)
+{
+    // Walk back over the tokens a class-head / namespace-head may
+    // contain (name, template args, base clause); anything else ends
+    // the head.
+    size_t j = i;
+    while (j > 0) {
+        const Token &t = *code[j - 1];
+        const bool headToken =
+            t.kind == TokKind::Identifier ||
+            t.kind == TokKind::Number ||
+            (t.kind == TokKind::Punct &&
+             oneOf(t.text, {"::", "<", ">", ",", ":", "&", "*"}));
+        if (!headToken)
+            break;
+        --j;
+    }
+
+    BraceInfo info;
+    for (size_t k = j; k < i; ++k) {
+        if (code[k]->text == "namespace") {
+            info.kind = BraceInfo::Namespace;
+            return info;
+        }
+    }
+    // The *last* class/struct/union keyword is the one this brace
+    // belongs to (earlier ones are template parameters).
+    for (size_t k = i; k > j; --k) {
+        const std::string &text = code[k - 1]->text;
+        if (!oneOf(text, {"class", "struct", "union"}))
+            continue;
+        if (k - 1 > j && code[k - 2]->text == "enum")
+            return info; // enum class: plain scope
+        info.kind = BraceInfo::Class;
+        for (size_t m = k; m < i; ++m) {
+            if (code[m]->kind == TokKind::Identifier &&
+                code[m]->text != "final") {
+                info.className = code[m]->text;
+                break;
+            }
+        }
+        return info;
+    }
+    return info;
+}
+
+/** Index of the matching `)` for the `(` at `open`, or `limit`. */
+size_t
+matchParen(const std::vector<const Token *> &code, size_t open,
+           size_t limit)
+{
+    int depth = 0;
+    for (size_t k = open; k < limit; ++k) {
+        if (code[k]->text == "(")
+            ++depth;
+        else if (code[k]->text == ")" && --depth == 0)
+            return k;
+    }
+    return limit;
+}
+
+/** Last `(` at paren depth 0 within [begin, end), or `end`. */
+size_t
+lastTopLevelParen(const std::vector<const Token *> &code,
+                  size_t begin, size_t end)
+{
+    size_t found = end;
+    int depth = 0;
+    for (size_t k = begin; k < end; ++k) {
+        const std::string &text = code[k]->text;
+        if (text == "(") {
+            if (depth == 0)
+                found = k;
+            ++depth;
+        } else if (text == ")" && depth > 0) {
+            --depth;
+        }
+    }
+    return found;
+}
+
+/**
+ * Identify the function a statement-level `{` begins. Returns false
+ * when the statement has no parameter list. `className`/`funcName`/
+ * `ctorDtor` describe what was found (out-of-class `A::f`, in-class
+ * `f` with the enclosing class, or a free function).
+ */
+bool
+parseFunctionHead(const std::vector<const Token *> &code,
+                  size_t begin, size_t end,
+                  const std::string &enclosingClass,
+                  std::string *className, std::string *funcName,
+                  bool *ctorDtor)
+{
+    const size_t p = lastTopLevelParen(code, begin, end);
+    if (p == end || p == begin)
+        return false;
+    size_t n = p; // token before the `(`
+    if (code[n - 1]->kind != TokKind::Identifier)
+        return false;
+    *funcName = code[n - 1]->text;
+    --n;
+    bool tilde = false;
+    if (n > begin && code[n - 1]->text == "~") {
+        tilde = true;
+        --n;
+    }
+    *className = enclosingClass;
+    if (n > begin && code[n - 1]->text == "::" && n - 1 > begin &&
+        code[n - 2]->kind == TokKind::Identifier)
+        *className = code[n - 2]->text;
+    *ctorDtor = tilde || (!className->empty() &&
+                          *funcName == *className);
+    return true;
+}
+
+struct Scope
+{
+    enum Kind { Namespace, Class, Function, Block } kind = Block;
+    std::string className;
+    size_t stmtStart = 0; // Class/Namespace statement anchor
+    size_t bodyIndex = 0; // Function: index into bodies
+};
+
+struct ParseResult
+{
+    std::map<ClassKey, ClassModel> classes;
+    std::vector<Body> bodies;
+};
+
+/**
+ * One member-declaration statement at class-body level: extract the
+ * declared name and its concurrency kind, or ignore it (member
+ * function declarations, nested types, using/friend/static/...).
+ */
+void
+classifyMemberStatement(const std::vector<const Token *> &code,
+                        size_t begin, size_t end, size_t fileIndex,
+                        ClassModel *model)
+{
+    if (begin >= end)
+        return;
+    for (size_t k = begin; k < end; ++k) {
+        if (oneOf(code[k]->text,
+                  {"using", "typedef", "friend", "static",
+                   "template", "operator", "enum", "class", "struct",
+                   "union", "public", "protected", "private",
+                   "extern", "static_assert"}))
+            return;
+    }
+    // Truncate at the initializer / array suffix: the declaration
+    // proper is everything before the first top-level =, { or [.
+    size_t stop = end;
+    int depth = 0;
+    for (size_t k = begin; k < end; ++k) {
+        const std::string &text = code[k]->text;
+        if (text == "(") {
+            ++depth;
+        } else if (text == ")") {
+            --depth;
+        } else if (depth == 0 &&
+                   (text == "=" || text == "{" || text == "[")) {
+            stop = k;
+            break;
+        }
+    }
+    if (stop - begin < 2)
+        return;
+
+    // A parameter list whose `)` is followed by nothing but
+    // qualifiers is a member-function declaration, not a member.
+    const size_t p = lastTopLevelParen(code, begin, stop);
+    if (p != stop) {
+        const size_t close = matchParen(code, p, stop);
+        bool namedAfter = false;
+        for (size_t k = close + 1; k < stop; ++k) {
+            if (code[k]->kind == TokKind::Identifier &&
+                !oneOf(code[k]->text,
+                       {"const", "noexcept", "override", "final"}))
+                namedAfter = true;
+        }
+        if (!namedAfter)
+            return;
+    }
+
+    const Token *name = nullptr;
+    for (size_t k = stop; k > begin; --k) {
+        if (code[k - 1]->kind == TokKind::Identifier) {
+            name = code[k - 1];
+            break;
+        }
+    }
+    if (!name)
+        return;
+
+    MemberKind kind = MemberKind::Plain;
+    for (size_t k = begin; k < stop; ++k) {
+        const Token &t = *code[k];
+        if (&t == name || t.kind != TokKind::Identifier)
+            continue;
+        if (t.text == "atomic" || t.text == "atomic_flag") {
+            kind = MemberKind::Atomic;
+            break; // atomic<T> wins over whatever T contains
+        }
+        if (isMutexType(t.text))
+            kind = MemberKind::Mutex;
+        else if (t.text == "condition_variable" ||
+                 t.text == "condition_variable_any")
+            kind = MemberKind::Cv;
+        else if (kind == MemberKind::Plain && isJoinableType(t.text))
+            kind = MemberKind::Joinable;
+    }
+
+    if (model->byName.count(name->text))
+        return;
+    model->byName[name->text] = model->members.size();
+    model->members.push_back(
+        {name->text, kind, fileIndex, name->line});
+    if (kind == MemberKind::Mutex)
+        model->hasMutex = true;
+}
+
+/** Phase-1 scan of one file: class models + function body ranges. */
+void
+parseFile(const std::vector<const Token *> &code, size_t fileIndex,
+          const std::string &module, ParseResult *out)
+{
+    std::vector<Scope> stack;
+    stack.push_back({Scope::Namespace, "", 0, 0});
+
+    for (size_t i = 0; i < code.size(); ++i) {
+        const std::string &text = code[i]->text;
+        Scope &top = stack.back();
+
+        if (text == "{") {
+            const bool stmtLevel = top.kind == Scope::Namespace ||
+                                   top.kind == Scope::Class;
+            const BraceInfo info = classifyBrace(code, i);
+            if (info.kind == BraceInfo::Namespace) {
+                stack.push_back({Scope::Namespace, "", i + 1, 0});
+            } else if (info.kind == BraceInfo::Class) {
+                if (stmtLevel && top.kind == Scope::Class)
+                    top.stmtStart = i + 1; // nested type consumed
+                stack.push_back(
+                    {Scope::Class, info.className, i + 1, 0});
+                if (!info.className.empty())
+                    out->classes.try_emplace(
+                        {module, info.className});
+            } else if (stmtLevel) {
+                std::string className, funcName;
+                bool ctorDtor = false;
+                if (parseFunctionHead(code, top.stmtStart, i,
+                                      top.className, &className,
+                                      &funcName, &ctorDtor)) {
+                    Scope scope{Scope::Function, className, 0,
+                                out->bodies.size()};
+                    out->bodies.push_back({fileIndex, module,
+                                           className, funcName,
+                                           ctorDtor, i + 1, i + 1});
+                    stack.push_back(scope);
+                } else {
+                    stack.push_back({Scope::Block, "", 0, 0});
+                }
+            } else {
+                stack.push_back({Scope::Block, "", 0, 0});
+            }
+            continue;
+        }
+
+        if (text == "}") {
+            if (stack.size() > 1) {
+                const Scope closed = stack.back();
+                stack.pop_back();
+                if (closed.kind == Scope::Function)
+                    out->bodies[closed.bodyIndex].end = i;
+                Scope &parent = stack.back();
+                if (closed.kind != Scope::Block &&
+                    (parent.kind == Scope::Namespace ||
+                     parent.kind == Scope::Class))
+                    parent.stmtStart = i + 1;
+            }
+            continue;
+        }
+
+        if (text == ";") {
+            if (top.kind == Scope::Class && !top.className.empty())
+                classifyMemberStatement(
+                    code, top.stmtStart, i, fileIndex,
+                    &out->classes.at({module, top.className}));
+            if (top.kind == Scope::Class ||
+                top.kind == Scope::Namespace)
+                top.stmtStart = i + 1;
+            continue;
+        }
+
+        if (text == ":" && top.kind == Scope::Class &&
+            i == top.stmtStart + 1 &&
+            oneOf(code[top.stmtStart]->text,
+                  {"public", "protected", "private"}))
+            top.stmtStart = i + 1; // access specifier
+    }
+}
+
+/** A live RAII lock in a body walk. */
+struct LockVar
+{
+    std::string name;
+    std::vector<std::string> nodes; // resolved Class::mutex ids
+    bool active = true;
+};
+
+} // namespace
+
+void
+Linter::checkConcurrency()
+{
+    ParseResult parsed;
+    std::vector<std::vector<const Token *>> fileCode;
+    fileCode.reserve(deferred_.size());
+    for (size_t f = 0; f < deferred_.size(); ++f) {
+        fileCode.push_back(codeOnly(deferred_[f].tokens));
+        parseFile(fileCode.back(), f, deferred_[f].module, &parsed);
+    }
+
+    // --- join-order: joinable members must be declared last -------
+    for (const auto &[key, model] : parsed.classes) {
+        for (size_t m = 0; m < model.members.size(); ++m) {
+            const Member &member = model.members[m];
+            if (member.kind != MemberKind::Joinable)
+                continue;
+            std::string after;
+            size_t count = 0;
+            for (size_t k = m + 1; k < model.members.size(); ++k) {
+                if (model.members[k].kind == MemberKind::Joinable)
+                    continue;
+                if (++count <= 3)
+                    after += (after.empty() ? "'" : ", '") +
+                             model.members[k].name + "'";
+            }
+            if (count == 0)
+                continue;
+            report(deferred_[member.fileIndex], member.line,
+                   "concurrency-join-order",
+                   "joinable member '" + member.name + "' of '" +
+                       key.second + "' is declared before " + after +
+                       (count > 3 ? ", ..." : "") +
+                       "; members destroy in reverse declaration "
+                       "order, so its threads could outlive that "
+                       "state — declare the joinable member last");
+        }
+    }
+
+    // --- per-body walk: lock scopes, notify/wait, writes, edges ---
+    std::map<std::pair<ClassKey, std::string>, WriteSites> writes;
+    // from-node -> to-node -> first acquisition site
+    std::map<std::string, std::map<std::string, Site>> lockOrder;
+
+    for (const Body &body : parsed.bodies) {
+        const std::vector<const Token *> &code =
+            fileCode[body.fileIndex];
+        FileContext &ctx = deferred_[body.fileIndex];
+        const ClassKey key{body.module, body.className};
+        const auto classIt = parsed.classes.find(key);
+        const ClassModel *model = classIt != parsed.classes.end()
+                                      ? &classIt->second
+                                      : nullptr;
+        const bool trackWrites =
+            model && model->hasMutex && !body.ctorDtor;
+
+        std::vector<std::vector<LockVar>> blocks(1);
+        const auto anyLockHeld = [&] {
+            for (const auto &block : blocks)
+                for (const LockVar &lock : block)
+                    if (lock.active)
+                        return true;
+            return false;
+        };
+
+        for (size_t i = body.begin; i < body.end; ++i) {
+            const Token &tok = *code[i];
+            const std::string &text = tok.text;
+            if (text == "{") {
+                blocks.emplace_back();
+                continue;
+            }
+            if (text == "}") {
+                if (blocks.size() > 1)
+                    blocks.pop_back();
+                continue;
+            }
+            if (tok.kind != TokKind::Identifier)
+                continue;
+            const auto prev = [&](size_t back) -> const Token * {
+                return i >= body.begin + back ? code[i - back]
+                                              : nullptr;
+            };
+            const auto next = [&](size_t fwd) -> const Token * {
+                return i + fwd < body.end ? code[i + fwd] : nullptr;
+            };
+            const bool memberCall =
+                prev(1) &&
+                (prev(1)->text == "." || prev(1)->text == "->");
+
+            // RAII lock declaration (not a member access to a field
+            // that happens to be named like a lock type).
+            if (isLockType(text) && !memberCall) {
+                size_t k = i + 1;
+                if (k < body.end && code[k]->text == "<") {
+                    int depth = 1;
+                    for (++k; k < body.end && depth > 0; ++k) {
+                        if (code[k]->text == "<")
+                            ++depth;
+                        else if (code[k]->text == ">")
+                            --depth;
+                    }
+                }
+                if (k + 1 < body.end &&
+                    code[k]->kind == TokKind::Identifier &&
+                    code[k + 1]->text == "(") {
+                    LockVar lock;
+                    lock.name = code[k]->text;
+                    // Split the ctor arguments at top level.
+                    std::vector<std::vector<const Token *>> args(1);
+                    int depth = 1;
+                    size_t a = k + 2;
+                    for (; a < body.end && depth > 0; ++a) {
+                        const std::string &at = code[a]->text;
+                        if (at == "(")
+                            ++depth;
+                        else if (at == ")") {
+                            if (--depth == 0)
+                                break;
+                        } else if (at == "," && depth == 1) {
+                            args.emplace_back();
+                            continue;
+                        }
+                        if (depth >= 1)
+                            args.back().push_back(code[a]);
+                    }
+                    for (const auto &arg : args) {
+                        if (arg.empty())
+                            continue;
+                        if (arg.back()->text == "defer_lock")
+                            lock.active = false;
+                        // Resolve a bare member-mutex argument
+                        // (`mutex_` or `this->mutex_`).
+                        const Token *ident = nullptr;
+                        if (arg.size() == 1)
+                            ident = arg[0];
+                        else if (arg.size() == 3 &&
+                                 arg[0]->text == "this" &&
+                                 arg[1]->text == "->")
+                            ident = arg[2];
+                        if (ident && model &&
+                            ident->kind == TokKind::Identifier) {
+                            const auto mit =
+                                model->byName.find(ident->text);
+                            if (mit != model->byName.end() &&
+                                model->members[mit->second].kind ==
+                                    MemberKind::Mutex)
+                                lock.nodes.push_back(
+                                    body.module + "::" +
+                                    body.className + "::" +
+                                    ident->text);
+                        }
+                    }
+                    if (lock.active) {
+                        for (const auto &block : blocks) {
+                            for (const LockVar &held : block) {
+                                if (!held.active)
+                                    continue;
+                                for (const std::string &from :
+                                     held.nodes)
+                                    for (const std::string &to :
+                                         lock.nodes)
+                                        if (from != to)
+                                            lockOrder[from]
+                                                .try_emplace(
+                                                    to,
+                                                    Site{
+                                                        body.fileIndex,
+                                                        tok.line});
+                            }
+                        }
+                    }
+                    blocks.back().push_back(std::move(lock));
+                }
+                continue;
+            }
+
+            // lock()/unlock() toggles on a tracked lock variable.
+            if ((text == "lock" || text == "unlock") && memberCall &&
+                prev(1)->text == "." && prev(2) &&
+                prev(2)->kind == TokKind::Identifier && next(1) &&
+                next(1)->text == "(") {
+                for (auto &block : blocks)
+                    for (LockVar &lock : block)
+                        if (lock.name == prev(2)->text)
+                            lock.active = (text == "lock");
+                continue;
+            }
+
+            if ((text == "notify_one" || text == "notify_all") &&
+                memberCall && next(1) && next(1)->text == "(") {
+                if (!anyLockHeld()) {
+                    const std::string cv =
+                        prev(2) &&
+                                prev(2)->kind == TokKind::Identifier
+                            ? "'" + prev(2)->text + "'"
+                            : "a condition variable";
+                    report(ctx, tok.line,
+                           "concurrency-notify-outside-lock",
+                           text + " on " + cv +
+                               " with no lock scope live; notify "
+                               "while holding the mutex so a waiter "
+                               "between its predicate check and its "
+                               "wait cannot miss the wake-up");
+                }
+                continue;
+            }
+
+            if (text == "wait" && memberCall && next(1) &&
+                next(1)->text == "(") {
+                int depth = 1;
+                size_t commas = 0;
+                size_t argTokens = 0;
+                for (size_t a = i + 2; a < body.end && depth > 0;
+                     ++a) {
+                    const std::string &at = code[a]->text;
+                    if (at == "(")
+                        ++depth;
+                    else if (at == ")")
+                        --depth;
+                    else if (at == "," && depth == 1)
+                        ++commas;
+                    if (depth > 0)
+                        ++argTokens;
+                }
+                // Exactly one argument is `cv.wait(lock)`: a wait
+                // with no predicate. Zero arguments (future.wait())
+                // and the predicate form are fine.
+                if (argTokens > 0 && commas == 0)
+                    report(ctx, tok.line,
+                           "concurrency-wait-no-predicate",
+                           "wait(lock) without a predicate returns "
+                           "on spurious wake-ups; use wait(lock, "
+                           "[&]{ return <condition>; })");
+                continue;
+            }
+
+            // Assignment-writes to plain members of the mutex-owning
+            // class, attributed under/outside the lock scopes.
+            if (trackWrites) {
+                const bool selfAccess =
+                    !prev(1) ||
+                    (prev(1)->text != "." && prev(1)->text != "->" &&
+                     prev(1)->text != "::") ||
+                    (prev(1)->text == "->" && prev(2) &&
+                     prev(2)->text == "this");
+                const auto mit = model->byName.find(text);
+                if (selfAccess && mit != model->byName.end() &&
+                    model->members[mit->second].kind ==
+                        MemberKind::Plain) {
+                    const auto t = [&](size_t fwd) {
+                        const Token *p = next(fwd);
+                        return p ? p->text : std::string();
+                    };
+                    const std::string p1 =
+                        prev(1) ? prev(1)->text : std::string();
+                    const std::string p2 =
+                        prev(2) ? prev(2)->text : std::string();
+                    const bool compoundable =
+                        !t(1).empty() &&
+                        oneOf(t(1), {"+", "-", "*", "/", "%", "&",
+                                     "|", "^"});
+                    const bool isWrite =
+                        (t(1) == "=" && t(2) != "=" &&
+                         !oneOf(p1, {"=", "!", "<", ">", "+", "-",
+                                     "*", "/", "%", "&", "|", "^"})) ||
+                        (compoundable && t(2) == "=") ||
+                        (t(1) == t(2) &&
+                         (t(1) == "+" || t(1) == "-")) ||
+                        (p1 == p2 && (p1 == "+" || p1 == "-")) ||
+                        (t(1) == "<" && t(2) == "<" && t(3) == "=") ||
+                        (t(1) == ">" && t(2) == ">" && t(3) == "=");
+                    if (isWrite) {
+                        WriteSites &sites = writes[{key, text}];
+                        (anyLockHeld() ? sites.underLock
+                                       : sites.lockFree)
+                            .push_back({body.fileIndex, tok.line});
+                    }
+                }
+            }
+        }
+    }
+
+    // --- mixed-access: members written both ways ------------------
+    for (const auto &[memberKey, sites] : writes) {
+        if (sites.underLock.empty() || sites.lockFree.empty())
+            continue;
+        const Site &locked = sites.underLock.front();
+        for (const Site &site : sites.lockFree)
+            report(deferred_[site.fileIndex], site.line,
+                   "concurrency-mixed-access",
+                   "non-atomic member '" + memberKey.second +
+                       "' of '" + memberKey.first.second +
+                       "' is written lock-free here but under a "
+                       "lock at " +
+                       deferred_[locked.fileIndex].displayPath +
+                       ":" + std::to_string(locked.line) +
+                       "; make it atomic or take the mutex");
+    }
+
+    // --- lock-order: cycle detection over acquisition edges -------
+    enum class Color { White, Grey, Black };
+    std::map<std::string, Color> color;
+    for (const auto &[from, edges] : lockOrder) {
+        color.emplace(from, Color::White);
+        for (const auto &[to, site] : edges) {
+            (void)site;
+            color.emplace(to, Color::White);
+        }
+    }
+    std::vector<std::string> path;
+    const std::function<void(const std::string &)> visit =
+        [&](const std::string &node) {
+            color[node] = Color::Grey;
+            path.push_back(node);
+            const auto it = lockOrder.find(node);
+            if (it != lockOrder.end()) {
+                for (const auto &[dep, site] : it->second) {
+                    if (color[dep] == Color::Grey) {
+                        std::string cycle = dep;
+                        for (auto p = std::find(path.begin(),
+                                                path.end(), dep) +
+                                      1;
+                             p != path.end(); ++p)
+                            cycle += " -> " + *p;
+                        cycle += " -> " + dep;
+                        report(deferred_[site.fileIndex], site.line,
+                               "concurrency-lock-order",
+                               "mutex acquisition cycle: " + cycle +
+                                   "; acquire these mutexes in one "
+                                   "global order everywhere");
+                    } else if (color[dep] == Color::White) {
+                        visit(dep);
+                    }
+                }
+            }
+            path.pop_back();
+            color[node] = Color::Black;
+        };
+    for (const auto &[node, c] : color) {
+        (void)c;
+        if (color[node] == Color::White)
+            visit(node);
+    }
+}
+
+} // namespace gopim::lint

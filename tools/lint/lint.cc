@@ -86,31 +86,49 @@ runLint(const RunOptions &options, std::ostream &out,
         return 2;
     }
 
-    const fs::path root(options.root);
-    if (!fs::is_directory(root)) {
-        err << "gopim_lint: '" << options.root
-            << "' is not a directory\n";
-        return 2;
-    }
-
     Linter linter(std::move(config));
     linter.checkConfig(options.configPath);
 
-    const std::vector<std::string> files = collectFiles(root, &error);
-    if (!error.empty()) {
-        err << "gopim_lint: " << error << "\n";
-        return 2;
-    }
-    for (const std::string &rel : files) {
-        std::string source;
-        const fs::path full = root / rel;
-        if (!readFile(full, &source)) {
-            err << "gopim_lint: cannot read '" << full.string()
-                << "'\n";
+    size_t fileCount = 0;
+    for (const std::string &rootArg : options.roots) {
+        const fs::path root(rootArg);
+        if (!fs::is_directory(root)) {
+            err << "gopim_lint: '" << rootArg
+                << "' is not a directory\n";
             return 2;
         }
-        linter.checkFile((root / rel).generic_string(), rel, source);
+        // `src` files keep root-relative paths (the historical
+        // contract: module = first component, guard GOPIM_<PATH>);
+        // other roots (tools, bench) are themselves the module, so
+        // prefix the basename.
+        const std::string base =
+            root.filename().empty()
+                ? root.parent_path().filename().generic_string()
+                : root.filename().generic_string();
+        const std::string prefix = base == "src" ? "" : base + "/";
+
+        const std::vector<std::string> files =
+            collectFiles(root, &error);
+        if (!error.empty()) {
+            err << "gopim_lint: " << error << "\n";
+            return 2;
+        }
+        fileCount += files.size();
+        for (const std::string &rel : files) {
+            std::string source;
+            const fs::path full = root / rel;
+            if (!readFile(full, &source)) {
+                err << "gopim_lint: cannot read '" << full.string()
+                    << "'\n";
+                return 2;
+            }
+            linter.checkFile((root / rel).generic_string(),
+                             prefix + rel, source);
+        }
     }
+    // Cross-file phases (concurrency models + global lock graph)
+    // need every file first.
+    linter.finish();
 
     const std::vector<Diagnostic> &diagnostics =
         linter.diagnostics();
@@ -126,12 +144,12 @@ runLint(const RunOptions &options, std::ostream &out,
         }
         for (const Diagnostic &diagnostic : diagnostics)
             report << diagnostic.format() << "\n";
-        report << "gopim_lint: " << files.size() << " files, "
+        report << "gopim_lint: " << fileCount << " files, "
                << diagnostics.size() << " violation(s)\n";
     }
 
     if (!options.quiet)
-        err << "gopim_lint: " << files.size() << " files, "
+        err << "gopim_lint: " << fileCount << " files, "
             << diagnostics.size() << " violation(s)\n";
     return diagnostics.empty() ? 0 : 1;
 }

@@ -1,7 +1,8 @@
 /**
  * @file
- * gopim_lint driver: load the rule config, walk a source tree in
- * deterministic (sorted-path) order, lint every C++ file, and print
+ * gopim_lint driver: load the rule config, walk one or more source
+ * trees in deterministic (sorted-path) order, lint every C++ file,
+ * run the cross-file concurrency phase, and print
  * `file:line: rule: message` diagnostics.
  */
 
@@ -10,12 +11,20 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace gopim::lint {
 
 struct RunOptions
 {
-    std::string root;       ///< directory tree to lint
+    /**
+     * Directory trees to lint. A root named `src` contributes
+     * root-relative paths (module = first path component, as
+     * always); any other root contributes paths prefixed with its
+     * basename, so `tools/foo.cc` belongs to module `tools` and
+     * header guards canonicalize to GOPIM_TOOLS_..._HH.
+     */
+    std::vector<std::string> roots;
     std::string configPath; ///< layering/rule TOML file
     std::string reportPath; ///< also write diagnostics here ("" = no)
     bool quiet = false;     ///< suppress the summary line

@@ -3,9 +3,11 @@
  * gopim_lint entry point.
  *
  * Usage:
- *   gopim_lint [--report=FILE] [--quiet] <src-root> <layering.toml>
+ *   gopim_lint [--report=FILE] [--quiet] <root>... <layering.toml>
  *
- * Exit codes: 0 clean, 1 violations found, 2 usage/config error.
+ * One or more source roots (e.g. `src tools bench`), then the rule
+ * config. Exit codes: 0 clean, 1 violations found, 2 usage/config
+ * error.
  */
 
 #include <iostream>
@@ -28,9 +30,11 @@ main(int argc, char **argv)
         else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: gopim_lint [--report=FILE] [--quiet] "
-                   "<src-root> <layering.toml>\n"
+                   "<root>... <layering.toml>\n"
                    "Static analysis for the GoPIM tree: layering "
-                   "DAG, determinism lint, header hygiene.\n"
+                   "DAG, determinism lint, header hygiene,\n"
+                   "concurrency discipline (notify/wait, mixed "
+                   "atomic access, lock order, join order).\n"
                    "Suppress a finding with '// gopim-lint: "
                    "allow(<rule>) <reason>'.\n";
             return 0;
@@ -42,12 +46,13 @@ main(int argc, char **argv)
             positional.push_back(arg);
         }
     }
-    if (positional.size() != 2) {
+    if (positional.size() < 2) {
         std::cerr << "usage: gopim_lint [--report=FILE] [--quiet] "
-                     "<src-root> <layering.toml>\n";
+                     "<root>... <layering.toml>\n";
         return 2;
     }
-    options.root = positional[0];
-    options.configPath = positional[1];
+    options.configPath = positional.back();
+    positional.pop_back();
+    options.roots = std::move(positional);
     return gopim::lint::runLint(options, std::cout, std::cerr);
 }

@@ -105,6 +105,8 @@ Config::load(const TomlDoc &doc, Config *config, std::string *error)
 
     if (const auto *v = doc.find("constraints", "no_incoming"))
         config->noIncoming = *v;
+    if (const auto *v = doc.find("constraints", "no_incoming_except"))
+        config->noIncomingExcept = *v;
     if (doc.hasSection("interfaces")) {
         for (const std::string &module : doc.keys("interfaces"))
             config->interfaces[module] =
@@ -134,8 +136,13 @@ Linter::knownRules()
         "determinism-random-device", "determinism-time",
         "determinism-clock",       "determinism-unordered",
         "hygiene-guard",           "hygiene-guard-name",
-        "hygiene-using-namespace", "allow-missing-reason",
-        "allow-unknown-rule",
+        "hygiene-using-namespace",
+        "concurrency-notify-outside-lock",
+        "concurrency-wait-no-predicate",
+        "concurrency-mixed-access",
+        "concurrency-lock-order",
+        "concurrency-join-order",
+        "allow-missing-reason",    "allow-unknown-rule",
     };
     return rules;
 }
@@ -304,6 +311,17 @@ Linter::checkFile(const std::string &displayPath,
     checkDeterminism(ctx);
     if (isHeaderPath(relPath))
         checkHygiene(ctx);
+    // The concurrency family needs every class's member model before
+    // any function body can be judged (declarations in .hh, bodies
+    // in .cc), so the token stream is retained until finish().
+    deferred_.push_back(std::move(ctx));
+}
+
+void
+Linter::finish()
+{
+    checkConcurrency();
+    deferred_.clear();
 }
 
 void
@@ -335,7 +353,8 @@ Linter::checkLayering(FileContext &ctx)
             continue; // relative or non-module include
         if (dep == ctx.module)
             continue;
-        if (contains(config_.noIncoming, dep)) {
+        if (contains(config_.noIncoming, dep) &&
+            !contains(config_.noIncomingExcept, ctx.module)) {
             report(ctx, token.line, "layering-no-incoming",
                    "module '" + dep +
                        "' must not be included by other modules "

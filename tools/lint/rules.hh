@@ -1,10 +1,11 @@
 /**
  * @file
- * gopim_lint rule engine: the three rule families (layering DAG,
- * determinism, header hygiene) over the token stream produced by
- * lint/tokenizer.hh, configured from tools/layering.toml.
+ * gopim_lint rule engine: the four rule families (layering DAG,
+ * determinism, header hygiene, concurrency discipline) over the
+ * token stream produced by lint/tokenizer.hh, configured from
+ * tools/layering.toml.
  *
- * Rule ids (used in diagnostics and `gopim-lint: allow(<rule>)`):
+ * Rule ids (used in diagnostics and allow(<rule>) waivers):
  *   layering-cycle            declared module DAG contains a cycle
  *   layering-unknown-module   file's module absent from [layers]
  *   layering-undeclared       #include edge not declared in [layers]
@@ -21,8 +22,27 @@
  *   hygiene-guard             missing/malformed include guard
  *   hygiene-guard-name        guard name != canonical GOPIM_<PATH>_HH
  *   hygiene-using-namespace   `using namespace` at header scope
+ *   concurrency-notify-outside-lock
+ *                             notify_one/notify_all with no
+ *                             lock_guard/unique_lock scope live
+ *   concurrency-wait-no-predicate
+ *                             cv.wait(lock) without a predicate —
+ *                             spurious wake-ups break the wait
+ *   concurrency-mixed-access  non-atomic member written both under
+ *                             and outside a lock scope
+ *   concurrency-lock-order    global mutex-acquisition-order graph
+ *                             has a cycle (ABBA deadlock shape)
+ *   concurrency-join-order    joinable member (thread/ThreadPool)
+ *                             declared before state its threads
+ *                             touch; reverse destruction would free
+ *                             that state first
  *   allow-missing-reason      allow(...) without a justification
  *   allow-unknown-rule        allow(...) naming no known rule
+ *
+ * The concurrency family is a cross-file pass: checkFile() defers
+ * the token streams, and finish() builds the per-class symbol model
+ * (mutex/cv/atomic/joinable members, lock scopes per function body)
+ * plus the global lock-order graph before reporting.
  */
 
 #ifndef GOPIM_TOOLS_LINT_RULES_HH
@@ -56,6 +76,9 @@ struct Config
     std::map<std::string, std::vector<std::string>> layers;
     /** Modules nothing may include ([constraints] no_incoming). */
     std::vector<std::string> noIncoming;
+    /** Modules exempt from no_incoming — the sanctioned consumers
+     *  ([constraints] no_incoming_except). */
+    std::vector<std::string> noIncomingExcept;
     /** Module -> its only includable headers ([interfaces]). */
     std::map<std::string, std::vector<std::string>> interfaces;
     /** Files exempt from RNG bans ([determinism] rng_helpers). */
@@ -102,6 +125,13 @@ class Linter
                    const std::string &relPath,
                    const std::string &source);
 
+    /**
+     * Run the cross-file phases (concurrency symbol model, mixed
+     * lock/lock-free writes, global lock-order cycle check). Call
+     * exactly once, after the last checkFile().
+     */
+    void finish();
+
     const std::vector<Diagnostic> &
     diagnostics() const
     {
@@ -131,9 +161,13 @@ class Linter
     void checkLayering(FileContext &ctx);
     void checkDeterminism(FileContext &ctx);
     void checkHygiene(FileContext &ctx);
+    /** The deferred concurrency pass (lint/concurrency.cc). */
+    void checkConcurrency();
 
     Config config_;
     std::vector<Diagnostic> diagnostics_;
+    /** Token streams retained for the cross-file finish() phases. */
+    std::vector<FileContext> deferred_;
 };
 
 } // namespace gopim::lint
